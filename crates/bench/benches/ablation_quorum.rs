@@ -1,0 +1,27 @@
+//! Ablation — CAESAR's fast-quorum size: the paper's `⌈3N/4⌉ = 4` vs
+//! requiring every node (`FQ = 5`), which trades latency for a cheaper
+//! recovery.
+
+use bench::{print_table, TIMED_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{ablation_fast_quorum_size, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    let series = ablation_fast_quorum_size(0.3, &[0.0, 10.0, 30.0]);
+    print_table(&series.to_table());
+
+    let mut group = c.benchmark_group("ablation_quorum");
+    group.sample_size(10);
+    group.bench_function("caesar_full_fast_quorum", |b| {
+        b.iter(|| {
+            let config = RunConfig::latency_defaults(ProtocolKind::Caesar, 10.0)
+                .with_caesar_fast_quorum(5)
+                .with_sim_seconds(10.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

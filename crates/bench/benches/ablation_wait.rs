@@ -1,0 +1,28 @@
+//! Ablation — CAESAR's wait condition (Section IV-A) on vs off.
+//!
+//! With the wait condition disabled, an acceptor immediately rejects any
+//! command whose timestamp arrives out of order, which is the strawman the
+//! paper argues against: more NACKs, more retries, more slow decisions.
+
+use bench::{print_table, TIMED_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{ablation_wait_condition, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    let series = ablation_wait_condition(0.3, &[2.0, 10.0, 30.0, 50.0]);
+    print_table(&series.to_table());
+
+    let mut group = c.benchmark_group("ablation_wait");
+    group.sample_size(10);
+    group.bench_function("caesar_no_wait_30pct", |b| {
+        b.iter(|| {
+            let config = RunConfig::latency_defaults(ProtocolKind::CaesarNoWait, 30.0)
+                .with_sim_seconds(10.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

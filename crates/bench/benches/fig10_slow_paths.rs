@@ -1,0 +1,26 @@
+//! Figure 10 — percentage of commands decided through a slow decision vs
+//! conflict percentage, CAESAR vs EPaxos.
+
+use bench::{print_table, TIMED_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{fig10_slow_paths, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    let series = fig10_slow_paths(0.3, &[0.0, 2.0, 10.0, 30.0, 50.0, 100.0]);
+    print_table(&series.to_table());
+
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("caesar_slow_paths_30pct", |b| {
+        b.iter(|| {
+            let config = RunConfig::throughput_defaults(ProtocolKind::Caesar, 30.0)
+                .with_clients_per_node(50)
+                .with_sim_seconds(5.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 11 — CAESAR's latency breakdown per ordering phase (11a) and the
+//! average wait-condition time per site (11b).
+
+use bench::{print_table, TIMED_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{fig11_breakdown, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    let (breakdown, wait) = fig11_breakdown(0.3, &[0.0, 2.0, 10.0, 30.0, 50.0, 100.0]);
+    print_table(&breakdown.to_table());
+    print_table(&wait.to_table());
+
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("caesar_breakdown_30pct", |b| {
+        b.iter(|| {
+            let config = RunConfig::throughput_defaults(ProtocolKind::Caesar, 30.0)
+                .with_clients_per_node(50)
+                .with_sim_seconds(5.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

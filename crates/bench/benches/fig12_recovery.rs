@@ -1,0 +1,22 @@
+//! Figure 12 — throughput timeline when one node crashes, CAESAR vs EPaxos.
+
+use bench::print_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{fig12_recovery, RecoveryTimeline};
+
+fn benchmark(c: &mut Criterion) {
+    // 40 clients per node, crash at t = 8 s, 20 simulated seconds (the paper
+    // uses 500 clients per node, crash at 20 s, 40 s total).
+    let timelines = fig12_recovery(40, 8, 20, 0xF16_12);
+    print_table(&RecoveryTimeline::to_table(&timelines));
+
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    group.bench_function("caesar_crash_recovery", |b| {
+        b.iter(|| fig12_recovery(10, 2, 5, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 6 — average latency per site vs conflict percentage, for CAESAR,
+//! EPaxos and M²Paxos with batching disabled.
+
+use bench::{print_table, TABLE_SCALE, TIMED_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{fig6_latency_conflicts, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    // Regenerate the figure's data once and print it (the reproduction artifact).
+    let series = fig6_latency_conflicts(TABLE_SCALE, &[0.0, 2.0, 10.0, 30.0, 50.0, 100.0]);
+    print_table(&series.to_table("conflict %"));
+
+    // Time a single representative point so `cargo bench` reports a stable number.
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("caesar_30pct_conflicts", |b| {
+        b.iter(|| {
+            let config = RunConfig::latency_defaults(ProtocolKind::Caesar, 30.0)
+                .with_sim_seconds(10.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.bench_function("epaxos_30pct_conflicts", |b| {
+        b.iter(|| {
+            let config = RunConfig::latency_defaults(ProtocolKind::Epaxos, 30.0)
+                .with_sim_seconds(10.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 7 — average latency per site for Multi-Paxos (leader in Ireland and
+//! in Mumbai), Mencius and CAESAR at 0 % conflicts.
+
+use bench::{print_table, TABLE_SCALE, TIMED_SCALE};
+use consensus_types::NodeId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{fig7_single_leader, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    let series = fig7_single_leader(TABLE_SCALE);
+    print_table(&series.to_table("conflict %"));
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("multipaxos_ireland_leader", |b| {
+        b.iter(|| {
+            let config = RunConfig::latency_defaults(ProtocolKind::MultiPaxos(NodeId(3)), 0.0)
+                .with_sim_seconds(10.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.bench_function("mencius", |b| {
+        b.iter(|| {
+            let config = RunConfig::latency_defaults(ProtocolKind::Mencius, 0.0)
+                .with_sim_seconds(10.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 8 — per-site latency while varying the number of connected clients
+//! (5–2000 in the paper), at 10 % conflicts.
+
+use bench::{print_table, TIMED_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{fig8_scalability, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    // A reduced client sweep keeps the bench run in minutes; raise the list
+    // towards the paper's 2000 clients for a full-scale run.
+    let series = fig8_scalability(0.2, &[5, 50, 250, 500, 1000]);
+    print_table(&series.to_table("clients"));
+
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("caesar_500_clients", |b| {
+        b.iter(|| {
+            let config = RunConfig::latency_defaults(ProtocolKind::Caesar, 10.0)
+                .with_clients_per_node(100)
+                .with_sim_seconds(10.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 9 — total throughput vs conflict percentage, with batching disabled
+//! (top) and enabled (bottom).
+
+use bench::{print_table, TIMED_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{fig9_throughput, ProtocolKind, RunConfig};
+
+fn benchmark(c: &mut Criterion) {
+    let series = fig9_throughput(0.25, &[0.0, 2.0, 10.0, 30.0, 50.0, 100.0]);
+    print_table(&series.to_table());
+
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("caesar_throughput_10pct", |b| {
+        b.iter(|| {
+            let config = RunConfig::throughput_defaults(ProtocolKind::Caesar, 10.0)
+                .with_sim_seconds(5.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.bench_function("epaxos_throughput_10pct", |b| {
+        b.iter(|| {
+            let config = RunConfig::throughput_defaults(ProtocolKind::Epaxos, 10.0)
+                .with_sim_seconds(5.0 * TIMED_SCALE);
+            harness::run_closed_loop(&config)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

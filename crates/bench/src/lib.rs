@@ -1,0 +1,23 @@
+//! Helpers shared by the Criterion benchmark binaries.
+//!
+//! Each bench target in `benches/` regenerates one figure of the paper: it
+//! first prints the figure's data as a text table (the reproduction
+//! artifact), then registers a reduced-size Criterion benchmark so `cargo
+//! bench` also reports stable timing numbers for the experiment pipeline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Scale factor for the full table printed once per bench run (kept small so
+/// `cargo bench` completes in minutes; raise it to approach paper-scale
+/// runs).
+pub const TABLE_SCALE: f64 = 0.3;
+
+/// Scale factor for the experiment executed inside the Criterion timing loop.
+pub const TIMED_SCALE: f64 = 0.05;
+
+/// Prints a banner followed by a rendered table, flushing immediately so the
+/// output is visible even when Criterion captures stdout.
+pub fn print_table(table: &harness::Table) {
+    println!("\n{table}");
+}

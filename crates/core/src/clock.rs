@@ -1,0 +1,112 @@
+//! The per-node logical clock `TS_i`.
+
+use consensus_types::{NodeId, Timestamp};
+
+/// The logical clock `TS_i` described in Section V-A of the paper.
+///
+/// Its value is always greater than the timestamp of any command handled by
+/// the node so far, and every value it hands out is unique across the cluster
+/// because the node id is part of the timestamp.
+///
+/// # Example
+///
+/// ```
+/// use caesar::LogicalClock;
+/// use consensus_types::{NodeId, Timestamp};
+///
+/// let mut clock = LogicalClock::new(NodeId(2));
+/// let t1 = clock.next();
+/// let t2 = clock.next();
+/// assert!(t2 > t1);
+///
+/// // Observing a foreign timestamp pushes the clock past it.
+/// clock.observe(Timestamp::new(100, NodeId(4)));
+/// assert!(clock.next() > Timestamp::new(100, NodeId(4)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogicalClock {
+    node: NodeId,
+    counter: u64,
+}
+
+impl LogicalClock {
+    /// Creates a clock for `node`, starting at `⟨0, node⟩`.
+    #[must_use]
+    pub fn new(node: NodeId) -> Self {
+        Self { node, counter: 0 }
+    }
+
+    /// The node that owns this clock.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current value without advancing (the last value handed out).
+    #[must_use]
+    pub fn current(&self) -> Timestamp {
+        Timestamp::new(self.counter, self.node)
+    }
+
+    /// Advances the clock and returns a fresh timestamp strictly greater than
+    /// every timestamp previously returned or observed.
+    pub fn next(&mut self) -> Timestamp {
+        self.counter += 1;
+        Timestamp::new(self.counter, self.node)
+    }
+
+    /// Records that a timestamp was seen, so subsequently generated values are
+    /// strictly greater than it.
+    pub fn observe(&mut self, ts: Timestamp) {
+        let next_value = Timestamp::new(self.counter + 1, self.node);
+        if next_value <= ts {
+            self.counter = ts.counter();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_is_strictly_increasing() {
+        let mut c = LogicalClock::new(NodeId(1));
+        let mut prev = c.current();
+        for _ in 0..100 {
+            let t = c.next();
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn observe_pushes_clock_past_foreign_timestamps() {
+        let mut c = LogicalClock::new(NodeId(0));
+        c.observe(Timestamp::new(10, NodeId(4)));
+        assert!(c.next() > Timestamp::new(10, NodeId(4)));
+
+        let mut c = LogicalClock::new(NodeId(4));
+        c.observe(Timestamp::new(10, NodeId(0)));
+        assert!(c.next() > Timestamp::new(10, NodeId(0)));
+    }
+
+    #[test]
+    fn observe_is_monotone() {
+        let mut c = LogicalClock::new(NodeId(2));
+        let t = c.next();
+        c.observe(Timestamp::new(0, NodeId(0)));
+        assert!(c.next() > t, "observing an old timestamp never rewinds the clock");
+    }
+
+    #[test]
+    fn clocks_of_different_nodes_never_collide() {
+        let mut a = LogicalClock::new(NodeId(0));
+        let mut b = LogicalClock::new(NodeId(1));
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            assert!(seen.insert(a.next()));
+            assert!(seen.insert(b.next()));
+        }
+    }
+}

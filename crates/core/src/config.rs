@@ -1,0 +1,128 @@
+//! Configuration of a CAESAR replica.
+
+use consensus_types::{QuorumSpec, SimTime};
+
+/// Tunables for a [`CaesarReplica`](crate::CaesarReplica).
+///
+/// The defaults follow the paper: fast quorum `⌈3N/4⌉`, classic quorum
+/// `⌊N/2⌋+1`, the wait condition enabled, and recovery driven by a
+/// per-command takeover timeout.
+///
+/// # Example
+///
+/// ```
+/// use caesar::CaesarConfig;
+///
+/// let config = CaesarConfig::new(5)
+///     .with_recovery_timeout(Some(2_000_000))
+///     .with_wait_condition(true);
+/// assert_eq!(config.quorums.fast(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CaesarConfig {
+    /// Quorum sizes (classic and fast).
+    pub quorums: QuorumSpec,
+    /// How long a leader waits for a full fast quorum before settling for a
+    /// classic quorum and entering the slow proposal phase (microseconds).
+    pub fast_quorum_timeout: SimTime,
+    /// If `Some(t)`, an acceptor that has known a non-stable command for `t`
+    /// microseconds starts the recovery procedure for it (its failure
+    /// detector suspects the command's leader). `None` disables takeovers.
+    pub recovery_timeout: Option<SimTime>,
+    /// When `false`, the wait condition of Section IV-A is disabled and an
+    /// acceptor immediately rejects a command whose timestamp arrives out of
+    /// order. Used by the `ablation_wait` benchmark.
+    pub wait_condition: bool,
+    /// How many locally executed commands per key are kept in the conflict
+    /// index (besides the most recent one, which is always kept so that
+    /// predecessor sets stay transitively complete).
+    pub executed_retention_per_key: usize,
+    /// Base CPU cost (microseconds) charged for handling one protocol
+    /// message; used by the simulator to model saturation.
+    pub message_cost_us: SimTime,
+    /// Extra CPU cost per predecessor carried in a STABLE message, modelling
+    /// the cost of dependency bookkeeping at delivery time.
+    pub per_dependency_cost_ns: u64,
+}
+
+impl CaesarConfig {
+    /// Configuration for a cluster of `nodes` replicas with paper defaults.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            quorums: QuorumSpec::new(nodes),
+            fast_quorum_timeout: 400_000,
+            recovery_timeout: Some(2_000_000),
+            wait_condition: true,
+            executed_retention_per_key: 16,
+            message_cost_us: 12,
+            per_dependency_cost_ns: 150,
+        }
+    }
+
+    /// Overrides the quorum specification (used by the quorum ablation).
+    #[must_use]
+    pub fn with_quorums(mut self, quorums: QuorumSpec) -> Self {
+        self.quorums = quorums;
+        self
+    }
+
+    /// Enables or disables the wait condition (ablation).
+    #[must_use]
+    pub fn with_wait_condition(mut self, enabled: bool) -> Self {
+        self.wait_condition = enabled;
+        self
+    }
+
+    /// Sets the recovery takeover timeout (`None` disables recovery).
+    #[must_use]
+    pub fn with_recovery_timeout(mut self, timeout: Option<SimTime>) -> Self {
+        self.recovery_timeout = timeout;
+        self
+    }
+
+    /// Sets the fast-quorum timeout after which a leader settles for a
+    /// classic quorum.
+    #[must_use]
+    pub fn with_fast_quorum_timeout(mut self, timeout: SimTime) -> Self {
+        self.fast_quorum_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-message CPU cost used by the saturation model.
+    #[must_use]
+    pub fn with_message_cost_us(mut self, cost: SimTime) -> Self {
+        self.message_cost_us = cost;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_quorums() {
+        let c = CaesarConfig::new(5);
+        assert_eq!(c.quorums.nodes(), 5);
+        assert_eq!(c.quorums.classic(), 3);
+        assert_eq!(c.quorums.fast(), 4);
+        assert!(c.wait_condition);
+        assert!(c.recovery_timeout.is_some());
+    }
+
+    #[test]
+    fn builder_methods_override_fields() {
+        let c = CaesarConfig::new(5)
+            .with_wait_condition(false)
+            .with_recovery_timeout(None)
+            .with_fast_quorum_timeout(123)
+            .with_message_cost_us(99)
+            .with_quorums(QuorumSpec::with_fast_quorum(5, 5));
+        assert!(!c.wait_condition);
+        assert!(c.recovery_timeout.is_none());
+        assert_eq!(c.fast_quorum_timeout, 123);
+        assert_eq!(c.message_cost_us, 99);
+        assert_eq!(c.quorums.fast(), 5);
+    }
+}

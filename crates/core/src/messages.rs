@@ -1,0 +1,235 @@
+//! Wire messages (and self-scheduled timeouts) of the CAESAR protocol.
+
+use std::collections::BTreeSet;
+
+use consensus_types::{Ballot, Command, CommandId, Timestamp};
+
+use crate::history::CmdStatus;
+
+/// Which proposal phase a reply belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposalKind {
+    /// The fast proposal phase (first round, fast quorum).
+    Fast,
+    /// The slow proposal phase (after a fast-quorum timeout, classic quorum).
+    Slow,
+}
+
+/// Snapshot of a history tuple shipped in a `RecoveryReply`.
+#[derive(Debug, Clone)]
+pub struct RecoveryInfo {
+    /// The command payload (so a recovery leader that never saw the original
+    /// proposal can still finish it).
+    pub cmd: Command,
+    /// Latest known timestamp at the replying acceptor.
+    pub ts: Timestamp,
+    /// Latest known predecessor set at the replying acceptor.
+    pub pred: BTreeSet<CommandId>,
+    /// Status of the command at the replying acceptor.
+    pub status: CmdStatus,
+    /// Ballot that produced that status.
+    pub ballot: Ballot,
+    /// Whether the predecessor set was forced by a recovery whitelist.
+    pub forced: bool,
+}
+
+/// Messages exchanged by CAESAR replicas.
+///
+/// Timeouts are modelled as messages a replica schedules to itself
+/// (`FastQuorumTimeout`, `RecoveryTimeout`), which keeps the whole protocol
+/// expressible through a single [`simnet::Process::on_message`] entry point.
+#[derive(Debug, Clone)]
+pub enum CaesarMessage {
+    /// Leader → all: propose `cmd` at `time` (fast proposal phase).
+    FastPropose {
+        /// Ballot of the proposing leader.
+        ballot: Ballot,
+        /// The command being proposed.
+        cmd: Command,
+        /// Proposed delivery timestamp.
+        time: Timestamp,
+        /// Recovery whitelist (`None` outside recovery).
+        whitelist: Option<BTreeSet<CommandId>>,
+    },
+    /// Acceptor → leader: reply to a fast proposal.
+    FastProposeReply {
+        /// Ballot the reply refers to.
+        ballot: Ballot,
+        /// The command the reply refers to.
+        cmd_id: CommandId,
+        /// Confirmed timestamp (on OK) or suggested greater timestamp (on NACK).
+        time: Timestamp,
+        /// Predecessors known to the acceptor.
+        pred: BTreeSet<CommandId>,
+        /// `true` for OK, `false` for NACK.
+        ok: bool,
+    },
+    /// Leader → all: slow proposal after a fast-quorum timeout.
+    SlowPropose {
+        /// Ballot of the proposing leader.
+        ballot: Ballot,
+        /// The command being proposed.
+        cmd: Command,
+        /// Timestamp carried over from the fast proposal phase.
+        time: Timestamp,
+        /// Predecessor set accumulated in the fast proposal phase.
+        pred: BTreeSet<CommandId>,
+    },
+    /// Acceptor → leader: reply to a slow proposal.
+    SlowProposeReply {
+        /// Ballot the reply refers to.
+        ballot: Ballot,
+        /// The command the reply refers to.
+        cmd_id: CommandId,
+        /// Confirmed timestamp (on OK) or suggested greater timestamp (on NACK).
+        time: Timestamp,
+        /// Predecessors known to the acceptor.
+        pred: BTreeSet<CommandId>,
+        /// `true` for OK, `false` for NACK.
+        ok: bool,
+    },
+    /// Leader → all: retry with a greater timestamp after a rejection.
+    Retry {
+        /// Ballot of the proposing leader.
+        ballot: Ballot,
+        /// The command being retried.
+        cmd: Command,
+        /// The new (maximum suggested) timestamp.
+        time: Timestamp,
+        /// Predecessor set accumulated so far.
+        pred: BTreeSet<CommandId>,
+    },
+    /// Acceptor → leader: acknowledgement of a retry (never a rejection).
+    RetryReply {
+        /// Ballot the reply refers to.
+        ballot: Ballot,
+        /// The command the reply refers to.
+        cmd_id: CommandId,
+        /// The accepted timestamp.
+        time: Timestamp,
+        /// Additional predecessors computed against the new timestamp.
+        pred: BTreeSet<CommandId>,
+    },
+    /// Leader → all: final decision for a command.
+    Stable {
+        /// Ballot of the deciding leader.
+        ballot: Ballot,
+        /// The decided command.
+        cmd: Command,
+        /// Final delivery timestamp.
+        time: Timestamp,
+        /// Final predecessor set.
+        pred: BTreeSet<CommandId>,
+    },
+    /// Recovery leader → all: request the latest information about a command.
+    Recovery {
+        /// The (higher) ballot of the node attempting the takeover.
+        ballot: Ballot,
+        /// The command being recovered.
+        cmd_id: CommandId,
+    },
+    /// Acceptor → recovery leader: latest known tuple for the command, or
+    /// `None` if the acceptor never heard of it.
+    RecoveryReply {
+        /// Ballot the reply refers to.
+        ballot: Ballot,
+        /// The command the reply refers to.
+        cmd_id: CommandId,
+        /// The acceptor's history tuple, if any.
+        info: Option<RecoveryInfo>,
+    },
+    /// Self-timeout: the leader stops waiting for a full fast quorum.
+    FastQuorumTimeout {
+        /// The command whose fast proposal phase timed out.
+        cmd_id: CommandId,
+        /// Ballot of that proposal.
+        ballot: Ballot,
+    },
+    /// Self-timeout: this replica suspects the leader of `cmd_id` and starts
+    /// a recovery if the command is still not stable.
+    RecoveryTimeout {
+        /// The command whose leader is suspected.
+        cmd_id: CommandId,
+    },
+}
+
+impl CaesarMessage {
+    /// The command id this message refers to.
+    #[must_use]
+    pub fn command_id(&self) -> CommandId {
+        match self {
+            CaesarMessage::FastPropose { cmd, .. }
+            | CaesarMessage::SlowPropose { cmd, .. }
+            | CaesarMessage::Retry { cmd, .. }
+            | CaesarMessage::Stable { cmd, .. } => cmd.id(),
+            CaesarMessage::FastProposeReply { cmd_id, .. }
+            | CaesarMessage::SlowProposeReply { cmd_id, .. }
+            | CaesarMessage::RetryReply { cmd_id, .. }
+            | CaesarMessage::Recovery { cmd_id, .. }
+            | CaesarMessage::RecoveryReply { cmd_id, .. }
+            | CaesarMessage::FastQuorumTimeout { cmd_id, .. }
+            | CaesarMessage::RecoveryTimeout { cmd_id } => *cmd_id,
+        }
+    }
+
+    /// A short label for tracing and statistics.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CaesarMessage::FastPropose { .. } => "FastPropose",
+            CaesarMessage::FastProposeReply { .. } => "FastProposeReply",
+            CaesarMessage::SlowPropose { .. } => "SlowPropose",
+            CaesarMessage::SlowProposeReply { .. } => "SlowProposeReply",
+            CaesarMessage::Retry { .. } => "Retry",
+            CaesarMessage::RetryReply { .. } => "RetryReply",
+            CaesarMessage::Stable { .. } => "Stable",
+            CaesarMessage::Recovery { .. } => "Recovery",
+            CaesarMessage::RecoveryReply { .. } => "RecoveryReply",
+            CaesarMessage::FastQuorumTimeout { .. } => "FastQuorumTimeout",
+            CaesarMessage::RecoveryTimeout { .. } => "RecoveryTimeout",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_types::NodeId;
+
+    #[test]
+    fn command_id_is_extracted_from_every_variant() {
+        let cmd = Command::put(CommandId::new(NodeId(1), 7), 3, 0);
+        let id = cmd.id();
+        let b = Ballot::initial(NodeId(1));
+        let t = Timestamp::new(1, NodeId(1));
+        let msgs = vec![
+            CaesarMessage::FastPropose { ballot: b, cmd: cmd.clone(), time: t, whitelist: None },
+            CaesarMessage::FastProposeReply {
+                ballot: b,
+                cmd_id: id,
+                time: t,
+                pred: BTreeSet::new(),
+                ok: true,
+            },
+            CaesarMessage::SlowPropose { ballot: b, cmd: cmd.clone(), time: t, pred: BTreeSet::new() },
+            CaesarMessage::SlowProposeReply {
+                ballot: b,
+                cmd_id: id,
+                time: t,
+                pred: BTreeSet::new(),
+                ok: false,
+            },
+            CaesarMessage::Retry { ballot: b, cmd: cmd.clone(), time: t, pred: BTreeSet::new() },
+            CaesarMessage::RetryReply { ballot: b, cmd_id: id, time: t, pred: BTreeSet::new() },
+            CaesarMessage::Stable { ballot: b, cmd, time: t, pred: BTreeSet::new() },
+            CaesarMessage::Recovery { ballot: b, cmd_id: id },
+            CaesarMessage::RecoveryReply { ballot: b, cmd_id: id, info: None },
+            CaesarMessage::FastQuorumTimeout { cmd_id: id, ballot: b },
+            CaesarMessage::RecoveryTimeout { cmd_id: id },
+        ];
+        for m in msgs {
+            assert_eq!(m.command_id(), id, "{}", m.kind());
+            assert!(!m.kind().is_empty());
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Per-replica protocol counters used by the evaluation harness.
+
+use consensus_types::SimTime;
+
+/// Counters a [`CaesarReplica`](crate::CaesarReplica) maintains while running.
+///
+/// The harness aggregates these across replicas to regenerate Figure 10
+/// (slow-path percentage), Figure 11a (phase breakdown) and Figure 11b
+/// (wait-condition time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaesarMetrics {
+    /// Commands this replica led that were decided on the fast path.
+    pub fast_decisions: u64,
+    /// Commands this replica led that needed a retry after a rejection.
+    pub slow_decisions_retry: u64,
+    /// Commands this replica led that went through the slow proposal phase
+    /// because only a classic quorum answered in time.
+    pub slow_decisions_proposal: u64,
+    /// Commands decided by this replica acting as a recovery leader.
+    pub recovered_decisions: u64,
+    /// Recovery attempts started by this replica.
+    pub recoveries_started: u64,
+    /// NACK replies sent by this replica acting as an acceptor.
+    pub nacks_sent: u64,
+    /// Number of proposals that were parked by the wait condition here.
+    pub wait_events: u64,
+    /// Total simulated time proposals spent parked by the wait condition.
+    pub wait_time_total: SimTime,
+    /// Commands executed (applied to the state machine) at this replica.
+    pub commands_executed: u64,
+    /// Total time commands this replica led spent in proposal phases.
+    pub propose_time_total: SimTime,
+    /// Total time commands this replica led spent in the retry phase.
+    pub retry_time_total: SimTime,
+    /// Total time between local stability and local execution for commands
+    /// this replica led.
+    pub deliver_time_total: SimTime,
+}
+
+impl CaesarMetrics {
+    /// Commands this replica led that reached a decision (any path).
+    #[must_use]
+    pub fn led_decisions(&self) -> u64 {
+        self.fast_decisions
+            + self.slow_decisions_retry
+            + self.slow_decisions_proposal
+            + self.recovered_decisions
+    }
+
+    /// Fraction of led commands decided on a slow path, in `[0, 1]`.
+    /// Returns 0 when no command has been decided yet.
+    #[must_use]
+    pub fn slow_path_ratio(&self) -> f64 {
+        let total = self.led_decisions();
+        if total == 0 {
+            return 0.0;
+        }
+        let slow = total - self.fast_decisions;
+        slow as f64 / total as f64
+    }
+
+    /// Average time (microseconds) spent parked on the wait condition, per
+    /// parked proposal.
+    #[must_use]
+    pub fn avg_wait_time(&self) -> f64 {
+        if self.wait_events == 0 {
+            0.0
+        } else {
+            self.wait_time_total as f64 / self.wait_events as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_path_ratio_counts_all_non_fast_paths() {
+        let m = CaesarMetrics {
+            fast_decisions: 70,
+            slow_decisions_retry: 20,
+            slow_decisions_proposal: 5,
+            recovered_decisions: 5,
+            ..Default::default()
+        };
+        assert_eq!(m.led_decisions(), 100);
+        assert!((m.slow_path_ratio() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_are_zero_without_decisions() {
+        let m = CaesarMetrics::default();
+        assert_eq!(m.slow_path_ratio(), 0.0);
+        assert_eq!(m.avg_wait_time(), 0.0);
+    }
+
+    #[test]
+    fn avg_wait_divides_total_by_events() {
+        let m = CaesarMetrics { wait_events: 4, wait_time_total: 2_000, ..Default::default() };
+        assert!((m.avg_wait_time() - 500.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,269 @@
+//! EPaxos execution: dependency-graph analysis (Tarjan SCC + topological
+//! order, sequence numbers inside a component).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use consensus_types::CommandId;
+
+/// A committed instance waiting to execute.
+#[derive(Debug, Clone)]
+struct Node {
+    seq: u64,
+    deps: BTreeSet<CommandId>,
+}
+
+/// The dependency graph over committed-but-unexecuted EPaxos instances.
+///
+/// `try_execute` reproduces EPaxos's execution algorithm: starting from a
+/// committed command, it explores its dependency closure; if any reachable
+/// dependency is not yet committed the command must wait. Otherwise the
+/// strongly connected components of the closure are executed in reverse
+/// topological order, commands within a component ordered by sequence number
+/// (ties broken by command id).
+#[derive(Debug, Default)]
+pub struct ExecutionGraph {
+    committed: HashMap<CommandId, Node>,
+    executed: HashSet<CommandId>,
+    /// Number of graph nodes visited by the last `try_execute` call — the
+    /// harness uses it to model the CPU cost of dependency analysis.
+    last_visited: usize,
+}
+
+impl ExecutionGraph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `id` has already been executed.
+    #[must_use]
+    pub fn is_executed(&self, id: CommandId) -> bool {
+        self.executed.contains(&id)
+    }
+
+    /// Number of commands executed so far.
+    #[must_use]
+    pub fn executed_count(&self) -> usize {
+        self.executed.len()
+    }
+
+    /// Number of committed commands still waiting to execute.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Number of graph nodes visited by the most recent `try_execute` call.
+    #[must_use]
+    pub fn last_visited(&self) -> usize {
+        self.last_visited
+    }
+
+    /// Registers a committed instance.
+    pub fn commit(&mut self, id: CommandId, seq: u64, deps: BTreeSet<CommandId>) {
+        if self.executed.contains(&id) {
+            return;
+        }
+        self.committed.entry(id).or_insert(Node { seq, deps });
+    }
+
+    /// Attempts to execute `root` (and everything it transitively depends
+    /// on). Returns the commands that became executable, in execution order;
+    /// returns an empty vector if some dependency is not yet committed.
+    pub fn try_execute(&mut self, root: CommandId) -> Vec<CommandId> {
+        self.last_visited = 0;
+        if self.executed.contains(&root) || !self.committed.contains_key(&root) {
+            return Vec::new();
+        }
+        // Check that the dependency closure is fully committed.
+        let mut stack = vec![root];
+        let mut seen = HashSet::new();
+        seen.insert(root);
+        while let Some(id) = stack.pop() {
+            self.last_visited += 1;
+            let Some(node) = self.committed.get(&id) else {
+                // A reachable dependency is not committed yet: cannot execute.
+                return Vec::new();
+            };
+            for &d in &node.deps {
+                if !self.executed.contains(&d) && seen.insert(d) {
+                    stack.push(d);
+                }
+            }
+        }
+
+        // Tarjan's algorithm over the closure, executing SCCs in reverse
+        // topological order (Tarjan emits them in that order already).
+        let mut state = Tarjan {
+            graph: &self.committed,
+            executed: &self.executed,
+            index: 0,
+            indices: HashMap::new(),
+            lowlink: HashMap::new(),
+            on_stack: HashSet::new(),
+            stack: Vec::new(),
+            order: Vec::new(),
+        };
+        state.visit(root);
+        let order = state.order;
+
+        let mut out = Vec::new();
+        for component in order {
+            let mut component = component;
+            component.sort_by_key(|id| (self.committed[id].seq, *id));
+            for id in component {
+                if self.executed.insert(id) {
+                    self.committed.remove(&id);
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+}
+
+struct Tarjan<'a> {
+    graph: &'a HashMap<CommandId, Node>,
+    executed: &'a HashSet<CommandId>,
+    index: u64,
+    indices: HashMap<CommandId, u64>,
+    lowlink: HashMap<CommandId, u64>,
+    on_stack: HashSet<CommandId>,
+    stack: Vec<CommandId>,
+    order: Vec<Vec<CommandId>>,
+}
+
+impl Tarjan<'_> {
+    fn visit(&mut self, v: CommandId) {
+        self.indices.insert(v, self.index);
+        self.lowlink.insert(v, self.index);
+        self.index += 1;
+        self.stack.push(v);
+        self.on_stack.insert(v);
+
+        let deps: Vec<CommandId> = self
+            .graph
+            .get(&v)
+            .map(|n| n.deps.iter().copied().collect())
+            .unwrap_or_default();
+        for w in deps {
+            if self.executed.contains(&w) || !self.graph.contains_key(&w) {
+                continue;
+            }
+            if !self.indices.contains_key(&w) {
+                self.visit(w);
+                let low = self.lowlink[&v].min(self.lowlink[&w]);
+                self.lowlink.insert(v, low);
+            } else if self.on_stack.contains(&w) {
+                let low = self.lowlink[&v].min(self.indices[&w]);
+                self.lowlink.insert(v, low);
+            }
+        }
+
+        if self.lowlink[&v] == self.indices[&v] {
+            let mut component = Vec::new();
+            while let Some(w) = self.stack.pop() {
+                self.on_stack.remove(&w);
+                component.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            self.order.push(component);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_types::NodeId;
+
+    fn id(node: u32, seq: u64) -> CommandId {
+        CommandId::new(NodeId(node), seq)
+    }
+
+    fn deps(ids: &[CommandId]) -> BTreeSet<CommandId> {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn independent_command_executes_immediately() {
+        let mut g = ExecutionGraph::new();
+        let a = id(0, 1);
+        g.commit(a, 1, deps(&[]));
+        assert_eq!(g.try_execute(a), vec![a]);
+        assert!(g.is_executed(a));
+        assert_eq!(g.executed_count(), 1);
+    }
+
+    #[test]
+    fn command_waits_for_uncommitted_dependency() {
+        let mut g = ExecutionGraph::new();
+        let a = id(0, 1);
+        let b = id(1, 1);
+        g.commit(b, 2, deps(&[a]));
+        assert!(g.try_execute(b).is_empty(), "a is not committed yet");
+        g.commit(a, 1, deps(&[]));
+        assert_eq!(g.try_execute(b), vec![a, b]);
+    }
+
+    #[test]
+    fn cycle_is_executed_by_sequence_number() {
+        let mut g = ExecutionGraph::new();
+        let a = id(0, 1);
+        let b = id(1, 1);
+        g.commit(a, 5, deps(&[b]));
+        g.commit(b, 3, deps(&[a]));
+        let order = g.try_execute(a);
+        assert_eq!(order, vec![b, a], "lower sequence number executes first inside an SCC");
+    }
+
+    #[test]
+    fn chain_executes_in_dependency_order() {
+        let mut g = ExecutionGraph::new();
+        let ids: Vec<_> = (0..5).map(|i| id(0, i)).collect();
+        g.commit(ids[0], 0, deps(&[]));
+        for i in 1..5 {
+            g.commit(ids[i], i as u64, deps(&[ids[i - 1]]));
+        }
+        let order = g.try_execute(ids[4]);
+        assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn executed_dependencies_are_ignored() {
+        let mut g = ExecutionGraph::new();
+        let a = id(0, 1);
+        let b = id(1, 1);
+        g.commit(a, 1, deps(&[]));
+        assert_eq!(g.try_execute(a), vec![a]);
+        g.commit(b, 2, deps(&[a]));
+        assert_eq!(g.try_execute(b), vec![b]);
+        assert_eq!(g.pending_count(), 0);
+    }
+
+    #[test]
+    fn visited_counter_reflects_graph_size() {
+        let mut g = ExecutionGraph::new();
+        let ids: Vec<_> = (0..10).map(|i| id(0, i)).collect();
+        g.commit(ids[0], 0, deps(&[]));
+        for i in 1..10 {
+            g.commit(ids[i], i as u64, deps(&[ids[i - 1]]));
+        }
+        g.try_execute(ids[9]);
+        assert!(g.last_visited() >= 10);
+    }
+
+    #[test]
+    fn duplicate_commit_is_ignored_after_execution() {
+        let mut g = ExecutionGraph::new();
+        let a = id(0, 1);
+        g.commit(a, 1, deps(&[]));
+        assert_eq!(g.try_execute(a), vec![a]);
+        g.commit(a, 1, deps(&[]));
+        assert!(g.try_execute(a).is_empty());
+        assert_eq!(g.executed_count(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! EPaxos baseline — Egalitarian Paxos (Moraru et al., SOSP 2013).
+//!
+//! EPaxos is the closest competitor in the CAESAR evaluation: a multi-leader
+//! Generalized Consensus protocol that tracks **dependencies** (interfering
+//! commands) instead of timestamps. The command leader sends `PreAccept` with
+//! its locally computed dependency set and sequence number; if a fast quorum
+//! replies with *identical* attributes, the command commits after two
+//! communication delays. Any disagreement forces the Paxos-Accept slow path
+//! (four delays). Committed commands execute by analysing the dependency
+//! graph: strongly connected components are executed in reverse topological
+//! order, ordered by sequence number inside a component.
+//!
+//! The implementation mirrors the structure used for the CAESAR crate so the
+//! harness can swap protocols behind the same [`simnet::Process`] interface.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_types::{Command, CommandId, NodeId};
+//! use epaxos::{EpaxosConfig, EpaxosReplica};
+//! use simnet::{LatencyMatrix, SimConfig, Simulator};
+//!
+//! let config = EpaxosConfig::new(5);
+//! let mut sim = Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), |id| {
+//!     EpaxosReplica::new(id, config.clone())
+//! });
+//! sim.schedule_command(0, NodeId(0), Command::put(CommandId::new(NodeId(0), 1), 7, 1));
+//! sim.run();
+//! assert_eq!(sim.decisions(NodeId(0)).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod exec;
+mod replica;
+
+pub use exec::ExecutionGraph;
+pub use replica::{EpaxosConfig, EpaxosMessage, EpaxosMetrics, EpaxosReplica, InstanceStatus};

@@ -1,0 +1,510 @@
+//! One function per figure of the paper's evaluation (except Figure 12,
+//! which lives in [`crate::recovery`]).
+
+use consensus_types::NodeId;
+
+use crate::report::Table;
+use crate::run::{run_closed_loop, PhaseShares, ProtocolKind, RunConfig, SITE_LABELS};
+
+/// The conflict percentages used throughout the evaluation section.
+pub const CONFLICT_LEVELS: [f64; 6] = [0.0, 2.0, 10.0, 30.0, 50.0, 100.0];
+
+/// A generic figure result: a title plus typed rows, convertible to a table.
+#[derive(Debug, Clone)]
+pub struct FigureSeries<R> {
+    /// Figure title (e.g. `"Figure 6 — ..."`).
+    pub title: String,
+    /// The data rows.
+    pub rows: Vec<R>,
+}
+
+/// One row of a per-site latency figure (Figures 6, 7 and 8).
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// X-axis value: conflict percentage (Fig. 6/7) or number of clients (Fig. 8).
+    pub x: f64,
+    /// Average latency per site in milliseconds (VA, OH, DE, IE, IN).
+    pub per_site_ms: Vec<f64>,
+}
+
+/// One row of the throughput figure (Figure 9).
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Conflict percentage.
+    pub conflict_percent: f64,
+    /// Whether batching was enabled.
+    pub batching: bool,
+    /// Total throughput in commands per second.
+    pub throughput_cps: f64,
+}
+
+/// One row of the slow-path figure (Figure 10).
+#[derive(Debug, Clone)]
+pub struct SlowPathRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Conflict percentage.
+    pub conflict_percent: f64,
+    /// Percentage of commands decided through a slow path.
+    pub slow_percent: f64,
+}
+
+/// One row of the latency-breakdown figure (Figure 11a).
+#[derive(Debug, Clone)]
+pub struct BreakdownRow {
+    /// Conflict percentage.
+    pub conflict_percent: f64,
+    /// Share of latency spent in each phase.
+    pub shares: PhaseShares,
+}
+
+/// One row of the wait-time figure (Figure 11b).
+#[derive(Debug, Clone)]
+pub struct WaitRow {
+    /// Conflict percentage.
+    pub conflict_percent: f64,
+    /// Average wait-condition time per site, in milliseconds.
+    pub per_site_ms: Vec<f64>,
+}
+
+/// One row of an ablation study.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// The configuration under study (e.g. "wait on", "FQ=4").
+    pub variant: String,
+    /// Conflict percentage.
+    pub conflict_percent: f64,
+    /// Average latency across sites in milliseconds.
+    pub avg_latency_ms: f64,
+    /// Percentage of slow decisions.
+    pub slow_percent: f64,
+}
+
+impl FigureSeries<LatencyRow> {
+    /// Renders the series as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self, x_label: &str) -> Table {
+        let mut header = vec!["protocol", x_label];
+        header.extend(SITE_LABELS);
+        let mut table = Table::new(self.title.clone(), &header);
+        for row in &self.rows {
+            let mut cells = vec![row.protocol.clone(), format!("{:.0}", row.x)];
+            cells.extend(row.per_site_ms.iter().map(|v| format!("{v:.1}")));
+            table.push_row(cells);
+        }
+        table
+    }
+}
+
+impl FigureSeries<ThroughputRow> {
+    /// Renders the series as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            self.title.clone(),
+            &["protocol", "conflict %", "batching", "throughput (cmd/s)"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.protocol.clone(),
+                format!("{:.0}", row.conflict_percent),
+                if row.batching { "on".into() } else { "off".into() },
+                format!("{:.0}", row.throughput_cps),
+            ]);
+        }
+        table
+    }
+}
+
+impl FigureSeries<SlowPathRow> {
+    /// Renders the series as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table =
+            Table::new(self.title.clone(), &["protocol", "conflict %", "slow decisions %"]);
+        for row in &self.rows {
+            table.push_row(vec![
+                row.protocol.clone(),
+                format!("{:.0}", row.conflict_percent),
+                format!("{:.1}", row.slow_percent),
+            ]);
+        }
+        table
+    }
+}
+
+impl FigureSeries<BreakdownRow> {
+    /// Renders the series as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            self.title.clone(),
+            &["conflict %", "propose", "retry", "deliver"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                format!("{:.0}", row.conflict_percent),
+                format!("{:.2}", row.shares.propose),
+                format!("{:.2}", row.shares.retry),
+                format!("{:.2}", row.shares.deliver),
+            ]);
+        }
+        table
+    }
+}
+
+impl FigureSeries<WaitRow> {
+    /// Renders the series as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut header = vec!["conflict %"];
+        header.extend(SITE_LABELS);
+        let mut table = Table::new(self.title.clone(), &header);
+        for row in &self.rows {
+            let mut cells = vec![format!("{:.0}", row.conflict_percent)];
+            cells.extend(row.per_site_ms.iter().map(|v| format!("{v:.2}")));
+            table.push_row(cells);
+        }
+        table
+    }
+}
+
+impl FigureSeries<AblationRow> {
+    /// Renders the series as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new(
+            self.title.clone(),
+            &["variant", "conflict %", "avg latency (ms)", "slow %"],
+        );
+        for row in &self.rows {
+            table.push_row(vec![
+                row.variant.clone(),
+                format!("{:.0}", row.conflict_percent),
+                format!("{:.1}", row.avg_latency_ms),
+                format!("{:.1}", row.slow_percent),
+            ]);
+        }
+        table
+    }
+}
+
+/// Scales the default simulated duration so quick runs (tests) and full runs
+/// (benches) share the same code path.
+fn scaled(config: RunConfig, scale: f64) -> RunConfig {
+    let seconds = (config.sim_seconds * scale).max(1.0);
+    config.with_sim_seconds(seconds)
+}
+
+/// **Figure 6** — average latency per site while varying the percentage of
+/// conflicting commands, for CAESAR, EPaxos and M²Paxos (batching disabled).
+///
+/// `scale` shrinks the simulated duration (1.0 = paper-scale run, smaller
+/// values are used by tests); `conflicts` selects the x-axis points.
+#[must_use]
+pub fn fig6_latency_conflicts(scale: f64, conflicts: &[f64]) -> FigureSeries<LatencyRow> {
+    let mut rows = Vec::new();
+    for protocol in [ProtocolKind::Caesar, ProtocolKind::Epaxos, ProtocolKind::M2Paxos] {
+        for &conflict in conflicts {
+            let config = scaled(RunConfig::latency_defaults(protocol, conflict), scale);
+            let result = run_closed_loop(&config);
+            rows.push(LatencyRow {
+                protocol: protocol.name(),
+                x: conflict,
+                per_site_ms: result.per_site_latency_ms,
+            });
+        }
+    }
+    FigureSeries {
+        title: "Figure 6 — average latency (ms) per site vs conflict %, batching disabled"
+            .to_string(),
+        rows,
+    }
+}
+
+/// **Figure 7** — average latency per site for the conflict-oblivious
+/// protocols: Multi-Paxos with the leader in Ireland, Multi-Paxos with the
+/// leader in Mumbai, Mencius, and CAESAR at 0 % conflicts for reference.
+#[must_use]
+pub fn fig7_single_leader(scale: f64) -> FigureSeries<LatencyRow> {
+    let mut rows = Vec::new();
+    let protocols = [
+        ProtocolKind::MultiPaxos(NodeId(3)),
+        ProtocolKind::MultiPaxos(NodeId(4)),
+        ProtocolKind::Mencius,
+        ProtocolKind::Caesar,
+    ];
+    for protocol in protocols {
+        let config = scaled(RunConfig::latency_defaults(protocol, 0.0), scale);
+        let result = run_closed_loop(&config);
+        rows.push(LatencyRow {
+            protocol: protocol.name(),
+            x: 0.0,
+            per_site_ms: result.per_site_latency_ms,
+        });
+    }
+    FigureSeries {
+        title: "Figure 7 — average latency (ms) per site, single-leader and slot-based protocols"
+            .to_string(),
+        rows,
+    }
+}
+
+/// **Figure 8** — per-site latency while varying the total number of
+/// connected clients (the paper sweeps 5–2000), at 10 % conflicts.
+#[must_use]
+pub fn fig8_scalability(scale: f64, total_clients: &[usize]) -> FigureSeries<LatencyRow> {
+    let mut rows = Vec::new();
+    for protocol in [ProtocolKind::Caesar, ProtocolKind::Epaxos, ProtocolKind::M2Paxos] {
+        for &clients in total_clients {
+            let per_node = (clients / 5).max(1);
+            let config = scaled(
+                RunConfig::latency_defaults(protocol, 10.0).with_clients_per_node(per_node),
+                scale,
+            );
+            let result = run_closed_loop(&config);
+            rows.push(LatencyRow {
+                protocol: protocol.name(),
+                x: clients as f64,
+                per_site_ms: result.per_site_latency_ms,
+            });
+        }
+    }
+    FigureSeries {
+        title: "Figure 8 — average latency (ms) per site vs total connected clients, 10% conflicts"
+            .to_string(),
+        rows,
+    }
+}
+
+/// **Figure 9** — total throughput while varying the conflict percentage,
+/// with batching disabled (top of the figure) and enabled (bottom). Mencius
+/// is omitted from the batched variant, as in the paper.
+#[must_use]
+pub fn fig9_throughput(scale: f64, conflicts: &[f64]) -> FigureSeries<ThroughputRow> {
+    let mut rows = Vec::new();
+    for batching in [false, true] {
+        let protocols: Vec<ProtocolKind> = if batching {
+            vec![
+                ProtocolKind::Caesar,
+                ProtocolKind::Epaxos,
+                ProtocolKind::M2Paxos,
+                ProtocolKind::MultiPaxos(NodeId(3)),
+                ProtocolKind::MultiPaxos(NodeId(4)),
+            ]
+        } else {
+            vec![
+                ProtocolKind::Caesar,
+                ProtocolKind::Epaxos,
+                ProtocolKind::M2Paxos,
+                ProtocolKind::MultiPaxos(NodeId(3)),
+                ProtocolKind::MultiPaxos(NodeId(4)),
+                ProtocolKind::Mencius,
+            ]
+        };
+        for protocol in protocols {
+            // Single-leader and slot-based protocols are conflict-oblivious;
+            // the paper plots them under the 0% cluster only.
+            let conflict_points: &[f64] = match protocol {
+                ProtocolKind::Mencius | ProtocolKind::MultiPaxos(_) => &[0.0],
+                _ => conflicts,
+            };
+            for &conflict in conflict_points {
+                let config = scaled(RunConfig::throughput_defaults(protocol, conflict), scale)
+                    .with_batching(batching);
+                let result = run_closed_loop(&config);
+                rows.push(ThroughputRow {
+                    protocol: protocol.name(),
+                    conflict_percent: conflict,
+                    batching,
+                    throughput_cps: result.throughput_cps,
+                });
+            }
+        }
+    }
+    FigureSeries {
+        title: "Figure 9 — total throughput (cmd/s) vs conflict %".to_string(),
+        rows,
+    }
+}
+
+/// **Figure 10** — percentage of commands decided through a slow decision
+/// while varying the conflict percentage, CAESAR vs EPaxos (batching
+/// disabled).
+#[must_use]
+pub fn fig10_slow_paths(scale: f64, conflicts: &[f64]) -> FigureSeries<SlowPathRow> {
+    let mut rows = Vec::new();
+    for protocol in [ProtocolKind::Epaxos, ProtocolKind::Caesar] {
+        for &conflict in conflicts {
+            let config = scaled(RunConfig::throughput_defaults(protocol, conflict), scale)
+                .with_clients_per_node(50);
+            let result = run_closed_loop(&config);
+            rows.push(SlowPathRow {
+                protocol: protocol.name(),
+                conflict_percent: conflict,
+                slow_percent: result.slow_path_percent.unwrap_or(0.0),
+            });
+        }
+    }
+    FigureSeries {
+        title: "Figure 10 — % of commands delivered using a slow decision vs conflict %"
+            .to_string(),
+        rows,
+    }
+}
+
+/// **Figure 11** — CAESAR's internal statistics: (a) the share of latency
+/// spent in the proposal, retry and delivery phases, and (b) the average time
+/// commands spend blocked on the wait condition, per site.
+#[must_use]
+pub fn fig11_breakdown(
+    scale: f64,
+    conflicts: &[f64],
+) -> (FigureSeries<BreakdownRow>, FigureSeries<WaitRow>) {
+    let mut breakdown_rows = Vec::new();
+    let mut wait_rows = Vec::new();
+    for &conflict in conflicts {
+        let config = scaled(RunConfig::throughput_defaults(ProtocolKind::Caesar, conflict), scale)
+            .with_clients_per_node(50);
+        let result = run_closed_loop(&config);
+        breakdown_rows.push(BreakdownRow {
+            conflict_percent: conflict,
+            shares: result.phase_shares.unwrap_or_default(),
+        });
+        wait_rows.push(WaitRow {
+            conflict_percent: conflict,
+            per_site_ms: result.per_site_wait_ms.unwrap_or_default(),
+        });
+    }
+    (
+        FigureSeries {
+            title: "Figure 11a — proportion of latency per ordering phase (CAESAR)".to_string(),
+            rows: breakdown_rows,
+        },
+        FigureSeries {
+            title: "Figure 11b — average wait-condition time (ms) per site (CAESAR)".to_string(),
+            rows: wait_rows,
+        },
+    )
+}
+
+/// **Ablation** — the wait condition of Section IV-A: CAESAR with the wait
+/// condition enabled vs a variant that rejects out-of-order timestamps
+/// immediately.
+#[must_use]
+pub fn ablation_wait_condition(scale: f64, conflicts: &[f64]) -> FigureSeries<AblationRow> {
+    let mut rows = Vec::new();
+    for (variant, protocol) in
+        [("wait-on", ProtocolKind::Caesar), ("wait-off", ProtocolKind::CaesarNoWait)]
+    {
+        for &conflict in conflicts {
+            let config = scaled(RunConfig::latency_defaults(protocol, conflict), scale);
+            let result = run_closed_loop(&config);
+            rows.push(AblationRow {
+                variant: variant.to_string(),
+                conflict_percent: conflict,
+                avg_latency_ms: result.overall_avg_latency_ms(),
+                slow_percent: result.slow_path_percent.unwrap_or(0.0),
+            });
+        }
+    }
+    FigureSeries {
+        title: "Ablation — CAESAR wait condition on vs off".to_string(),
+        rows,
+    }
+}
+
+/// **Ablation** — fast-quorum size: the paper's `⌈3N/4⌉ = 4` versus the
+/// maximum `N = 5` (every node must answer) at several conflict levels.
+#[must_use]
+pub fn ablation_fast_quorum_size(scale: f64, conflicts: &[f64]) -> FigureSeries<AblationRow> {
+    let mut rows = Vec::new();
+    for fq in [4usize, 5usize] {
+        for &conflict in conflicts {
+            let config = scaled(RunConfig::latency_defaults(ProtocolKind::Caesar, conflict), scale)
+                .with_caesar_fast_quorum(fq);
+            let result = run_closed_loop(&config);
+            rows.push(AblationRow {
+                variant: format!("FQ={fq}"),
+                conflict_percent: conflict,
+                avg_latency_ms: result.overall_avg_latency_ms(),
+                slow_percent: result.slow_path_percent.unwrap_or(0.0),
+            });
+        }
+    }
+    FigureSeries {
+        title: "Ablation — CAESAR fast-quorum size".to_string(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_produces_rows_for_each_protocol_and_conflict_level() {
+        let series = fig6_latency_conflicts(0.15, &[0.0, 30.0]);
+        assert_eq!(series.rows.len(), 6);
+        let table = series.to_table("conflict %");
+        assert!(table.render().contains("Caesar"));
+        assert!(table.render().contains("M2Paxos"));
+    }
+
+    #[test]
+    fn fig7_includes_both_multipaxos_deployments() {
+        let series = fig7_single_leader(0.15);
+        let names: Vec<&str> = series.rows.iter().map(|r| r.protocol.as_str()).collect();
+        assert!(names.contains(&"Multi-Paxos-IE"));
+        assert!(names.contains(&"Multi-Paxos-IN"));
+        assert!(names.contains(&"Mencius"));
+        assert!(names.contains(&"Caesar"));
+    }
+
+    #[test]
+    fn fig10_slow_paths_grow_with_conflicts_for_epaxos() {
+        let series = fig10_slow_paths(0.1, &[0.0, 30.0]);
+        let epaxos: Vec<&SlowPathRow> =
+            series.rows.iter().filter(|r| r.protocol == "EPaxos").collect();
+        assert_eq!(epaxos.len(), 2);
+        assert!(epaxos[1].slow_percent >= epaxos[0].slow_percent);
+        // CAESAR takes fewer slow decisions than EPaxos at 30% conflicts.
+        let caesar_30 = series
+            .rows
+            .iter()
+            .find(|r| r.protocol == "Caesar" && r.conflict_percent == 30.0)
+            .unwrap();
+        let epaxos_30 = epaxos[1];
+        assert!(
+            caesar_30.slow_percent <= epaxos_30.slow_percent,
+            "CAESAR ({:.1}%) must take no more slow decisions than EPaxos ({:.1}%)",
+            caesar_30.slow_percent,
+            epaxos_30.slow_percent
+        );
+    }
+
+    #[test]
+    fn fig11_breakdown_shares_sum_to_one() {
+        let (breakdown, wait) = fig11_breakdown(0.1, &[2.0, 30.0]);
+        for row in &breakdown.rows {
+            let sum = row.shares.propose + row.shares.retry + row.shares.deliver;
+            assert!((sum - 1.0).abs() < 1e-6, "shares must sum to 1, got {sum}");
+        }
+        assert_eq!(wait.rows.len(), 2);
+        assert_eq!(wait.rows[0].per_site_ms.len(), 5);
+    }
+
+    #[test]
+    fn ablation_tables_render() {
+        let wait = ablation_wait_condition(0.1, &[10.0]);
+        assert_eq!(wait.rows.len(), 2);
+        assert!(wait.to_table().render().contains("wait-on"));
+        let quorum = ablation_fast_quorum_size(0.1, &[10.0]);
+        assert_eq!(quorum.rows.len(), 2);
+        assert!(quorum.to_table().render().contains("FQ=4"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment harness regenerating every figure of the CAESAR evaluation.
+//!
+//! The paper's evaluation (Section VI) consists of Figures 6–12. For each of
+//! them this crate provides a function that runs the corresponding experiment
+//! on the simulated five-site EC2 deployment and returns the same series the
+//! figure plots; the `bench` crate and the runnable examples print them as
+//! text tables.
+//!
+//! | Figure | Function | What it reports |
+//! |---|---|---|
+//! | Fig. 6 | [`fig6_latency_conflicts`] | per-site latency vs conflict % for CAESAR, EPaxos, M²Paxos |
+//! | Fig. 7 | [`fig7_single_leader`] | per-site latency for Multi-Paxos (IR/IN leader), Mencius, CAESAR |
+//! | Fig. 8 | [`fig8_scalability`] | per-site latency vs number of connected clients |
+//! | Fig. 9 | [`fig9_throughput`] | total throughput vs conflict %, with and without batching |
+//! | Fig. 10 | [`fig10_slow_paths`] | % of slow decisions vs conflict % (CAESAR vs EPaxos) |
+//! | Fig. 11 | [`fig11_breakdown`] | CAESAR latency breakdown and wait-condition time |
+//! | Fig. 12 | [`fig12_recovery`] | throughput timeline when one node crashes |
+//! | ablations | [`ablation_wait_condition`], [`ablation_fast_quorum_size`] | design-choice studies |
+//!
+//! # Example
+//!
+//! ```
+//! use harness::{ProtocolKind, RunConfig};
+//!
+//! let config = RunConfig::latency_defaults(ProtocolKind::Caesar, 10.0).with_sim_seconds(2.0);
+//! let result = harness::run_closed_loop(&config);
+//! assert!(result.total_completed > 0);
+//! assert!(result.overall_avg_latency_ms() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod figures;
+mod recovery;
+mod report;
+mod run;
+
+pub use figures::{
+    ablation_fast_quorum_size, ablation_wait_condition, fig10_slow_paths, fig11_breakdown,
+    fig6_latency_conflicts, fig7_single_leader, fig8_scalability, fig9_throughput, AblationRow, CONFLICT_LEVELS,
+    BreakdownRow, FigureSeries, LatencyRow, SlowPathRow, ThroughputRow, WaitRow,
+};
+pub use recovery::{fig12_recovery, RecoveryTimeline};
+pub use report::{format_table, Table};
+pub use run::{run_closed_loop, site_name, PhaseShares, ProtocolKind, RunConfig, RunResult, SITE_LABELS};

@@ -1,0 +1,172 @@
+//! Figure 12 — throughput timeline across a replica crash.
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_types::{NodeId, SimTime, MICROS_PER_SEC};
+use epaxos::{EpaxosConfig, EpaxosReplica};
+use simnet::{LatencyMatrix, Process, SimConfig, Simulator};
+use workload::{ClosedLoopDriver, WorkloadConfig, WorkloadGenerator};
+
+use crate::report::Table;
+use crate::run::ProtocolKind;
+
+/// The per-second throughput timeline of a crash experiment.
+#[derive(Debug, Clone)]
+pub struct RecoveryTimeline {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Second at which the crash was injected.
+    pub crash_at_s: u64,
+    /// Completed commands in each one-second window.
+    pub per_second: Vec<u64>,
+}
+
+impl RecoveryTimeline {
+    /// Average throughput before the crash (commands per second).
+    #[must_use]
+    pub fn before_crash_avg(&self) -> f64 {
+        let n = self.crash_at_s.min(self.per_second.len() as u64) as usize;
+        if n == 0 {
+            return 0.0;
+        }
+        self.per_second[..n].iter().sum::<u64>() as f64 / n as f64
+    }
+
+    /// Average throughput over the last two seconds of the run.
+    #[must_use]
+    pub fn tail_avg(&self) -> f64 {
+        let len = self.per_second.len();
+        if len < 2 {
+            return self.per_second.iter().sum::<u64>() as f64 / len.max(1) as f64;
+        }
+        self.per_second[len - 2..].iter().sum::<u64>() as f64 / 2.0
+    }
+
+    /// Renders both protocols' timelines side by side.
+    #[must_use]
+    pub fn to_table(timelines: &[RecoveryTimeline]) -> Table {
+        let mut header = vec!["second".to_string()];
+        header.extend(timelines.iter().map(|t| t.protocol.name()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let seconds = timelines.iter().map(|t| t.per_second.len()).max().unwrap_or(0);
+        let mut table = Table::new(
+            "Figure 12 — throughput (cmd/s) timeline, one node crashes",
+            &header_refs,
+        );
+        for s in 0..seconds {
+            let mut cells = vec![s.to_string()];
+            for t in timelines {
+                cells.push(t.per_second.get(s).copied().unwrap_or(0).to_string());
+            }
+            table.push_row(cells);
+        }
+        table
+    }
+}
+
+/// Runs the Figure 12 experiment: closed-loop clients on every node, one node
+/// (Virginia) crashes at `crash_at_s` seconds, and the experiment runs for
+/// `total_seconds`. Returns one timeline per protocol (CAESAR and EPaxos,
+/// as in the paper).
+#[must_use]
+pub fn fig12_recovery(
+    clients_per_node: usize,
+    crash_at_s: u64,
+    total_seconds: u64,
+    seed: u64,
+) -> Vec<RecoveryTimeline> {
+    let caesar_config = CaesarConfig::new(5).with_recovery_timeout(Some(1_500_000));
+    let caesar = run_crash_experiment(
+        ProtocolKind::Caesar,
+        move |id| CaesarReplica::new(id, caesar_config.clone()),
+        clients_per_node,
+        crash_at_s,
+        total_seconds,
+        seed,
+    );
+    let epaxos_config = EpaxosConfig::new(5).with_recovery_timeout(Some(1_500_000));
+    let epaxos = run_crash_experiment(
+        ProtocolKind::Epaxos,
+        move |id| EpaxosReplica::new(id, epaxos_config.clone()),
+        clients_per_node,
+        crash_at_s,
+        total_seconds,
+        seed,
+    );
+    vec![caesar, epaxos]
+}
+
+fn run_crash_experiment<P, F>(
+    protocol: ProtocolKind,
+    make: F,
+    clients_per_node: usize,
+    crash_at_s: u64,
+    total_seconds: u64,
+    seed: u64,
+) -> RecoveryTimeline
+where
+    P: Process,
+    F: FnMut(NodeId) -> P,
+{
+    let duration: SimTime = total_seconds * MICROS_PER_SEC;
+    let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites())
+        .with_seed(seed)
+        .with_jitter_us(2_000)
+        .with_horizon(duration + 2 * MICROS_PER_SEC);
+    let mut sim = Simulator::new(sim_config, make);
+    sim.schedule_crash(crash_at_s * MICROS_PER_SEC, NodeId(0));
+
+    let workload = WorkloadConfig::new(5).with_conflict_percent(10.0);
+    let generator = WorkloadGenerator::new(workload, seed ^ 0xF16_12);
+    let mut driver = ClosedLoopDriver::new(generator, clients_per_node);
+    driver.start(&mut sim);
+    driver.pump_until(&mut sim, duration);
+
+    // Bucket completions (at their origin replica) into one-second windows.
+    let mut per_second = vec![0u64; total_seconds as usize];
+    for (node, d) in driver.decisions() {
+        if d.command.origin() == *node {
+            let bucket = (d.executed_at / MICROS_PER_SEC) as usize;
+            if bucket < per_second.len() {
+                per_second[bucket] += 1;
+            }
+        }
+    }
+    RecoveryTimeline { protocol, crash_at_s, per_second }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_dips_at_the_crash_and_recovers() {
+        let timelines = fig12_recovery(20, 4, 10, 7);
+        assert_eq!(timelines.len(), 2);
+        for t in &timelines {
+            let before = t.before_crash_avg();
+            let tail = t.tail_avg();
+            assert!(before > 0.0, "{:?} had no throughput before the crash", t.protocol);
+            assert!(tail > 0.0, "{:?} did not recover after the crash", t.protocol);
+            // Losing one of five sites' clients drops steady-state throughput,
+            // but the system keeps making progress (no unavailability).
+            assert!(
+                tail > before * 0.4,
+                "{:?} tail throughput {tail} too low vs {before}",
+                t.protocol
+            );
+        }
+        let table = RecoveryTimeline::to_table(&timelines);
+        assert!(table.render().contains("Figure 12"));
+    }
+
+    #[test]
+    fn timeline_statistics_handle_short_runs() {
+        let t = RecoveryTimeline {
+            protocol: ProtocolKind::Caesar,
+            crash_at_s: 0,
+            per_second: vec![5],
+        };
+        assert_eq!(t.before_crash_avg(), 0.0);
+        assert!(t.tail_avg() > 0.0);
+    }
+}

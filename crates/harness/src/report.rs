@@ -1,0 +1,115 @@
+//! Plain-text table rendering for experiment results.
+
+/// A simple column-aligned table, used by the benches and examples to print
+/// each figure's data the way the paper reports it.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are free-form strings).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned text block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format_table(&self.title, &self.header, &self.rows)
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a title, header and rows as an aligned text table.
+#[must_use]
+pub fn format_table(title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    let columns = header.len().max(rows.iter().map(Vec::len).max().unwrap_or(0));
+    let mut widths = vec![0usize; columns];
+    for (i, h) in header.iter().enumerate() {
+        widths[i] = widths[i].max(h.len());
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, w) in widths.iter().enumerate() {
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:>w$}  ", w = w));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&render_row(header));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Figure X", &["site", "latency"]);
+        t.push_row(vec!["VA".into(), "90.1".into()]);
+        t.push_row(vec!["Mumbai".into(), "210.4".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("Figure X"));
+        assert!(rendered.contains("site"));
+        assert!(rendered.contains("Mumbai"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        // All data lines have the same width.
+        let lines: Vec<&str> = rendered.lines().skip(1).collect();
+        assert!(lines.len() >= 4);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new("Empty", &["a", "b"]);
+        assert!(t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains('a'));
+    }
+}

@@ -1,0 +1,451 @@
+//! The generic experiment runner: one protocol, one workload, one simulated
+//! five-site cluster.
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_types::{Decision, NodeId, SimTime, MICROS_PER_SEC};
+use epaxos::{EpaxosConfig, EpaxosReplica};
+use m2paxos::{M2PaxosConfig, M2PaxosReplica};
+use mencius::{MenciusConfig, MenciusReplica};
+use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
+use simnet::{GeoSite, LatencyMatrix, Process, SimConfig, Simulator};
+use workload::{ClosedLoopDriver, WorkloadConfig, WorkloadGenerator};
+
+/// Short labels for the five sites, in node-id order (matches the paper's
+/// figures: Virginia, Ohio, Frankfurt, Ireland, Mumbai).
+pub const SITE_LABELS: [&str; 5] = ["VA", "OH", "DE", "IE", "IN"];
+
+/// The consensus protocol under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// CAESAR (this paper).
+    Caesar,
+    /// CAESAR with the wait condition disabled (ablation).
+    CaesarNoWait,
+    /// EPaxos (Moraru et al.).
+    Epaxos,
+    /// M²Paxos (Peluso et al.).
+    M2Paxos,
+    /// Mencius (Mao et al.).
+    Mencius,
+    /// Multi-Paxos with the leader on the given node.
+    MultiPaxos(NodeId),
+}
+
+impl ProtocolKind {
+    /// Human-readable name used in tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            ProtocolKind::Caesar => "Caesar".to_string(),
+            ProtocolKind::CaesarNoWait => "Caesar-NoWait".to_string(),
+            ProtocolKind::Epaxos => "EPaxos".to_string(),
+            ProtocolKind::M2Paxos => "M2Paxos".to_string(),
+            ProtocolKind::Mencius => "Mencius".to_string(),
+            ProtocolKind::MultiPaxos(leader) => {
+                let label = SITE_LABELS.get(leader.index()).copied().unwrap_or("?");
+                format!("Multi-Paxos-{label}")
+            }
+        }
+    }
+}
+
+/// Parameters of a single experiment run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The protocol under test.
+    pub protocol: ProtocolKind,
+    /// Conflict percentage of the workload (0–100).
+    pub conflict_percent: f64,
+    /// Closed-loop clients co-located with each replica.
+    pub clients_per_node: usize,
+    /// Simulated duration in seconds.
+    pub sim_seconds: f64,
+    /// Number of replicas (5 in the paper's deployment).
+    pub nodes: usize,
+    /// Whether network batching is enabled (Figure 9, bottom): modelled as an
+    /// 8× reduction of the per-message CPU cost, since batched messages
+    /// amortise their handling across the batch.
+    pub batching: bool,
+    /// Fast-quorum size override for CAESAR (quorum-size ablation).
+    pub caesar_fast_quorum: Option<usize>,
+    /// RNG seed (workload and network jitter).
+    pub seed: u64,
+    /// Network jitter bound in microseconds.
+    pub jitter_us: SimTime,
+}
+
+impl RunConfig {
+    /// Defaults matching the paper's latency experiments: 5 sites, 10
+    /// closed-loop clients per site, batching disabled, 10 simulated seconds.
+    #[must_use]
+    pub fn latency_defaults(protocol: ProtocolKind, conflict_percent: f64) -> Self {
+        Self {
+            protocol,
+            conflict_percent,
+            clients_per_node: 10,
+            sim_seconds: 10.0,
+            nodes: 5,
+            batching: false,
+            caesar_fast_quorum: None,
+            seed: 0xCAE5A7,
+            jitter_us: 2_000,
+        }
+    }
+
+    /// Defaults for the throughput experiments: a heavier closed-loop load.
+    #[must_use]
+    pub fn throughput_defaults(protocol: ProtocolKind, conflict_percent: f64) -> Self {
+        Self { clients_per_node: 200, sim_seconds: 5.0, ..Self::latency_defaults(protocol, conflict_percent) }
+    }
+
+    /// Overrides the number of clients per node.
+    #[must_use]
+    pub fn with_clients_per_node(mut self, clients: usize) -> Self {
+        self.clients_per_node = clients;
+        self
+    }
+
+    /// Overrides the simulated duration.
+    #[must_use]
+    pub fn with_sim_seconds(mut self, seconds: f64) -> Self {
+        self.sim_seconds = seconds;
+        self
+    }
+
+    /// Enables or disables batching.
+    #[must_use]
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides CAESAR's fast-quorum size (ablation).
+    #[must_use]
+    pub fn with_caesar_fast_quorum(mut self, fq: usize) -> Self {
+        self.caesar_fast_quorum = Some(fq);
+        self
+    }
+
+    fn duration_us(&self) -> SimTime {
+        (self.sim_seconds * MICROS_PER_SEC as f64) as SimTime
+    }
+}
+
+/// Per-phase latency fractions for Figure 11a.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseShares {
+    /// Fraction of leader-observed latency spent in proposal phases.
+    pub propose: f64,
+    /// Fraction spent in the retry phase.
+    pub retry: f64,
+    /// Fraction spent waiting for predecessors after stability.
+    pub deliver: f64,
+}
+
+/// The outcome of one experiment run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The protocol that produced this result.
+    pub protocol: ProtocolKind,
+    /// Conflict percentage of the workload.
+    pub conflict_percent: f64,
+    /// Average client latency per site, in milliseconds (indexed by node id).
+    pub per_site_latency_ms: Vec<f64>,
+    /// Commands completed per site (at their origin replica).
+    pub per_site_completed: Vec<u64>,
+    /// Total commands completed across all sites.
+    pub total_completed: u64,
+    /// Total throughput in commands per second.
+    pub throughput_cps: f64,
+    /// Percentage of led commands decided on a slow path (CAESAR and EPaxos
+    /// report this; other protocols return `None`).
+    pub slow_path_percent: Option<f64>,
+    /// CAESAR's per-phase latency shares (Figure 11a).
+    pub phase_shares: Option<PhaseShares>,
+    /// CAESAR's average wait-condition time per site in milliseconds
+    /// (Figure 11b).
+    pub per_site_wait_ms: Option<Vec<f64>>,
+    /// Simulated duration in seconds.
+    pub sim_seconds: f64,
+}
+
+impl RunResult {
+    /// Average latency across all sites (weighted by completions).
+    #[must_use]
+    pub fn overall_avg_latency_ms(&self) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0u64;
+        for (lat, n) in self.per_site_latency_ms.iter().zip(&self.per_site_completed) {
+            total += lat * *n as f64;
+            count += n;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// Runs a closed-loop experiment for the configured protocol and returns the
+/// aggregated result.
+#[must_use]
+pub fn run_closed_loop(config: &RunConfig) -> RunResult {
+    match config.protocol {
+        ProtocolKind::Caesar | ProtocolKind::CaesarNoWait => run_caesar(config),
+        ProtocolKind::Epaxos => run_epaxos(config),
+        ProtocolKind::M2Paxos => {
+            let c = M2PaxosConfig::new(config.nodes);
+            let c = M2PaxosConfig {
+                message_cost_us: scale_cost(c.message_cost_us, config.batching),
+                ..c
+            };
+            run_generic(config, move |id| M2PaxosReplica::new(id, c.clone()), |_| (None, None, None))
+        }
+        ProtocolKind::Mencius => {
+            let c = MenciusConfig::new(config.nodes);
+            let c = MenciusConfig {
+                message_cost_us: scale_cost(c.message_cost_us, config.batching),
+                ..c
+            };
+            run_generic(config, move |id| MenciusReplica::new(id, c.clone()), |_| (None, None, None))
+        }
+        ProtocolKind::MultiPaxos(leader) => {
+            let c = MultiPaxosConfig::new(config.nodes, leader);
+            let c = MultiPaxosConfig {
+                message_cost_us: scale_cost(c.message_cost_us, config.batching),
+                ..c
+            };
+            run_generic(config, move |id| MultiPaxosReplica::new(id, c.clone()), |_| (None, None, None))
+        }
+    }
+}
+
+fn scale_cost(cost: SimTime, batching: bool) -> SimTime {
+    if batching {
+        (cost / 8).max(1)
+    } else {
+        cost
+    }
+}
+
+fn run_caesar(config: &RunConfig) -> RunResult {
+    let mut caesar_config = CaesarConfig::new(config.nodes);
+    caesar_config.message_cost_us = scale_cost(caesar_config.message_cost_us, config.batching);
+    if matches!(config.protocol, ProtocolKind::CaesarNoWait) {
+        caesar_config.wait_condition = false;
+    }
+    if let Some(fq) = config.caesar_fast_quorum {
+        caesar_config.quorums = consensus_types::QuorumSpec::with_fast_quorum(config.nodes, fq);
+    }
+    run_generic(
+        config,
+        move |id| CaesarReplica::new(id, caesar_config.clone()),
+        |sim| {
+            let mut fast = 0u64;
+            let mut total = 0u64;
+            let mut propose = 0u64;
+            let mut retry = 0u64;
+            let mut deliver = 0u64;
+            let mut wait_ms = Vec::new();
+            for node in NodeId::all(sim.node_count()) {
+                let m = sim.process(node).metrics();
+                fast += m.fast_decisions;
+                total += m.led_decisions();
+                propose += m.propose_time_total;
+                retry += m.retry_time_total;
+                deliver += m.deliver_time_total;
+                wait_ms.push(m.avg_wait_time() / 1_000.0);
+            }
+            let slow_pct = if total == 0 {
+                None
+            } else {
+                Some(100.0 * (total - fast) as f64 / total as f64)
+            };
+            let sum = (propose + retry + deliver).max(1) as f64;
+            let shares = PhaseShares {
+                propose: propose as f64 / sum,
+                retry: retry as f64 / sum,
+                deliver: deliver as f64 / sum,
+            };
+            (slow_pct, Some(shares), Some(wait_ms))
+        },
+    )
+}
+
+fn run_epaxos(config: &RunConfig) -> RunResult {
+    let mut epaxos_config = EpaxosConfig::new(config.nodes);
+    epaxos_config.message_cost_us = scale_cost(epaxos_config.message_cost_us, config.batching);
+    run_generic(
+        config,
+        move |id| EpaxosReplica::new(id, epaxos_config.clone()),
+        |sim| {
+            let mut fast = 0u64;
+            let mut slow = 0u64;
+            for node in NodeId::all(sim.node_count()) {
+                let m = sim.process(node).metrics();
+                fast += m.fast_path;
+                slow += m.slow_path;
+            }
+            let total = fast + slow;
+            let slow_pct =
+                if total == 0 { None } else { Some(100.0 * slow as f64 / total as f64) };
+            (slow_pct, None, None)
+        },
+    )
+}
+
+type ProtocolStats = (Option<f64>, Option<PhaseShares>, Option<Vec<f64>>);
+
+fn run_generic<P, F, S>(config: &RunConfig, make: F, stats: S) -> RunResult
+where
+    P: Process,
+    F: FnMut(NodeId) -> P,
+    S: FnOnce(&Simulator<P>) -> ProtocolStats,
+{
+    let latency = if config.nodes == 5 {
+        LatencyMatrix::ec2_five_sites()
+    } else {
+        LatencyMatrix::uniform(config.nodes, 80.0)
+    };
+    let sim_config = SimConfig::new(latency)
+        .with_jitter_us(config.jitter_us)
+        .with_seed(config.seed)
+        .with_horizon(config.duration_us() + 10 * MICROS_PER_SEC);
+    let mut sim = Simulator::new(sim_config, make);
+
+    let workload = WorkloadConfig::new(config.nodes).with_conflict_percent(config.conflict_percent);
+    let generator = WorkloadGenerator::new(workload, config.seed ^ 0x57A7);
+    let mut driver = ClosedLoopDriver::new(generator, config.clients_per_node);
+    driver.start(&mut sim);
+    driver.pump_until(&mut sim, config.duration_us());
+
+    let (slow_path_percent, phase_shares, per_site_wait_ms) = stats(&sim);
+    summarize(config, driver.into_decisions(), slow_path_percent, phase_shares, per_site_wait_ms)
+}
+
+fn summarize(
+    config: &RunConfig,
+    decisions: Vec<(NodeId, Decision)>,
+    slow_path_percent: Option<f64>,
+    phase_shares: Option<PhaseShares>,
+    per_site_wait_ms: Option<Vec<f64>>,
+) -> RunResult {
+    let mut latency_sum = vec![0.0f64; config.nodes];
+    let mut completed = vec![0u64; config.nodes];
+    for (node, d) in &decisions {
+        // Client latency is measured at the command's origin replica.
+        if d.command.origin() == *node && d.proposed_at < d.executed_at {
+            latency_sum[node.index()] += d.latency() as f64 / 1_000.0;
+            completed[node.index()] += 1;
+        }
+    }
+    let per_site_latency_ms: Vec<f64> = latency_sum
+        .iter()
+        .zip(&completed)
+        .map(|(sum, n)| if *n == 0 { 0.0 } else { sum / *n as f64 })
+        .collect();
+    let total_completed: u64 = completed.iter().sum();
+    RunResult {
+        protocol: config.protocol,
+        conflict_percent: config.conflict_percent,
+        per_site_latency_ms,
+        per_site_completed: completed,
+        total_completed,
+        throughput_cps: total_completed as f64 / config.sim_seconds,
+        slow_path_percent,
+        phase_shares,
+        per_site_wait_ms,
+        sim_seconds: config.sim_seconds,
+    }
+}
+
+/// Mapping from node ids to the paper's site names, for documentation and
+/// report headers.
+#[must_use]
+pub fn site_name(node: NodeId) -> &'static str {
+    GeoSite::ALL
+        .iter()
+        .find(|s| s.node() == node)
+        .map(|s| s.label())
+        .unwrap_or("??")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(protocol: ProtocolKind, conflict: f64) -> RunResult {
+        let config = RunConfig::latency_defaults(protocol, conflict)
+            .with_sim_seconds(2.0)
+            .with_clients_per_node(4);
+        run_closed_loop(&config)
+    }
+
+    #[test]
+    fn caesar_run_produces_latencies_for_every_site() {
+        let r = quick(ProtocolKind::Caesar, 10.0);
+        assert_eq!(r.per_site_latency_ms.len(), 5);
+        assert!(r.total_completed > 50);
+        for (i, lat) in r.per_site_latency_ms.iter().enumerate() {
+            assert!(*lat > 10.0, "site {i} latency {lat} too small");
+            assert!(*lat < 1_000.0, "site {i} latency {lat} too large");
+        }
+        assert!(r.slow_path_percent.is_some());
+        assert!(r.phase_shares.is_some());
+    }
+
+    #[test]
+    fn epaxos_reports_slow_path_percentage() {
+        let r = quick(ProtocolKind::Epaxos, 30.0);
+        let slow = r.slow_path_percent.expect("EPaxos reports slow paths");
+        assert!(slow > 0.0, "30% conflicts must cause some slow paths");
+    }
+
+    #[test]
+    fn multipaxos_latency_depends_on_leader_position() {
+        let ireland = quick(ProtocolKind::MultiPaxos(NodeId(3)), 0.0);
+        let mumbai = quick(ProtocolKind::MultiPaxos(NodeId(4)), 0.0);
+        assert!(
+            mumbai.overall_avg_latency_ms() > ireland.overall_avg_latency_ms(),
+            "Mumbai leader must be slower ({} vs {})",
+            mumbai.overall_avg_latency_ms(),
+            ireland.overall_avg_latency_ms()
+        );
+    }
+
+    #[test]
+    fn caesar_stays_flat_while_competitors_degrade() {
+        let caesar_low = quick(ProtocolKind::Caesar, 2.0).overall_avg_latency_ms();
+        let caesar_high = quick(ProtocolKind::Caesar, 30.0).overall_avg_latency_ms();
+        let epaxos_low = quick(ProtocolKind::Epaxos, 2.0).overall_avg_latency_ms();
+        let epaxos_high = quick(ProtocolKind::Epaxos, 30.0).overall_avg_latency_ms();
+        let caesar_degradation = caesar_high / caesar_low;
+        let epaxos_degradation = epaxos_high / epaxos_low;
+        assert!(
+            caesar_degradation < epaxos_degradation * 1.1,
+            "CAESAR ({caesar_degradation:.2}x) should degrade no more than EPaxos ({epaxos_degradation:.2}x)"
+        );
+    }
+
+    #[test]
+    fn throughput_is_positive_for_all_protocols() {
+        for p in [
+            ProtocolKind::Caesar,
+            ProtocolKind::Epaxos,
+            ProtocolKind::M2Paxos,
+            ProtocolKind::Mencius,
+            ProtocolKind::MultiPaxos(NodeId(3)),
+        ] {
+            let r = quick(p, 10.0);
+            assert!(r.throughput_cps > 0.0, "{} has zero throughput", p.name());
+        }
+    }
+}

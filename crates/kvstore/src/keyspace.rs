@@ -1,0 +1,107 @@
+//! The key layout used by the paper's benchmark.
+
+/// The paper's benchmark key space: a shared pool of hot keys (accesses to it
+/// conflict across clients) and unbounded private keys per client (accesses
+/// never conflict).
+///
+/// *"When the clients issue conflicting commands, the key is picked from a
+/// shared pool of 100 keys with a certain probability depending on the
+/// experiment."* — Section VI.
+///
+/// # Example
+///
+/// ```
+/// use kvstore::KeySpace;
+///
+/// let keys = KeySpace::paper_default();
+/// assert_eq!(keys.shared_pool_size(), 100);
+/// assert!(keys.is_shared(keys.shared_key(5)));
+/// assert!(!keys.is_shared(keys.private_key(3, 1)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySpace {
+    shared_pool_size: u64,
+}
+
+impl KeySpace {
+    /// Offset at which private keys start; shared keys live in
+    /// `[0, shared_pool_size)`.
+    const PRIVATE_BASE: u64 = 1 << 32;
+
+    /// The paper's configuration: 100 shared keys.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { shared_pool_size: 100 }
+    }
+
+    /// A key space with a custom shared-pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shared_pool_size` is zero.
+    #[must_use]
+    pub fn new(shared_pool_size: u64) -> Self {
+        assert!(shared_pool_size > 0, "the shared pool needs at least one key");
+        Self { shared_pool_size }
+    }
+
+    /// Number of keys in the shared (conflicting) pool.
+    #[must_use]
+    pub fn shared_pool_size(&self) -> u64 {
+        self.shared_pool_size
+    }
+
+    /// The `index`-th shared key (wraps around the pool size).
+    #[must_use]
+    pub fn shared_key(&self, index: u64) -> u64 {
+        index % self.shared_pool_size
+    }
+
+    /// A private key owned by `client` (no other client ever touches it).
+    #[must_use]
+    pub fn private_key(&self, client: u64, index: u64) -> u64 {
+        Self::PRIVATE_BASE + client * (1 << 20) + (index % (1 << 20))
+    }
+
+    /// Whether `key` belongs to the shared pool.
+    #[must_use]
+    pub fn is_shared(&self, key: u64) -> bool {
+        key < self.shared_pool_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_keys_stay_in_the_pool() {
+        let ks = KeySpace::new(10);
+        for i in 0..100 {
+            assert!(ks.is_shared(ks.shared_key(i)));
+            assert!(ks.shared_key(i) < 10);
+        }
+    }
+
+    #[test]
+    fn private_keys_never_collide_across_clients() {
+        let ks = KeySpace::paper_default();
+        let a: Vec<u64> = (0..50).map(|i| ks.private_key(1, i)).collect();
+        let b: Vec<u64> = (0..50).map(|i| ks.private_key(2, i)).collect();
+        for k in &a {
+            assert!(!ks.is_shared(*k));
+            assert!(!b.contains(k));
+        }
+    }
+
+    #[test]
+    fn paper_default_has_100_shared_keys() {
+        assert_eq!(KeySpace::paper_default().shared_pool_size(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one key")]
+    fn zero_sized_pool_is_rejected() {
+        let _ = KeySpace::new(0);
+    }
+}

@@ -1,0 +1,34 @@
+//! The replicated key-value state machine used by the paper's benchmark.
+//!
+//! The evaluation in Section VI issues client commands that update keys of a
+//! fully replicated key-value store; two commands conflict when they access
+//! the same key. This crate provides:
+//!
+//! * [`KvStore`] — the deterministic state machine every replica applies
+//!   decided commands to,
+//! * [`KeySpace`] — the paper's key layout: a shared pool of 100 "hot" keys
+//!   (conflicting accesses) plus per-client private keys (non-conflicting
+//!   accesses),
+//! * [`apply`] helpers to run a sequence of decided commands and compare
+//!   replica states.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_types::{Command, CommandId, NodeId};
+//! use kvstore::KvStore;
+//!
+//! let mut store = KvStore::new();
+//! store.apply(&Command::put(CommandId::new(NodeId(0), 1), 7, 42));
+//! assert_eq!(store.get(7), Some(42));
+//! assert_eq!(store.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod keyspace;
+mod store;
+
+pub use keyspace::KeySpace;
+pub use store::{apply_all, KvStore};

@@ -1,0 +1,392 @@
+//! M²Paxos baseline: multi-leader consensus with per-object ownership.
+//!
+//! M²Paxos (Peluso et al., DSN 2016) gives every key an *owner* replica. The
+//! owner orders commands on its keys with a single Accept round over a
+//! classic quorum (two communication delays) and without exchanging
+//! dependencies. A command submitted at a replica that does not own the key
+//! is **forwarded** to the owner — the extra WAN hop that degrades M²Paxos as
+//! the conflict rate grows in Figures 6, 8 and 9 of the CAESAR paper.
+//! Unowned keys are acquired by the first proposer as part of the accept
+//! round.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_types::{Command, CommandId, NodeId};
+//! use m2paxos::{M2PaxosConfig, M2PaxosReplica};
+//! use simnet::{LatencyMatrix, SimConfig, Simulator};
+//!
+//! let config = M2PaxosConfig::new(5);
+//! let mut sim = Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), |id| {
+//!     M2PaxosReplica::new(id, config.clone())
+//! });
+//! sim.schedule_command(0, NodeId(2), Command::put(CommandId::new(NodeId(2), 1), 7, 1));
+//! sim.run();
+//! assert_eq!(sim.decisions(NodeId(2)).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, HashMap};
+
+use consensus_types::{
+    Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
+    Timestamp,
+};
+use simnet::{Context, Process};
+
+/// Configuration of an M²Paxos replica.
+#[derive(Debug, Clone)]
+pub struct M2PaxosConfig {
+    /// Classic quorum specification.
+    pub quorums: QuorumSpec,
+    /// Base CPU cost per protocol message (microseconds).
+    pub message_cost_us: SimTime,
+}
+
+impl M2PaxosConfig {
+    /// Configuration for `nodes` replicas.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self { quorums: QuorumSpec::new(nodes), message_cost_us: 11 }
+    }
+}
+
+/// Messages of the M²Paxos protocol.
+#[derive(Debug, Clone)]
+pub enum M2PaxosMessage {
+    /// Non-owner → owner: please order this command on your key.
+    Forward {
+        /// The command to order.
+        cmd: Command,
+    },
+    /// Owner → all: accept `cmd` as the `seq`-th command on its key; the
+    /// accept also (re)asserts the sender's ownership of the key.
+    Accept {
+        /// The command.
+        cmd: Command,
+        /// Per-key sequence number assigned by the owner.
+        seq: u64,
+        /// Ownership epoch (bumped on acquisition).
+        epoch: u64,
+    },
+    /// Replica → owner: accept acknowledgement.
+    AcceptReply {
+        /// The command being acknowledged.
+        cmd_id: CommandId,
+    },
+    /// Owner → all: the command is decided.
+    Commit {
+        /// The command.
+        cmd: Command,
+        /// Per-key sequence number.
+        seq: u64,
+    },
+}
+
+/// Counters kept by an M²Paxos replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct M2PaxosMetrics {
+    /// Commands ordered locally (this replica owned the key).
+    pub owned_decisions: u64,
+    /// Commands forwarded to a remote owner.
+    pub forwarded: u64,
+    /// Keys acquired by this replica.
+    pub acquisitions: u64,
+    /// Commands executed locally.
+    pub commands_executed: u64,
+}
+
+#[derive(Debug)]
+struct PendingAccept {
+    cmd: Command,
+    seq: u64,
+    acks: usize,
+}
+
+/// An M²Paxos replica implementing [`simnet::Process`].
+#[derive(Debug)]
+pub struct M2PaxosReplica {
+    id: NodeId,
+    config: M2PaxosConfig,
+    /// Key → (owner, epoch). Keys absent from the map are unowned.
+    owners: HashMap<u64, (NodeId, u64)>,
+    /// Per-key next sequence number (meaningful at the owner).
+    next_seq: HashMap<u64, u64>,
+    /// In-flight accepts coordinated by this replica.
+    pending: HashMap<CommandId, PendingAccept>,
+    /// Per-key committed-but-not-executed commands, ordered by sequence.
+    committed: HashMap<u64, BTreeMap<u64, Command>>,
+    /// Per-key next sequence number to execute.
+    next_exec: HashMap<u64, u64>,
+    /// Locally submitted commands → submission time.
+    pending_local: HashMap<CommandId, SimTime>,
+    metrics: M2PaxosMetrics,
+    out_decisions: Vec<Decision>,
+}
+
+impl M2PaxosReplica {
+    /// Creates a replica.
+    #[must_use]
+    pub fn new(id: NodeId, config: M2PaxosConfig) -> Self {
+        Self {
+            id,
+            config,
+            owners: HashMap::new(),
+            next_seq: HashMap::new(),
+            pending: HashMap::new(),
+            committed: HashMap::new(),
+            next_exec: HashMap::new(),
+            pending_local: HashMap::new(),
+            metrics: M2PaxosMetrics::default(),
+            out_decisions: Vec::new(),
+        }
+    }
+
+    /// This replica's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn metrics(&self) -> &M2PaxosMetrics {
+        &self.metrics
+    }
+
+    /// Number of commands executed locally.
+    #[must_use]
+    pub fn executed_count(&self) -> usize {
+        self.metrics.commands_executed as usize
+    }
+
+    /// The current owner of `key`, if any.
+    #[must_use]
+    pub fn owner_of(&self, key: u64) -> Option<NodeId> {
+        self.owners.get(&key).map(|(n, _)| *n)
+    }
+
+    fn lead(&mut self, cmd: Command, ctx: &mut Context<'_, M2PaxosMessage>) {
+        let Some(key) = cmd.key() else {
+            // A command with no key conflicts with nothing: decide it locally.
+            self.execute(cmd, ctx.now());
+            return;
+        };
+        let epoch = match self.owners.get(&key) {
+            Some((owner, epoch)) if *owner == self.id => *epoch,
+            Some((_, epoch)) => {
+                // We are taking over ownership (the evaluation only reaches
+                // this through explicit acquisition scenarios).
+                let epoch = epoch + 1;
+                self.metrics.acquisitions += 1;
+                self.owners.insert(key, (self.id, epoch));
+                epoch
+            }
+            None => {
+                // Unowned key: acquire it as part of the accept round.
+                self.metrics.acquisitions += 1;
+                self.owners.insert(key, (self.id, 1));
+                1
+            }
+        };
+        let seq = self.next_seq.entry(key).or_insert(0);
+        let my_seq = *seq;
+        *seq += 1;
+        self.metrics.owned_decisions += 1;
+        self.pending.insert(cmd.id(), PendingAccept { cmd: cmd.clone(), seq: my_seq, acks: 1 });
+        ctx.broadcast_others(M2PaxosMessage::Accept { cmd, seq: my_seq, epoch });
+    }
+
+    fn commit(&mut self, cmd: Command, seq: u64, now: SimTime) {
+        let Some(key) = cmd.key() else {
+            self.execute(cmd, now);
+            return;
+        };
+        self.committed.entry(key).or_default().insert(seq, cmd);
+        self.execute_ready(key, now);
+    }
+
+    fn execute_ready(&mut self, key: u64, now: SimTime) {
+        loop {
+            let next = *self.next_exec.entry(key).or_insert(0);
+            let Some(per_key) = self.committed.get_mut(&key) else { return };
+            let Some(cmd) = per_key.remove(&next) else { return };
+            *self.next_exec.get_mut(&key).expect("present") += 1;
+            self.execute(cmd, now);
+        }
+    }
+
+    fn execute(&mut self, cmd: Command, now: SimTime) {
+        self.metrics.commands_executed += 1;
+        let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
+        self.out_decisions.push(Decision {
+            command: cmd.id(),
+            timestamp: Timestamp::ZERO,
+            path: DecisionPath::Ordered,
+            proposed_at,
+            executed_at: now,
+            breakdown: LatencyBreakdown::default(),
+        });
+    }
+}
+
+impl Process for M2PaxosReplica {
+    type Message = M2PaxosMessage;
+
+    fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, M2PaxosMessage>) {
+        self.pending_local.insert(cmd.id(), ctx.now());
+        match cmd.key().and_then(|k| self.owner_of(k)) {
+            Some(owner) if owner != self.id => {
+                // Forward to the key's owner: the extra hop the paper blames
+                // for M²Paxos's degradation under conflicts.
+                self.metrics.forwarded += 1;
+                ctx.send(owner, M2PaxosMessage::Forward { cmd });
+            }
+            _ => self.lead(cmd, ctx),
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: M2PaxosMessage,
+        ctx: &mut Context<'_, M2PaxosMessage>,
+    ) {
+        match msg {
+            M2PaxosMessage::Forward { cmd } => {
+                // If ownership moved on, forward again towards the new owner.
+                match cmd.key().and_then(|k| self.owner_of(k)) {
+                    Some(owner) if owner != self.id => {
+                        ctx.send(owner, M2PaxosMessage::Forward { cmd });
+                    }
+                    _ => self.lead(cmd, ctx),
+                }
+            }
+            M2PaxosMessage::Accept { cmd, seq: _, epoch } => {
+                if let Some(key) = cmd.key() {
+                    // Record (or learn) the ownership asserted by the accept.
+                    let entry = self.owners.entry(key).or_insert((from, epoch));
+                    if epoch >= entry.1 {
+                        *entry = (from, epoch);
+                    }
+                }
+                ctx.send(from, M2PaxosMessage::AcceptReply { cmd_id: cmd.id() });
+            }
+            M2PaxosMessage::AcceptReply { cmd_id } => {
+                let classic = self.config.quorums.classic();
+                let Some(pending) = self.pending.get_mut(&cmd_id) else { return };
+                pending.acks += 1;
+                if pending.acks == classic {
+                    let PendingAccept { cmd, seq, .. } =
+                        self.pending.remove(&cmd_id).expect("present");
+                    ctx.broadcast_others(M2PaxosMessage::Commit { cmd: cmd.clone(), seq });
+                    self.commit(cmd, seq, ctx.now());
+                }
+            }
+            M2PaxosMessage::Commit { cmd, seq } => {
+                self.commit(cmd, seq, ctx.now());
+            }
+        }
+    }
+
+    fn drain_decisions(&mut self) -> Vec<Decision> {
+        std::mem::take(&mut self.out_decisions)
+    }
+
+    fn processing_cost(&self, msg: &M2PaxosMessage) -> SimTime {
+        let base = self.config.message_cost_us;
+        match msg {
+            M2PaxosMessage::Forward { .. } | M2PaxosMessage::Accept { .. } => base,
+            M2PaxosMessage::AcceptReply { .. } | M2PaxosMessage::Commit { .. } => base / 2 + 1,
+        }
+    }
+
+    fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
+        self.config.message_cost_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{LatencyMatrix, SimConfig, Simulator};
+
+    fn sim() -> Simulator<M2PaxosReplica> {
+        let config = M2PaxosConfig::new(5);
+        Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), move |id| {
+            M2PaxosReplica::new(id, config.clone())
+        })
+    }
+
+    fn put(node: u32, seq: u64, key: u64) -> Command {
+        Command::put(CommandId::new(NodeId(node), seq), key, seq)
+    }
+
+    #[test]
+    fn owner_decides_in_one_quorum_round() {
+        let mut s = sim();
+        s.schedule_command(0, NodeId(0), put(0, 1, 7));
+        s.run();
+        let d = &s.decisions(NodeId(0))[0];
+        // Virginia's quorum (Ohio + Ireland) is within ~75 ms RTT.
+        assert!(d.latency() < 100_000, "latency {}", d.latency());
+        assert_eq!(s.process(NodeId(0)).metrics().acquisitions, 1);
+        assert_eq!(s.process(NodeId(0)).metrics().owned_decisions, 1);
+        for node in NodeId::all(5) {
+            assert_eq!(s.decisions(node).len(), 1);
+        }
+    }
+
+    #[test]
+    fn non_owner_commands_are_forwarded_to_the_owner() {
+        let mut s = sim();
+        // Node 0 acquires the key first; node 4 then proposes on the same key.
+        s.schedule_command(0, NodeId(0), put(0, 1, 7));
+        s.schedule_command(400_000, NodeId(4), put(4, 1, 7));
+        s.run();
+        assert_eq!(s.process(NodeId(4)).metrics().forwarded, 1);
+        let origin_decision = s
+            .decisions(NodeId(4))
+            .iter()
+            .find(|d| d.command == CommandId::new(NodeId(4), 1))
+            .expect("executed at origin");
+        // Forwarding Mumbai→Virginia (93 ms one way) plus Virginia's quorum
+        // round plus the commit back: well above the owner's local latency.
+        assert!(origin_decision.latency() > 150_000, "latency {}", origin_decision.latency());
+        // Both replicas agree on the per-key order.
+        let order_v: Vec<CommandId> = s.decisions(NodeId(0)).iter().map(|d| d.command).collect();
+        let order_m: Vec<CommandId> = s.decisions(NodeId(4)).iter().map(|d| d.command).collect();
+        assert_eq!(order_v, order_m);
+    }
+
+    #[test]
+    fn per_key_order_is_identical_on_all_replicas() {
+        let mut s = sim();
+        for i in 0..12u64 {
+            s.schedule_command(i * 150_000, NodeId((i % 5) as u32), put((i % 5) as u32, i, 7));
+        }
+        s.run();
+        let reference: Vec<CommandId> = s.decisions(NodeId(0)).iter().map(|d| d.command).collect();
+        assert_eq!(reference.len(), 12);
+        for node in NodeId::all(5) {
+            let order: Vec<CommandId> = s.decisions(node).iter().map(|d| d.command).collect();
+            assert_eq!(order, reference, "{node}");
+        }
+    }
+
+    #[test]
+    fn commands_on_distinct_keys_are_owned_by_their_proposers() {
+        let mut s = sim();
+        for i in 0..5u32 {
+            s.schedule_command(u64::from(i) * 1_000, NodeId(i), put(i, 1, 100 + u64::from(i)));
+        }
+        s.run();
+        for i in 0..5u32 {
+            let m = s.process(NodeId(i)).metrics();
+            assert_eq!(m.owned_decisions, 1, "node {i} owns its private key");
+            assert_eq!(m.forwarded, 0);
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Mencius baseline: multi-leader consensus with pre-assigned slots.
+//!
+//! Mencius (Mao et al., OSDI 2008) rotates log ownership round-robin: slot
+//! `s` belongs to node `s mod N`. A node orders its commands in its own slots
+//! and broadcasts SKIP markers for slots it does not use. Because a replica
+//! can only execute slot `s` once it knows the outcome of **every** earlier
+//! slot — including slots owned by the farthest node — Mencius "performs as
+//! the slowest node" (Section II of the CAESAR paper), which is the behaviour
+//! Figure 7 shows.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_types::{Command, CommandId, NodeId};
+//! use mencius::{MenciusConfig, MenciusReplica};
+//! use simnet::{LatencyMatrix, SimConfig, Simulator};
+//!
+//! let config = MenciusConfig::new(5);
+//! let mut sim = Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), |id| {
+//!     MenciusReplica::new(id, config.clone())
+//! });
+//! sim.schedule_command(0, NodeId(1), Command::put(CommandId::new(NodeId(1), 1), 7, 1));
+//! sim.run();
+//! assert_eq!(sim.decisions(NodeId(1)).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, HashMap};
+
+use consensus_types::{
+    Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
+    Timestamp,
+};
+use simnet::{Context, Process};
+
+/// Configuration of a Mencius replica.
+#[derive(Debug, Clone)]
+pub struct MenciusConfig {
+    /// Quorum specification (Mencius still acknowledges proposals through a
+    /// majority, but delivery additionally needs every earlier slot
+    /// resolved).
+    pub quorums: QuorumSpec,
+    /// Base CPU cost per protocol message (microseconds).
+    pub message_cost_us: SimTime,
+}
+
+impl MenciusConfig {
+    /// Configuration for `nodes` replicas.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self { quorums: QuorumSpec::new(nodes), message_cost_us: 10 }
+    }
+}
+
+/// The outcome of a slot: a command or an explicit skip.
+#[derive(Debug, Clone)]
+enum SlotValue {
+    Command(Command),
+    Skip,
+}
+
+/// Messages of the Mencius protocol.
+#[derive(Debug, Clone)]
+pub enum MenciusMessage {
+    /// Slot owner → all: order `cmd` at `slot`.
+    Propose {
+        /// The slot (owned by the sender: `slot % N == sender`).
+        slot: u64,
+        /// The command.
+        cmd: Command,
+    },
+    /// Replica → owner: acknowledgement of a proposal.
+    Ack {
+        /// The slot being acknowledged.
+        slot: u64,
+    },
+    /// Owner → all: the slot is chosen.
+    Commit {
+        /// The slot.
+        slot: u64,
+        /// The command.
+        cmd: Command,
+    },
+    /// A node announces that it will not use its own slots below `below`.
+    Skip {
+        /// The announcing node's slots strictly below this index are no-ops.
+        below: u64,
+    },
+}
+
+/// Counters kept by a Mencius replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MenciusMetrics {
+    /// Commands proposed by this replica.
+    pub proposed: u64,
+    /// Skip announcements broadcast.
+    pub skips_sent: u64,
+    /// Commands executed locally.
+    pub commands_executed: u64,
+}
+
+/// A Mencius replica implementing [`simnet::Process`].
+#[derive(Debug)]
+pub struct MenciusReplica {
+    id: NodeId,
+    config: MenciusConfig,
+    /// Next slot owned by this node that has not been used yet.
+    next_own_slot: u64,
+    /// Highest slot index this node has seen proposed anywhere (used to move
+    /// its own skip frontier forward).
+    max_seen_slot: u64,
+    /// Resolved slots: committed command or skip.
+    slots: BTreeMap<u64, SlotValue>,
+    /// For each node, its announced skip frontier: all its slots strictly
+    /// below this value that carry no command are no-ops.
+    skip_frontier: Vec<u64>,
+    /// Acks per slot this node is coordinating.
+    acks: HashMap<u64, usize>,
+    in_flight: HashMap<u64, Command>,
+    /// Next slot index to execute.
+    next_execute: u64,
+    /// Locally proposed commands → proposal time.
+    pending_local: HashMap<CommandId, SimTime>,
+    metrics: MenciusMetrics,
+    out_decisions: Vec<Decision>,
+}
+
+impl MenciusReplica {
+    /// Creates a replica.
+    #[must_use]
+    pub fn new(id: NodeId, config: MenciusConfig) -> Self {
+        let n = config.quorums.nodes();
+        Self {
+            next_own_slot: id.index() as u64,
+            max_seen_slot: 0,
+            slots: BTreeMap::new(),
+            skip_frontier: vec![0; n],
+            acks: HashMap::new(),
+            in_flight: HashMap::new(),
+            next_execute: 0,
+            pending_local: HashMap::new(),
+            metrics: MenciusMetrics::default(),
+            out_decisions: Vec::new(),
+            id,
+            config,
+        }
+    }
+
+    /// This replica's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn metrics(&self) -> &MenciusMetrics {
+        &self.metrics
+    }
+
+    /// Number of commands executed locally.
+    #[must_use]
+    pub fn executed_count(&self) -> usize {
+        self.metrics.commands_executed as usize
+    }
+
+    fn owner(&self, slot: u64) -> NodeId {
+        NodeId::from_index((slot % self.config.quorums.nodes() as u64) as usize)
+    }
+
+    /// Whether `slot` is known to be resolved (committed or skipped).
+    fn resolved(&self, slot: u64) -> bool {
+        if self.slots.contains_key(&slot) {
+            return true;
+        }
+        let owner = self.owner(slot);
+        self.skip_frontier[owner.index()] > slot
+    }
+
+    fn execute_ready(&mut self, ctx: &mut Context<'_, MenciusMessage>) {
+        let now = ctx.now();
+        loop {
+            let slot = self.next_execute;
+            if !self.resolved(slot) {
+                break;
+            }
+            self.next_execute += 1;
+            let value = self.slots.get(&slot).cloned().unwrap_or(SlotValue::Skip);
+            if let SlotValue::Command(cmd) = value {
+                self.metrics.commands_executed += 1;
+                let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
+                self.out_decisions.push(Decision {
+                    command: cmd.id(),
+                    timestamp: Timestamp::ZERO,
+                    path: DecisionPath::Ordered,
+                    proposed_at,
+                    executed_at: now,
+                    breakdown: LatencyBreakdown::default(),
+                });
+            }
+        }
+    }
+
+    /// Advances this node's own skip frontier past `slot` and announces it.
+    fn advance_skips(&mut self, seen_slot: u64, ctx: &mut Context<'_, MenciusMessage>) {
+        self.max_seen_slot = self.max_seen_slot.max(seen_slot);
+        let n = self.config.quorums.nodes() as u64;
+        if self.next_own_slot < self.max_seen_slot {
+            // Our unused slots below the frontier become skips.
+            while self.next_own_slot < self.max_seen_slot {
+                self.next_own_slot += n;
+            }
+            self.metrics.skips_sent += 1;
+            let below = self.next_own_slot;
+            self.skip_frontier[self.id.index()] = below;
+            ctx.broadcast_others(MenciusMessage::Skip { below });
+            self.execute_ready(ctx);
+        }
+    }
+}
+
+impl Process for MenciusReplica {
+    type Message = MenciusMessage;
+
+    fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, MenciusMessage>) {
+        let slot = self.next_own_slot;
+        self.next_own_slot += self.config.quorums.nodes() as u64;
+        self.metrics.proposed += 1;
+        self.pending_local.insert(cmd.id(), ctx.now());
+        self.acks.insert(slot, 1);
+        self.in_flight.insert(slot, cmd.clone());
+        self.max_seen_slot = self.max_seen_slot.max(slot);
+        ctx.broadcast_others(MenciusMessage::Propose { slot, cmd });
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: MenciusMessage,
+        ctx: &mut Context<'_, MenciusMessage>,
+    ) {
+        match msg {
+            MenciusMessage::Propose { slot, cmd } => {
+                let _ = cmd;
+                ctx.send(from, MenciusMessage::Ack { slot });
+                // Seeing someone else's slot means our earlier unused slots
+                // must be skipped so the log can advance.
+                self.advance_skips(slot, ctx);
+            }
+            MenciusMessage::Ack { slot } => {
+                let Some(count) = self.acks.get_mut(&slot) else { return };
+                *count += 1;
+                if *count == self.config.quorums.classic() {
+                    let Some(cmd) = self.in_flight.remove(&slot) else { return };
+                    self.acks.remove(&slot);
+                    self.slots.insert(slot, SlotValue::Command(cmd.clone()));
+                    ctx.broadcast_others(MenciusMessage::Commit { slot, cmd });
+                    self.execute_ready(ctx);
+                }
+            }
+            MenciusMessage::Commit { slot, cmd } => {
+                self.slots.insert(slot, SlotValue::Command(cmd));
+                self.advance_skips(slot, ctx);
+                self.execute_ready(ctx);
+            }
+            MenciusMessage::Skip { below } => {
+                let frontier = &mut self.skip_frontier[from.index()];
+                *frontier = (*frontier).max(below);
+                self.execute_ready(ctx);
+            }
+        }
+    }
+
+    fn drain_decisions(&mut self) -> Vec<Decision> {
+        std::mem::take(&mut self.out_decisions)
+    }
+
+    fn processing_cost(&self, msg: &MenciusMessage) -> SimTime {
+        let base = self.config.message_cost_us;
+        match msg {
+            MenciusMessage::Propose { .. } => base,
+            MenciusMessage::Ack { .. } | MenciusMessage::Skip { .. } => base / 2 + 1,
+            MenciusMessage::Commit { .. } => base / 2 + 1,
+        }
+    }
+
+    fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
+        self.config.message_cost_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{LatencyMatrix, SimConfig, Simulator};
+
+    fn sim() -> Simulator<MenciusReplica> {
+        let config = MenciusConfig::new(5);
+        Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), move |id| {
+            MenciusReplica::new(id, config.clone())
+        })
+    }
+
+    fn put(node: u32, seq: u64, key: u64) -> Command {
+        Command::put(CommandId::new(NodeId(node), seq), key, seq)
+    }
+
+    #[test]
+    fn single_command_is_executed_on_all_replicas() {
+        let mut s = sim();
+        s.schedule_command(0, NodeId(1), put(1, 1, 7));
+        s.run();
+        for node in NodeId::all(5) {
+            assert_eq!(s.decisions(node).len(), 1, "{node}");
+        }
+    }
+
+    #[test]
+    fn latency_is_dominated_by_the_slowest_node() {
+        // In steady state a command from Virginia must wait for Mumbai's skip
+        // announcement before it can execute (slot order), so latency tracks
+        // the VA–IN RTT rather than the nearby quorum. The very first slot has
+        // no predecessors, so measure the second command.
+        let mut s = sim();
+        s.schedule_command(0, NodeId(0), put(0, 1, 7));
+        s.schedule_command(1_000, NodeId(0), put(0, 2, 7));
+        s.run();
+        let second = s
+            .decisions(NodeId(0))
+            .iter()
+            .find(|d| d.command == CommandId::new(NodeId(0), 2))
+            .expect("executed at origin");
+        assert!(
+            second.latency() >= 180_000,
+            "Mencius latency should track the slowest peer (got {} µs)",
+            second.latency()
+        );
+    }
+
+    #[test]
+    fn commands_from_all_sites_execute_in_the_same_order() {
+        let mut s = sim();
+        for i in 0..15u64 {
+            s.schedule_command(i * 20_000, NodeId((i % 5) as u32), put((i % 5) as u32, i, 7));
+        }
+        s.run();
+        let reference: Vec<CommandId> = s.decisions(NodeId(0)).iter().map(|d| d.command).collect();
+        assert_eq!(reference.len(), 15);
+        for node in NodeId::all(5) {
+            let order: Vec<CommandId> = s.decisions(node).iter().map(|d| d.command).collect();
+            assert_eq!(order, reference, "{node}");
+        }
+    }
+
+    #[test]
+    fn idle_nodes_send_skips_so_the_log_advances() {
+        let mut s = sim();
+        // Only node 0 proposes; all other nodes must skip their slots.
+        for i in 0..5u64 {
+            s.schedule_command(i * 50_000, NodeId(0), put(0, i, 7));
+        }
+        s.run();
+        let skips: u64 = NodeId::all(5).map(|n| s.process(n).metrics().skips_sent).sum();
+        assert!(skips >= 4, "idle nodes must announce skips (got {skips})");
+        assert_eq!(s.decisions(NodeId(0)).len(), 5);
+    }
+}

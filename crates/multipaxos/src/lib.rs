@@ -1,0 +1,347 @@
+//! Multi-Paxos baseline: a single stable leader orders all commands.
+//!
+//! Multi-Paxos is the single-leader reference point in the CAESAR evaluation
+//! (Figure 7 and Figure 9). A designated leader assigns every command a slot
+//! in a totally ordered log, replicates it to a classic quorum with one
+//! Accept round, and broadcasts the commit; replicas execute the log in slot
+//! order. Clients co-located with other replicas forward their commands to
+//! the leader, paying one extra WAN hop — which is exactly why the paper
+//! deploys it twice, with the leader in Ireland (close to a quorum) and in
+//! Mumbai (far from every quorum).
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_types::{Command, CommandId, NodeId};
+//! use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
+//! use simnet::{LatencyMatrix, SimConfig, Simulator};
+//!
+//! // Leader in Ireland (node 3), as in the paper's Multi-Paxos-IR setting.
+//! let config = MultiPaxosConfig::new(5, NodeId(3));
+//! let mut sim = Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), |id| {
+//!     MultiPaxosReplica::new(id, config.clone())
+//! });
+//! sim.schedule_command(0, NodeId(0), Command::put(CommandId::new(NodeId(0), 1), 7, 1));
+//! sim.run();
+//! assert_eq!(sim.decisions(NodeId(0)).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, HashMap};
+
+use consensus_types::{
+    Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
+    Timestamp,
+};
+use simnet::{Context, Process};
+
+/// Configuration of a Multi-Paxos replica.
+#[derive(Debug, Clone)]
+pub struct MultiPaxosConfig {
+    /// Classic quorum specification.
+    pub quorums: QuorumSpec,
+    /// The designated leader (stable; the evaluation does not exercise leader
+    /// election).
+    pub leader: NodeId,
+    /// Base CPU cost per protocol message (microseconds).
+    pub message_cost_us: SimTime,
+}
+
+impl MultiPaxosConfig {
+    /// Configuration for `nodes` replicas with the given stable leader.
+    #[must_use]
+    pub fn new(nodes: usize, leader: NodeId) -> Self {
+        Self { quorums: QuorumSpec::new(nodes), leader, message_cost_us: 10 }
+    }
+
+    /// Sets the per-message CPU cost.
+    #[must_use]
+    pub fn with_message_cost_us(mut self, cost: SimTime) -> Self {
+        self.message_cost_us = cost;
+        self
+    }
+}
+
+/// Messages of the Multi-Paxos protocol.
+#[derive(Debug, Clone)]
+pub enum MultiPaxosMessage {
+    /// Non-leader replica → leader: order this client command for me.
+    Forward {
+        /// The command to order.
+        cmd: Command,
+    },
+    /// Leader → replicas: accept `cmd` at `slot`.
+    Accept {
+        /// Log position.
+        slot: u64,
+        /// The command.
+        cmd: Command,
+    },
+    /// Replica → leader: slot accepted.
+    AcceptReply {
+        /// Log position being acknowledged.
+        slot: u64,
+    },
+    /// Leader → replicas: the slot is chosen; execute in log order.
+    Commit {
+        /// Log position.
+        slot: u64,
+        /// The command.
+        cmd: Command,
+    },
+}
+
+/// Counters kept by a Multi-Paxos replica.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultiPaxosMetrics {
+    /// Commands this replica forwarded to the leader.
+    pub forwarded: u64,
+    /// Slots this replica (as leader) committed.
+    pub committed_slots: u64,
+    /// Commands executed locally.
+    pub commands_executed: u64,
+}
+
+/// A Multi-Paxos replica implementing [`simnet::Process`].
+#[derive(Debug)]
+pub struct MultiPaxosReplica {
+    id: NodeId,
+    config: MultiPaxosConfig,
+    /// Leader state: next slot to assign and acks per in-flight slot.
+    next_slot: u64,
+    acks: HashMap<u64, usize>,
+    in_flight: HashMap<u64, Command>,
+    /// Log of committed commands, keyed by slot.
+    log: BTreeMap<u64, Command>,
+    /// Next slot to execute.
+    next_execute: u64,
+    /// Commands proposed locally (origin replica) → proposal time, so the
+    /// co-located client's latency can be reported when the command executes.
+    pending_local: HashMap<CommandId, SimTime>,
+    metrics: MultiPaxosMetrics,
+    out_decisions: Vec<Decision>,
+}
+
+impl MultiPaxosReplica {
+    /// Creates a replica.
+    #[must_use]
+    pub fn new(id: NodeId, config: MultiPaxosConfig) -> Self {
+        Self {
+            id,
+            config,
+            next_slot: 0,
+            acks: HashMap::new(),
+            in_flight: HashMap::new(),
+            log: BTreeMap::new(),
+            next_execute: 0,
+            pending_local: HashMap::new(),
+            metrics: MultiPaxosMetrics::default(),
+            out_decisions: Vec::new(),
+        }
+    }
+
+    /// This replica's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this replica is the designated leader.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        self.id == self.config.leader
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn metrics(&self) -> &MultiPaxosMetrics {
+        &self.metrics
+    }
+
+    /// Number of commands executed locally.
+    #[must_use]
+    pub fn executed_count(&self) -> usize {
+        self.next_execute as usize
+    }
+
+    fn lead(&mut self, cmd: Command, ctx: &mut Context<'_, MultiPaxosMessage>) {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.acks.insert(slot, 1); // the leader accepts its own slot
+        self.in_flight.insert(slot, cmd.clone());
+        ctx.broadcast_others(MultiPaxosMessage::Accept { slot, cmd });
+    }
+
+    fn execute_ready(&mut self, ctx: &mut Context<'_, MultiPaxosMessage>) {
+        let now = ctx.now();
+        while let Some(cmd) = self.log.get(&self.next_execute).cloned() {
+            self.next_execute += 1;
+            self.metrics.commands_executed += 1;
+            let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
+            self.out_decisions.push(Decision {
+                command: cmd.id(),
+                timestamp: Timestamp::ZERO,
+                path: DecisionPath::Ordered,
+                proposed_at,
+                executed_at: now,
+                breakdown: LatencyBreakdown::default(),
+            });
+        }
+    }
+}
+
+impl Process for MultiPaxosReplica {
+    type Message = MultiPaxosMessage;
+
+    fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, MultiPaxosMessage>) {
+        self.pending_local.insert(cmd.id(), ctx.now());
+        if self.is_leader() {
+            self.lead(cmd, ctx);
+        } else {
+            self.metrics.forwarded += 1;
+            ctx.send(self.config.leader, MultiPaxosMessage::Forward { cmd });
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: MultiPaxosMessage,
+        ctx: &mut Context<'_, MultiPaxosMessage>,
+    ) {
+        match msg {
+            MultiPaxosMessage::Forward { cmd } => {
+                if self.is_leader() {
+                    self.lead(cmd, ctx);
+                }
+            }
+            MultiPaxosMessage::Accept { slot, cmd } => {
+                // Acceptors store the command and acknowledge; they learn the
+                // decision from the Commit broadcast.
+                let _ = cmd;
+                ctx.send(from, MultiPaxosMessage::AcceptReply { slot });
+            }
+            MultiPaxosMessage::AcceptReply { slot } => {
+                if !self.is_leader() {
+                    return;
+                }
+                let Some(count) = self.acks.get_mut(&slot) else { return };
+                *count += 1;
+                if *count == self.config.quorums.classic() {
+                    let Some(cmd) = self.in_flight.remove(&slot) else { return };
+                    self.acks.remove(&slot);
+                    self.metrics.committed_slots += 1;
+                    ctx.broadcast_others(MultiPaxosMessage::Commit { slot, cmd: cmd.clone() });
+                    self.log.insert(slot, cmd);
+                    self.execute_ready(ctx);
+                }
+            }
+            MultiPaxosMessage::Commit { slot, cmd } => {
+                self.log.insert(slot, cmd);
+                self.execute_ready(ctx);
+            }
+        }
+    }
+
+    fn drain_decisions(&mut self) -> Vec<Decision> {
+        std::mem::take(&mut self.out_decisions)
+    }
+
+    fn processing_cost(&self, msg: &MultiPaxosMessage) -> SimTime {
+        let base = self.config.message_cost_us;
+        match msg {
+            MultiPaxosMessage::Forward { .. } | MultiPaxosMessage::Accept { .. } => base,
+            MultiPaxosMessage::AcceptReply { .. } => base / 2 + 1,
+            MultiPaxosMessage::Commit { .. } => base / 2 + 1,
+        }
+    }
+
+    fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
+        self.config.message_cost_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{LatencyMatrix, SimConfig, Simulator};
+
+    fn sim(leader: NodeId) -> Simulator<MultiPaxosReplica> {
+        let config = MultiPaxosConfig::new(5, leader);
+        Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), move |id| {
+            MultiPaxosReplica::new(id, config.clone())
+        })
+    }
+
+    fn put(node: u32, seq: u64, key: u64) -> Command {
+        Command::put(CommandId::new(NodeId(node), seq), key, seq)
+    }
+
+    #[test]
+    fn leader_local_command_commits_in_two_message_delays() {
+        let mut s = sim(NodeId(3));
+        s.schedule_command(0, NodeId(3), put(3, 1, 7));
+        s.run();
+        let d = &s.decisions(NodeId(3))[0];
+        // Ireland's classic quorum (itself + Frankfurt + Virginia) is ~75 ms
+        // RTT away at worst; one Accept round should be well under 100 ms.
+        assert!(d.latency() < 100_000, "latency was {}", d.latency());
+        for node in NodeId::all(5) {
+            assert_eq!(s.decisions(node).len(), 1);
+        }
+    }
+
+    #[test]
+    fn remote_command_pays_the_forwarding_hop() {
+        let mut s = sim(NodeId(3));
+        s.schedule_command(0, NodeId(4), put(4, 1, 7)); // Mumbai client, Ireland leader
+        s.run();
+        let d_origin = s
+            .decisions(NodeId(4))
+            .iter()
+            .find(|d| d.command.origin() == NodeId(4))
+            .expect("executed at origin");
+        // Must include the Mumbai→Ireland forward (61 ms one-way) plus the
+        // leader's quorum round and the commit propagation back.
+        assert!(d_origin.latency() > 120_000, "latency was {}", d_origin.latency());
+        assert_eq!(s.process(NodeId(4)).metrics().forwarded, 1);
+    }
+
+    #[test]
+    fn slots_execute_in_order_on_every_replica() {
+        let mut s = sim(NodeId(3));
+        for i in 0..10u64 {
+            s.schedule_command(i * 1_000, NodeId((i % 5) as u32), put((i % 5) as u32, i, 7));
+        }
+        s.run();
+        let reference: Vec<CommandId> = s.decisions(NodeId(0)).iter().map(|d| d.command).collect();
+        assert_eq!(reference.len(), 10);
+        for node in NodeId::all(5) {
+            let order: Vec<CommandId> = s.decisions(node).iter().map(|d| d.command).collect();
+            assert_eq!(order, reference, "total order must be identical at {node}");
+        }
+        assert_eq!(s.process(NodeId(3)).metrics().committed_slots, 10);
+    }
+
+    #[test]
+    fn faraway_leader_increases_latency_for_everyone() {
+        let run = |leader: NodeId| {
+            let mut s = sim(leader);
+            s.schedule_command(0, NodeId(0), put(0, 1, 7));
+            s.run();
+            s.decisions(NodeId(0))
+                .iter()
+                .find(|d| d.command.origin() == NodeId(0))
+                .map(|d| d.latency())
+                .unwrap()
+        };
+        let ireland = run(NodeId(3));
+        let mumbai = run(NodeId(4));
+        assert!(
+            mumbai > ireland,
+            "a Mumbai leader ({mumbai}) must be slower than an Ireland leader ({ireland})"
+        );
+    }
+}

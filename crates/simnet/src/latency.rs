@@ -1,0 +1,243 @@
+//! WAN latency matrices.
+
+use consensus_types::{NodeId, SimTime, MICROS_PER_MILLI};
+
+/// The five Amazon EC2 regions used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeoSite {
+    /// us-east-1 (Virginia).
+    Virginia,
+    /// us-east-2 (Ohio).
+    Ohio,
+    /// eu-central-1 (Frankfurt).
+    Frankfurt,
+    /// eu-west-1 (Ireland).
+    Ireland,
+    /// ap-south-1 (Mumbai).
+    Mumbai,
+}
+
+impl GeoSite {
+    /// The five sites in the order the paper's figures use
+    /// (Virginia, Ohio, Frankfurt, Ireland, Mumbai).
+    pub const ALL: [GeoSite; 5] =
+        [GeoSite::Virginia, GeoSite::Ohio, GeoSite::Frankfurt, GeoSite::Ireland, GeoSite::Mumbai];
+
+    /// Short label used when printing tables (VA, OH, DE, IE, IN).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            GeoSite::Virginia => "VA",
+            GeoSite::Ohio => "OH",
+            GeoSite::Frankfurt => "DE",
+            GeoSite::Ireland => "IE",
+            GeoSite::Mumbai => "IN",
+        }
+    }
+
+    /// The node id the harness assigns to this site.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        match self {
+            GeoSite::Virginia => NodeId(0),
+            GeoSite::Ohio => NodeId(1),
+            GeoSite::Frankfurt => NodeId(2),
+            GeoSite::Ireland => NodeId(3),
+            GeoSite::Mumbai => NodeId(4),
+        }
+    }
+}
+
+/// One-way message latencies between every pair of nodes, in microseconds.
+///
+/// The matrix is symmetric by construction when built through
+/// [`LatencyMatrix::set_rtt_ms`], but asymmetric matrices can be expressed via
+/// [`LatencyMatrix::set_one_way_ms`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyMatrix {
+    nodes: usize,
+    /// `one_way[src][dst]` in microseconds.
+    one_way: Vec<Vec<SimTime>>,
+    /// Delay for a node delivering a message to itself (loopback).
+    local: SimTime,
+}
+
+impl LatencyMatrix {
+    /// Latency applied to self-delivery (a broadcast includes the sender).
+    pub const DEFAULT_LOCAL_US: SimTime = 50;
+
+    /// Creates a matrix for `nodes` replicas with all remote latencies set to
+    /// zero; use the setters to fill it in.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self {
+            nodes,
+            one_way: vec![vec![0; nodes]; nodes],
+            local: Self::DEFAULT_LOCAL_US,
+        }
+    }
+
+    /// A matrix where every pair of distinct nodes has the same round-trip
+    /// time of `rtt_ms` milliseconds.
+    #[must_use]
+    pub fn uniform(nodes: usize, rtt_ms: f64) -> Self {
+        let mut m = Self::new(nodes);
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a != b {
+                    m.one_way[a][b] = ms_to_us(rtt_ms / 2.0);
+                }
+            }
+        }
+        m
+    }
+
+    /// The five-site EC2 deployment of the paper (Virginia, Ohio, Frankfurt,
+    /// Ireland, Mumbai), seeded from the round-trip times reported in
+    /// Section VI: all EU/US pairs below 100 ms and Mumbai at 186 ms (VA),
+    /// 301 ms (OH), 112 ms (DE) and 122 ms (IE).
+    #[must_use]
+    pub fn ec2_five_sites() -> Self {
+        let mut m = Self::new(5);
+        let va = GeoSite::Virginia.node();
+        let oh = GeoSite::Ohio.node();
+        let de = GeoSite::Frankfurt.node();
+        let ie = GeoSite::Ireland.node();
+        let india = GeoSite::Mumbai.node();
+
+        m.set_rtt_ms(va, oh, 12.0);
+        m.set_rtt_ms(va, de, 90.0);
+        m.set_rtt_ms(va, ie, 75.0);
+        m.set_rtt_ms(va, india, 186.0);
+        m.set_rtt_ms(oh, de, 98.0);
+        m.set_rtt_ms(oh, ie, 86.0);
+        m.set_rtt_ms(oh, india, 301.0);
+        m.set_rtt_ms(de, ie, 25.0);
+        m.set_rtt_ms(de, india, 112.0);
+        m.set_rtt_ms(ie, india, 122.0);
+        m
+    }
+
+    /// Number of nodes the matrix describes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Sets the round-trip time between `a` and `b` (both directions get
+    /// `rtt_ms / 2` one-way latency).
+    pub fn set_rtt_ms(&mut self, a: NodeId, b: NodeId, rtt_ms: f64) -> &mut Self {
+        let half = ms_to_us(rtt_ms / 2.0);
+        self.one_way[a.index()][b.index()] = half;
+        self.one_way[b.index()][a.index()] = half;
+        self
+    }
+
+    /// Sets the one-way latency from `src` to `dst` only.
+    pub fn set_one_way_ms(&mut self, src: NodeId, dst: NodeId, ms: f64) -> &mut Self {
+        self.one_way[src.index()][dst.index()] = ms_to_us(ms);
+        self
+    }
+
+    /// Sets the loopback (self-delivery) latency in microseconds.
+    pub fn set_local_us(&mut self, us: SimTime) -> &mut Self {
+        self.local = us;
+        self
+    }
+
+    /// One-way latency from `src` to `dst` in microseconds.
+    #[must_use]
+    pub fn one_way(&self, src: NodeId, dst: NodeId) -> SimTime {
+        if src == dst {
+            self.local
+        } else {
+            self.one_way[src.index()][dst.index()]
+        }
+    }
+
+    /// Round-trip time between `a` and `b` in milliseconds (for reporting).
+    #[must_use]
+    pub fn rtt_ms(&self, a: NodeId, b: NodeId) -> f64 {
+        (self.one_way(a, b) + self.one_way(b, a)) as f64 / MICROS_PER_MILLI as f64
+    }
+
+    /// For node `src`, the one-way latency to its `k`-th closest peer
+    /// (including itself at position 0). Used by the harness to reason about
+    /// expected quorum latencies.
+    #[must_use]
+    pub fn kth_closest(&self, src: NodeId, k: usize) -> SimTime {
+        let mut lat: Vec<SimTime> =
+            (0..self.nodes).map(|d| self.one_way(src, NodeId::from_index(d))).collect();
+        lat.sort_unstable();
+        lat[k.min(self.nodes - 1)]
+    }
+}
+
+fn ms_to_us(ms: f64) -> SimTime {
+    (ms * MICROS_PER_MILLI as f64).round() as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matrix_is_symmetric() {
+        let m = LatencyMatrix::uniform(4, 20.0);
+        for a in 0..4 {
+            for b in 0..4 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                assert_eq!(m.one_way(a, b), m.one_way(b, a));
+                if a != b {
+                    assert_eq!(m.one_way(a, b), 10_000);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_latency_is_local() {
+        let m = LatencyMatrix::uniform(3, 20.0);
+        assert_eq!(m.one_way(NodeId(1), NodeId(1)), LatencyMatrix::DEFAULT_LOCAL_US);
+    }
+
+    #[test]
+    fn ec2_matrix_matches_paper_rtts() {
+        let m = LatencyMatrix::ec2_five_sites();
+        let va = GeoSite::Virginia.node();
+        let oh = GeoSite::Ohio.node();
+        let de = GeoSite::Frankfurt.node();
+        let ie = GeoSite::Ireland.node();
+        let india = GeoSite::Mumbai.node();
+
+        assert!((m.rtt_ms(va, india) - 186.0).abs() < 1e-9);
+        assert!((m.rtt_ms(oh, india) - 301.0).abs() < 1e-9);
+        assert!((m.rtt_ms(de, india) - 112.0).abs() < 1e-9);
+        assert!((m.rtt_ms(ie, india) - 122.0).abs() < 1e-9);
+        // All EU/US pairs are below 100 ms, as stated in Section VI.
+        for &a in &[va, oh, de, ie] {
+            for &b in &[va, oh, de, ie] {
+                if a != b {
+                    assert!(m.rtt_ms(a, b) < 100.0, "{a}-{b} must be < 100ms");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kth_closest_sorts_latencies() {
+        let m = LatencyMatrix::ec2_five_sites();
+        let ie = GeoSite::Ireland.node();
+        assert_eq!(m.kth_closest(ie, 0), LatencyMatrix::DEFAULT_LOCAL_US);
+        // Ireland's closest remote peer is Frankfurt (12.5 ms one-way).
+        assert_eq!(m.kth_closest(ie, 1), 12_500);
+    }
+
+    #[test]
+    fn one_way_override_is_asymmetric() {
+        let mut m = LatencyMatrix::new(2);
+        m.set_one_way_ms(NodeId(0), NodeId(1), 30.0);
+        assert_eq!(m.one_way(NodeId(0), NodeId(1)), 30_000);
+        assert_eq!(m.one_way(NodeId(1), NodeId(0)), 0);
+    }
+}

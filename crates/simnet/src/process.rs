@@ -1,0 +1,156 @@
+//! The [`Process`] trait implemented by every replica, and the [`Context`]
+//! handle it uses to interact with the simulated network.
+
+use consensus_types::{Command, Decision, NodeId, SimTime};
+
+/// Actions a process can take while handling an event. The simulator hands a
+/// fresh `Context` to every callback and turns the buffered actions into
+/// future events when the callback returns.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    pub(crate) me: NodeId,
+    pub(crate) nodes: usize,
+    pub(crate) now: SimTime,
+    pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
+    pub(crate) timers: &'a mut Vec<(SimTime, M)>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Creates a context for an external runtime (the `cluster` crate's
+    /// thread-based runtime uses this). The simulator builds its contexts
+    /// internally, so most users never call it.
+    pub fn for_runtime(
+        me: NodeId,
+        nodes: usize,
+        now: SimTime,
+        outbox: &'a mut Vec<(NodeId, M)>,
+        timers: &'a mut Vec<(SimTime, M)>,
+    ) -> Self {
+        Self { me, nodes, now, outbox, timers }
+    }
+
+    /// The id of the replica handling the current event.
+    #[must_use]
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Total number of replicas in the cluster.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Current simulated time in microseconds.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to`; it will be delivered after the configured one-way
+    /// latency (plus jitter).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push((to, msg));
+    }
+
+    /// Sends `msg` to every replica, **including the sender** (the paper's
+    /// leaders broadcast to all `p_j ∈ Π`; the local copy is delivered after
+    /// the loopback latency).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.nodes {
+            self.outbox.push((NodeId::from_index(i), msg.clone()));
+        }
+    }
+
+    /// Sends `msg` to every replica except the sender.
+    pub fn broadcast_others(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.nodes {
+            let to = NodeId::from_index(i);
+            if to != self.me {
+                self.outbox.push((to, msg.clone()));
+            }
+        }
+    }
+
+    /// Delivers `msg` back to this replica after `delay` microseconds.
+    /// Protocols use this for timeouts (fast-quorum timeouts, failure
+    /// detection, batching windows).
+    pub fn schedule_self(&mut self, delay: SimTime, msg: M) {
+        self.timers.push((delay, msg));
+    }
+}
+
+/// A replica participating in the simulation.
+///
+/// Protocol crates implement this trait once per protocol; the simulator owns
+/// one value per node and drives it with messages, timers and client
+/// commands.
+pub trait Process {
+    /// The protocol's message type. Timer payloads use the same type
+    /// (timeouts are modelled as messages a replica schedules to itself).
+    type Message: Clone + std::fmt::Debug;
+
+    /// Called once before the simulation starts, at time 0.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Message>) {
+        let _ = ctx;
+    }
+
+    /// Called when a client submits a command to this replica, making it the
+    /// command's leader.
+    fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, Self::Message>);
+
+    /// Called when a message from `from` is delivered (also used for
+    /// self-scheduled timeouts, in which case `from == ctx.me()`).
+    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+
+    /// Returns the commands executed since the last call, in execution order.
+    fn drain_decisions(&mut self) -> Vec<Decision>;
+
+    /// Simulated CPU cost, in microseconds, of handling `msg`. The simulator
+    /// serializes message handling per node using this cost, which is what
+    /// makes throughput saturate as offered load grows (Figures 8 and 9).
+    fn processing_cost(&self, msg: &Self::Message) -> SimTime {
+        let _ = msg;
+        5
+    }
+
+    /// Simulated CPU cost of handling a client command submission.
+    fn client_processing_cost(&self, cmd: &Command) -> SimTime {
+        let _ = cmd;
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_sends_and_timers() {
+        let mut outbox = Vec::new();
+        let mut timers = Vec::new();
+        let mut ctx: Context<'_, u32> =
+            Context { me: NodeId(1), nodes: 3, now: 42, outbox: &mut outbox, timers: &mut timers };
+
+        assert_eq!(ctx.me(), NodeId(1));
+        assert_eq!(ctx.nodes(), 3);
+        assert_eq!(ctx.now(), 42);
+
+        ctx.send(NodeId(2), 7);
+        ctx.broadcast(9);
+        ctx.broadcast_others(11);
+        ctx.schedule_self(100, 13);
+
+        assert_eq!(outbox.len(), 1 + 3 + 2);
+        assert_eq!(outbox[0], (NodeId(2), 7));
+        assert!(outbox[1..4].iter().all(|(_, m)| *m == 9));
+        assert!(outbox[4..].iter().all(|(to, m)| *m == 11 && *to != NodeId(1)));
+        assert_eq!(timers, vec![(100, 13)]);
+    }
+}

@@ -1,0 +1,580 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use consensus_types::{Command, Decision, NodeId, SimTime};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use crate::latency::LatencyMatrix;
+use crate::process::{Context, Process};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// One-way latencies between replicas.
+    pub latency: LatencyMatrix,
+    /// Maximum uniformly distributed jitter added to every message delivery,
+    /// in microseconds (0 disables jitter).
+    pub jitter_us: SimTime,
+    /// Whether each (src, dst) link delivers messages in FIFO order, as a TCP
+    /// connection would. When disabled messages may reorder under jitter.
+    pub fifo_links: bool,
+    /// Seed for the simulation's random number generator (jitter).
+    pub seed: u64,
+    /// Hard stop: events scheduled after this time are discarded and `run`
+    /// returns. `None` runs until the event queue drains.
+    pub horizon: Option<SimTime>,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the given latency matrix, no jitter,
+    /// FIFO links and a fixed default seed.
+    #[must_use]
+    pub fn new(latency: LatencyMatrix) -> Self {
+        Self { latency, jitter_us: 0, fifo_links: true, seed: 0xCAE5A7, horizon: None }
+    }
+
+    /// Sets the per-message jitter bound in microseconds.
+    #[must_use]
+    pub fn with_jitter_us(mut self, jitter: SimTime) -> Self {
+        self.jitter_us = jitter;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the simulation horizon (microseconds).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: SimTime) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Disables FIFO ordering on links.
+    #[must_use]
+    pub fn with_reordering(mut self) -> Self {
+        self.fifo_links = false;
+        self
+    }
+}
+
+/// Counters the simulator keeps about a finished run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total number of protocol messages delivered (excluding self-timers).
+    pub messages_delivered: u64,
+    /// Total number of self-scheduled timer events fired.
+    pub timers_fired: u64,
+    /// Total number of client commands injected.
+    pub commands_injected: u64,
+    /// Number of messages dropped because the destination had crashed.
+    pub messages_dropped: u64,
+    /// Simulated time of the last processed event.
+    pub end_time: SimTime,
+}
+
+enum Payload<M> {
+    Message { from: NodeId, msg: M },
+    Timer { msg: M },
+    Client { cmd: Command },
+    Crash,
+    Recover,
+}
+
+struct Event<M> {
+    node: NodeId,
+    payload: Payload<M>,
+}
+
+/// The discrete-event simulator.
+///
+/// Owns one [`Process`] per replica, an event queue, and the fault state.
+/// See the crate-level documentation for an end-to-end example.
+pub struct Simulator<P: Process> {
+    config: SimConfig,
+    nodes: Vec<P>,
+    crashed: Vec<bool>,
+    /// CPU availability time per node, used to model processing costs.
+    busy_until: Vec<SimTime>,
+    /// Last delivery time per (src, dst) link, for FIFO enforcement.
+    link_clock: Vec<Vec<SimTime>>,
+    queue: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Option<Event<P::Message>>>,
+    seq: u64,
+    now: SimTime,
+    rng: ChaCha12Rng,
+    decisions: Vec<Vec<Decision>>,
+    stats: SimStats,
+    started: bool,
+}
+
+impl<P: Process> Simulator<P> {
+    /// Creates a simulator with one replica per node in the latency matrix,
+    /// built by the `make` closure.
+    pub fn new(config: SimConfig, mut make: impl FnMut(NodeId) -> P) -> Self {
+        let n = config.latency.nodes();
+        let rng = ChaCha12Rng::seed_from_u64(config.seed);
+        Self {
+            nodes: (0..n).map(|i| make(NodeId::from_index(i))).collect(),
+            crashed: vec![false; n],
+            busy_until: vec![0; n],
+            link_clock: vec![vec![0; n]; n],
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            seq: 0,
+            now: 0,
+            rng,
+            decisions: vec![Vec::new(); n],
+            stats: SimStats::default(),
+            config,
+            started: false,
+        }
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to a replica (for inspecting protocol state in tests).
+    #[must_use]
+    pub fn process(&self, node: NodeId) -> &P {
+        &self.nodes[node.index()]
+    }
+
+    /// Mutable access to a replica.
+    pub fn process_mut(&mut self, node: NodeId) -> &mut P {
+        &mut self.nodes[node.index()]
+    }
+
+    /// Whether `node` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed[node.index()]
+    }
+
+    /// Statistics about the run so far.
+    #[must_use]
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The decisions (executed commands) recorded so far at `node`, in
+    /// execution order.
+    #[must_use]
+    pub fn decisions(&self, node: NodeId) -> &[Decision] {
+        &self.decisions[node.index()]
+    }
+
+    /// Removes and returns the decisions recorded so far at `node`. Useful
+    /// for closed-loop client drivers that react to completions.
+    pub fn take_decisions(&mut self, node: NodeId) -> Vec<Decision> {
+        std::mem::take(&mut self.decisions[node.index()])
+    }
+
+    /// Schedules a client command to be proposed at `node` at simulated time
+    /// `at` (microseconds).
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: Command) {
+        self.push(at, Event { node, payload: Payload::Client { cmd } });
+    }
+
+    /// Schedules a crash of `node` at time `at`. A crashed node stops
+    /// processing and emitting messages; in-flight messages to it are dropped.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, Event { node, payload: Payload::Crash });
+    }
+
+    /// Schedules a recovery (restart with retained state) of `node` at `at`.
+    pub fn schedule_recover(&mut self, at: SimTime, node: NodeId) {
+        self.push(at, Event { node, payload: Payload::Recover });
+    }
+
+    fn push(&mut self, at: SimTime, event: Event<P::Message>) {
+        let idx = self.events.len();
+        self.events.push(Some(event));
+        self.queue.push(Reverse((at, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn dispatch_start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            let mut outbox = Vec::new();
+            let mut timers = Vec::new();
+            {
+                let mut ctx = Context {
+                    me: node,
+                    nodes: self.nodes.len(),
+                    now: 0,
+                    outbox: &mut outbox,
+                    timers: &mut timers,
+                };
+                self.nodes[i].on_start(&mut ctx);
+            }
+            self.flush_actions(node, 0, outbox, timers);
+        }
+    }
+
+    /// Runs a single event; returns the time of the processed event, or
+    /// `None` when the queue is empty or the horizon has been reached.
+    pub fn step(&mut self) -> Option<SimTime> {
+        self.dispatch_start();
+        loop {
+            let Reverse((at, _, idx)) = self.queue.pop()?;
+            if let Some(h) = self.config.horizon {
+                if at > h {
+                    self.queue.clear();
+                    return None;
+                }
+            }
+            let event = self.events[idx].take().expect("event consumed twice");
+            let node_idx = event.node.index();
+
+            // Crash/recover events are handled immediately regardless of CPU
+            // occupancy.
+            match &event.payload {
+                Payload::Crash => {
+                    self.now = at;
+                    self.crashed[node_idx] = true;
+                    self.stats.end_time = at;
+                    return Some(at);
+                }
+                Payload::Recover => {
+                    self.now = at;
+                    self.crashed[node_idx] = false;
+                    self.stats.end_time = at;
+                    return Some(at);
+                }
+                _ => {}
+            }
+
+            if self.crashed[node_idx] {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+
+            // Model CPU occupancy: if the node is still busy processing a
+            // previous event, push this one back to when it frees up.
+            if at < self.busy_until[node_idx] {
+                let resume = self.busy_until[node_idx];
+                self.events[idx] = Some(event);
+                self.queue.push(Reverse((resume, self.seq, idx)));
+                self.seq += 1;
+                continue;
+            }
+
+            self.now = at;
+            self.stats.end_time = at;
+
+            let cost;
+            let mut outbox = Vec::new();
+            let mut timers = Vec::new();
+            {
+                let mut ctx = Context {
+                    me: event.node,
+                    nodes: self.nodes.len(),
+                    now: at,
+                    outbox: &mut outbox,
+                    timers: &mut timers,
+                };
+                match event.payload {
+                    Payload::Message { from, msg } => {
+                        cost = self.nodes[node_idx].processing_cost(&msg);
+                        self.stats.messages_delivered += 1;
+                        self.nodes[node_idx].on_message(from, msg, &mut ctx);
+                    }
+                    Payload::Timer { msg } => {
+                        cost = self.nodes[node_idx].processing_cost(&msg);
+                        self.stats.timers_fired += 1;
+                        self.nodes[node_idx].on_message(event.node, msg, &mut ctx);
+                    }
+                    Payload::Client { cmd } => {
+                        cost = self.nodes[node_idx].client_processing_cost(&cmd);
+                        self.stats.commands_injected += 1;
+                        self.nodes[node_idx].on_client_command(cmd, &mut ctx);
+                    }
+                    Payload::Crash | Payload::Recover => unreachable!("handled above"),
+                }
+            }
+            self.busy_until[node_idx] = at + cost;
+            let new_decisions = self.nodes[node_idx].drain_decisions();
+            self.decisions[node_idx].extend(new_decisions);
+            self.flush_actions(event.node, at, outbox, timers);
+            return Some(at);
+        }
+    }
+
+    fn flush_actions(
+        &mut self,
+        from: NodeId,
+        at: SimTime,
+        outbox: Vec<(NodeId, P::Message)>,
+        timers: Vec<(SimTime, P::Message)>,
+    ) {
+        for (to, msg) in outbox {
+            if self.crashed[from.index()] {
+                break;
+            }
+            let base = self.config.latency.one_way(from, to);
+            let jitter = if self.config.jitter_us > 0 {
+                self.rng.gen_range(0..=self.config.jitter_us)
+            } else {
+                0
+            };
+            let mut deliver_at = at + base + jitter;
+            if self.config.fifo_links {
+                let clock = &mut self.link_clock[from.index()][to.index()];
+                if deliver_at < *clock {
+                    deliver_at = *clock;
+                }
+                *clock = deliver_at;
+            }
+            self.push(deliver_at, Event { node: to, payload: Payload::Message { from, msg } });
+        }
+        for (delay, msg) in timers {
+            self.push(at + delay, Event { node: from, payload: Payload::Timer { msg } });
+        }
+    }
+
+    /// Runs until the event queue is empty or the horizon is reached, and
+    /// returns the statistics of the run.
+    pub fn run(&mut self) -> SimStats {
+        while self.step().is_some() {}
+        self.stats
+    }
+
+    /// Runs until simulated time reaches `until` (or the queue drains).
+    pub fn run_until(&mut self, until: SimTime) -> SimStats {
+        self.dispatch_start();
+        loop {
+            let Some(&Reverse((at, _, _))) = self.queue.peek() else { break };
+            if at > until {
+                break;
+            }
+            if self.step().is_none() {
+                break;
+            }
+        }
+        self.now = self.now.max(until.min(self.config.horizon.unwrap_or(until)));
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_types::{CommandId, DecisionPath, LatencyBreakdown, Timestamp};
+
+    /// A protocol where node 0 pings every other node and counts replies; any
+    /// node "executes" a command as soon as it receives it.
+    #[derive(Debug, Default)]
+    struct PingPong {
+        pings_seen: u32,
+        pongs_seen: u32,
+        decided: Vec<Decision>,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Msg {
+        Ping,
+        Pong,
+        Tick,
+    }
+
+    impl Process for PingPong {
+        type Message = Msg;
+
+        fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, Msg>) {
+            ctx.broadcast_others(Msg::Ping);
+            ctx.schedule_self(1_000, Msg::Tick);
+            self.decided.push(Decision {
+                command: cmd.id(),
+                timestamp: Timestamp::ZERO,
+                path: DecisionPath::Ordered,
+                proposed_at: ctx.now(),
+                executed_at: ctx.now(),
+                breakdown: LatencyBreakdown::default(),
+            });
+        }
+
+        fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Msg::Pong);
+                }
+                Msg::Pong => self.pongs_seen += 1,
+                Msg::Tick => {}
+            }
+        }
+
+        fn drain_decisions(&mut self) -> Vec<Decision> {
+            std::mem::take(&mut self.decided)
+        }
+    }
+
+    fn cmd(seq: u64) -> Command {
+        Command::put(CommandId::new(NodeId(0), seq), seq, 0)
+    }
+
+    #[test]
+    fn messages_are_delivered_after_one_way_latency() {
+        let config = SimConfig::new(LatencyMatrix::uniform(3, 20.0));
+        let mut sim = Simulator::new(config, |_| PingPong::default());
+        sim.schedule_command(0, NodeId(0), cmd(1));
+        sim.run();
+
+        // Node 0 broadcast a ping to 1 and 2; both replied.
+        assert_eq!(sim.process(NodeId(1)).pings_seen, 1);
+        assert_eq!(sim.process(NodeId(2)).pings_seen, 1);
+        assert_eq!(sim.process(NodeId(0)).pongs_seen, 2);
+        // Ping takes 10 ms, pong takes 10 ms; plus processing costs.
+        assert!(sim.stats().end_time >= 20_000);
+        assert!(sim.stats().end_time < 25_000);
+    }
+
+    #[test]
+    fn decisions_are_recorded_per_node() {
+        let config = SimConfig::new(LatencyMatrix::uniform(2, 10.0));
+        let mut sim = Simulator::new(config, |_| PingPong::default());
+        sim.schedule_command(0, NodeId(0), cmd(1));
+        sim.schedule_command(5, NodeId(1), cmd(2));
+        sim.run();
+        assert_eq!(sim.decisions(NodeId(0)).len(), 1);
+        assert_eq!(sim.decisions(NodeId(1)).len(), 1);
+        assert_eq!(sim.take_decisions(NodeId(0)).len(), 1);
+        assert!(sim.decisions(NodeId(0)).is_empty());
+    }
+
+    #[test]
+    fn crashed_nodes_drop_incoming_messages() {
+        let config = SimConfig::new(LatencyMatrix::uniform(3, 20.0));
+        let mut sim = Simulator::new(config, |_| PingPong::default());
+        sim.schedule_crash(0, NodeId(2));
+        sim.schedule_command(10, NodeId(0), cmd(1));
+        sim.run();
+        assert_eq!(sim.process(NodeId(2)).pings_seen, 0);
+        assert_eq!(sim.process(NodeId(0)).pongs_seen, 1);
+        assert!(sim.stats().messages_dropped >= 1);
+        assert!(sim.is_crashed(NodeId(2)));
+    }
+
+    #[test]
+    fn horizon_stops_the_run() {
+        let config = SimConfig::new(LatencyMatrix::uniform(2, 50.0)).with_horizon(10_000);
+        let mut sim = Simulator::new(config, |_| PingPong::default());
+        sim.schedule_command(0, NodeId(0), cmd(1));
+        sim.run();
+        assert!(sim.stats().end_time <= 10_000);
+        // The ping (25 ms away) was never delivered.
+        assert_eq!(sim.process(NodeId(1)).pings_seen, 0);
+    }
+
+    #[test]
+    fn fifo_links_preserve_order_under_jitter() {
+        #[derive(Debug, Default)]
+        struct Recorder {
+            seen: Vec<u64>,
+        }
+        impl Process for Recorder {
+            type Message = u64;
+            fn on_client_command(&mut self, _: Command, ctx: &mut Context<'_, u64>) {
+                for i in 0..50 {
+                    ctx.send(NodeId(1), i);
+                }
+            }
+            fn on_message(&mut self, _: NodeId, msg: u64, _: &mut Context<'_, u64>) {
+                self.seen.push(msg);
+            }
+            fn drain_decisions(&mut self) -> Vec<Decision> {
+                Vec::new()
+            }
+        }
+
+        let config = SimConfig::new(LatencyMatrix::uniform(2, 10.0)).with_jitter_us(5_000);
+        let mut sim = Simulator::new(config, |_| Recorder::default());
+        sim.schedule_command(0, NodeId(0), cmd(1));
+        sim.run();
+        let seen = &sim.process(NodeId(1)).seen;
+        assert_eq!(seen.len(), 50);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "FIFO link must preserve send order");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_for_a_fixed_seed() {
+        let run = |seed: u64| {
+            let config =
+                SimConfig::new(LatencyMatrix::uniform(3, 20.0)).with_jitter_us(3_000).with_seed(seed);
+            let mut sim = Simulator::new(config, |_| PingPong::default());
+            sim.schedule_command(0, NodeId(0), cmd(1));
+            sim.run().end_time
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn processing_cost_serializes_a_node() {
+        #[derive(Debug, Default)]
+        struct Slow {
+            handled: Vec<SimTime>,
+        }
+        impl Process for Slow {
+            type Message = u8;
+            fn on_client_command(&mut self, _: Command, ctx: &mut Context<'_, u8>) {
+                for _ in 0..3 {
+                    ctx.send(NodeId(1), 0);
+                }
+            }
+            fn on_message(&mut self, _: NodeId, _: u8, ctx: &mut Context<'_, u8>) {
+                self.handled.push(ctx.now());
+            }
+            fn drain_decisions(&mut self) -> Vec<Decision> {
+                Vec::new()
+            }
+            fn processing_cost(&self, _: &u8) -> SimTime {
+                1_000
+            }
+        }
+
+        let config = SimConfig::new(LatencyMatrix::uniform(2, 10.0));
+        let mut sim = Simulator::new(config, |_| Slow::default());
+        sim.schedule_command(0, NodeId(0), cmd(1));
+        sim.run();
+        let times = &sim.process(NodeId(1)).handled;
+        assert_eq!(times.len(), 3);
+        assert!(times[1] >= times[0] + 1_000);
+        assert!(times[2] >= times[1] + 1_000);
+    }
+
+    #[test]
+    fn run_until_advances_to_requested_time() {
+        let config = SimConfig::new(LatencyMatrix::uniform(2, 10.0));
+        let mut sim = Simulator::new(config, |_| PingPong::default());
+        sim.schedule_command(0, NodeId(0), cmd(1));
+        sim.schedule_command(100_000, NodeId(0), cmd(2));
+        sim.run_until(50_000);
+        assert_eq!(sim.decisions(NodeId(0)).len(), 1);
+        sim.run_until(200_000);
+        assert_eq!(sim.decisions(NodeId(0)).len(), 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-command ballot numbers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// A ballot number identifying the current leader of a command.
+///
+/// Section V-B of the paper: *"a ballot number for `c` is an identifier of the
+/// current leader for `c`, and a node `p_j` receiving a message with ballot
+/// number `B` can process that message only if its current ballot for `c` is
+/// not greater than `B`."*
+///
+/// Ballot 0 belongs to the original proposer. Recovery increments the round
+/// and stamps the recovering node, so concurrent recoveries by different nodes
+/// never collide.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::{Ballot, NodeId};
+///
+/// let initial = Ballot::initial(NodeId(2));
+/// let recovered = initial.next_for(NodeId(1));
+/// assert!(recovered > initial);
+/// assert_eq!(recovered.round(), 1);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ballot {
+    round: u32,
+    node: NodeId,
+}
+
+impl Ballot {
+    /// The ballot used by a command's original leader (`round == 0`).
+    #[must_use]
+    pub fn initial(leader: NodeId) -> Self {
+        Self { round: 0, node: leader }
+    }
+
+    /// Creates an arbitrary ballot; mostly useful in tests.
+    #[must_use]
+    pub fn new(round: u32, node: NodeId) -> Self {
+        Self { round, node }
+    }
+
+    /// The recovery round (0 for the original proposal).
+    #[must_use]
+    pub fn round(self) -> u32 {
+        self.round
+    }
+
+    /// The node that owns this ballot (the command leader for the round).
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// Whether this is the original (non-recovered) ballot.
+    #[must_use]
+    pub fn is_initial(self) -> bool {
+        self.round == 0
+    }
+
+    /// The smallest ballot strictly greater than `self` that is owned by
+    /// `node`. Used when a node takes over as recovery leader.
+    #[must_use]
+    pub fn next_for(self, node: NodeId) -> Self {
+        if node > self.node {
+            Self { round: self.round, node }
+        } else {
+            Self { round: self.round + 1, node }
+        }
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}@{}", self.round, self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_ballot_is_round_zero() {
+        let b = Ballot::initial(NodeId(3));
+        assert!(b.is_initial());
+        assert_eq!(b.node(), NodeId(3));
+    }
+
+    #[test]
+    fn next_for_is_strictly_greater() {
+        let b = Ballot::new(2, NodeId(3));
+        assert!(b.next_for(NodeId(4)) > b);
+        assert!(b.next_for(NodeId(1)) > b);
+        assert!(b.next_for(NodeId(3)) > b);
+    }
+
+    #[test]
+    fn initial_ballots_of_different_leaders_are_ordered_by_node() {
+        assert!(Ballot::initial(NodeId(0)) < Ballot::initial(NodeId(1)));
+    }
+
+    #[test]
+    fn recovered_ballot_beats_any_initial_ballot() {
+        let recovered = Ballot::initial(NodeId(0)).next_for(NodeId(0));
+        for n in 0..5 {
+            assert!(recovered > Ballot::initial(NodeId(n)));
+        }
+    }
+}

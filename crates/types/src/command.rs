@@ -1,0 +1,227 @@
+//! Client commands and the conflict relation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// Globally unique identifier of a client command.
+///
+/// Ids carry the node where the command was first proposed and a per-node
+/// sequence number, so they can be generated without coordination.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::{CommandId, NodeId};
+///
+/// let id = CommandId::new(NodeId(1), 42);
+/// assert_eq!(id.origin(), NodeId(1));
+/// assert_eq!(id.sequence(), 42);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CommandId {
+    origin: NodeId,
+    sequence: u64,
+}
+
+impl CommandId {
+    /// Creates an id for the `sequence`-th command proposed at `origin`.
+    #[must_use]
+    pub fn new(origin: NodeId, sequence: u64) -> Self {
+        Self { origin, sequence }
+    }
+
+    /// The node where the command entered the system.
+    #[must_use]
+    pub fn origin(self) -> NodeId {
+        self.origin
+    }
+
+    /// The per-origin sequence number.
+    #[must_use]
+    pub fn sequence(self) -> u64 {
+        self.sequence
+    }
+}
+
+impl fmt::Display for CommandId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.{}", self.origin.0, self.sequence)
+    }
+}
+
+/// Key used to decide whether two commands conflict.
+///
+/// The paper's benchmark declares two commands conflicting when they access
+/// the same key of the replicated key-value store. A key of `None` denotes a
+/// command that conflicts with nothing (e.g. a read-only no-op used for
+/// control purposes).
+pub type ConflictKey = Option<u64>;
+
+/// The kind of operation a command performs on the replicated state machine.
+///
+/// The evaluation in the paper issues updates; reads are included so examples
+/// can exercise both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Operation {
+    /// Update the value of a key (the paper's benchmark operation).
+    #[default]
+    Put,
+    /// Read the value of a key.
+    Get,
+    /// A command that commutes with every other command.
+    Noop,
+}
+
+/// A client command submitted to the consensus layer.
+///
+/// The consensus protocols only look at [`Command::id`] and the conflict
+/// relation ([`Command::conflicts_with`]); the payload is opaque to them and
+/// only interpreted by the state machine in the `kvstore` crate.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::{Command, CommandId, NodeId, Operation};
+///
+/// let a = Command::new(CommandId::new(NodeId(0), 1), Operation::Put, Some(7), 100);
+/// let b = Command::new(CommandId::new(NodeId(1), 1), Operation::Put, Some(7), 100);
+/// let c = Command::new(CommandId::new(NodeId(2), 1), Operation::Put, Some(8), 100);
+/// assert!(a.conflicts_with(&b));
+/// assert!(!a.conflicts_with(&c));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Command {
+    id: CommandId,
+    operation: Operation,
+    key: ConflictKey,
+    /// Payload value written by a `Put`; doubles as the payload size knob used
+    /// by the paper (15-byte commands).
+    value: u64,
+}
+
+impl Command {
+    /// Creates a command.
+    #[must_use]
+    pub fn new(id: CommandId, operation: Operation, key: ConflictKey, value: u64) -> Self {
+        Self { id, operation, key, value }
+    }
+
+    /// Convenience constructor for the benchmark's update command.
+    #[must_use]
+    pub fn put(id: CommandId, key: u64, value: u64) -> Self {
+        Self::new(id, Operation::Put, Some(key), value)
+    }
+
+    /// Convenience constructor for a command that conflicts with nothing.
+    #[must_use]
+    pub fn noop(id: CommandId) -> Self {
+        Self::new(id, Operation::Noop, None, 0)
+    }
+
+    /// The unique id of this command.
+    #[must_use]
+    pub fn id(&self) -> CommandId {
+        self.id
+    }
+
+    /// The operation this command performs.
+    #[must_use]
+    pub fn operation(&self) -> Operation {
+        self.operation
+    }
+
+    /// The key this command accesses, if any.
+    #[must_use]
+    pub fn key(&self) -> ConflictKey {
+        self.key
+    }
+
+    /// The value written by a `Put`.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The non-commutativity relation `c ∼ c̄` of the paper: two commands
+    /// conflict when they access the same key and at least one of them writes.
+    ///
+    /// `Noop` commands and commands without a key conflict with nothing.
+    #[must_use]
+    pub fn conflicts_with(&self, other: &Command) -> bool {
+        match (self.key, other.key) {
+            (Some(a), Some(b)) if a == b => {
+                // Two reads of the same key commute; anything involving a
+                // write does not.
+                !(self.operation == Operation::Get && other.operation == Operation::Get)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.key {
+            Some(k) => write!(f, "{}[{:?} k{}]", self.id, self.operation, k),
+            None => write!(f, "{}[{:?}]", self.id, self.operation),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd(node: u32, seq: u64, op: Operation, key: ConflictKey) -> Command {
+        Command::new(CommandId::new(NodeId(node), seq), op, key, 0)
+    }
+
+    #[test]
+    fn same_key_writes_conflict() {
+        let a = cmd(0, 1, Operation::Put, Some(5));
+        let b = cmd(1, 1, Operation::Put, Some(5));
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn different_keys_do_not_conflict() {
+        let a = cmd(0, 1, Operation::Put, Some(5));
+        let b = cmd(1, 1, Operation::Put, Some(6));
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn reads_of_same_key_commute() {
+        let a = cmd(0, 1, Operation::Get, Some(5));
+        let b = cmd(1, 1, Operation::Get, Some(5));
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn read_write_on_same_key_conflict() {
+        let a = cmd(0, 1, Operation::Get, Some(5));
+        let b = cmd(1, 1, Operation::Put, Some(5));
+        assert!(a.conflicts_with(&b));
+        assert!(b.conflicts_with(&a));
+    }
+
+    #[test]
+    fn noops_never_conflict() {
+        let a = Command::noop(CommandId::new(NodeId(0), 1));
+        let b = cmd(1, 1, Operation::Put, Some(5));
+        assert!(!a.conflicts_with(&b));
+        assert!(!b.conflicts_with(&a));
+        assert!(!a.conflicts_with(&a.clone()));
+    }
+
+    #[test]
+    fn command_id_display_is_compact() {
+        assert_eq!(CommandId::new(NodeId(2), 17).to_string(), "c2.17");
+    }
+}

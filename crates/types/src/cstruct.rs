@@ -1,0 +1,200 @@
+//! Command structures (`C-struct`) of Generalized Consensus.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Command, CommandId};
+
+/// A command structure as defined by Lamport's *Generalized Consensus and
+/// Paxos* and used in Section III of the paper.
+///
+/// A `CStruct` is a sequence of commands where two structures are considered
+/// equivalent if they only differ by a permutation of **non-conflicting**
+/// commands. Replicas append commands in the order they execute them; the test
+/// suite then checks the Generalized Consensus properties:
+///
+/// * **Consistency** — any two decided structures are prefixes of a common
+///   structure, i.e. they order conflicting commands the same way.
+/// * **Stability** — a replica's structure only grows by appending.
+/// * **Non-triviality** — only proposed commands appear.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::{CStruct, Command, CommandId, NodeId};
+///
+/// let a = Command::put(CommandId::new(NodeId(0), 1), 1, 10);
+/// let b = Command::put(CommandId::new(NodeId(1), 1), 1, 20);
+/// let c = Command::put(CommandId::new(NodeId(2), 1), 9, 30);
+///
+/// let mut s1 = CStruct::new();
+/// s1.append(a.clone());
+/// s1.append(c.clone());
+/// s1.append(b.clone());
+///
+/// let mut s2 = CStruct::new();
+/// s2.append(c);
+/// s2.append(a);
+/// s2.append(b);
+///
+/// // `c` commutes with both `a` and `b`, so the two structures are compatible.
+/// assert!(s1.compatible_with(&s2));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CStruct {
+    commands: Vec<Command>,
+}
+
+impl CStruct {
+    /// Creates an empty command structure.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a command (the `•` operator of the paper).
+    pub fn append(&mut self, command: Command) {
+        self.commands.push(command);
+    }
+
+    /// The commands in execution order.
+    #[must_use]
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// Number of commands in the structure.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Whether the structure contains no commands.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.commands.is_empty()
+    }
+
+    /// Whether the structure contains the given command id.
+    #[must_use]
+    pub fn contains(&self, id: CommandId) -> bool {
+        self.commands.iter().any(|c| c.id() == id)
+    }
+
+    /// Position of each command id within the structure.
+    fn positions(&self) -> HashMap<CommandId, usize> {
+        self.commands.iter().enumerate().map(|(i, c)| (c.id(), i)).collect()
+    }
+
+    /// Checks the Consistency property against another structure: every pair
+    /// of **conflicting** commands that appears in both structures must appear
+    /// in the same relative order.
+    ///
+    /// This is the "prefixes of the same C-struct up to commuting
+    /// permutations" check reduced to the commands both replicas have already
+    /// executed.
+    #[must_use]
+    pub fn compatible_with(&self, other: &CStruct) -> bool {
+        let other_pos = other.positions();
+        for (i, a) in self.commands.iter().enumerate() {
+            let Some(&oa) = other_pos.get(&a.id()) else { continue };
+            for b in &self.commands[i + 1..] {
+                let Some(&ob) = other_pos.get(&b.id()) else { continue };
+                if a.conflicts_with(b) && oa > ob {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns the ids of conflicting pairs ordered differently in the two
+    /// structures; useful for debugging failed consistency checks.
+    #[must_use]
+    pub fn divergences(&self, other: &CStruct) -> Vec<(CommandId, CommandId)> {
+        let other_pos = other.positions();
+        let mut out = Vec::new();
+        for (i, a) in self.commands.iter().enumerate() {
+            let Some(&oa) = other_pos.get(&a.id()) else { continue };
+            for b in &self.commands[i + 1..] {
+                let Some(&ob) = other_pos.get(&b.id()) else { continue };
+                if a.conflicts_with(b) && oa > ob {
+                    out.push((a.id(), b.id()));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Command> for CStruct {
+    fn from_iter<T: IntoIterator<Item = Command>>(iter: T) -> Self {
+        Self { commands: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Command> for CStruct {
+    fn extend<T: IntoIterator<Item = Command>>(&mut self, iter: T) {
+        self.commands.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn put(node: u32, seq: u64, key: u64) -> Command {
+        Command::put(CommandId::new(NodeId(node), seq), key, 0)
+    }
+
+    #[test]
+    fn identical_structures_are_compatible() {
+        let cmds = vec![put(0, 1, 1), put(1, 1, 1), put(2, 1, 2)];
+        let s1: CStruct = cmds.clone().into_iter().collect();
+        let s2: CStruct = cmds.into_iter().collect();
+        assert!(s1.compatible_with(&s2));
+        assert!(s2.compatible_with(&s1));
+    }
+
+    #[test]
+    fn conflicting_commands_in_different_order_are_incompatible() {
+        let a = put(0, 1, 7);
+        let b = put(1, 1, 7);
+        let s1: CStruct = vec![a.clone(), b.clone()].into_iter().collect();
+        let s2: CStruct = vec![b, a].into_iter().collect();
+        assert!(!s1.compatible_with(&s2));
+        assert_eq!(s1.divergences(&s2).len(), 1);
+    }
+
+    #[test]
+    fn commuting_commands_may_be_permuted() {
+        let a = put(0, 1, 1);
+        let b = put(1, 1, 2);
+        let s1: CStruct = vec![a.clone(), b.clone()].into_iter().collect();
+        let s2: CStruct = vec![b, a].into_iter().collect();
+        assert!(s1.compatible_with(&s2));
+    }
+
+    #[test]
+    fn prefix_is_compatible_with_extension() {
+        let a = put(0, 1, 1);
+        let b = put(1, 1, 1);
+        let s1: CStruct = vec![a.clone()].into_iter().collect();
+        let s2: CStruct = vec![a, b].into_iter().collect();
+        assert!(s1.compatible_with(&s2));
+        assert!(s2.compatible_with(&s1));
+    }
+
+    #[test]
+    fn contains_and_len_report_appended_commands() {
+        let mut s = CStruct::new();
+        assert!(s.is_empty());
+        let a = put(0, 1, 1);
+        s.append(a.clone());
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(a.id()));
+        assert!(!s.contains(CommandId::new(NodeId(4), 9)));
+    }
+}

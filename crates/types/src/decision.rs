@@ -1,0 +1,123 @@
+//! Decision records reported by replicas when commands execute.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CommandId, SimTime, Timestamp};
+
+/// How a command reached its final (stable) decision.
+///
+/// The paper distinguishes *fast decisions* (two communication delays) from
+/// *slow decisions* (four or more); Figure 10 plots the fraction of slow
+/// decisions for CAESAR and EPaxos.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecisionPath {
+    /// Decided after the fast proposal phase alone (2 delays).
+    Fast,
+    /// Decided after a retry triggered by a rejection (4 delays).
+    SlowRetry,
+    /// Decided after the slow proposal phase that follows a fast-quorum
+    /// timeout (4 delays), possibly followed by a retry (6 delays).
+    SlowProposal,
+    /// Decided by the recovery procedure after the original leader was
+    /// suspected.
+    Recovery,
+    /// The protocol does not distinguish fast and slow paths (Multi-Paxos,
+    /// Mencius).
+    Ordered,
+}
+
+impl DecisionPath {
+    /// Whether this decision counts as a slow decision in Figure 10.
+    #[must_use]
+    pub fn is_slow(self) -> bool {
+        !matches!(self, DecisionPath::Fast | DecisionPath::Ordered)
+    }
+}
+
+/// Per-command latency breakdown (Figure 11a of the paper).
+///
+/// All durations are in simulated microseconds and measured at the command's
+/// leader.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// Time spent in the proposal phase(s) (fast + slow proposal).
+    pub propose: SimTime,
+    /// Time spent in the retry phase (zero for fast decisions).
+    pub retry: SimTime,
+    /// Time between the stable message and actual execution (waiting for
+    /// predecessors to be delivered).
+    pub deliver: SimTime,
+    /// Time commands spent blocked on the wait condition at acceptors
+    /// (aggregated; Figure 11b).
+    pub wait: SimTime,
+}
+
+impl LatencyBreakdown {
+    /// Total of the components measured at the leader (excludes `wait`, which
+    /// is measured at acceptors and overlaps with `propose`).
+    #[must_use]
+    pub fn total(&self) -> SimTime {
+        self.propose + self.retry + self.deliver
+    }
+}
+
+/// A committed-and-executed command as reported by a replica.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Which command was executed.
+    pub command: CommandId,
+    /// The final timestamp the command was decided at (protocols that are not
+    /// timestamp-based report [`Timestamp::ZERO`]).
+    pub timestamp: Timestamp,
+    /// Whether the decision used the fast or a slow path.
+    pub path: DecisionPath,
+    /// Simulated time at which the command was proposed at its leader.
+    pub proposed_at: SimTime,
+    /// Simulated time at which the command executed at this replica.
+    pub executed_at: SimTime,
+    /// Phase-by-phase latency breakdown (only meaningful at the command's
+    /// leader replica).
+    pub breakdown: LatencyBreakdown,
+}
+
+impl Decision {
+    /// End-to-end latency observed by the client co-located with the leader.
+    #[must_use]
+    pub fn latency(&self) -> SimTime {
+        self.executed_at.saturating_sub(self.proposed_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    #[test]
+    fn slow_path_classification_matches_figure_10() {
+        assert!(!DecisionPath::Fast.is_slow());
+        assert!(!DecisionPath::Ordered.is_slow());
+        assert!(DecisionPath::SlowRetry.is_slow());
+        assert!(DecisionPath::SlowProposal.is_slow());
+        assert!(DecisionPath::Recovery.is_slow());
+    }
+
+    #[test]
+    fn latency_is_execution_minus_proposal() {
+        let d = Decision {
+            command: CommandId::new(NodeId(0), 1),
+            timestamp: Timestamp::ZERO,
+            path: DecisionPath::Fast,
+            proposed_at: 1_000,
+            executed_at: 91_000,
+            breakdown: LatencyBreakdown::default(),
+        };
+        assert_eq!(d.latency(), 90_000);
+    }
+
+    #[test]
+    fn breakdown_total_sums_leader_phases() {
+        let b = LatencyBreakdown { propose: 10, retry: 20, deliver: 30, wait: 99 };
+        assert_eq!(b.total(), 60);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::{Ballot, CommandId, NodeId};
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, ConsensusError>;
+
+/// Errors surfaced by the consensus protocols and their substrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConsensusError {
+    /// A message referenced a node id outside the cluster.
+    UnknownNode(NodeId),
+    /// A message carried a ballot older than the one the replica already
+    /// promised for the command, so it was ignored.
+    StaleBallot {
+        /// The command the message was about.
+        command: CommandId,
+        /// The ballot carried by the message.
+        received: Ballot,
+        /// The ballot the replica has already promised.
+        current: Ballot,
+    },
+    /// A command id was used twice for different commands.
+    DuplicateCommand(CommandId),
+    /// The cluster configuration is invalid (e.g. zero nodes, latency matrix
+    /// of the wrong dimension).
+    InvalidConfiguration(String),
+    /// A quorum cannot be formed because too many nodes have crashed.
+    QuorumUnavailable {
+        /// Nodes required.
+        required: usize,
+        /// Nodes currently believed alive.
+        alive: usize,
+    },
+}
+
+impl fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusError::UnknownNode(node) => write!(f, "unknown node {node}"),
+            ConsensusError::StaleBallot { command, received, current } => write!(
+                f,
+                "stale ballot {received} for command {command}; replica already promised {current}"
+            ),
+            ConsensusError::DuplicateCommand(id) => {
+                write!(f, "command id {id} was proposed twice with different payloads")
+            }
+            ConsensusError::InvalidConfiguration(msg) => {
+                write!(f, "invalid configuration: {msg}")
+            }
+            ConsensusError::QuorumUnavailable { required, alive } => {
+                write!(f, "quorum unavailable: need {required} nodes, only {alive} alive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConsensusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = ConsensusError::UnknownNode(NodeId(9));
+        assert_eq!(e.to_string(), "unknown node p9");
+
+        let e = ConsensusError::QuorumUnavailable { required: 3, alive: 2 };
+        assert!(e.to_string().contains("need 3"));
+
+        let e = ConsensusError::StaleBallot {
+            command: CommandId::new(NodeId(1), 2),
+            received: Ballot::initial(NodeId(0)),
+            current: Ballot::new(1, NodeId(3)),
+        };
+        assert!(e.to_string().contains("stale ballot"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ConsensusError>();
+    }
+}

@@ -1,0 +1,89 @@
+//! Replica identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a replica (a geo-replicated site in the paper's deployment).
+///
+/// Nodes are numbered `0..N`. The harness maps ids to site names
+/// (Virginia, Ohio, Frankfurt, Ireland, Mumbai) when printing results.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::NodeId;
+///
+/// let node = NodeId(2);
+/// assert_eq!(node.index(), 2);
+/// assert_eq!(format!("{node}"), "p2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize`, convenient for indexing vectors of
+    /// per-node state.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a vector index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        Self(u32::try_from(index).expect("node index fits in u32"))
+    }
+
+    /// Enumerates the ids of a cluster of `n` nodes: `p0, p1, ..., p(n-1)`.
+    pub fn all(n: usize) -> impl Iterator<Item = NodeId> {
+        (0..n).map(NodeId::from_index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in 0..10 {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn all_enumerates_in_order() {
+        let ids: Vec<_> = NodeId::all(5).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn display_is_p_prefixed() {
+        assert_eq!(NodeId(3).to_string(), "p3");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(4), NodeId(4));
+    }
+}

@@ -1,0 +1,64 @@
+//! Shared vocabulary types for the CAESAR consensus reproduction.
+//!
+//! This crate defines the data types that every protocol crate (`caesar`,
+//! `epaxos`, `multipaxos`, `mencius`, `m2paxos`) and every substrate crate
+//! (`simnet`, `kvstore`, `workload`, `harness`) share:
+//!
+//! * [`NodeId`] — identity of a replica/site.
+//! * [`Timestamp`] — the logical timestamps `⟨k, node⟩` that CAESAR agrees on.
+//! * [`Ballot`] — per-command ballot numbers used by the recovery procedure.
+//! * [`Command`] / [`CommandId`] — opaque client commands plus their conflict
+//!   relation (commands conflict when they touch the same key).
+//! * [`QuorumSpec`] — classic (`⌊N/2⌋+1`) and fast (`⌈3N/4⌉`) quorum sizes.
+//! * [`CStruct`] — the command structures of Generalized Consensus, used by
+//!   the test-suite to check the Consistency property.
+//! * [`Decision`], [`DecisionPath`] — what a replica reports when a command
+//!   becomes stable and executes.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_types::{NodeId, QuorumSpec, Timestamp};
+//!
+//! let quorums = QuorumSpec::new(5);
+//! assert_eq!(quorums.classic(), 3);
+//! assert_eq!(quorums.fast(), 4);
+//!
+//! let a = Timestamp::new(3, NodeId(0));
+//! let b = Timestamp::new(3, NodeId(1));
+//! assert!(a < b, "ties broken by node id");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod ballot;
+mod command;
+mod cstruct;
+mod decision;
+mod error;
+mod id;
+mod quorum;
+mod timestamp;
+
+pub use ballot::Ballot;
+pub use command::{Command, CommandId, ConflictKey, Operation};
+pub use cstruct::CStruct;
+pub use decision::{Decision, DecisionPath, LatencyBreakdown};
+pub use error::{ConsensusError, Result};
+pub use id::NodeId;
+pub use quorum::QuorumSpec;
+pub use timestamp::Timestamp;
+
+/// Simulated time in microseconds since the start of an experiment.
+///
+/// All protocol crates and the discrete-event simulator express time in this
+/// unit; the harness converts to milliseconds when printing tables so output
+/// matches the paper's figures.
+pub type SimTime = u64;
+
+/// Number of microseconds in one millisecond, for readable conversions.
+pub const MICROS_PER_MILLI: u64 = 1_000;
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;

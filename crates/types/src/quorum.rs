@@ -1,0 +1,163 @@
+//! Classic and fast quorum arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// Quorum sizes for a cluster of `N` nodes, as defined in Section III of the
+/// paper.
+///
+/// * classic quorum `CQ = ⌊N/2⌋ + 1`
+/// * fast quorum    `FQ = ⌈3N/4⌉`
+///
+/// Fast quorums are required for deciding in two communication delays (the
+/// lower bound of Lamport's *Lower Bounds for Asynchronous Consensus*); the
+/// classic quorum suffices for the slow-proposal, retry and recovery phases.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::QuorumSpec;
+///
+/// let q = QuorumSpec::new(5);
+/// assert_eq!(q.classic(), 3);
+/// assert_eq!(q.fast(), 4);
+/// assert_eq!(q.max_failures(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QuorumSpec {
+    nodes: usize,
+    classic: usize,
+    fast: usize,
+}
+
+impl QuorumSpec {
+    /// Builds the quorum specification for a cluster of `nodes` replicas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        Self { nodes, classic: nodes / 2 + 1, fast: (3 * nodes).div_ceil(4) }
+    }
+
+    /// Builds a specification with an explicit fast-quorum size, used by the
+    /// quorum-size ablation benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast` is smaller than the classic quorum or larger than `nodes`.
+    #[must_use]
+    pub fn with_fast_quorum(nodes: usize, fast: usize) -> Self {
+        let base = Self::new(nodes);
+        assert!(
+            fast >= base.classic && fast <= nodes,
+            "fast quorum must lie in [classic quorum, N]"
+        );
+        Self { fast, ..base }
+    }
+
+    /// Total number of replicas `N`.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Classic quorum size `⌊N/2⌋ + 1`.
+    #[must_use]
+    pub fn classic(&self) -> usize {
+        self.classic
+    }
+
+    /// Fast quorum size `⌈3N/4⌉` (unless overridden for an ablation).
+    #[must_use]
+    pub fn fast(&self) -> usize {
+        self.fast
+    }
+
+    /// The maximum number of crash failures `f = N - CQ` the cluster tolerates.
+    #[must_use]
+    pub fn max_failures(&self) -> usize {
+        self.nodes - self.classic
+    }
+
+    /// Minimum size of the intersection between any classic quorum and any
+    /// fast quorum: `CQ + FQ - N`.
+    ///
+    /// The recovery procedure relies on this being at least `⌊CQ/2⌋ + 1` so a
+    /// recovering leader can tell whether a fast decision may have been taken.
+    #[must_use]
+    pub fn classic_fast_intersection(&self) -> usize {
+        self.classic + self.fast - self.nodes
+    }
+
+    /// The `⌊CQ/2⌋ + 1` threshold used by the recovery whitelist computation
+    /// (Figure 5, lines 21–24 of the paper).
+    #[must_use]
+    pub fn recovery_majority(&self) -> usize {
+        self.classic / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_node_cluster_matches_paper() {
+        let q = QuorumSpec::new(5);
+        assert_eq!(q.classic(), 3);
+        assert_eq!(q.fast(), 4);
+        assert_eq!(q.max_failures(), 2);
+        assert_eq!(q.recovery_majority(), 2);
+    }
+
+    #[test]
+    fn quorum_sizes_for_small_clusters() {
+        // (N, CQ, FQ)
+        let expected = [(1, 1, 1), (2, 2, 2), (3, 2, 3), (4, 3, 3), (5, 3, 4), (7, 4, 6), (9, 5, 7)];
+        for (n, cq, fq) in expected {
+            let q = QuorumSpec::new(n);
+            assert_eq!(q.classic(), cq, "classic quorum for N={n}");
+            assert_eq!(q.fast(), fq, "fast quorum for N={n}");
+        }
+    }
+
+    #[test]
+    fn classic_quorums_always_intersect() {
+        for n in 1..=20 {
+            let q = QuorumSpec::new(n);
+            assert!(2 * q.classic() > n, "two classic quorums must intersect for N={n}");
+        }
+    }
+
+    #[test]
+    fn fast_quorum_intersection_supports_recovery() {
+        // Any two fast quorums and a classic quorum must share a node, and the
+        // CQ∩FQ intersection must reach the recovery majority (N >= 3).
+        for n in 3..=20 {
+            let q = QuorumSpec::new(n);
+            assert!(
+                2 * q.fast() + q.classic() > 2 * n,
+                "FQ∩FQ∩CQ must be non-empty for N={n}"
+            );
+            assert!(
+                q.classic_fast_intersection() >= q.recovery_majority(),
+                "|CQ∩FQ| >= floor(CQ/2)+1 must hold for N={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_fast_quorum_override() {
+        let q = QuorumSpec::with_fast_quorum(5, 5);
+        assert_eq!(q.fast(), 5);
+        assert_eq!(q.classic(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fast quorum must lie")]
+    fn fast_quorum_below_classic_is_rejected() {
+        let _ = QuorumSpec::with_fast_quorum(5, 2);
+    }
+}

@@ -1,0 +1,123 @@
+//! Logical timestamps `⟨k, node⟩`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::NodeId;
+
+/// A logical timestamp `⟨k, i⟩` as defined in Section V-A of the paper.
+///
+/// CAESAR associates every command with a timestamp drawn from a totally
+/// ordered set. Each node `p_i` draws its timestamps from `{⟨k, i⟩ : k ∈ ℕ}`,
+/// which guarantees that no two nodes ever produce the same timestamp. The
+/// order is lexicographic: first on the counter `k`, then on the node id.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::{NodeId, Timestamp};
+///
+/// let t1 = Timestamp::new(4, NodeId(0));
+/// let t2 = Timestamp::new(4, NodeId(3));
+/// let t3 = Timestamp::new(5, NodeId(0));
+/// assert!(t1 < t2 && t2 < t3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp {
+    /// Monotonically increasing counter component.
+    counter: u64,
+    /// Node component used to break ties; also identifies the proposer that
+    /// generated the timestamp.
+    node: NodeId,
+}
+
+impl Timestamp {
+    /// The smallest timestamp, `⟨0, p0⟩`. Every real proposal uses a counter
+    /// of at least 1, so `ZERO` sorts before all assigned timestamps.
+    pub const ZERO: Timestamp = Timestamp { counter: 0, node: NodeId(0) };
+
+    /// Creates a timestamp with the given counter and node components.
+    #[must_use]
+    pub fn new(counter: u64, node: NodeId) -> Self {
+        Self { counter, node }
+    }
+
+    /// The counter component `k` of `⟨k, i⟩`.
+    #[must_use]
+    pub fn counter(self) -> u64 {
+        self.counter
+    }
+
+    /// The node component `i` of `⟨k, i⟩`.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// Returns the smallest timestamp owned by `node` that is strictly greater
+    /// than `self`.
+    ///
+    /// Used by acceptors when computing the rejection timestamp suggested in a
+    /// NACK, and by leaders when picking the retry timestamp.
+    #[must_use]
+    pub fn next_for(self, node: NodeId) -> Self {
+        if node > self.node {
+            Self { counter: self.counter, node }
+        } else {
+            Self { counter: self.counter + 1, node }
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.counter, self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_lexicographic_on_counter_then_node() {
+        let a = Timestamp::new(1, NodeId(4));
+        let b = Timestamp::new(2, NodeId(0));
+        assert!(a < b);
+        let c = Timestamp::new(2, NodeId(1));
+        assert!(b < c);
+    }
+
+    #[test]
+    fn zero_is_minimal() {
+        assert!(Timestamp::ZERO <= Timestamp::new(0, NodeId(0)));
+        assert!(Timestamp::ZERO < Timestamp::new(0, NodeId(1)));
+        assert!(Timestamp::ZERO < Timestamp::new(1, NodeId(0)));
+    }
+
+    #[test]
+    fn next_for_is_strictly_greater_and_owned_by_node() {
+        let t = Timestamp::new(7, NodeId(3));
+        let n1 = t.next_for(NodeId(4));
+        assert!(n1 > t);
+        assert_eq!(n1.node(), NodeId(4));
+        assert_eq!(n1.counter(), 7);
+
+        let n2 = t.next_for(NodeId(2));
+        assert!(n2 > t);
+        assert_eq!(n2.node(), NodeId(2));
+        assert_eq!(n2.counter(), 8);
+
+        let n3 = t.next_for(NodeId(3));
+        assert!(n3 > t);
+        assert_eq!(n3.counter(), 8);
+    }
+
+    #[test]
+    fn display_shows_both_components() {
+        assert_eq!(Timestamp::new(9, NodeId(2)).to_string(), "<9,p2>");
+    }
+}

@@ -1,0 +1,295 @@
+//! Client drivers: closed-loop (latency experiments) and open-loop
+//! (throughput experiments).
+
+use std::collections::HashMap;
+
+use consensus_types::{Command, CommandId, Decision, NodeId, SimTime};
+use simnet::{Process, Simulator};
+
+use crate::generator::WorkloadGenerator;
+
+/// Closed-loop clients, as used for the latency measurements in the paper:
+/// a fixed number of clients is co-located with every replica; each client
+/// submits one command, waits for it to execute at its local replica, then
+/// immediately submits the next one.
+#[derive(Debug)]
+pub struct ClosedLoopDriver {
+    generator: WorkloadGenerator,
+    clients_per_node: usize,
+    think_time: SimTime,
+    /// Outstanding command → (origin node, client index).
+    outstanding: HashMap<CommandId, (NodeId, u64)>,
+    /// Every command issued so far, by id (used by tests to recover payloads
+    /// and conflict relations).
+    issued_commands: HashMap<CommandId, Command>,
+    /// Decisions drained from the simulator, tagged with the replica that
+    /// executed them.
+    collected: Vec<(NodeId, Decision)>,
+    issued: u64,
+    completed: u64,
+    max_commands: Option<u64>,
+}
+
+impl ClosedLoopDriver {
+    /// Creates a driver with `clients_per_node` closed-loop clients on every
+    /// replica (the paper uses 10 per site for latency, 500 for the recovery
+    /// experiment).
+    #[must_use]
+    pub fn new(generator: WorkloadGenerator, clients_per_node: usize) -> Self {
+        Self {
+            generator,
+            clients_per_node,
+            think_time: 0,
+            outstanding: HashMap::new(),
+            issued_commands: HashMap::new(),
+            collected: Vec::new(),
+            issued: 0,
+            completed: 0,
+            max_commands: None,
+        }
+    }
+
+    /// Adds a think time between the completion of a command and the
+    /// submission of the next one (0 in the paper).
+    #[must_use]
+    pub fn with_think_time(mut self, think_time: SimTime) -> Self {
+        self.think_time = think_time;
+        self
+    }
+
+    /// Stops issuing new commands once `max` commands have been submitted in
+    /// total (the run still completes the outstanding ones).
+    #[must_use]
+    pub fn with_max_commands(mut self, max: u64) -> Self {
+        self.max_commands = Some(max);
+        self
+    }
+
+    /// Number of commands submitted so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Number of commands whose execution completed at their origin replica.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// All decisions drained from the simulator so far, tagged by replica.
+    #[must_use]
+    pub fn decisions(&self) -> &[(NodeId, Decision)] {
+        &self.collected
+    }
+
+    /// Looks up the payload of a command this driver issued.
+    #[must_use]
+    pub fn command(&self, id: CommandId) -> Option<&Command> {
+        self.issued_commands.get(&id)
+    }
+
+    /// All commands issued so far, keyed by id.
+    #[must_use]
+    pub fn issued_commands(&self) -> &HashMap<CommandId, Command> {
+        &self.issued_commands
+    }
+
+    /// Consumes the driver and returns the collected decisions.
+    #[must_use]
+    pub fn into_decisions(self) -> Vec<(NodeId, Decision)> {
+        self.collected
+    }
+
+    fn can_issue(&self) -> bool {
+        match self.max_commands {
+            Some(max) => self.issued < max,
+            None => true,
+        }
+    }
+
+    /// Submits the initial command of every client, staggered by a few
+    /// microseconds so replicas do not process them in lockstep.
+    pub fn start<P: Process>(&mut self, sim: &mut Simulator<P>) {
+        let nodes = sim.node_count();
+        for node in 0..nodes {
+            for client in 0..self.clients_per_node {
+                if !self.can_issue() {
+                    return;
+                }
+                let node_id = NodeId::from_index(node);
+                let cmd = self.generator.next_command(node_id, client as u64);
+                self.outstanding.insert(cmd.id(), (node_id, client as u64));
+                self.issued_commands.insert(cmd.id(), cmd.clone());
+                self.issued += 1;
+                let at = (node * 37 + client * 11) as SimTime;
+                sim.schedule_command(at, node_id, cmd);
+            }
+        }
+    }
+
+    /// Runs the simulation until `until` (simulated microseconds), feeding
+    /// each client its next command as soon as the previous one completes.
+    pub fn pump_until<P: Process>(&mut self, sim: &mut Simulator<P>, until: SimTime) {
+        loop {
+            let Some(now) = sim.step() else { break };
+            if now > until {
+                break;
+            }
+            self.collect(sim, now);
+        }
+        // Drain anything recorded by the last step.
+        let now = sim.now();
+        self.collect(sim, now);
+    }
+
+    fn collect<P: Process>(&mut self, sim: &mut Simulator<P>, now: SimTime) {
+        for node in 0..sim.node_count() {
+            let node_id = NodeId::from_index(node);
+            let decisions = sim.take_decisions(node_id);
+            for d in decisions {
+                if let Some((origin, client)) = self.outstanding.get(&d.command).copied() {
+                    if origin == node_id {
+                        self.outstanding.remove(&d.command);
+                        self.completed += 1;
+                        if self.can_issue() && !sim.is_crashed(node_id) {
+                            let next = self.generator.next_command(node_id, client);
+                            self.outstanding.insert(next.id(), (node_id, client));
+                            self.issued_commands.insert(next.id(), next.clone());
+                            self.issued += 1;
+                            sim.schedule_command(now + self.think_time, node_id, next);
+                        }
+                    }
+                }
+                self.collected.push((node_id, d));
+            }
+        }
+    }
+}
+
+/// Open-loop injection at a fixed aggregate rate, used for the throughput
+/// experiments (Figure 9): commands are scheduled ahead of time regardless of
+/// completions, so the system saturates when the offered load exceeds its
+/// capacity.
+#[derive(Debug)]
+pub struct OpenLoopSchedule {
+    generator: WorkloadGenerator,
+    scheduled: u64,
+}
+
+impl OpenLoopSchedule {
+    /// Creates an open-loop scheduler from a workload generator.
+    #[must_use]
+    pub fn new(generator: WorkloadGenerator) -> Self {
+        Self { generator, scheduled: 0 }
+    }
+
+    /// Schedules commands on every node at `rate_per_node` commands per
+    /// second for `duration` microseconds, spreading submissions evenly and
+    /// offsetting nodes so they do not fire in lockstep. Returns the number
+    /// of commands scheduled.
+    pub fn schedule<P: Process>(
+        &mut self,
+        sim: &mut Simulator<P>,
+        rate_per_node: f64,
+        duration: SimTime,
+    ) -> u64 {
+        assert!(rate_per_node > 0.0, "rate must be positive");
+        let nodes = sim.node_count();
+        let interval = 1_000_000.0 / rate_per_node;
+        let mut count = 0;
+        for node in 0..nodes {
+            let node_id = NodeId::from_index(node);
+            let offset = interval / nodes as f64 * node as f64;
+            let mut t = offset;
+            let mut i = 0u64;
+            while (t as SimTime) < duration {
+                let cmd = self.generator.next_command(node_id, i % 64);
+                sim.schedule_command(t as SimTime, node_id, cmd);
+                count += 1;
+                i += 1;
+                t += interval;
+            }
+        }
+        self.scheduled += count;
+        count
+    }
+
+    /// Total number of commands scheduled so far.
+    #[must_use]
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Gives back the underlying generator (e.g. to inspect the observed
+    /// conflict ratio).
+    #[must_use]
+    pub fn into_generator(self) -> WorkloadGenerator {
+        self.generator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadConfig;
+    use caesar::{CaesarConfig, CaesarReplica};
+    use simnet::{LatencyMatrix, SimConfig};
+
+    fn sim() -> Simulator<CaesarReplica> {
+        let config = CaesarConfig::new(5);
+        Simulator::new(SimConfig::new(LatencyMatrix::ec2_five_sites()), move |id| {
+            CaesarReplica::new(id, config.clone())
+        })
+    }
+
+    #[test]
+    fn closed_loop_clients_keep_one_command_outstanding() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(10.0), 3);
+        let mut driver = ClosedLoopDriver::new(generator, 2).with_max_commands(40);
+        let mut sim = sim();
+        driver.start(&mut sim);
+        assert_eq!(driver.issued(), 10);
+        driver.pump_until(&mut sim, 20_000_000);
+        assert_eq!(driver.issued(), 40);
+        assert_eq!(driver.completed(), 40);
+        // Every command executed on every replica.
+        let per_node0 =
+            driver.decisions().iter().filter(|(n, _)| *n == NodeId(0)).count();
+        assert_eq!(per_node0, 40);
+    }
+
+    #[test]
+    fn closed_loop_latencies_are_positive_and_bounded_by_wan_rtt() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::new(5), 3);
+        let mut driver = ClosedLoopDriver::new(generator, 1).with_max_commands(10);
+        let mut sim = sim();
+        driver.start(&mut sim);
+        driver.pump_until(&mut sim, 30_000_000);
+        for (node, d) in driver.decisions() {
+            if d.command.origin() == *node {
+                assert!(d.latency() > 0);
+                assert!(d.latency() < 2_000_000, "latency {} too large", d.latency());
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_schedules_the_requested_rate() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::new(5), 3);
+        let mut schedule = OpenLoopSchedule::new(generator);
+        let mut sim = sim();
+        let count = schedule.schedule(&mut sim, 100.0, 1_000_000);
+        assert_eq!(count, 500, "100 cmd/s per node for 1 s on 5 nodes");
+        assert_eq!(schedule.scheduled(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn open_loop_rejects_zero_rate() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::new(5), 3);
+        let mut schedule = OpenLoopSchedule::new(generator);
+        let mut sim = sim();
+        schedule.schedule(&mut sim, 0.0, 1_000_000);
+    }
+}

@@ -1,0 +1,190 @@
+//! Conflict-percentage command generation.
+
+use consensus_types::{Command, CommandId, NodeId};
+use kvstore::KeySpace;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Parameters of a benchmark workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Number of replicas (commands are attributed to the site that proposes
+    /// them).
+    pub nodes: usize,
+    /// Probability, in percent, that a command accesses the shared key pool.
+    /// This is the paper's "conflict percentage" knob (0, 2, 10, 30, 50, 100).
+    pub conflict_percent: f64,
+    /// Key layout (shared pool size; the paper uses 100).
+    pub keyspace: KeySpace,
+}
+
+impl WorkloadConfig {
+    /// A workload over `nodes` replicas with 0 % conflicts and the paper's
+    /// 100-key shared pool.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self { nodes, conflict_percent: 0.0, keyspace: KeySpace::paper_default() }
+    }
+
+    /// Sets the conflict percentage (clamped to `[0, 100]`).
+    #[must_use]
+    pub fn with_conflict_percent(mut self, percent: f64) -> Self {
+        self.conflict_percent = percent.clamp(0.0, 100.0);
+        self
+    }
+
+    /// Sets the key space.
+    #[must_use]
+    pub fn with_keyspace(mut self, keyspace: KeySpace) -> Self {
+        self.keyspace = keyspace;
+        self
+    }
+}
+
+/// Deterministic, seedable command generator implementing the paper's
+/// conflict model.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    rng: ChaCha12Rng,
+    sequences: Vec<u64>,
+    generated: u64,
+    conflicting: u64,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator with a fixed seed (the same seed always yields the
+    /// same command stream).
+    #[must_use]
+    pub fn new(config: WorkloadConfig, seed: u64) -> Self {
+        Self {
+            rng: ChaCha12Rng::seed_from_u64(seed),
+            sequences: vec![0; config.nodes],
+            generated: 0,
+            conflicting: 0,
+            config,
+        }
+    }
+
+    /// The workload parameters.
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Generates the next command proposed at `origin` by local client
+    /// `client` (the client index only affects which private key is used).
+    pub fn next_command(&mut self, origin: NodeId, client: u64) -> Command {
+        let seq = &mut self.sequences[origin.index()];
+        *seq += 1;
+        let id = CommandId::new(origin, *seq);
+        self.generated += 1;
+
+        let conflicting = self.rng.gen_range(0.0..100.0) < self.config.conflict_percent;
+        let key = if conflicting {
+            self.conflicting += 1;
+            self.config.keyspace.shared_key(self.rng.gen_range(0..self.config.keyspace.shared_pool_size()))
+        } else {
+            let unique = origin.index() as u64 * 10_000 + client;
+            self.config.keyspace.private_key(unique, *seq)
+        };
+        let value = self.rng.gen();
+        Command::put(id, key, value)
+    }
+
+    /// Number of commands generated so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Fraction of generated commands that target the shared pool.
+    #[must_use]
+    pub fn observed_conflict_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.conflicting as f64 / self.generated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn command_ids_are_unique_and_attributed_to_the_origin() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::new(3), 1);
+        let mut ids = HashSet::new();
+        for i in 0..3u32 {
+            for c in 0..10 {
+                let cmd = g.next_command(NodeId(i), c);
+                assert_eq!(cmd.id().origin(), NodeId(i));
+                assert!(ids.insert(cmd.id()));
+            }
+        }
+        assert_eq!(g.generated(), 30);
+    }
+
+    #[test]
+    fn zero_percent_workload_never_touches_the_shared_pool() {
+        let mut g =
+            WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(0.0), 7);
+        for _ in 0..500 {
+            let cmd = g.next_command(NodeId(0), 0);
+            assert!(!g.config().keyspace.is_shared(cmd.key().unwrap()));
+        }
+        assert_eq!(g.observed_conflict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn hundred_percent_workload_always_touches_the_shared_pool() {
+        let mut g =
+            WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(100.0), 7);
+        for _ in 0..500 {
+            let cmd = g.next_command(NodeId(1), 0);
+            assert!(g.config().keyspace.is_shared(cmd.key().unwrap()));
+        }
+        assert!((g.observed_conflict_ratio() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn conflict_ratio_approximates_the_configured_percentage() {
+        let mut g =
+            WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(30.0), 99);
+        for _ in 0..10_000 {
+            g.next_command(NodeId(0), 0);
+        }
+        let ratio = g.observed_conflict_ratio();
+        assert!((ratio - 0.3).abs() < 0.03, "observed {ratio}");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_stream() {
+        let config = WorkloadConfig::new(3).with_conflict_percent(50.0);
+        let mut a = WorkloadGenerator::new(config, 5);
+        let mut b = WorkloadGenerator::new(config, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_command(NodeId(1), 2), b.next_command(NodeId(1), 2));
+        }
+    }
+
+    #[test]
+    fn different_clients_use_different_private_keys() {
+        let mut g = WorkloadGenerator::new(WorkloadConfig::new(3), 11);
+        let k1 = g.next_command(NodeId(0), 1).key().unwrap();
+        let k2 = g.next_command(NodeId(0), 2).key().unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn conflict_percent_is_clamped() {
+        let c = WorkloadConfig::new(3).with_conflict_percent(150.0);
+        assert!((c.conflict_percent - 100.0).abs() < f64::EPSILON);
+        let c = WorkloadConfig::new(3).with_conflict_percent(-3.0);
+        assert_eq!(c.conflict_percent, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Workload generation for the CAESAR evaluation.
+//!
+//! The paper's benchmark issues 15-byte update commands against a replicated
+//! key-value store. A workload is characterised by:
+//!
+//! * the **conflict percentage** — the probability that a command touches a
+//!   key from the shared 100-key pool (and therefore may conflict with
+//!   commands from other clients) instead of a private key,
+//! * the **client model** — 10 closed-loop clients co-located with every
+//!   replica for the latency experiments, or open-loop injection at a target
+//!   rate for the throughput experiments,
+//! * the **batching** flag for the batched variants of Figure 9.
+//!
+//! This crate provides the command generator ([`WorkloadGenerator`]) and the
+//! client drivers ([`ClosedLoopDriver`], [`OpenLoopSchedule`]) that the
+//! harness plugs into the simulator.
+//!
+//! # Example
+//!
+//! ```
+//! use consensus_types::NodeId;
+//! use workload::{WorkloadConfig, WorkloadGenerator};
+//!
+//! let config = WorkloadConfig::new(5).with_conflict_percent(30.0);
+//! let mut generator = WorkloadGenerator::new(config, 42);
+//! let cmd = generator.next_command(NodeId(2), 7);
+//! assert_eq!(cmd.id().origin(), NodeId(2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod clients;
+mod generator;
+
+pub use clients::{ClosedLoopDriver, OpenLoopSchedule};
+pub use generator::{WorkloadConfig, WorkloadGenerator};

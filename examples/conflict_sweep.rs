@@ -1,0 +1,49 @@
+//! Conflict sweep: regenerate a compact version of Figure 6 (per-site latency
+//! vs conflict percentage) and Figure 10 (slow-decision percentage) from the
+//! command line.
+//!
+//! ```text
+//! cargo run --release --example conflict_sweep            # default scale
+//! cargo run --release --example conflict_sweep -- 1.0     # paper-scale durations
+//! ```
+
+use harness::{fig10_slow_paths, fig6_latency_conflicts};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
+    let conflicts = [0.0, 2.0, 10.0, 30.0, 50.0, 100.0];
+
+    println!("Running the conflict sweep at scale {scale} (1.0 = paper-scale durations)\n");
+
+    let fig6 = fig6_latency_conflicts(scale, &conflicts);
+    println!("{}", fig6.to_table("conflict %"));
+
+    let fig10 = fig10_slow_paths(scale, &conflicts);
+    println!("{}", fig10.to_table());
+
+    // Print the headline comparison the paper makes at 30% conflicts.
+    let caesar_30 = fig10
+        .rows
+        .iter()
+        .find(|r| r.protocol == "Caesar" && r.conflict_percent == 30.0)
+        .expect("caesar row");
+    let epaxos_30 = fig10
+        .rows
+        .iter()
+        .find(|r| r.protocol == "EPaxos" && r.conflict_percent == 30.0)
+        .expect("epaxos row");
+    if caesar_30.slow_percent > 0.0 {
+        println!(
+            "At 30% conflicting commands, CAESAR takes {:.1}x fewer slow decisions than EPaxos \
+             ({:.1}% vs {:.1}%).",
+            epaxos_30.slow_percent / caesar_30.slow_percent.max(0.1),
+            caesar_30.slow_percent,
+            epaxos_30.slow_percent
+        );
+    } else {
+        println!(
+            "At 30% conflicting commands, CAESAR took no slow decisions at all (EPaxos: {:.1}%).",
+            epaxos_30.slow_percent
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Protocol face-off: run all five protocols on the same workload and print a
+//! side-by-side comparison (a compact version of Figures 6, 7 and 9).
+//!
+//! ```text
+//! cargo run --release --example protocol_faceoff -- 30     # 30% conflicts
+//! ```
+
+use consensus_types::NodeId;
+use harness::{run_closed_loop, ProtocolKind, RunConfig, Table, SITE_LABELS};
+
+fn main() {
+    let conflict: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30.0);
+    let protocols = [
+        ProtocolKind::Caesar,
+        ProtocolKind::Epaxos,
+        ProtocolKind::M2Paxos,
+        ProtocolKind::Mencius,
+        ProtocolKind::MultiPaxos(NodeId(3)),
+        ProtocolKind::MultiPaxos(NodeId(4)),
+    ];
+
+    println!("Protocol face-off at {conflict}% conflicting commands (10 clients per site)\n");
+
+    let mut header = vec!["protocol"];
+    header.extend(SITE_LABELS);
+    header.extend(["avg (ms)", "cmd/s", "slow %"]);
+    let mut table = Table::new("Per-site average latency (ms) and total throughput", &header);
+
+    for protocol in protocols {
+        let config = RunConfig::latency_defaults(protocol, conflict).with_sim_seconds(4.0);
+        let result = run_closed_loop(&config);
+        let mut cells = vec![protocol.name()];
+        cells.extend(result.per_site_latency_ms.iter().map(|v| format!("{v:.1}")));
+        cells.push(format!("{:.1}", result.overall_avg_latency_ms()));
+        cells.push(format!("{:.0}", result.throughput_cps));
+        cells.push(
+            result.slow_path_percent.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".to_string()),
+        );
+        table.push_row(cells);
+    }
+    println!("{table}");
+    println!(
+        "Caesar keeps per-site latency nearly flat as conflicts grow because discordant\n\
+         predecessor sets do not force it off the fast path; EPaxos and M2Paxos degrade, and\n\
+         the single-leader/slot-based protocols pay their fixed topology costs regardless."
+    );
+}

@@ -1,0 +1,24 @@
+//! `caesar-suite` — umbrella crate for the CAESAR reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`); it re-exports the
+//! public crates so examples and tests can use a single dependency root.
+//!
+//! Start with the [`caesar`] crate for the protocol itself, [`harness`] for
+//! the experiments, and the `examples/quickstart.rs` binary for a guided
+//! tour.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use caesar;
+pub use cluster;
+pub use consensus_types;
+pub use epaxos;
+pub use harness;
+pub use kvstore;
+pub use m2paxos;
+pub use mencius;
+pub use multipaxos;
+pub use simnet;
+pub use workload;

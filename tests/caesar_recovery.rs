@@ -1,0 +1,177 @@
+//! Failure and recovery scenarios for CAESAR: the recovery procedure
+//! (Figure 5 of the paper) must finish the decision of any command whose
+//! leader crashed, at any point of the protocol, without ever contradicting a
+//! decision that may already have been taken.
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_types::{Command, CommandId, NodeId};
+use simnet::{LatencyMatrix, SimConfig, Simulator};
+
+fn put(node: u32, seq: u64, key: u64) -> Command {
+    Command::put(CommandId::new(NodeId(node), seq), key, seq)
+}
+
+fn sim_with(config: CaesarConfig, seed: u64) -> Simulator<CaesarReplica> {
+    let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(seed);
+    Simulator::new(sim_config, move |id| CaesarReplica::new(id, config.clone()))
+}
+
+/// Crash the leader at a configurable point after it proposes and check that
+/// the survivors still execute the command exactly once and agree on the
+/// order with respect to a later conflicting command.
+fn crash_leader_at(crash_delay_us: u64, seed: u64) {
+    let config = CaesarConfig::new(5).with_recovery_timeout(Some(800_000));
+    let mut sim = sim_with(config, seed);
+    sim.schedule_command(0, NodeId(0), put(0, 1, 7));
+    sim.schedule_crash(crash_delay_us, NodeId(0));
+    // A later conflicting command from a surviving node.
+    sim.schedule_command(3_000_000, NodeId(1), put(1, 1, 7));
+    sim.run();
+
+    let survivors: Vec<NodeId> = NodeId::all(5).skip(1).collect();
+    let reference: Vec<CommandId> =
+        sim.decisions(survivors[0]).iter().map(|d| d.command).collect();
+    assert!(
+        !reference.is_empty(),
+        "survivors executed nothing after crashing the leader at {crash_delay_us}µs"
+    );
+    // The later command must always be executed; the orphaned one must be
+    // executed on every survivor if it is executed on any of them.
+    assert!(reference.contains(&CommandId::new(NodeId(1), 1)));
+    for &node in &survivors {
+        let order: Vec<CommandId> = sim.decisions(node).iter().map(|d| d.command).collect();
+        assert_eq!(order, reference, "{node} disagrees after crash at {crash_delay_us}µs");
+        // No duplicates.
+        let mut dedup = order.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), order.len());
+    }
+}
+
+#[test]
+fn leader_crash_right_after_proposing_is_recovered() {
+    // The FastPropose messages are still in flight (closest one-way delay is
+    // ~6 ms); no replica has replied yet.
+    crash_leader_at(1_000, 1);
+}
+
+#[test]
+fn leader_crash_after_replies_arrive_is_recovered() {
+    // ~50 ms: the leader has gathered some FastProposeR replies but has not
+    // necessarily reached a fast quorum (Mumbai is 93 ms away).
+    crash_leader_at(50_000, 2);
+}
+
+#[test]
+fn leader_crash_after_stable_broadcast_still_converges() {
+    // ~200 ms: the leader has typically broadcast STABLE already; survivors
+    // must still all execute the command exactly once.
+    crash_leader_at(200_000, 3);
+}
+
+#[test]
+fn recovery_preserves_a_possible_fast_decision() {
+    // The leader reaches a fast decision and crashes immediately after
+    // broadcasting STABLE; because of WAN delays only some replicas may have
+    // received it. Recovery must re-establish the same timestamp/predecessors
+    // rather than re-deciding differently.
+    let config = CaesarConfig::new(5).with_recovery_timeout(Some(700_000));
+    let mut sim = sim_with(config, 4);
+    sim.schedule_command(0, NodeId(0), put(0, 1, 7));
+    sim.schedule_command(5_000, NodeId(3), put(3, 1, 7));
+    // Crash the first leader after its fast round finishes (~2 RTTs to the
+    // fast quorum ≈ 190 ms) but before every STABLE lands everywhere.
+    sim.schedule_crash(200_000, NodeId(0));
+    sim.run();
+    let survivors: Vec<NodeId> = NodeId::all(5).skip(1).collect();
+    let reference: Vec<CommandId> =
+        sim.decisions(survivors[0]).iter().map(|d| d.command).collect();
+    assert_eq!(reference.len(), 2, "both conflicting commands must be executed");
+    for &node in &survivors {
+        let order: Vec<CommandId> = sim.decisions(node).iter().map(|d| d.command).collect();
+        assert_eq!(order, reference, "{node} must agree on the conflicting order");
+        // The final timestamps must also agree across replicas.
+        let ts: Vec<_> = sim.decisions(node).iter().map(|d| (d.command, d.timestamp)).collect();
+        let ts_ref: Vec<_> =
+            sim.decisions(survivors[0]).iter().map(|d| (d.command, d.timestamp)).collect();
+        assert_eq!(ts, ts_ref, "{node} must agree on final timestamps");
+    }
+}
+
+#[test]
+fn concurrent_recoveries_by_different_nodes_do_not_duplicate_execution() {
+    // Use identical (non-staggered-enough) timeouts so several replicas race
+    // to recover the same command; ballots must arbitrate.
+    let config = CaesarConfig::new(5).with_recovery_timeout(Some(500_000));
+    let mut sim = sim_with(config, 5);
+    for i in 0..5u64 {
+        sim.schedule_command(i * 2_000, NodeId(0), put(0, i + 1, 7));
+    }
+    sim.schedule_crash(10_000, NodeId(0));
+    sim.run();
+    for node in NodeId::all(5).skip(1) {
+        let order: Vec<CommandId> = sim.decisions(node).iter().map(|d| d.command).collect();
+        let mut unique = order.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), order.len(), "{node} executed a command twice");
+    }
+    let total_recoveries: u64 =
+        NodeId::all(5).skip(1).map(|n| sim.process(n).metrics().recoveries_started).sum();
+    assert!(total_recoveries >= 1);
+    // All survivors agree.
+    let reference: Vec<CommandId> = sim.decisions(NodeId(1)).iter().map(|d| d.command).collect();
+    for node in NodeId::all(5).skip(2) {
+        let order: Vec<CommandId> = sim.decisions(node).iter().map(|d| d.command).collect();
+        assert_eq!(order, reference);
+    }
+}
+
+#[test]
+fn disabled_recovery_leaves_orphan_commands_pending_but_safe() {
+    // Without recovery, a crashed leader's command simply never becomes
+    // stable; survivors must not execute it and must not block non-conflicting
+    // commands.
+    let config = CaesarConfig::new(5).with_recovery_timeout(None);
+    let mut sim = sim_with(config, 6);
+    sim.schedule_command(0, NodeId(0), put(0, 1, 7));
+    sim.schedule_crash(1_000, NodeId(0));
+    // Non-conflicting command from another node must still execute.
+    sim.schedule_command(500_000, NodeId(1), put(1, 1, 99));
+    sim.run();
+    for node in NodeId::all(5).skip(1) {
+        let executed: Vec<CommandId> = sim.decisions(node).iter().map(|d| d.command).collect();
+        assert!(!executed.contains(&CommandId::new(NodeId(0), 1)));
+        assert!(executed.contains(&CommandId::new(NodeId(1), 1)));
+    }
+}
+
+#[test]
+fn cluster_tolerates_f_failures_and_keeps_latency_bounded() {
+    // With N = 5 and f = 2, crashing two replicas leaves exactly a classic
+    // quorum: commands still finish through the slow-proposal path.
+    let config = CaesarConfig::new(5)
+        .with_fast_quorum_timeout(120_000)
+        .with_recovery_timeout(Some(1_000_000));
+    let mut sim = sim_with(config, 7);
+    sim.schedule_crash(0, NodeId(2));
+    sim.schedule_crash(0, NodeId(4));
+    for i in 0..20u64 {
+        let origin = NodeId((i % 3) as u32 * 3 / 3); // nodes 0 and 1 and 3 → map 0,1,0...
+        let origin = if origin.index() == 2 { NodeId(3) } else { origin };
+        sim.schedule_command(i * 150_000, origin, put(origin.0, i + 1, (i % 3) as u64));
+    }
+    sim.run();
+    for node in [NodeId(0), NodeId(1), NodeId(3)] {
+        assert_eq!(sim.decisions(node).len(), 20, "{node} must execute all 20 commands");
+        for d in sim.decisions(node) {
+            if d.command.origin() == node {
+                assert!(
+                    d.latency() < 2_000_000,
+                    "{node} latency {}µs exceeds 2s even with 2 crashed nodes",
+                    d.latency()
+                );
+            }
+        }
+    }
+}

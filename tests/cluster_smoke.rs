@@ -1,0 +1,47 @@
+//! Smoke tests for the real-time (threaded) cluster runtime: the same
+//! protocol implementations that run in the simulator must behave correctly
+//! on OS threads with real (scaled-down) WAN delays.
+
+use std::time::Duration;
+
+use caesar::{CaesarConfig, CaesarReplica};
+use cluster::{Cluster, ClusterConfig};
+use consensus_types::{Command, CommandId, CommandId as Id, NodeId};
+use simnet::LatencyMatrix;
+
+#[test]
+fn caesar_threads_agree_on_conflicting_commands() {
+    let config = ClusterConfig::new(LatencyMatrix::ec2_five_sites()).with_latency_scale(0.004);
+    let caesar = CaesarConfig::new(5).with_recovery_timeout(None);
+    let cluster = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
+
+    // Conflicting updates from three continents plus independent commands.
+    cluster.submit(NodeId(0), Command::put(Id::new(NodeId(0), 1), 7, 10));
+    cluster.submit(NodeId(3), Command::put(Id::new(NodeId(3), 1), 7, 30));
+    cluster.submit(NodeId(4), Command::put(Id::new(NodeId(4), 1), 7, 40));
+    cluster.submit(NodeId(1), Command::put(Id::new(NodeId(1), 1), 99, 1));
+
+    let d0 = cluster.wait_for_decisions(NodeId(0), 4, Duration::from_secs(15));
+    let d4 = cluster.wait_for_decisions(NodeId(4), 4, Duration::from_secs(15));
+    assert_eq!(d0.len(), 4, "Virginia must execute all four commands");
+    assert_eq!(d4.len(), 4, "Mumbai must execute all four commands");
+
+    // The three conflicting commands must appear in the same relative order.
+    let key7 = [Id::new(NodeId(0), 1), Id::new(NodeId(3), 1), Id::new(NodeId(4), 1)];
+    let order = |ds: &[consensus_types::Decision]| -> Vec<CommandId> {
+        ds.iter().map(|d| d.command).filter(|c| key7.contains(c)).collect()
+    };
+    assert_eq!(order(&d0), order(&d4), "conflicting commands must be ordered identically");
+    cluster.shutdown();
+}
+
+#[test]
+fn cluster_reports_elapsed_time_and_handles_idle_shutdown() {
+    let config = ClusterConfig::new(LatencyMatrix::uniform(3, 10.0)).with_latency_scale(0.01);
+    let caesar = CaesarConfig::new(3).with_recovery_timeout(None);
+    let cluster = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(cluster.elapsed() >= Duration::from_millis(10));
+    assert!(cluster.decisions(NodeId(0)).is_empty());
+    cluster.shutdown();
+}

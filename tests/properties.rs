@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) over the core protocol invariants.
+//!
+//! These randomise workload shape, conflict rate, submission times, network
+//! jitter and crash schedules, and assert the Generalized Consensus
+//! properties plus CAESAR-specific invariants (timestamp order ⇒ predecessor
+//! containment — Theorem 1 of the paper).
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_types::{CStruct, Command, CommandId, NodeId, Timestamp};
+use epaxos::{EpaxosConfig, EpaxosReplica};
+use proptest::prelude::*;
+use simnet::{LatencyMatrix, SimConfig, Simulator};
+
+/// A randomly generated command submission.
+#[derive(Debug, Clone)]
+struct Submission {
+    at_us: u64,
+    origin: u8,
+    key: u8,
+}
+
+fn submissions(max: usize) -> impl Strategy<Value = Vec<Submission>> {
+    prop::collection::vec(
+        (0u64..3_000_000, 0u8..5, 0u8..6).prop_map(|(at_us, origin, key)| Submission {
+            at_us,
+            origin,
+            key,
+        }),
+        1..max,
+    )
+}
+
+fn run_caesar(subs: &[Submission], seed: u64, jitter: u64) -> Simulator<CaesarReplica> {
+    let config = CaesarConfig::new(5);
+    let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites())
+        .with_seed(seed)
+        .with_jitter_us(jitter);
+    let mut sim = Simulator::new(sim_config, move |id| CaesarReplica::new(id, config.clone()));
+    for (i, s) in subs.iter().enumerate() {
+        let origin = NodeId(u32::from(s.origin));
+        let cmd = Command::put(CommandId::new(origin, i as u64 + 1), u64::from(s.key), i as u64);
+        sim.schedule_command(s.at_us, origin, cmd);
+    }
+    sim.run();
+    sim
+}
+
+fn structures(sim: &Simulator<CaesarReplica>) -> Vec<CStruct> {
+    NodeId::all(5)
+        .map(|node| {
+            sim.decisions(node)
+                .iter()
+                .map(|d| {
+                    sim.process(node)
+                        .history()
+                        .get(d.command)
+                        .map(|info| info.cmd.clone())
+                        .unwrap_or_else(|| Command::put(d.command, u64::MAX, 0))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Liveness + Consistency: every proposed command is executed everywhere,
+    /// and conflicting commands are executed in the same relative order.
+    #[test]
+    fn caesar_decides_everything_and_replicas_agree(
+        subs in submissions(40),
+        seed in 0u64..1_000,
+        jitter in 0u64..5_000,
+    ) {
+        let sim = run_caesar(&subs, seed, jitter);
+        for node in NodeId::all(5) {
+            prop_assert_eq!(
+                sim.decisions(node).len(),
+                subs.len(),
+                "node {} executed {} of {} commands",
+                node,
+                sim.decisions(node).len(),
+                subs.len()
+            );
+        }
+        let structs = structures(&sim);
+        for i in 0..structs.len() {
+            for j in (i + 1)..structs.len() {
+                prop_assert!(
+                    structs[i].compatible_with(&structs[j]),
+                    "replicas {} and {} diverge: {:?}",
+                    i, j, structs[i].divergences(&structs[j])
+                );
+            }
+        }
+    }
+
+    /// Theorem 1 (delivery order follows timestamps): at every replica,
+    /// conflicting commands are executed in increasing final-timestamp order.
+    #[test]
+    fn caesar_executes_conflicting_commands_in_timestamp_order(
+        subs in submissions(30),
+        seed in 0u64..1_000,
+    ) {
+        let sim = run_caesar(&subs, seed, 2_000);
+        for node in NodeId::all(5) {
+            let decisions = sim.decisions(node);
+            let history = sim.process(node).history();
+            for (i, a) in decisions.iter().enumerate() {
+                for b in &decisions[i + 1..] {
+                    let (Some(ca), Some(cb)) = (history.get(a.command), history.get(b.command))
+                    else { continue };
+                    if ca.cmd.conflicts_with(&cb.cmd) {
+                        prop_assert!(
+                            a.timestamp < b.timestamp,
+                            "at {} command {} (ts {}) executed before {} (ts {}) against timestamp order",
+                            node, a.command, a.timestamp, b.command, b.timestamp
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stability / Nontriviality: decided commands were proposed, ids are
+    /// unique, and timestamps of decided commands are unique per replica.
+    #[test]
+    fn caesar_decisions_are_unique_and_proposed(
+        subs in submissions(30),
+        seed in 0u64..1_000,
+    ) {
+        let sim = run_caesar(&subs, seed, 0);
+        let proposed: std::collections::HashSet<CommandId> = subs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| CommandId::new(NodeId(u32::from(s.origin)), i as u64 + 1))
+            .collect();
+        for node in NodeId::all(5) {
+            let mut seen = std::collections::HashSet::new();
+            let mut ts_seen: std::collections::HashSet<Timestamp> = std::collections::HashSet::new();
+            for d in sim.decisions(node) {
+                prop_assert!(proposed.contains(&d.command), "unproposed command {}", d.command);
+                prop_assert!(seen.insert(d.command), "command {} executed twice", d.command);
+                prop_assert!(ts_seen.insert(d.timestamp), "timestamp {} reused", d.timestamp);
+            }
+        }
+    }
+
+    /// A crash of up to two replicas never causes divergence among survivors
+    /// (safety under failures), and survivors keep executing commands
+    /// proposed at correct replicas after the crash.
+    #[test]
+    fn caesar_crashes_never_cause_divergence(
+        subs in submissions(25),
+        crash_node in 1u32..5,
+        crash_at in 100_000u64..2_000_000,
+        seed in 0u64..500,
+    ) {
+        let config = CaesarConfig::new(5).with_recovery_timeout(Some(800_000));
+        let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(seed);
+        let mut sim = Simulator::new(sim_config, move |id| CaesarReplica::new(id, config.clone()));
+        sim.schedule_crash(crash_at, NodeId(crash_node));
+        for (i, s) in subs.iter().enumerate() {
+            // Only correct replicas propose, so every command can finish.
+            let origin = if s.origin == crash_node as u8 { 0 } else { s.origin };
+            let origin = NodeId(u32::from(origin));
+            let cmd = Command::put(CommandId::new(origin, i as u64 + 1), u64::from(s.key), i as u64);
+            sim.schedule_command(s.at_us, origin, cmd);
+        }
+        sim.run();
+        let survivors: Vec<NodeId> =
+            NodeId::all(5).filter(|n| *n != NodeId(crash_node)).collect();
+        for &node in &survivors {
+            prop_assert_eq!(sim.decisions(node).len(), subs.len());
+        }
+        let structs: Vec<CStruct> = survivors
+            .iter()
+            .map(|&node| {
+                sim.decisions(node)
+                    .iter()
+                    .map(|d| {
+                        sim.process(node)
+                            .history()
+                            .get(d.command)
+                            .map(|i| i.cmd.clone())
+                            .unwrap_or_else(|| Command::put(d.command, u64::MAX, 0))
+                    })
+                    .collect()
+            })
+            .collect();
+        for i in 0..structs.len() {
+            for j in (i + 1)..structs.len() {
+                prop_assert!(structs[i].compatible_with(&structs[j]));
+            }
+        }
+    }
+
+    /// EPaxos (the baseline) also satisfies Consistency on random workloads —
+    /// a sanity check that the comparison in the figures is fair.
+    #[test]
+    fn epaxos_replicas_agree_on_random_workloads(
+        subs in submissions(30),
+        seed in 0u64..1_000,
+    ) {
+        let config = EpaxosConfig::new(5);
+        let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(seed);
+        let mut sim = Simulator::new(sim_config, move |id| EpaxosReplica::new(id, config.clone()));
+        let mut cmds = std::collections::HashMap::new();
+        for (i, s) in subs.iter().enumerate() {
+            let origin = NodeId(u32::from(s.origin));
+            let cmd = Command::put(CommandId::new(origin, i as u64 + 1), u64::from(s.key), i as u64);
+            cmds.insert(cmd.id(), cmd.clone());
+            sim.schedule_command(s.at_us, origin, cmd);
+        }
+        sim.run();
+        let structs: Vec<CStruct> = NodeId::all(5)
+            .map(|node| {
+                sim.decisions(node)
+                    .iter()
+                    .map(|d| cmds[&d.command].clone())
+                    .collect()
+            })
+            .collect();
+        for node in NodeId::all(5) {
+            prop_assert_eq!(sim.decisions(node).len(), subs.len());
+        }
+        for i in 0..structs.len() {
+            for j in (i + 1)..structs.len() {
+                prop_assert!(
+                    structs[i].compatible_with(&structs[j]),
+                    "EPaxos replicas {} and {} diverge",
+                    i, j
+                );
+            }
+        }
+    }
+}
