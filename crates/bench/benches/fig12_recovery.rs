@@ -7,7 +7,7 @@ use harness::{fig12_recovery, RecoveryTimeline};
 fn benchmark(c: &mut Criterion) {
     // 40 clients per node, crash at t = 8 s, 20 simulated seconds (the paper
     // uses 500 clients per node, crash at 20 s, 40 s total).
-    let timelines = fig12_recovery(40, 8, 20, 0xF16_12);
+    let timelines = fig12_recovery(40, 8, 20, 0x000F_1612);
     print_table(&RecoveryTimeline::to_table(&timelines));
 
     let mut group = c.benchmark_group("fig12");

@@ -110,7 +110,17 @@ where
             let decisions = Arc::clone(&decisions);
             let started = started_at;
             handles.push(std::thread::spawn(move || {
-                replica_loop(id, nodes, &mut process, rx, &peers, &latency, scale, &decisions, started);
+                replica_loop(
+                    id,
+                    nodes,
+                    &mut process,
+                    rx,
+                    &peers,
+                    &latency,
+                    scale,
+                    &decisions,
+                    started,
+                );
             }));
         }
         Self { senders, handles, decisions, started_at }
@@ -130,7 +140,12 @@ where
     /// Blocks until `node` has executed at least `count` commands or the
     /// timeout elapses; returns whatever has been executed by then.
     #[must_use]
-    pub fn wait_for_decisions(&self, node: NodeId, count: usize, timeout: Duration) -> Vec<Decision> {
+    pub fn wait_for_decisions(
+        &self,
+        node: NodeId,
+        count: usize,
+        timeout: Duration,
+    ) -> Vec<Decision> {
         let deadline = Instant::now() + timeout;
         loop {
             let current = self.decisions(node);
@@ -179,10 +194,22 @@ fn replica_loop<P: Process>(
     let now_us = |started: Instant| -> SimTime { started.elapsed().as_micros() as SimTime };
 
     {
-        let mut ctx = Context::for_runtime(id, nodes, now_us(started), &mut outbox, &mut new_timers);
+        let mut ctx =
+            Context::for_runtime(id, nodes, now_us(started), &mut outbox, &mut new_timers);
         process.on_start(&mut ctx);
     }
-    flush(id, process, &mut outbox, &mut new_timers, &mut timers, peers, latency, scale, decisions, started);
+    flush(
+        id,
+        process,
+        &mut outbox,
+        &mut new_timers,
+        &mut timers,
+        peers,
+        latency,
+        scale,
+        decisions,
+        started,
+    );
 
     loop {
         let envelope = rx.recv_timeout(Duration::from_millis(1));
@@ -204,7 +231,18 @@ fn replica_loop<P: Process>(
             }
             Err(_) => {}
         }
-        flush(id, process, &mut outbox, &mut new_timers, &mut timers, peers, latency, scale, decisions, started);
+        flush(
+            id,
+            process,
+            &mut outbox,
+            &mut new_timers,
+            &mut timers,
+            peers,
+            latency,
+            scale,
+            decisions,
+            started,
+        );
     }
 }
 

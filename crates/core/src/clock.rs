@@ -50,6 +50,7 @@ impl LogicalClock {
 
     /// Advances the clock and returns a fresh timestamp strictly greater than
     /// every timestamp previously returned or observed.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infallible and never ends
     pub fn next(&mut self) -> Timestamp {
         self.counter += 1;
         Timestamp::new(self.counter, self.node)

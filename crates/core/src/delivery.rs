@@ -203,7 +203,7 @@ mod tests {
         let mut d = DeliveryEngine::new();
         let a = id(0, 1); // ts 1, pred {b}: loop entry
         let b = id(1, 1); // ts 2, pred {a}
-        // b stable first: waits for a.
+                          // b stable first: waits for a.
         assert!(d.on_stable(b, ts(2), &set(&[a])).is_empty());
         // a stable with smaller ts and pred {b}: the loop is broken — a runs
         // first (its pred b is stable with larger ts, dropped), then b.
@@ -215,7 +215,7 @@ mod tests {
         let mut d = DeliveryEngine::new();
         let a = id(0, 1); // ts 1, pred {b}
         let b = id(1, 1); // ts 2, pred {a}
-        // a stable first, waiting for b (b not stable yet, so no loop known).
+                          // a stable first, waiting for b (b not stable yet, so no loop known).
         assert!(d.on_stable(a, ts(1), &set(&[b])).is_empty());
         // b becomes stable with larger ts and pred {a}: part 1 of break-loop
         // removes b from a's waiting set, so a executes, then b.

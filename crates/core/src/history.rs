@@ -11,10 +11,11 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use consensus_types::{Ballot, Command, CommandId, Timestamp};
+use serde::{Deserialize, Serialize};
 
 /// Status of a command in the history, mirroring the paper's
 /// `{fast-pending, slow-pending, accepted, rejected, stable}` set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CmdStatus {
     /// Seen in a fast proposal; its timestamp is not yet confirmed.
     FastPending,
@@ -134,10 +135,8 @@ impl History {
             let index = if executed { &mut self.executed } else { &mut self.active };
             index.entry(key).or_default().insert((ts, id), ());
         }
-        self.entries.insert(
-            id,
-            CmdInfo { cmd: cmd.clone(), ts, pred, status, ballot, forced, executed },
-        );
+        self.entries
+            .insert(id, CmdInfo { cmd: cmd.clone(), ts, pred, status, ballot, forced, executed });
     }
 
     /// Updates only the status of an existing entry.
@@ -199,7 +198,9 @@ impl History {
         let id = cmd.id();
 
         if let Some(per_key) = self.active.get(&key) {
-            for &(other_ts, other_id) in per_key.range(..(ts, CommandId::default())).map(|(k, ())| k) {
+            for &(other_ts, other_id) in
+                per_key.range(..(ts, CommandId::default())).map(|(k, ())| k)
+            {
                 debug_assert!(other_ts < ts);
                 if other_id == id {
                     continue;
@@ -230,10 +231,9 @@ impl History {
             if let Some(&(_, other_id)) = per_key
                 .range(..(ts, CommandId::default()))
                 .map(|(k, ())| k)
-                .filter(|(_, other_id)| {
+                .rfind(|(_, other_id)| {
                     *other_id != id && self.entries[other_id].cmd.conflicts_with(cmd)
                 })
-                .next_back()
             {
                 pred.insert(other_id);
             }

@@ -3,11 +3,12 @@
 use std::collections::BTreeSet;
 
 use consensus_types::{Ballot, Command, CommandId, Timestamp};
+use serde::{Deserialize, Serialize};
 
 use crate::history::CmdStatus;
 
 /// Which proposal phase a reply belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProposalKind {
     /// The fast proposal phase (first round, fast quorum).
     Fast,
@@ -16,7 +17,7 @@ pub enum ProposalKind {
 }
 
 /// Snapshot of a history tuple shipped in a `RecoveryReply`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RecoveryInfo {
     /// The command payload (so a recovery leader that never saw the original
     /// proposal can still finish it).
@@ -38,7 +39,7 @@ pub struct RecoveryInfo {
 /// Timeouts are modelled as messages a replica schedules to itself
 /// (`FastQuorumTimeout`, `RecoveryTimeout`), which keeps the whole protocol
 /// expressible through a single [`simnet::Process::on_message`] entry point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum CaesarMessage {
     /// Leader → all: propose `cmd` at `time` (fast proposal phase).
     FastPropose {
@@ -211,7 +212,12 @@ mod tests {
                 pred: BTreeSet::new(),
                 ok: true,
             },
-            CaesarMessage::SlowPropose { ballot: b, cmd: cmd.clone(), time: t, pred: BTreeSet::new() },
+            CaesarMessage::SlowPropose {
+                ballot: b,
+                cmd: cmd.clone(),
+                time: t,
+                pred: BTreeSet::new(),
+            },
             CaesarMessage::SlowProposeReply {
                 ballot: b,
                 cmd_id: id,

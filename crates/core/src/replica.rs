@@ -167,10 +167,7 @@ impl CaesarReplica {
     // ------------------------------------------------------------------
 
     fn current_ballot(&self, cmd_id: CommandId) -> Ballot {
-        self.ballots
-            .get(&cmd_id)
-            .copied()
-            .unwrap_or_else(|| Ballot::initial(cmd_id.origin()))
+        self.ballots.get(&cmd_id).copied().unwrap_or_else(|| Ballot::initial(cmd_id.origin()))
     }
 
     /// Acceptor-side ballot gate: accept messages carrying a ballot at least
@@ -210,6 +207,7 @@ impl CaesarReplica {
     // Leader side
     // ------------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn start_fast_proposal(
         &mut self,
         cmd: Command,
@@ -246,11 +244,7 @@ impl CaesarReplica {
         );
     }
 
-    fn start_slow_proposal(
-        &mut self,
-        cmd_id: CommandId,
-        ctx: &mut Context<'_, CaesarMessage>,
-    ) {
+    fn start_slow_proposal(&mut self, cmd_id: CommandId, ctx: &mut Context<'_, CaesarMessage>) {
         let Some(state) = self.leading.get_mut(&cmd_id) else { return };
         state.phase = LeaderPhase::SlowProposal;
         state.replies.clear();
@@ -457,14 +451,7 @@ impl CaesarReplica {
             return;
         }
         self.clock.observe(time);
-        self.history.update(
-            &cmd,
-            time,
-            leader_pred.clone(),
-            CmdStatus::SlowPending,
-            ballot,
-            false,
-        );
+        self.history.update(&cmd, time, leader_pred.clone(), CmdStatus::SlowPending, ballot, false);
         self.maybe_schedule_recovery_timer(cmd_id, leader, ctx);
         self.notify_history_change(cmd_id, ctx);
 
@@ -829,9 +816,7 @@ impl CaesarReplica {
             ctx.broadcast(CaesarMessage::Retry { ballot, cmd, time, pred });
             return;
         }
-        if recovery_set.is_empty()
-            || recovery_set.iter().any(|i| i.status == CmdStatus::Rejected)
-        {
+        if recovery_set.is_empty() || recovery_set.iter().any(|i| i.status == CmdStatus::Rejected) {
             // (iii) The command was certainly not decided: start from scratch.
             let time = self.clock.next();
             self.start_fast_proposal(cmd, ballot, time, None, true, now, ctx);
@@ -875,8 +860,7 @@ impl CaesarReplica {
                 .iter()
                 .copied()
                 .filter(|c| {
-                    let missing =
-                        recovery_set.iter().filter(|i| !i.pred.contains(c)).count();
+                    let missing = recovery_set.iter().filter(|i| !i.pred.contains(c)).count();
                     missing < majority
                 })
                 .collect();
@@ -1082,7 +1066,11 @@ mod tests {
         let mut sim = five_site_sim(CaesarConfig::new(5));
         for round in 0..10u64 {
             for i in 0..5u32 {
-                sim.schedule_command(round * 400_000 + u64::from(i) * 1_000, NodeId(i), put(i, round, 7));
+                sim.schedule_command(
+                    round * 400_000 + u64::from(i) * 1_000,
+                    NodeId(i),
+                    put(i, round, 7),
+                );
             }
         }
         sim.run();
@@ -1094,10 +1082,7 @@ mod tests {
             total += m.led_decisions();
         }
         assert_eq!(total, 50);
-        assert!(
-            fast * 10 >= total * 7,
-            "most decisions should be fast, got {fast}/{total}"
-        );
+        assert!(fast * 10 >= total * 7, "most decisions should be fast, got {fast}/{total}");
         // All replicas executed everything and agree on the conflicting order.
         let reference: Vec<CommandId> =
             sim.decisions(NodeId(0)).iter().map(|d| d.command).collect();
@@ -1164,9 +1149,8 @@ mod tests {
     fn five_node_cluster_survives_one_straggler_via_slow_proposal() {
         // Make node 4 unreachable: with only 4 live nodes a fast quorum (4) is
         // still possible, so crash node 3 as well leaving 3 = CQ.
-        let config = CaesarConfig::new(5)
-            .with_fast_quorum_timeout(100_000)
-            .with_recovery_timeout(None);
+        let config =
+            CaesarConfig::new(5).with_fast_quorum_timeout(100_000).with_recovery_timeout(None);
         let mut sim = five_site_sim(config);
         sim.schedule_crash(0, NodeId(3));
         sim.schedule_crash(0, NodeId(4));
@@ -1222,7 +1206,11 @@ mod tests {
         let mut sim = five_site_sim(CaesarConfig::new(5));
         for round in 0..10u64 {
             for i in 0..5u32 {
-                sim.schedule_command(round * 50_000 + u64::from(i) * 2_000, NodeId(i), put(i, round, 9));
+                sim.schedule_command(
+                    round * 50_000 + u64::from(i) * 2_000,
+                    NodeId(i),
+                    put(i, round, 9),
+                );
             }
         }
         sim.run();

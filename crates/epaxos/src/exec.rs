@@ -142,11 +142,8 @@ impl Tarjan<'_> {
         self.stack.push(v);
         self.on_stack.insert(v);
 
-        let deps: Vec<CommandId> = self
-            .graph
-            .get(&v)
-            .map(|n| n.deps.iter().copied().collect())
-            .unwrap_or_default();
+        let deps: Vec<CommandId> =
+            self.graph.get(&v).map(|n| n.deps.iter().copied().collect()).unwrap_or_default();
         for w in deps {
             if self.executed.contains(&w) || !self.graph.contains_key(&w) {
                 continue;

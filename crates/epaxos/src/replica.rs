@@ -7,11 +7,16 @@ use consensus_types::{
     Ballot, Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec,
     SimTime, Timestamp,
 };
+use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
 
 use crate::exec::ExecutionGraph;
 
 type Deps = BTreeSet<CommandId>;
+
+/// Local knowledge about an instance shipped in a `PrepareReply`:
+/// (command, seq, deps, status).
+type PrepareInfo = (Command, u64, Deps, InstanceStatus);
 
 /// Configuration of an EPaxos replica.
 #[derive(Debug, Clone)]
@@ -40,7 +45,7 @@ impl EpaxosConfig {
         let f = quorums.max_failures();
         Self {
             quorums,
-            fast_quorum: f + (f + 1) / 2,
+            fast_quorum: f + f.div_ceil(2),
             recovery_timeout: Some(2_000_000),
             message_cost_us: 12,
             per_graph_node_cost_ns: 400,
@@ -63,7 +68,7 @@ impl EpaxosConfig {
 }
 
 /// Status of an instance in the replica's log.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InstanceStatus {
     /// Pre-accepted (fast-path attempt in progress).
     PreAccepted,
@@ -76,7 +81,7 @@ pub enum InstanceStatus {
 }
 
 /// Messages of the EPaxos protocol (timeouts are self-messages).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum EpaxosMessage {
     /// Leader → replicas: propose `cmd` with the leader's attributes.
     PreAccept {
@@ -222,7 +227,7 @@ pub struct EpaxosReplica {
     led: HashMap<CommandId, (SimTime, DecisionPath)>,
     exec: ExecutionGraph,
     ballots: HashMap<CommandId, Ballot>,
-    recovering: HashMap<CommandId, (Ballot, Vec<Option<(Command, u64, Deps, InstanceStatus)>>)>,
+    recovering: HashMap<CommandId, (Ballot, Vec<Option<PrepareInfo>>)>,
     recovery_timer_set: HashSet<CommandId>,
     metrics: EpaxosMetrics,
     out_decisions: Vec<Decision>,
@@ -302,7 +307,12 @@ impl EpaxosReplica {
         }
     }
 
-    fn maybe_schedule_recovery(&mut self, cmd_id: CommandId, leader: NodeId, ctx: &mut Context<'_, EpaxosMessage>) {
+    fn maybe_schedule_recovery(
+        &mut self,
+        cmd_id: CommandId,
+        leader: NodeId,
+        ctx: &mut Context<'_, EpaxosMessage>,
+    ) {
         let Some(timeout) = self.config.recovery_timeout else { return };
         if leader == self.id || self.recovery_timer_set.contains(&cmd_id) {
             return;
@@ -317,7 +327,12 @@ impl EpaxosReplica {
         self.record_conflict(&cmd, seq);
         self.instances.insert(
             cmd_id,
-            Instance { cmd: cmd.clone(), seq, deps: deps.clone(), status: InstanceStatus::Committed },
+            Instance {
+                cmd: cmd.clone(),
+                seq,
+                deps: deps.clone(),
+                status: InstanceStatus::Committed,
+            },
         );
         self.exec.commit(cmd_id, seq, deps);
         let executed = self.exec.try_execute(cmd_id);
@@ -347,11 +362,8 @@ impl EpaxosReplica {
                 instance.status = InstanceStatus::Executed;
             }
             self.metrics.commands_executed += 1;
-            let (proposed_at, path) = self
-                .led
-                .get(&id)
-                .copied()
-                .unwrap_or((now, DecisionPath::Ordered));
+            let (proposed_at, path) =
+                self.led.get(&id).copied().unwrap_or((now, DecisionPath::Ordered));
             self.out_decisions.push(Decision {
                 command: id,
                 timestamp: Timestamp::ZERO,
@@ -375,7 +387,12 @@ impl Process for EpaxosReplica {
         // The leader pre-accepts locally and counts itself in the quorum.
         self.instances.insert(
             cmd_id,
-            Instance { cmd: cmd.clone(), seq, deps: deps.clone(), status: InstanceStatus::PreAccepted },
+            Instance {
+                cmd: cmd.clone(),
+                seq,
+                deps: deps.clone(),
+                status: InstanceStatus::PreAccepted,
+            },
         );
         self.record_conflict(&cmd, seq);
         self.leading.insert(
@@ -396,7 +413,12 @@ impl Process for EpaxosReplica {
         ctx.broadcast_others(EpaxosMessage::PreAccept { ballot, cmd, seq, deps });
     }
 
-    fn on_message(&mut self, from: NodeId, msg: EpaxosMessage, ctx: &mut Context<'_, EpaxosMessage>) {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: EpaxosMessage,
+        ctx: &mut Context<'_, EpaxosMessage>,
+    ) {
         match msg {
             EpaxosMessage::PreAccept { ballot, cmd, seq, deps } => {
                 let cmd_id = cmd.id();
@@ -456,13 +478,22 @@ impl Process for EpaxosReplica {
                     let cmd = state.cmd.clone();
                     let (seq, deps) = (state.seq, state.deps.clone());
                     let proposed_at = state.proposed_at;
-                    let path = if state.from_recovery { DecisionPath::Recovery } else { DecisionPath::Fast };
+                    let path = if state.from_recovery {
+                        DecisionPath::Recovery
+                    } else {
+                        DecisionPath::Fast
+                    };
                     self.metrics.fast_path += 1;
                     self.led.insert(cmd_id, (proposed_at, path));
-                    ctx.broadcast_others(EpaxosMessage::Commit { cmd: cmd.clone(), seq, deps: deps.clone() });
+                    ctx.broadcast_others(EpaxosMessage::Commit {
+                        cmd: cmd.clone(),
+                        seq,
+                        deps: deps.clone(),
+                    });
                     self.commit(cmd, seq, deps, ctx);
                 } else if state.replies >= classic
-                    && (state.replies >= fast_quorum || state.replies >= self.config.quorums.nodes())
+                    && (state.replies >= fast_quorum
+                        || state.replies >= self.config.quorums.nodes())
                 {
                     // Disagreement within the fast quorum: take the slow path.
                     state.phase = LeaderPhase::Accept;
@@ -483,7 +514,12 @@ impl Process for EpaxosReplica {
                 }
                 self.instances.insert(
                     cmd_id,
-                    Instance { cmd: cmd.clone(), seq, deps: deps.clone(), status: InstanceStatus::Accepted },
+                    Instance {
+                        cmd: cmd.clone(),
+                        seq,
+                        deps: deps.clone(),
+                        status: InstanceStatus::Accepted,
+                    },
                 );
                 self.record_conflict(&cmd, seq);
                 self.maybe_schedule_recovery(cmd_id, from, ctx);
@@ -501,10 +537,18 @@ impl Process for EpaxosReplica {
                     let cmd = state.cmd.clone();
                     let (seq, deps) = (state.seq, state.deps.clone());
                     let proposed_at = state.proposed_at;
-                    let path = if state.from_recovery { DecisionPath::Recovery } else { DecisionPath::SlowRetry };
+                    let path = if state.from_recovery {
+                        DecisionPath::Recovery
+                    } else {
+                        DecisionPath::SlowRetry
+                    };
                     self.metrics.slow_path += 1;
                     self.led.insert(cmd_id, (proposed_at, path));
-                    ctx.broadcast_others(EpaxosMessage::Commit { cmd: cmd.clone(), seq, deps: deps.clone() });
+                    ctx.broadcast_others(EpaxosMessage::Commit {
+                        cmd: cmd.clone(),
+                        seq,
+                        deps: deps.clone(),
+                    });
                     self.commit(cmd, seq, deps, ctx);
                 }
             }
@@ -591,7 +635,10 @@ impl Process for EpaxosReplica {
             EpaxosMessage::RecoveryTimeout { cmd_id } => {
                 let Some(timeout) = self.config.recovery_timeout else { return };
                 let status = self.instances.get(&cmd_id).map(|i| i.status);
-                if matches!(status, Some(InstanceStatus::Committed | InstanceStatus::Executed) | None) {
+                if matches!(
+                    status,
+                    Some(InstanceStatus::Committed | InstanceStatus::Executed) | None
+                ) {
                     return;
                 }
                 self.metrics.recoveries_started += 1;

@@ -141,10 +141,8 @@ impl FigureSeries<BreakdownRow> {
     /// Renders the series as an aligned text table.
     #[must_use]
     pub fn to_table(&self) -> Table {
-        let mut table = Table::new(
-            self.title.clone(),
-            &["conflict %", "propose", "retry", "deliver"],
-        );
+        let mut table =
+            Table::new(self.title.clone(), &["conflict %", "propose", "retry", "deliver"]);
         for row in &self.rows {
             table.push_row(vec![
                 format!("{:.0}", row.conflict_percent),
@@ -326,10 +324,7 @@ pub fn fig9_throughput(scale: f64, conflicts: &[f64]) -> FigureSeries<Throughput
             }
         }
     }
-    FigureSeries {
-        title: "Figure 9 — total throughput (cmd/s) vs conflict %".to_string(),
-        rows,
-    }
+    FigureSeries { title: "Figure 9 — total throughput (cmd/s) vs conflict %".to_string(), rows }
 }
 
 /// **Figure 10** — percentage of commands decided through a slow decision
@@ -412,10 +407,7 @@ pub fn ablation_wait_condition(scale: f64, conflicts: &[f64]) -> FigureSeries<Ab
             });
         }
     }
-    FigureSeries {
-        title: "Ablation — CAESAR wait condition on vs off".to_string(),
-        rows,
-    }
+    FigureSeries { title: "Ablation — CAESAR wait condition on vs off".to_string(), rows }
 }
 
 /// **Ablation** — fast-quorum size: the paper's `⌈3N/4⌉ = 4` versus the
@@ -436,10 +428,7 @@ pub fn ablation_fast_quorum_size(scale: f64, conflicts: &[f64]) -> FigureSeries<
             });
         }
     }
-    FigureSeries {
-        title: "Ablation — CAESAR fast-quorum size".to_string(),
-        rows,
-    }
+    FigureSeries { title: "Ablation — CAESAR fast-quorum size".to_string(), rows }
 }
 
 #[cfg(test)]

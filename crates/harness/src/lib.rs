@@ -38,9 +38,11 @@ mod run;
 
 pub use figures::{
     ablation_fast_quorum_size, ablation_wait_condition, fig10_slow_paths, fig11_breakdown,
-    fig6_latency_conflicts, fig7_single_leader, fig8_scalability, fig9_throughput, AblationRow, CONFLICT_LEVELS,
-    BreakdownRow, FigureSeries, LatencyRow, SlowPathRow, ThroughputRow, WaitRow,
+    fig6_latency_conflicts, fig7_single_leader, fig8_scalability, fig9_throughput, AblationRow,
+    BreakdownRow, FigureSeries, LatencyRow, SlowPathRow, ThroughputRow, WaitRow, CONFLICT_LEVELS,
 };
 pub use recovery::{fig12_recovery, RecoveryTimeline};
 pub use report::{format_table, Table};
-pub use run::{run_closed_loop, site_name, PhaseShares, ProtocolKind, RunConfig, RunResult, SITE_LABELS};
+pub use run::{
+    run_closed_loop, site_name, PhaseShares, ProtocolKind, RunConfig, RunResult, SITE_LABELS,
+};

@@ -48,10 +48,8 @@ impl RecoveryTimeline {
         header.extend(timelines.iter().map(|t| t.protocol.name()));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let seconds = timelines.iter().map(|t| t.per_second.len()).max().unwrap_or(0);
-        let mut table = Table::new(
-            "Figure 12 — throughput (cmd/s) timeline, one node crashes",
-            &header_refs,
-        );
+        let mut table =
+            Table::new("Figure 12 — throughput (cmd/s) timeline, one node crashes", &header_refs);
         for s in 0..seconds {
             let mut cells = vec![s.to_string()];
             for t in timelines {
@@ -116,7 +114,7 @@ where
     sim.schedule_crash(crash_at_s * MICROS_PER_SEC, NodeId(0));
 
     let workload = WorkloadConfig::new(5).with_conflict_percent(10.0);
-    let generator = WorkloadGenerator::new(workload, seed ^ 0xF16_12);
+    let generator = WorkloadGenerator::new(workload, seed ^ 0x000F_1612);
     let mut driver = ClosedLoopDriver::new(generator, clients_per_node);
     driver.start(&mut sim);
     driver.pump_until(&mut sim, duration);
@@ -161,11 +159,8 @@ mod tests {
 
     #[test]
     fn timeline_statistics_handle_short_runs() {
-        let t = RecoveryTimeline {
-            protocol: ProtocolKind::Caesar,
-            crash_at_s: 0,
-            per_second: vec![5],
-        };
+        let t =
+            RecoveryTimeline { protocol: ProtocolKind::Caesar, crash_at_s: 0, per_second: vec![5] };
         assert_eq!(t.before_crash_avg(), 0.0);
         assert!(t.tail_avg() > 0.0);
     }

@@ -95,7 +95,11 @@ impl RunConfig {
     /// Defaults for the throughput experiments: a heavier closed-loop load.
     #[must_use]
     pub fn throughput_defaults(protocol: ProtocolKind, conflict_percent: f64) -> Self {
-        Self { clients_per_node: 200, sim_seconds: 5.0, ..Self::latency_defaults(protocol, conflict_percent) }
+        Self {
+            clients_per_node: 200,
+            sim_seconds: 5.0,
+            ..Self::latency_defaults(protocol, conflict_percent)
+        }
     }
 
     /// Overrides the number of clients per node.
@@ -207,7 +211,11 @@ pub fn run_closed_loop(config: &RunConfig) -> RunResult {
                 message_cost_us: scale_cost(c.message_cost_us, config.batching),
                 ..c
             };
-            run_generic(config, move |id| M2PaxosReplica::new(id, c.clone()), |_| (None, None, None))
+            run_generic(
+                config,
+                move |id| M2PaxosReplica::new(id, c.clone()),
+                |_| (None, None, None),
+            )
         }
         ProtocolKind::Mencius => {
             let c = MenciusConfig::new(config.nodes);
@@ -215,7 +223,11 @@ pub fn run_closed_loop(config: &RunConfig) -> RunResult {
                 message_cost_us: scale_cost(c.message_cost_us, config.batching),
                 ..c
             };
-            run_generic(config, move |id| MenciusReplica::new(id, c.clone()), |_| (None, None, None))
+            run_generic(
+                config,
+                move |id| MenciusReplica::new(id, c.clone()),
+                |_| (None, None, None),
+            )
         }
         ProtocolKind::MultiPaxos(leader) => {
             let c = MultiPaxosConfig::new(config.nodes, leader);
@@ -223,7 +235,11 @@ pub fn run_closed_loop(config: &RunConfig) -> RunResult {
                 message_cost_us: scale_cost(c.message_cost_us, config.batching),
                 ..c
             };
-            run_generic(config, move |id| MultiPaxosReplica::new(id, c.clone()), |_| (None, None, None))
+            run_generic(
+                config,
+                move |id| MultiPaxosReplica::new(id, c.clone()),
+                |_| (None, None, None),
+            )
         }
     }
 }
@@ -264,11 +280,8 @@ fn run_caesar(config: &RunConfig) -> RunResult {
                 deliver += m.deliver_time_total;
                 wait_ms.push(m.avg_wait_time() / 1_000.0);
             }
-            let slow_pct = if total == 0 {
-                None
-            } else {
-                Some(100.0 * (total - fast) as f64 / total as f64)
-            };
+            let slow_pct =
+                if total == 0 { None } else { Some(100.0 * (total - fast) as f64 / total as f64) };
             let sum = (propose + retry + deliver).max(1) as f64;
             let shares = PhaseShares {
                 propose: propose as f64 / sum,
@@ -295,8 +308,7 @@ fn run_epaxos(config: &RunConfig) -> RunResult {
                 slow += m.slow_path;
             }
             let total = fast + slow;
-            let slow_pct =
-                if total == 0 { None } else { Some(100.0 * slow as f64 / total as f64) };
+            let slow_pct = if total == 0 { None } else { Some(100.0 * slow as f64 / total as f64) };
             (slow_pct, None, None)
         },
     )
@@ -371,11 +383,7 @@ fn summarize(
 /// report headers.
 #[must_use]
 pub fn site_name(node: NodeId) -> &'static str {
-    GeoSite::ALL
-        .iter()
-        .find(|s| s.node() == node)
-        .map(|s| s.label())
-        .unwrap_or("??")
+    GeoSite::ALL.iter().find(|s| s.node() == node).map(|s| s.label()).unwrap_or("??")
 }
 
 #[cfg(test)]

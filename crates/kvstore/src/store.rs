@@ -119,7 +119,8 @@ mod tests {
     fn get_reads_without_modifying() {
         let mut s = KvStore::new();
         s.apply(&put(1, 7, 10));
-        let get = Command::new(CommandId::new(NodeId(1), 1), consensus_types::Operation::Get, Some(7), 0);
+        let get =
+            Command::new(CommandId::new(NodeId(1), 1), consensus_types::Operation::Get, Some(7), 0);
         assert_eq!(s.apply(&get), Some(10));
         assert_eq!(s.applied_writes(), 1);
     }

@@ -34,6 +34,7 @@ use consensus_types::{
     Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
     Timestamp,
 };
+use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
 
 /// Configuration of an M²Paxos replica.
@@ -54,7 +55,7 @@ impl M2PaxosConfig {
 }
 
 /// Messages of the M²Paxos protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum M2PaxosMessage {
     /// Non-owner → owner: please order this command on your key.
     Forward {

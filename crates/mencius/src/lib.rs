@@ -33,6 +33,7 @@ use consensus_types::{
     Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
     Timestamp,
 };
+use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
 
 /// Configuration of a Mencius replica.
@@ -62,7 +63,7 @@ enum SlotValue {
 }
 
 /// Messages of the Mencius protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum MenciusMessage {
     /// Slot owner → all: order `cmd` at `slot`.
     Propose {

@@ -35,6 +35,7 @@ use consensus_types::{
     Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
     Timestamp,
 };
+use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
 
 /// Configuration of a Multi-Paxos replica.
@@ -65,7 +66,7 @@ impl MultiPaxosConfig {
 }
 
 /// Messages of the Multi-Paxos protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum MultiPaxosMessage {
     /// Non-leader replica → leader: order this client command for me.
     Forward {

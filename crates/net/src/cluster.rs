@@ -1,0 +1,238 @@
+//! Orchestration of an N-replica cluster over loopback TCP.
+//!
+//! [`NetCluster`] is the socket-runtime analogue of `cluster::Cluster` and
+//! the simulator: it spawns one [`NetReplica`] per node on an OS-assigned
+//! loopback port, distributes the address book, opens one *client*
+//! connection per replica for command submission, and subscribes to every
+//! replica's decision stream so tests and examples can assert on delivery
+//! orders observed **over the wire** — not through shared memory.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use consensus_types::{Command, Decision, NodeId};
+use simnet::Process;
+
+use crate::replica::{DelayShim, NetReplica, NetReplicaConfig};
+use crate::wire::{send_msg, Event, FrameReader, WireMessage};
+
+/// Configuration of a socket-backed cluster.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of replicas to spawn.
+    pub nodes: usize,
+    /// Optional artificial WAN delay applied to every replica's outbound
+    /// frames (and self-deliveries), emulating the paper's EC2 matrix.
+    pub delay: Option<DelayShim>,
+    /// Multiplier mapping `SimTime` protocol timeouts onto wall-clock time.
+    pub timer_scale: f64,
+}
+
+impl NetConfig {
+    /// A loopback cluster with no artificial delay and real-time timers.
+    #[must_use]
+    pub fn new(nodes: usize) -> Self {
+        Self { nodes, delay: None, timer_scale: 1.0 }
+    }
+
+    /// Installs an artificial-delay shim.
+    #[must_use]
+    pub fn with_delay(mut self, delay: DelayShim) -> Self {
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Sets the timer scale factor.
+    #[must_use]
+    pub fn with_timer_scale(mut self, scale: f64) -> Self {
+        self.timer_scale = scale;
+        self
+    }
+}
+
+/// A per-replica client connection: the write half submits commands, a
+/// background reader collects decision events.
+struct ClientLink {
+    writer: Mutex<TcpStream>,
+}
+
+/// A running cluster of socket-backed replicas.
+pub struct NetCluster<P: Process> {
+    replicas: Vec<NetReplica<P>>,
+    links: Vec<ClientLink>,
+    decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
+    readers: Vec<JoinHandle<()>>,
+    reader_stop: Arc<AtomicBool>,
+    started_at: Instant,
+}
+
+impl<P> NetCluster<P>
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+{
+    /// Spawns `config.nodes` replicas on loopback, links them, and connects
+    /// a submission/subscription client to each.
+    pub fn start(config: NetConfig, mut make: impl FnMut(NodeId) -> P) -> io::Result<Self> {
+        let epoch = Instant::now();
+        // Phase 1: bind every listener so the address book is complete.
+        let mut replicas = Vec::with_capacity(config.nodes);
+        for index in 0..config.nodes {
+            let id = NodeId::from_index(index);
+            let mut replica_config = NetReplicaConfig::loopback(id, config.nodes);
+            replica_config.delay = config.delay.clone();
+            replica_config.timer_scale = config.timer_scale;
+            replica_config.epoch = epoch;
+            replicas.push(NetReplica::spawn(replica_config, make(id))?);
+        }
+        let addrs: Vec<SocketAddr> = replicas.iter().map(NetReplica::local_addr).collect();
+        // Phase 2: hand out the address book; peer links dial lazily.
+        for replica in &mut replicas {
+            replica.start(addrs.clone());
+        }
+        // Phase 3: one client connection per replica; subscribe first so no
+        // decision event can precede registration.
+        let decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let reader_stop = Arc::new(AtomicBool::new(false));
+        let mut links = Vec::with_capacity(config.nodes);
+        let mut readers = Vec::with_capacity(config.nodes);
+        for &addr in &addrs {
+            let mut writer = TcpStream::connect(addr)?;
+            writer.set_nodelay(true)?;
+            send_msg(&mut writer, &WireMessage::<P::Message>::Subscribe)?;
+            let read_half = writer.try_clone()?;
+            let sink = Arc::clone(&decisions);
+            let stop = Arc::clone(&reader_stop);
+            readers.push(std::thread::spawn(move || client_reader(read_half, &sink, &stop)));
+            links.push(ClientLink { writer: Mutex::new(writer) });
+        }
+        Ok(Self { replicas, links, decisions, readers, reader_stop, started_at: epoch })
+    }
+
+    /// Submits a client command to `node` over its TCP client connection.
+    pub fn submit(&self, node: NodeId, cmd: Command) -> io::Result<()> {
+        let link = &self.links[node.index()];
+        let mut writer = link.writer.lock().expect("client writer lock");
+        send_msg(&mut *writer, &WireMessage::<P::Message>::Client { cmd })
+    }
+
+    /// Decisions received from `node`'s decision stream so far, in the order
+    /// that replica executed them.
+    #[must_use]
+    pub fn decisions(&self, node: NodeId) -> Vec<Decision> {
+        self.decisions.lock().expect("decision map lock").get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Blocks until `node` has reported at least `count` executed commands or
+    /// the timeout elapses; returns whatever has been reported by then.
+    #[must_use]
+    pub fn wait_for_decisions(
+        &self,
+        node: NodeId,
+        count: usize,
+        timeout: Duration,
+    ) -> Vec<Decision> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let current = self.decisions(node);
+            if current.len() >= count || Instant::now() >= deadline {
+                return current;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Waits until **every** replica has reported at least `count` executed
+    /// commands (or the timeout elapses) and returns the per-node decision
+    /// vectors indexed by node.
+    #[must_use]
+    pub fn wait_for_all(&self, count: usize, timeout: Duration) -> Vec<Vec<Decision>> {
+        let deadline = Instant::now() + timeout;
+        (0..self.replicas.len())
+            .map(|index| {
+                let node = NodeId::from_index(index);
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.wait_for_decisions(node, count, remaining)
+            })
+            .collect()
+    }
+
+    /// Number of replicas in the cluster.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The listen address of `node` (loopback, OS-assigned port).
+    #[must_use]
+    pub fn addr(&self, node: NodeId) -> SocketAddr {
+        self.replicas[node.index()].local_addr()
+    }
+
+    /// Total frames sent/received/dropped across all replicas.
+    #[must_use]
+    pub fn transport_totals(&self) -> (u64, u64, u64) {
+        let mut sent = 0;
+        let mut received = 0;
+        let mut dropped = 0;
+        for replica in &self.replicas {
+            let stats = replica.stats();
+            sent += stats.frames_sent.load(Ordering::Relaxed);
+            received += stats.frames_received.load(Ordering::Relaxed);
+            dropped += stats.frames_dropped.load(Ordering::Relaxed);
+        }
+        (sent, received, dropped)
+    }
+
+    /// Wall-clock time since the cluster started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+
+    /// Stops every replica and joins all cluster threads.
+    pub fn shutdown(self) {
+        for link in &self.links {
+            let mut writer = link.writer.lock().expect("client writer lock");
+            let _ = send_msg(&mut *writer, &WireMessage::<P::Message>::Shutdown);
+        }
+        for replica in self.replicas {
+            replica.shutdown();
+        }
+        self.reader_stop.store(true, Ordering::SeqCst);
+        drop(self.links); // closes client sockets; readers see EOF
+        for reader in self.readers {
+            let _ = reader.join();
+        }
+    }
+}
+
+fn client_reader(
+    mut stream: TcpStream,
+    sink: &Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
+    stop: &Arc<AtomicBool>,
+) {
+    // Timeout-tolerant decoding: a read timeout mid-frame must not lose the
+    // partial bytes (see wire::FrameReader).
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut decoder = FrameReader::new();
+    loop {
+        match decoder.read_msg::<_, Event>(&mut stream) {
+            Ok(Some(Event::Decisions { from, batch })) => {
+                sink.lock().expect("decision map lock").entry(from).or_default().extend(batch);
+            }
+            Ok(None) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,583 @@
+//! One replica running over real sockets.
+//!
+//! A [`NetReplica`] owns a single [`simnet::Process`] implementation and
+//! drives it exactly the way the simulator does — through
+//! [`Context::for_runtime`] — but with TCP in place of the event queue:
+//!
+//! * a **listener** accepts inbound connections; each gets a reader thread
+//!   that decodes [`WireMessage`] frames into the replica's mailbox;
+//! * a **core loop** drains the mailbox, invokes the process callbacks,
+//!   flushes the outbox to per-peer writer threads, and maps the process's
+//!   `SimTime` timers onto wall-clock deadlines in a local timer wheel;
+//! * per-peer **writer** threads own one outbound connection each, with
+//!   automatic reconnect + backoff, so a replica that comes up late or drops
+//!   a link is re-linked transparently;
+//! * an optional [`DelayShim`] holds outbound frames until an artificial
+//!   delivery deadline, emulating a WAN latency matrix on loopback.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use consensus_types::{NodeId, SimTime};
+use simnet::{Context, LatencyMatrix, Process};
+
+use crate::wire::{send_msg, Event, FrameReader, WireMessage};
+
+/// An outbound frame queued for a peer writer: artificial delivery deadline
+/// plus the envelope to put on the wire.
+type Outbound<M> = (Instant, WireMessage<M>);
+
+/// Emulates a WAN latency matrix on a fast local network by delaying each
+/// outbound frame until `one_way(src, dst) × scale` has elapsed since it was
+/// produced (the paper's five-site EC2 matrix scaled down keeps tests fast).
+#[derive(Debug, Clone)]
+pub struct DelayShim {
+    latency: LatencyMatrix,
+    scale: f64,
+}
+
+impl DelayShim {
+    /// Creates a shim from a latency matrix and a scale factor (`0.01` turns
+    /// a 93 ms one-way delay into 0.93 ms).
+    #[must_use]
+    pub fn new(latency: LatencyMatrix, scale: f64) -> Self {
+        Self { latency, scale }
+    }
+
+    /// The artificial one-way delay from `src` to `dst`.
+    #[must_use]
+    pub fn one_way(&self, src: NodeId, dst: NodeId) -> Duration {
+        let us = self.latency.one_way(src, dst) as f64 * self.scale;
+        Duration::from_micros(us as u64)
+    }
+}
+
+/// Configuration of one socket-backed replica.
+#[derive(Debug, Clone)]
+pub struct NetReplicaConfig {
+    /// This replica's identity.
+    pub id: NodeId,
+    /// Total number of replicas in the cluster.
+    pub nodes: usize,
+    /// Address to listen on; use port 0 to let the OS pick one.
+    pub bind: SocketAddr,
+    /// Optional artificial-delay shim applied to outbound frames (including
+    /// self-deliveries).
+    pub delay: Option<DelayShim>,
+    /// Multiplier mapping the process's `SimTime` timer delays (µs) onto
+    /// wall-clock time; `1.0` means a 500 ms protocol timeout sleeps 500 ms.
+    pub timer_scale: f64,
+    /// Delay between outbound reconnect attempts.
+    pub reconnect_backoff: Duration,
+    /// Epoch used for `Context::now`; share one across the cluster so
+    /// timestamps are comparable.
+    pub epoch: Instant,
+}
+
+impl NetReplicaConfig {
+    /// A loopback configuration with OS-assigned port and real-time timers.
+    #[must_use]
+    pub fn loopback(id: NodeId, nodes: usize) -> Self {
+        Self {
+            id,
+            nodes,
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            delay: None,
+            timer_scale: 1.0,
+            reconnect_backoff: Duration::from_millis(10),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+/// Counters exposed by a running replica (all monotone).
+#[derive(Debug, Default)]
+pub struct NetReplicaStats {
+    /// Frames successfully written to peers.
+    pub frames_sent: AtomicU64,
+    /// Frames received and enqueued from any connection.
+    pub frames_received: AtomicU64,
+    /// Outbound frames dropped after a write failed twice (pre- and
+    /// post-reconnect).
+    pub frames_dropped: AtomicU64,
+    /// Successful outbound connection establishments (first + re-connects).
+    pub connects: AtomicU64,
+}
+
+/// A consensus replica served over TCP.
+///
+/// Returned by [`NetReplica::spawn`] in a *bound but not yet linked* state:
+/// the listener is accepting (so peers can dial in at any time) but the core
+/// loop only starts once [`NetReplica::start`] provides the peer address
+/// book. This two-phase bring-up lets an orchestrator bind N replicas on
+/// OS-assigned ports first and distribute the resulting addresses second.
+pub struct NetReplica<P: Process> {
+    id: NodeId,
+    local_addr: SocketAddr,
+    config: NetReplicaConfig,
+    process: Option<P>,
+    mailbox_tx: Sender<WireMessage<P::Message>>,
+    mailbox_rx: Option<Receiver<WireMessage<P::Message>>>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<NetReplicaStats>,
+    subscribers: Arc<Mutex<Vec<TcpStream>>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<P> NetReplica<P>
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+{
+    /// Binds the listener and starts accepting connections. The process is
+    /// not driven until [`NetReplica::start`] is called.
+    pub fn spawn(config: NetReplicaConfig, process: P) -> io::Result<Self> {
+        let listener = TcpListener::bind(config.bind)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (mailbox_tx, mailbox_rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(NetReplicaStats::default());
+        let subscribers = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let mailbox = mailbox_tx.clone();
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let subscribers = Arc::clone(&subscribers);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &mailbox, &shutdown, &stats, &subscribers);
+            })
+        };
+
+        Ok(Self {
+            id: config.id,
+            local_addr,
+            config,
+            process: Some(process),
+            mailbox_tx,
+            mailbox_rx: Some(mailbox_rx),
+            shutdown: Arc::clone(&shutdown),
+            stats,
+            subscribers,
+            threads: vec![accept_thread],
+        })
+    }
+
+    /// The address the replica is listening on (useful with port 0 binds).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// This replica's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Live transport counters.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<NetReplicaStats> {
+        &self.stats
+    }
+
+    /// A handle for injecting envelopes into the local mailbox without a
+    /// socket (used by in-process orchestration and tests).
+    #[must_use]
+    pub fn mailbox(&self) -> Sender<WireMessage<P::Message>> {
+        self.mailbox_tx.clone()
+    }
+
+    /// Starts the core loop given the full cluster address book
+    /// (`peers[i]` is replica *i*'s listen address; this replica's own entry
+    /// is ignored — self-sends short-circuit through the timer wheel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice or if `peers.len()` disagrees with the
+    /// configured cluster size.
+    pub fn start(&mut self, peers: Vec<SocketAddr>) {
+        assert_eq!(peers.len(), self.config.nodes, "address book size mismatch");
+        let process = self.process.take().expect("NetReplica::start called twice");
+        let mailbox_rx = self.mailbox_rx.take().expect("mailbox receiver present");
+
+        // One writer thread + queue per remote peer.
+        let mut peer_txs: HashMap<NodeId, Sender<Outbound<P::Message>>> = HashMap::new();
+        for (index, &addr) in peers.iter().enumerate() {
+            let to = NodeId::from_index(index);
+            if to == self.id {
+                continue;
+            }
+            let (tx, rx) = mpsc::channel::<Outbound<P::Message>>();
+            peer_txs.insert(to, tx);
+            let shutdown = Arc::clone(&self.shutdown);
+            let stats = Arc::clone(&self.stats);
+            let me = self.id;
+            let backoff = self.config.reconnect_backoff;
+            self.threads.push(std::thread::spawn(move || {
+                writer_loop(me, addr, &rx, &shutdown, &stats, backoff);
+            }));
+        }
+
+        let core = CoreLoop {
+            id: self.id,
+            nodes: self.config.nodes,
+            process,
+            mailbox: mailbox_rx,
+            peer_txs,
+            timers: TimerWheel::default(),
+            delay: self.config.delay.clone(),
+            timer_scale: self.config.timer_scale,
+            epoch: self.config.epoch,
+            shutdown: Arc::clone(&self.shutdown),
+            subscribers: Arc::clone(&self.subscribers),
+        };
+        self.threads.push(std::thread::spawn(move || core.run()));
+    }
+
+    /// Requests shutdown without blocking (the core loop exits at its next
+    /// mailbox wakeup).
+    pub fn request_shutdown(&self) {
+        let _ = self.mailbox_tx.send(WireMessage::Shutdown);
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Requests shutdown and joins every thread the replica spawned.
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop<M>(
+    listener: &TcpListener,
+    mailbox: &Sender<WireMessage<M>>,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<NetReplicaStats>,
+    subscribers: &Arc<Mutex<Vec<TcpStream>>>,
+) where
+    M: serde::Deserialize + Send + 'static,
+{
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mailbox = mailbox.clone();
+                let shutdown = Arc::clone(shutdown);
+                let stats = Arc::clone(stats);
+                let subscribers = Arc::clone(subscribers);
+                // Reader threads exit on EOF, decode error, or shutdown;
+                // the read timeout bounds how long shutdown can take.
+                std::thread::spawn(move || {
+                    reader_loop(stream, &mailbox, &shutdown, &stats, &subscribers);
+                });
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn reader_loop<M>(
+    mut stream: TcpStream,
+    mailbox: &Sender<WireMessage<M>>,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<NetReplicaStats>,
+    subscribers: &Arc<Mutex<Vec<TcpStream>>>,
+) where
+    M: serde::Deserialize,
+{
+    let _ = stream.set_nodelay(true);
+    // The read timeout only bounds how long shutdown can take; the
+    // FrameReader keeps partial frames across timeouts, so a timeout firing
+    // mid-frame never desynchronizes the stream.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut decoder = FrameReader::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match decoder.read_msg::<_, WireMessage<M>>(&mut stream) {
+            Ok(Some(WireMessage::Subscribe)) => {
+                // Register the write half of this connection as a decision
+                // sink; the core loop publishes Event frames to it. The write
+                // timeout makes sure a stalled subscriber is dropped instead
+                // of blocking the core loop.
+                if let Ok(write_half) = stream.try_clone() {
+                    let _ = write_half.set_write_timeout(Some(Duration::from_secs(1)));
+                    subscribers.lock().expect("subscriber list lock").push(write_half);
+                }
+            }
+            Ok(Some(message)) => {
+                stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                if mailbox.send(message).is_err() {
+                    return; // core loop gone
+                }
+            }
+            Ok(None) => continue, // timeout: poll the shutdown flag again
+            Err(_) => return,     // EOF or protocol error: drop the connection
+        }
+    }
+}
+
+/// Owns one outbound link, (re)connecting as needed and honouring the
+/// artificial delivery deadlines attached by the core loop.
+fn writer_loop<M: serde::Serialize>(
+    me: NodeId,
+    addr: SocketAddr,
+    queue: &Receiver<Outbound<M>>,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<NetReplicaStats>,
+    backoff: Duration,
+) {
+    let mut stream: Option<TcpStream> = None;
+    loop {
+        let (deliver_at, message) = match queue.recv_timeout(Duration::from_millis(50)) {
+            Ok(entry) => entry,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let wait = deliver_at.saturating_duration_since(Instant::now());
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        // Try to write; on failure reconnect once and retry, then drop the
+        // frame (protocols recover from message loss via their timeouts).
+        let mut attempts = 0;
+        loop {
+            if stream.is_none() {
+                stream = connect::<M>(me, addr, shutdown, stats, backoff);
+                if stream.is_none() {
+                    return; // shutdown while reconnecting
+                }
+            }
+            let sock = stream.as_mut().expect("connected stream");
+            match send_msg(sock, &message) {
+                Ok(()) => {
+                    stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Err(_) => {
+                    stream = None;
+                    attempts += 1;
+                    if attempts >= 2 {
+                        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Dials `addr` until it succeeds or shutdown is requested, announcing the
+/// sender with a `Hello` frame on every fresh connection.
+fn connect<M: serde::Serialize>(
+    me: NodeId,
+    addr: SocketAddr,
+    shutdown: &Arc<AtomicBool>,
+    stats: &Arc<NetReplicaStats>,
+    backoff: Duration,
+) -> Option<TcpStream> {
+    while !shutdown.load(Ordering::SeqCst) {
+        if let Ok(mut sock) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+            let _ = sock.set_nodelay(true);
+            if send_msg(&mut sock, &WireMessage::<M>::Hello { from: me }).is_ok() {
+                stats.connects.fetch_add(1, Ordering::Relaxed);
+                return Some(sock);
+            }
+        }
+        std::thread::sleep(backoff);
+    }
+    None
+}
+
+/// Pending self-deliveries: protocol timers and loopback (self-addressed)
+/// sends, ordered by wall-clock deadline.
+struct TimerWheel<M> {
+    entries: Vec<(Instant, M)>,
+}
+
+impl<M> Default for TimerWheel<M> {
+    fn default() -> Self {
+        Self { entries: Vec::new() }
+    }
+}
+
+impl<M> TimerWheel<M> {
+    fn push(&mut self, at: Instant, msg: M) {
+        self.entries.push((at, msg));
+    }
+
+    /// Deadline of the soonest pending entry.
+    fn next_deadline(&self) -> Option<Instant> {
+        self.entries.iter().map(|(at, _)| *at).min()
+    }
+
+    /// Removes and returns every entry due at `now`, in deadline order.
+    fn pop_due(&mut self, now: Instant) -> Vec<M> {
+        let mut due: Vec<(Instant, M)> = Vec::new();
+        let mut index = 0;
+        while index < self.entries.len() {
+            if self.entries[index].0 <= now {
+                due.push(self.entries.swap_remove(index));
+            } else {
+                index += 1;
+            }
+        }
+        due.sort_by_key(|(at, _)| *at);
+        due.into_iter().map(|(_, msg)| msg).collect()
+    }
+}
+
+struct CoreLoop<P: Process> {
+    id: NodeId,
+    nodes: usize,
+    process: P,
+    mailbox: Receiver<WireMessage<P::Message>>,
+    peer_txs: HashMap<NodeId, Sender<Outbound<P::Message>>>,
+    timers: TimerWheel<P::Message>,
+    delay: Option<DelayShim>,
+    timer_scale: f64,
+    epoch: Instant,
+    shutdown: Arc<AtomicBool>,
+    subscribers: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl<P> CoreLoop<P>
+where
+    P: Process,
+    P::Message: serde::Serialize,
+{
+    fn now_us(&self) -> SimTime {
+        self.epoch.elapsed().as_micros() as SimTime
+    }
+
+    fn run(mut self) {
+        let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
+        let mut new_timers: Vec<(SimTime, P::Message)> = Vec::new();
+
+        {
+            let now = self.now_us();
+            let mut ctx =
+                Context::for_runtime(self.id, self.nodes, now, &mut outbox, &mut new_timers);
+            self.process.on_start(&mut ctx);
+        }
+        self.flush(&mut outbox, &mut new_timers);
+
+        loop {
+            // Sleep until the next timer deadline, but never so long that a
+            // shutdown request goes unnoticed.
+            let timeout = self
+                .timers
+                .next_deadline()
+                .map(|at| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(25))
+                .min(Duration::from_millis(25));
+            match self.mailbox.recv_timeout(timeout) {
+                Ok(envelope) => {
+                    if !self.dispatch(envelope, &mut outbox, &mut new_timers) {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            // Fire due timers and self-deliveries through the same envelope
+            // path the mailbox uses.
+            for msg in self.timers.pop_due(Instant::now()) {
+                self.dispatch(WireMessage::Timer { msg }, &mut outbox, &mut new_timers);
+            }
+            self.flush(&mut outbox, &mut new_timers);
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Final decision flush so subscribers see everything executed.
+        self.publish_decisions();
+    }
+
+    /// Handles one envelope; returns `false` when the loop should stop.
+    fn dispatch(
+        &mut self,
+        envelope: WireMessage<P::Message>,
+        outbox: &mut Vec<(NodeId, P::Message)>,
+        new_timers: &mut Vec<(SimTime, P::Message)>,
+    ) -> bool {
+        match envelope {
+            WireMessage::Shutdown => return false,
+            WireMessage::Hello { .. } | WireMessage::Subscribe => {}
+            WireMessage::Peer { from, msg } => {
+                let now = self.now_us();
+                let mut ctx = Context::for_runtime(self.id, self.nodes, now, outbox, new_timers);
+                self.process.on_message(from, msg, &mut ctx);
+            }
+            WireMessage::Client { cmd } => {
+                let now = self.now_us();
+                let mut ctx = Context::for_runtime(self.id, self.nodes, now, outbox, new_timers);
+                self.process.on_client_command(cmd, &mut ctx);
+            }
+            WireMessage::Timer { msg } => {
+                let now = self.now_us();
+                let mut ctx = Context::for_runtime(self.id, self.nodes, now, outbox, new_timers);
+                self.process.on_message(self.id, msg, &mut ctx);
+            }
+        }
+        true
+    }
+
+    /// Routes buffered sends and timers, then publishes fresh decisions.
+    fn flush(
+        &mut self,
+        outbox: &mut Vec<(NodeId, P::Message)>,
+        new_timers: &mut Vec<(SimTime, P::Message)>,
+    ) {
+        let now = Instant::now();
+        for (to, msg) in outbox.drain(..) {
+            let deliver_at = match &self.delay {
+                Some(shim) => now + shim.one_way(self.id, to),
+                None => now,
+            };
+            if to == self.id {
+                // Loopback: no socket, but the artificial delay still applies.
+                self.timers.push(deliver_at, msg);
+            } else if let Some(tx) = self.peer_txs.get(&to) {
+                let _ = tx.send((deliver_at, WireMessage::Peer { from: self.id, msg }));
+            }
+        }
+        for (delay_us, msg) in new_timers.drain(..) {
+            let scaled = Duration::from_micros((delay_us as f64 * self.timer_scale) as u64);
+            self.timers.push(now + scaled, msg);
+        }
+        self.publish_decisions();
+    }
+
+    fn publish_decisions(&mut self) {
+        let executed = self.process.drain_decisions();
+        if executed.is_empty() {
+            return;
+        }
+        let event = Event::Decisions { from: self.id, batch: executed };
+        let mut sinks = self.subscribers.lock().expect("subscriber list lock");
+        // Drop sinks whose connection died; keep the rest.
+        sinks.retain_mut(|sink| send_msg(sink, &event).is_ok());
+    }
+}

@@ -70,11 +70,7 @@ impl LatencyMatrix {
     /// zero; use the setters to fill it in.
     #[must_use]
     pub fn new(nodes: usize) -> Self {
-        Self {
-            nodes,
-            one_way: vec![vec![0; nodes]; nodes],
-            local: Self::DEFAULT_LOCAL_US,
-        }
+        Self { nodes, one_way: vec![vec![0; nodes]; nodes], local: Self::DEFAULT_LOCAL_US }
     }
 
     /// A matrix where every pair of distinct nodes has the same round-trip

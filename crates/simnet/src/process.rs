@@ -107,7 +107,12 @@ pub trait Process {
 
     /// Called when a message from `from` is delivered (also used for
     /// self-scheduled timeouts, in which case `from == ctx.me()`).
-    fn on_message(&mut self, from: NodeId, msg: Self::Message, ctx: &mut Context<'_, Self::Message>);
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        msg: Self::Message,
+        ctx: &mut Context<'_, Self::Message>,
+    );
 
     /// Returns the commands executed since the last call, in execution order.
     fn drain_decisions(&mut self) -> Vec<Decision>;

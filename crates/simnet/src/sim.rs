@@ -365,8 +365,7 @@ impl<P: Process> Simulator<P> {
     /// Runs until simulated time reaches `until` (or the queue drains).
     pub fn run_until(&mut self, until: SimTime) -> SimStats {
         self.dispatch_start();
-        loop {
-            let Some(&Reverse((at, _, _))) = self.queue.peek() else { break };
+        while let Some(&Reverse((at, _, _))) = self.queue.peek() {
             if at > until {
                 break;
             }
@@ -522,8 +521,9 @@ mod tests {
     #[test]
     fn jitter_is_deterministic_for_a_fixed_seed() {
         let run = |seed: u64| {
-            let config =
-                SimConfig::new(LatencyMatrix::uniform(3, 20.0)).with_jitter_us(3_000).with_seed(seed);
+            let config = SimConfig::new(LatencyMatrix::uniform(3, 20.0))
+                .with_jitter_us(3_000)
+                .with_seed(seed);
             let mut sim = Simulator::new(config, |_| PingPong::default());
             sim.schedule_command(0, NodeId(0), cmd(1));
             sim.run().end_time

@@ -115,7 +115,8 @@ mod tests {
     #[test]
     fn quorum_sizes_for_small_clusters() {
         // (N, CQ, FQ)
-        let expected = [(1, 1, 1), (2, 2, 2), (3, 2, 3), (4, 3, 3), (5, 3, 4), (7, 4, 6), (9, 5, 7)];
+        let expected =
+            [(1, 1, 1), (2, 2, 2), (3, 2, 3), (4, 3, 3), (5, 3, 4), (7, 4, 6), (9, 5, 7)];
         for (n, cq, fq) in expected {
             let q = QuorumSpec::new(n);
             assert_eq!(q.classic(), cq, "classic quorum for N={n}");
@@ -137,10 +138,7 @@ mod tests {
         // CQ∩FQ intersection must reach the recovery majority (N >= 3).
         for n in 3..=20 {
             let q = QuorumSpec::new(n);
-            assert!(
-                2 * q.fast() + q.classic() > 2 * n,
-                "FQ∩FQ∩CQ must be non-empty for N={n}"
-            );
+            assert!(2 * q.fast() + q.classic() > 2 * n, "FQ∩FQ∩CQ must be non-empty for N={n}");
             assert!(
                 q.classic_fast_intersection() >= q.recovery_majority(),
                 "|CQ∩FQ| >= floor(CQ/2)+1 must hold for N={n}"

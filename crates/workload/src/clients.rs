@@ -131,8 +131,7 @@ impl ClosedLoopDriver {
     /// Runs the simulation until `until` (simulated microseconds), feeding
     /// each client its next command as soon as the previous one completes.
     pub fn pump_until<P: Process>(&mut self, sim: &mut Simulator<P>, until: SimTime) {
-        loop {
-            let Some(now) = sim.step() else { break };
+        while let Some(now) = sim.step() {
             if now > until {
                 break;
             }
@@ -245,7 +244,8 @@ mod tests {
 
     #[test]
     fn closed_loop_clients_keep_one_command_outstanding() {
-        let generator = WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(10.0), 3);
+        let generator =
+            WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(10.0), 3);
         let mut driver = ClosedLoopDriver::new(generator, 2).with_max_commands(40);
         let mut sim = sim();
         driver.start(&mut sim);
@@ -254,8 +254,7 @@ mod tests {
         assert_eq!(driver.issued(), 40);
         assert_eq!(driver.completed(), 40);
         // Every command executed on every replica.
-        let per_node0 =
-            driver.decisions().iter().filter(|(n, _)| *n == NodeId(0)).count();
+        let per_node0 = driver.decisions().iter().filter(|(n, _)| *n == NodeId(0)).count();
         assert_eq!(per_node0, 40);
     }
 

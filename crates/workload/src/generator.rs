@@ -84,7 +84,9 @@ impl WorkloadGenerator {
         let conflicting = self.rng.gen_range(0.0..100.0) < self.config.conflict_percent;
         let key = if conflicting {
             self.conflicting += 1;
-            self.config.keyspace.shared_key(self.rng.gen_range(0..self.config.keyspace.shared_pool_size()))
+            self.config
+                .keyspace
+                .shared_key(self.rng.gen_range(0..self.config.keyspace.shared_pool_size()))
         } else {
             let unique = origin.index() as u64 * 10_000 + client;
             self.config.keyspace.private_key(unique, *seq)
@@ -131,8 +133,7 @@ mod tests {
 
     #[test]
     fn zero_percent_workload_never_touches_the_shared_pool() {
-        let mut g =
-            WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(0.0), 7);
+        let mut g = WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(0.0), 7);
         for _ in 0..500 {
             let cmd = g.next_command(NodeId(0), 0);
             assert!(!g.config().keyspace.is_shared(cmd.key().unwrap()));
@@ -142,8 +143,7 @@ mod tests {
 
     #[test]
     fn hundred_percent_workload_always_touches_the_shared_pool() {
-        let mut g =
-            WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(100.0), 7);
+        let mut g = WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(100.0), 7);
         for _ in 0..500 {
             let cmd = g.next_command(NodeId(1), 0);
             assert!(g.config().keyspace.is_shared(cmd.key().unwrap()));
@@ -153,8 +153,7 @@ mod tests {
 
     #[test]
     fn conflict_ratio_approximates_the_configured_percentage() {
-        let mut g =
-            WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(30.0), 99);
+        let mut g = WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(30.0), 99);
         for _ in 0..10_000 {
             g.next_command(NodeId(0), 0);
         }

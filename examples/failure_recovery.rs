@@ -18,7 +18,7 @@ fn main() {
          Virginia crashes at t = {crash_at_s} s, {total_seconds} s total.\n"
     );
 
-    let timelines = fig12_recovery(clients_per_node, crash_at_s, total_seconds, 0xF16_12);
+    let timelines = fig12_recovery(clients_per_node, crash_at_s, total_seconds, 0x000F_1612);
     println!("{}", RecoveryTimeline::to_table(&timelines));
 
     for t in &timelines {

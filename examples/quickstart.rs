@@ -14,7 +14,8 @@ fn main() {
     // 1. Build the five-site cluster with the WAN latencies reported in the paper.
     let latency = LatencyMatrix::ec2_five_sites();
     let config = CaesarConfig::new(5);
-    let mut sim = Simulator::new(SimConfig::new(latency), |id| CaesarReplica::new(id, config.clone()));
+    let mut sim =
+        Simulator::new(SimConfig::new(latency), |id| CaesarReplica::new(id, config.clone()));
 
     // 2. Submit commands: three conflicting updates to key 7 from different
     //    continents, plus one private-key update per site.

@@ -7,6 +7,54 @@
 //! Start with the [`caesar`] crate for the protocol itself, [`harness`] for
 //! the experiments, and the `examples/quickstart.rs` binary for a guided
 //! tour.
+//!
+//! # Three runtimes
+//!
+//! Every protocol implements the single [`simnet::Process`] trait once and
+//! can then run, unchanged, on three substrates:
+//!
+//! | runtime | substrate | time | use it for |
+//! |---|---|---|---|
+//! | [`simnet`] | discrete-event simulator | simulated | reproducing the paper's figures exactly (seeded, deterministic, crash injection, CPU-saturation model) |
+//! | [`cluster`] | one OS thread per replica, channel links | wall clock | exercising the protocols under real concurrency and scheduler interleavings in one process |
+//! | [`net`] | real TCP sockets, bincode frames | wall clock | deployment-shaped runs: real serialization, kernel buffers, reconnects, backpressure |
+//!
+//! `simnet` is where experiments live: every run is reproducible from a
+//! seed. `cluster` is the cheapest way to shake out ordering assumptions on
+//! real threads. `net` is the production path: an N-node cluster over
+//! loopback (or any addresses), with an optional delay shim that emulates
+//! the paper's five-site EC2 latency matrix on a single machine.
+//!
+//! ## Quickstart: a CAESAR cluster over TCP
+//!
+//! ```text
+//! cargo run --release --example tcp_cluster             # EC2 matrix at 10% scale
+//! cargo run --release --example tcp_cluster -- 50 400   # 50% scale, 400 commands
+//! ```
+//!
+//! or programmatically:
+//!
+//! ```
+//! use caesar::{CaesarConfig, CaesarReplica};
+//! use consensus_types::{Command, CommandId, NodeId};
+//! use net::{NetCluster, NetConfig};
+//!
+//! let caesar = CaesarConfig::new(3).with_recovery_timeout(None);
+//! let cluster = NetCluster::start(NetConfig::new(3), move |id| {
+//!     CaesarReplica::new(id, caesar.clone())
+//! })
+//! .expect("cluster starts");
+//! cluster.submit(NodeId(0), Command::put(CommandId::new(NodeId(0), 1), 7, 1)).unwrap();
+//! assert_eq!(
+//!     cluster.wait_for_decisions(NodeId(0), 1, std::time::Duration::from_secs(10)).len(),
+//!     1
+//! );
+//! cluster.shutdown();
+//! ```
+//!
+//! The `tests/cross_runtime.rs` integration test pins the three runtimes
+//! together: the same seeded workload must produce the identical delivery
+//! order on all of them.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -20,5 +68,6 @@ pub use kvstore;
 pub use m2paxos;
 pub use mencius;
 pub use multipaxos;
+pub use net;
 pub use simnet;
 pub use workload;

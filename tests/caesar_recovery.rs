@@ -29,8 +29,7 @@ fn crash_leader_at(crash_delay_us: u64, seed: u64) {
     sim.run();
 
     let survivors: Vec<NodeId> = NodeId::all(5).skip(1).collect();
-    let reference: Vec<CommandId> =
-        sim.decisions(survivors[0]).iter().map(|d| d.command).collect();
+    let reference: Vec<CommandId> = sim.decisions(survivors[0]).iter().map(|d| d.command).collect();
     assert!(
         !reference.is_empty(),
         "survivors executed nothing after crashing the leader at {crash_delay_us}µs"
@@ -84,8 +83,7 @@ fn recovery_preserves_a_possible_fast_decision() {
     sim.schedule_crash(200_000, NodeId(0));
     sim.run();
     let survivors: Vec<NodeId> = NodeId::all(5).skip(1).collect();
-    let reference: Vec<CommandId> =
-        sim.decisions(survivors[0]).iter().map(|d| d.command).collect();
+    let reference: Vec<CommandId> = sim.decisions(survivors[0]).iter().map(|d| d.command).collect();
     assert_eq!(reference.len(), 2, "both conflicting commands must be executed");
     for &node in &survivors {
         let order: Vec<CommandId> = sim.decisions(node).iter().map(|d| d.command).collect();
@@ -159,7 +157,7 @@ fn cluster_tolerates_f_failures_and_keeps_latency_bounded() {
     for i in 0..20u64 {
         let origin = NodeId((i % 3) as u32 * 3 / 3); // nodes 0 and 1 and 3 → map 0,1,0...
         let origin = if origin.index() == 2 { NodeId(3) } else { origin };
-        sim.schedule_command(i * 150_000, origin, put(origin.0, i + 1, (i % 3) as u64));
+        sim.schedule_command(i * 150_000, origin, put(origin.0, i + 1, i % 3));
     }
     sim.run();
     for node in [NodeId(0), NodeId(1), NodeId(3)] {

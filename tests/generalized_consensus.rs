@@ -75,7 +75,12 @@ fn assert_consistency(structures: &[CStruct], protocol: &str) {
     }
 }
 
-fn caesar_sim(conflict: f64, clients: usize, seconds: f64, seed: u64) -> (Vec<CStruct>, Vec<Command>, u64) {
+fn caesar_sim(
+    conflict: f64,
+    clients: usize,
+    seconds: f64,
+    seed: u64,
+) -> (Vec<CStruct>, Vec<Command>, u64) {
     let config = CaesarConfig::new(5);
     run_protocol(move |id| CaesarReplica::new(id, config.clone()), conflict, clients, seconds, seed)
 }
@@ -109,13 +114,8 @@ fn caesar_replicas_converge_to_identical_kv_state_under_full_conflict() {
 #[test]
 fn epaxos_orders_conflicting_commands_consistently() {
     let config = EpaxosConfig::new(5);
-    let (structures, _, issued) = run_protocol(
-        move |id| EpaxosReplica::new(id, config.clone()),
-        30.0,
-        6,
-        3.0,
-        3,
-    );
+    let (structures, _, issued) =
+        run_protocol(move |id| EpaxosReplica::new(id, config.clone()), 30.0, 6, 3.0, 3);
     assert!(issued > 100);
     assert_consistency(&structures, "epaxos");
 }
@@ -123,13 +123,8 @@ fn epaxos_orders_conflicting_commands_consistently() {
 #[test]
 fn m2paxos_orders_conflicting_commands_consistently() {
     let config = M2PaxosConfig::new(5);
-    let (structures, _, issued) = run_protocol(
-        move |id| M2PaxosReplica::new(id, config.clone()),
-        30.0,
-        6,
-        3.0,
-        4,
-    );
+    let (structures, _, issued) =
+        run_protocol(move |id| M2PaxosReplica::new(id, config.clone()), 30.0, 6, 3.0, 4);
     assert!(issued > 100);
     assert_consistency(&structures, "m2paxos");
 }
@@ -137,13 +132,8 @@ fn m2paxos_orders_conflicting_commands_consistently() {
 #[test]
 fn mencius_orders_all_commands_in_the_same_total_order() {
     let config = MenciusConfig::new(5);
-    let (structures, _, issued) = run_protocol(
-        move |id| MenciusReplica::new(id, config.clone()),
-        50.0,
-        4,
-        2.0,
-        5,
-    );
+    let (structures, _, issued) =
+        run_protocol(move |id| MenciusReplica::new(id, config.clone()), 50.0, 4, 2.0, 5);
     assert!(issued > 50);
     assert_consistency(&structures, "mencius");
 }
@@ -151,13 +141,8 @@ fn mencius_orders_all_commands_in_the_same_total_order() {
 #[test]
 fn multipaxos_orders_all_commands_in_the_same_total_order() {
     let config = MultiPaxosConfig::new(5, NodeId(3));
-    let (structures, _, issued) = run_protocol(
-        move |id| MultiPaxosReplica::new(id, config.clone()),
-        50.0,
-        4,
-        2.0,
-        6,
-    );
+    let (structures, _, issued) =
+        run_protocol(move |id| MultiPaxosReplica::new(id, config.clone()), 50.0, 4, 2.0, 6);
     assert!(issued > 50);
     assert_consistency(&structures, "multipaxos");
 }
@@ -185,13 +170,18 @@ fn caesar_handles_two_simultaneous_crashes() {
         .with_fast_quorum_timeout(150_000)
         .with_recovery_timeout(Some(1_000_000));
     let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(11);
-    let mut sim = Simulator::new(sim_config, move |id| CaesarReplica::new(id, caesar_config.clone()));
+    let mut sim =
+        Simulator::new(sim_config, move |id| CaesarReplica::new(id, caesar_config.clone()));
     // Crash Frankfurt and Mumbai early.
     sim.schedule_crash(50_000, NodeId(2));
     sim.schedule_crash(50_000, NodeId(4));
     for i in 0..10u64 {
         let origin = NodeId((i % 2) as u32); // only correct nodes propose
-        sim.schedule_command(100_000 + i * 200_000, origin, Command::put(CommandId::new(origin, i + 1), 7, i));
+        sim.schedule_command(
+            100_000 + i * 200_000,
+            origin,
+            Command::put(CommandId::new(origin, i + 1), 7, i),
+        );
     }
     sim.run();
     for node in [NodeId(0), NodeId(1), NodeId(3)] {

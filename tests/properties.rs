@@ -1,15 +1,28 @@
-//! Property-based tests (proptest) over the core protocol invariants.
+//! Randomised property tests over the core protocol invariants.
 //!
 //! These randomise workload shape, conflict rate, submission times, network
 //! jitter and crash schedules, and assert the Generalized Consensus
 //! properties plus CAESAR-specific invariants (timestamp order ⇒ predecessor
 //! containment — Theorem 1 of the paper).
+//!
+//! The cases are driven by an explicit seeded loop over the vendored
+//! ChaCha12 generator rather than `proptest` (unavailable offline): every
+//! case is reproducible from the printed seed, and a failure reports the
+//! case number so it can be replayed by fixing `MASTER_SEED`.
 
 use caesar::{CaesarConfig, CaesarReplica};
 use consensus_types::{CStruct, Command, CommandId, NodeId, Timestamp};
 use epaxos::{EpaxosConfig, EpaxosReplica};
-use proptest::prelude::*;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
 use simnet::{LatencyMatrix, SimConfig, Simulator};
+
+/// Number of randomised cases per property (proptest ran 24).
+const CASES: u64 = 24;
+
+/// Root seed; every case derives its own stream from this plus the case index.
+const MASTER_SEED: u64 = 0x0CAE_5A12;
 
 /// A randomly generated command submission.
 #[derive(Debug, Clone)]
@@ -19,22 +32,25 @@ struct Submission {
     key: u8,
 }
 
-fn submissions(max: usize) -> impl Strategy<Value = Vec<Submission>> {
-    prop::collection::vec(
-        (0u64..3_000_000, 0u8..5, 0u8..6).prop_map(|(at_us, origin, key)| Submission {
-            at_us,
-            origin,
-            key,
-        }),
-        1..max,
-    )
+fn submissions(rng: &mut ChaCha12Rng, max: usize) -> Vec<Submission> {
+    let count = rng.gen_range(1..max.max(2));
+    (0..count)
+        .map(|_| Submission {
+            at_us: rng.gen_range(0u64..3_000_000),
+            origin: rng.gen_range(0u32..5) as u8,
+            key: rng.gen_range(0u32..6) as u8,
+        })
+        .collect()
+}
+
+fn case_rng(test: u64, case: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(MASTER_SEED ^ (test << 32) ^ case)
 }
 
 fn run_caesar(subs: &[Submission], seed: u64, jitter: u64) -> Simulator<CaesarReplica> {
     let config = CaesarConfig::new(5);
-    let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites())
-        .with_seed(seed)
-        .with_jitter_us(jitter);
+    let sim_config =
+        SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(seed).with_jitter_us(jitter);
     let mut sim = Simulator::new(sim_config, move |id| CaesarReplica::new(id, config.clone()));
     for (i, s) in subs.iter().enumerate() {
         let origin = NodeId(u32::from(s.origin));
@@ -62,24 +78,21 @@ fn structures(sim: &Simulator<CaesarReplica>) -> Vec<CStruct> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    /// Liveness + Consistency: every proposed command is executed everywhere,
-    /// and conflicting commands are executed in the same relative order.
-    #[test]
-    fn caesar_decides_everything_and_replicas_agree(
-        subs in submissions(40),
-        seed in 0u64..1_000,
-        jitter in 0u64..5_000,
-    ) {
+/// Liveness + Consistency: every proposed command is executed everywhere,
+/// and conflicting commands are executed in the same relative order.
+#[test]
+fn caesar_decides_everything_and_replicas_agree() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let subs = submissions(&mut rng, 40);
+        let seed = rng.gen_range(0u64..1_000);
+        let jitter = rng.gen_range(0u64..5_000);
         let sim = run_caesar(&subs, seed, jitter);
         for node in NodeId::all(5) {
-            prop_assert_eq!(
+            assert_eq!(
                 sim.decisions(node).len(),
                 subs.len(),
-                "node {} executed {} of {} commands",
-                node,
+                "case {case} (seed {seed}, jitter {jitter}): node {node} executed {} of {} commands",
                 sim.decisions(node).len(),
                 subs.len()
             );
@@ -87,22 +100,24 @@ proptest! {
         let structs = structures(&sim);
         for i in 0..structs.len() {
             for j in (i + 1)..structs.len() {
-                prop_assert!(
+                assert!(
                     structs[i].compatible_with(&structs[j]),
-                    "replicas {} and {} diverge: {:?}",
-                    i, j, structs[i].divergences(&structs[j])
+                    "case {case}: replicas {i} and {j} diverge: {:?}",
+                    structs[i].divergences(&structs[j])
                 );
             }
         }
     }
+}
 
-    /// Theorem 1 (delivery order follows timestamps): at every replica,
-    /// conflicting commands are executed in increasing final-timestamp order.
-    #[test]
-    fn caesar_executes_conflicting_commands_in_timestamp_order(
-        subs in submissions(30),
-        seed in 0u64..1_000,
-    ) {
+/// Theorem 1 (delivery order follows timestamps): at every replica,
+/// conflicting commands are executed in increasing final-timestamp order.
+#[test]
+fn caesar_executes_conflicting_commands_in_timestamp_order() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let subs = submissions(&mut rng, 30);
+        let seed = rng.gen_range(0u64..1_000);
         let sim = run_caesar(&subs, seed, 2_000);
         for node in NodeId::all(5) {
             let decisions = sim.decisions(node);
@@ -110,26 +125,34 @@ proptest! {
             for (i, a) in decisions.iter().enumerate() {
                 for b in &decisions[i + 1..] {
                     let (Some(ca), Some(cb)) = (history.get(a.command), history.get(b.command))
-                    else { continue };
+                    else {
+                        continue;
+                    };
                     if ca.cmd.conflicts_with(&cb.cmd) {
-                        prop_assert!(
+                        assert!(
                             a.timestamp < b.timestamp,
-                            "at {} command {} (ts {}) executed before {} (ts {}) against timestamp order",
-                            node, a.command, a.timestamp, b.command, b.timestamp
+                            "case {case}: at {node} command {} (ts {}) executed before {} (ts {}) \
+                             against timestamp order",
+                            a.command,
+                            a.timestamp,
+                            b.command,
+                            b.timestamp
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// Stability / Nontriviality: decided commands were proposed, ids are
-    /// unique, and timestamps of decided commands are unique per replica.
-    #[test]
-    fn caesar_decisions_are_unique_and_proposed(
-        subs in submissions(30),
-        seed in 0u64..1_000,
-    ) {
+/// Stability / Nontriviality: decided commands were proposed, ids are
+/// unique, and timestamps of decided commands are unique per replica.
+#[test]
+fn caesar_decisions_are_unique_and_proposed() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let subs = submissions(&mut rng, 30);
+        let seed = rng.gen_range(0u64..1_000);
         let sim = run_caesar(&subs, seed, 0);
         let proposed: std::collections::HashSet<CommandId> = subs
             .iter()
@@ -138,25 +161,40 @@ proptest! {
             .collect();
         for node in NodeId::all(5) {
             let mut seen = std::collections::HashSet::new();
-            let mut ts_seen: std::collections::HashSet<Timestamp> = std::collections::HashSet::new();
+            let mut ts_seen: std::collections::HashSet<Timestamp> =
+                std::collections::HashSet::new();
             for d in sim.decisions(node) {
-                prop_assert!(proposed.contains(&d.command), "unproposed command {}", d.command);
-                prop_assert!(seen.insert(d.command), "command {} executed twice", d.command);
-                prop_assert!(ts_seen.insert(d.timestamp), "timestamp {} reused", d.timestamp);
+                assert!(
+                    proposed.contains(&d.command),
+                    "case {case}: unproposed command {}",
+                    d.command
+                );
+                assert!(
+                    seen.insert(d.command),
+                    "case {case}: command {} executed twice",
+                    d.command
+                );
+                assert!(
+                    ts_seen.insert(d.timestamp),
+                    "case {case}: timestamp {} reused",
+                    d.timestamp
+                );
             }
         }
     }
+}
 
-    /// A crash of up to two replicas never causes divergence among survivors
-    /// (safety under failures), and survivors keep executing commands
-    /// proposed at correct replicas after the crash.
-    #[test]
-    fn caesar_crashes_never_cause_divergence(
-        subs in submissions(25),
-        crash_node in 1u32..5,
-        crash_at in 100_000u64..2_000_000,
-        seed in 0u64..500,
-    ) {
+/// A crash of up to two replicas never causes divergence among survivors
+/// (safety under failures), and survivors keep executing commands
+/// proposed at correct replicas after the crash.
+#[test]
+fn caesar_crashes_never_cause_divergence() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let subs = submissions(&mut rng, 25);
+        let crash_node = rng.gen_range(1u32..5);
+        let crash_at = rng.gen_range(100_000u64..2_000_000);
+        let seed = rng.gen_range(0u64..500);
         let config = CaesarConfig::new(5).with_recovery_timeout(Some(800_000));
         let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(seed);
         let mut sim = Simulator::new(sim_config, move |id| CaesarReplica::new(id, config.clone()));
@@ -165,14 +203,18 @@ proptest! {
             // Only correct replicas propose, so every command can finish.
             let origin = if s.origin == crash_node as u8 { 0 } else { s.origin };
             let origin = NodeId(u32::from(origin));
-            let cmd = Command::put(CommandId::new(origin, i as u64 + 1), u64::from(s.key), i as u64);
+            let cmd =
+                Command::put(CommandId::new(origin, i as u64 + 1), u64::from(s.key), i as u64);
             sim.schedule_command(s.at_us, origin, cmd);
         }
         sim.run();
-        let survivors: Vec<NodeId> =
-            NodeId::all(5).filter(|n| *n != NodeId(crash_node)).collect();
+        let survivors: Vec<NodeId> = NodeId::all(5).filter(|n| *n != NodeId(crash_node)).collect();
         for &node in &survivors {
-            prop_assert_eq!(sim.decisions(node).len(), subs.len());
+            assert_eq!(
+                sim.decisions(node).len(),
+                subs.len(),
+                "case {case} (crash {crash_node}@{crash_at}, seed {seed}): node {node} incomplete"
+            );
         }
         let structs: Vec<CStruct> = survivors
             .iter()
@@ -191,46 +233,50 @@ proptest! {
             .collect();
         for i in 0..structs.len() {
             for j in (i + 1)..structs.len() {
-                prop_assert!(structs[i].compatible_with(&structs[j]));
+                assert!(
+                    structs[i].compatible_with(&structs[j]),
+                    "case {case}: survivors {i} and {j} diverge"
+                );
             }
         }
     }
+}
 
-    /// EPaxos (the baseline) also satisfies Consistency on random workloads —
-    /// a sanity check that the comparison in the figures is fair.
-    #[test]
-    fn epaxos_replicas_agree_on_random_workloads(
-        subs in submissions(30),
-        seed in 0u64..1_000,
-    ) {
+/// EPaxos (the baseline) also satisfies Consistency on random workloads —
+/// a sanity check that the comparison in the figures is fair.
+#[test]
+fn epaxos_replicas_agree_on_random_workloads() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let subs = submissions(&mut rng, 30);
+        let seed = rng.gen_range(0u64..1_000);
         let config = EpaxosConfig::new(5);
         let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(seed);
         let mut sim = Simulator::new(sim_config, move |id| EpaxosReplica::new(id, config.clone()));
         let mut cmds = std::collections::HashMap::new();
         for (i, s) in subs.iter().enumerate() {
             let origin = NodeId(u32::from(s.origin));
-            let cmd = Command::put(CommandId::new(origin, i as u64 + 1), u64::from(s.key), i as u64);
+            let cmd =
+                Command::put(CommandId::new(origin, i as u64 + 1), u64::from(s.key), i as u64);
             cmds.insert(cmd.id(), cmd.clone());
             sim.schedule_command(s.at_us, origin, cmd);
         }
         sim.run();
-        let structs: Vec<CStruct> = NodeId::all(5)
-            .map(|node| {
-                sim.decisions(node)
-                    .iter()
-                    .map(|d| cmds[&d.command].clone())
-                    .collect()
-            })
-            .collect();
         for node in NodeId::all(5) {
-            prop_assert_eq!(sim.decisions(node).len(), subs.len());
+            assert_eq!(
+                sim.decisions(node).len(),
+                subs.len(),
+                "case {case} (seed {seed}): node {node} incomplete"
+            );
         }
+        let structs: Vec<CStruct> = NodeId::all(5)
+            .map(|node| sim.decisions(node).iter().map(|d| cmds[&d.command].clone()).collect())
+            .collect();
         for i in 0..structs.len() {
             for j in (i + 1)..structs.len() {
-                prop_assert!(
+                assert!(
                     structs[i].compatible_with(&structs[j]),
-                    "EPaxos replicas {} and {} diverge",
-                    i, j
+                    "case {case}: EPaxos replicas {i} and {j} diverge"
                 );
             }
         }

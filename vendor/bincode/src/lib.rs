@@ -1,0 +1,64 @@
+//! Vendored offline stand-in for `bincode`: a thin façade over the vendored
+//! `serde` traits' compact binary format.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Encoding/decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bincode: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(err: serde::Error) -> Self {
+        Self(err.to_string())
+    }
+}
+
+/// Result alias matching upstream bincode's signatures.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Encodes `value` into a freshly allocated byte vector.
+pub fn serialize<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    value.serialize(&mut out);
+    Ok(out)
+}
+
+/// Decodes a `T` from `bytes`, requiring the whole input to be consumed.
+pub fn deserialize<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let mut input = bytes;
+    let value = T::deserialize(&mut input)?;
+    if !input.is_empty() {
+        return Err(Error(format!("{} trailing bytes after value", input.len())));
+    }
+    Ok(value)
+}
+
+/// Number of bytes `value` encodes to.
+pub fn serialized_size<T: serde::Serialize + ?Sized>(value: &T) -> Result<u64> {
+    Ok(serialize(value)?.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips_and_rejects_trailing_garbage() {
+        let bytes = super::serialize(&vec![1u64, 2, 3]).unwrap();
+        let back: Vec<u64> = super::deserialize(&bytes).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(super::deserialize::<Vec<u64>>(&longer).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Keeps the workspace's `cargo bench` targets compiling and running without
+//! the real statistics engine: each benchmark runs `sample_size` iterations
+//! and reports the mean/min/max wall-clock time. The structural API mirrors
+//! criterion 0.5 (`benchmark_group`, `bench_function`, `iter`,
+//! `criterion_group!`, `criterion_main!`).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to every benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: 10 }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Times `routine` and prints a one-line summary.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        routine(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return self;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().expect("non-empty");
+        let max = samples.iter().max().expect("non-empty");
+        println!(
+            "{}/{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+            self.name,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Calls `routine` `sample_size` times, timing each call.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let output = routine();
+            self.samples.push(start.elapsed());
+            drop(black_box(output));
+        }
+    }
+}
+
+/// Opaque value sink that prevents the optimizer from deleting the
+/// computation that produced `value`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_sample_size_iterations() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("t");
+        let mut runs = 0;
+        group.sample_size(4);
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,101 @@
+//! Vendored offline stand-in for `crossbeam-channel`, backed by
+//! `std::sync::mpsc`. Only the API surface the workspace uses is provided:
+//! [`unbounded`], cloneable [`Sender`]s, and blocking/timeout receives.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Sending half of an unbounded channel.
+pub struct Sender<T>(mpsc::Sender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Self(self.0.clone())
+    }
+}
+
+/// Receiving half of an unbounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// Error returned by [`Sender::send`] when the receiver is gone; carries the
+/// unsent value like the upstream type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The wait timed out with no message available.
+    Timeout,
+    /// Every sender disconnected and the queue is drained.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message currently queued.
+    Empty,
+    /// Every sender disconnected and the queue is drained.
+    Disconnected,
+}
+
+/// Creates an unbounded FIFO channel.
+#[must_use]
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(tx), Receiver(rx))
+}
+
+impl<T> Sender<T> {
+    /// Enqueues `value`, failing only if the receiver was dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or all senders disconnect.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocks for at most `timeout` waiting for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout).map_err(|err| match err {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Returns a queued message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|err| match err {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(41u32).unwrap());
+        std::thread::spawn(move || tx.send(1u32).unwrap());
+        let sum = rx.recv().unwrap() + rx.recv().unwrap();
+        assert_eq!(sum, 42);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Disconnected));
+    }
+}

@@ -1,0 +1,150 @@
+//! Vendored offline stand-in for `rand_chacha`: a genuine ChaCha12 keystream
+//! generator behind the upstream crate's `ChaCha12Rng` name. The keystream is
+//! deterministic per seed, which is all the simulator and workload generator
+//! rely on; it is not bit-compatible with upstream `rand_chacha` streams.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Minimal `rand_core` facade: just enough for
+/// `use rand_chacha::rand_core::SeedableRng`.
+pub mod rand_core {
+    /// Construction of reproducible generators from small seeds.
+    pub trait SeedableRng: Sized {
+        /// Builds a generator whose stream is fully determined by `seed`.
+        fn seed_from_u64(seed: u64) -> Self;
+    }
+}
+
+const ROUNDS: usize = 12;
+
+/// A ChaCha12 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "refill".
+    cursor: usize,
+}
+
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha12Rng {
+    fn refill(&mut self) {
+        // RFC 8439 state layout: constants, key, block counter, nonce (zero).
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha12Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64, the same
+        // expansion idea rand_core uses.
+        let mut state = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            pair[0] = z as u32;
+            pair[1] = (z >> 32) as u32;
+        }
+        Self { key, counter: 0, buffer: [0; 16], cursor: 16 }
+    }
+}
+
+impl rand::RngCore for ChaCha12Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_looks_balanced() {
+        let mut rng = ChaCha12Rng::seed_from_u64(99);
+        let ones: u32 = (0..256).map(|_| rng.next_u64().count_ones()).sum();
+        let total = 256 * 64;
+        // Within 5% of half the bits set.
+        assert!((ones as f64 - total as f64 / 2.0).abs() < total as f64 * 0.05);
+    }
+}

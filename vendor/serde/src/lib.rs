@@ -1,0 +1,516 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The build environment has no route to crates.io, so this crate provides
+//! the subset of serde the workspace relies on: a [`Serialize`] /
+//! [`Deserialize`] trait pair plus `#[derive(Serialize, Deserialize)]`
+//! (re-exported from the local `serde_derive`). Unlike upstream serde there
+//! is no serializer abstraction — values encode straight into a compact
+//! binary format (LEB128 varints for integers and lengths, zigzag for signed
+//! integers, little-endian bit patterns for floats). The `bincode` vendored
+//! crate is a thin façade over these traits.
+//!
+//! The format is self-consistent but **not** wire-compatible with upstream
+//! serde+bincode; every peer must be built from this tree.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when decoding malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    #[must_use]
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// The input ended before the value was complete.
+    #[must_use]
+    pub fn eof() -> Self {
+        Self::custom("unexpected end of input")
+    }
+
+    /// An enum tag did not match any variant of `ty`.
+    #[must_use]
+    pub fn unknown_variant(ty: &str, tag: u32) -> Self {
+        Self::custom(format!("unknown variant tag {tag} for {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for decode operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A value that can encode itself into the compact binary format.
+pub trait Serialize {
+    /// Appends the encoding of `self` to `out`.
+    fn serialize(&self, out: &mut Vec<u8>);
+}
+
+/// A value that can decode itself from the compact binary format.
+pub trait Deserialize: Sized {
+    /// Reads one value from the front of `input`, advancing it.
+    fn deserialize(input: &mut &[u8]) -> Result<Self>;
+}
+
+// ---------------------------------------------------------------------------
+// varint helpers (shared with the derive-generated code)
+// ---------------------------------------------------------------------------
+
+/// Writes `value` as an LEB128 varint.
+pub fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint.
+pub fn read_varint(input: &mut &[u8]) -> Result<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input.split_first().ok_or_else(Error::eof)?;
+        *input = rest;
+        if shift >= 64 {
+            return Err(Error::custom("varint overflows u64"));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+/// Writes an enum variant tag (used by derived impls).
+pub fn write_variant_tag(out: &mut Vec<u8>, tag: u32) {
+    write_varint(out, u64::from(tag));
+}
+
+/// Reads an enum variant tag (used by derived impls).
+pub fn read_variant_tag(input: &mut &[u8]) -> Result<u32> {
+    let raw = read_varint(input)?;
+    u32::try_from(raw).map_err(|_| Error::custom("variant tag overflows u32"))
+}
+
+fn read_len(input: &mut &[u8]) -> Result<usize> {
+    let raw = read_varint(input)?;
+    usize::try_from(raw).map_err(|_| Error::custom("length overflows usize"))
+}
+
+// ---------------------------------------------------------------------------
+// primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                write_varint(out, *self as u64);
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(input: &mut &[u8]) -> Result<Self> {
+                let raw = read_varint(input)?;
+                <$ty>::try_from(raw).map_err(|_| Error::custom(concat!("value overflows ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                let v = *self as i64;
+                // zigzag
+                write_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(input: &mut &[u8]) -> Result<Self> {
+                let raw = read_varint(input)?;
+                let v = ((raw >> 1) as i64) ^ -((raw & 1) as i64);
+                <$ty>::try_from(v).map_err(|_| Error::custom(concat!("value overflows ", stringify!($ty))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let (&byte, rest) = input.split_first().ok_or_else(Error::eof)?;
+        *input = rest;
+        match byte {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Error::custom(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        if input.len() < 4 {
+            return Err(Error::eof());
+        }
+        let (bytes, rest) = input.split_at(4);
+        *input = rest;
+        Ok(f32::from_bits(u32::from_le_bytes(bytes.try_into().expect("4 bytes"))))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_bits().to_le_bytes());
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        if input.len() < 8 {
+            return Err(Error::eof());
+        }
+        let (bytes, rest) = input.split_at(8);
+        *input = rest;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, u64::from(u32::from(*self)));
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let raw = read_variant_tag(input)?;
+        char::from_u32(raw).ok_or_else(|| Error::custom("invalid char scalar"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.as_str().serialize(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let len = read_len(input)?;
+        if input.len() < len {
+            return Err(Error::eof());
+        }
+        let (bytes, rest) = input.split_at(len);
+        *input = rest;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Error::custom("invalid utf-8 in string"))
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self, _out: &mut Vec<u8>) {}
+}
+
+impl Deserialize for () {
+    fn deserialize(_input: &mut &[u8]) -> Result<Self> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (**self).serialize(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        Ok(Box::new(T::deserialize(input)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.serialize(out);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        match bool::deserialize(input)? {
+            false => Ok(None),
+            true => Ok(Some(T::deserialize(input)?)),
+        }
+    }
+}
+
+fn serialize_seq<'a, T: Serialize + 'a>(
+    items: impl ExactSizeIterator<Item = &'a T>,
+    out: &mut Vec<u8>,
+) {
+    write_varint(out, items.len() as u64);
+    for item in items {
+        item.serialize(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let len = read_len(input)?;
+        // Guard against absurd preallocation from corrupt input: each element
+        // needs at least one input byte in this format.
+        let mut items = Vec::with_capacity(len.min(input.len()));
+        for _ in 0..len {
+            items.push(T::deserialize(input)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        Ok(Vec::<T>::deserialize(input)?.into())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let len = read_len(input)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..len {
+            set.insert(T::deserialize(input)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        serialize_seq(self.iter(), out);
+    }
+}
+
+impl<T: Deserialize + Eq + Hash, S: BuildHasher + Default> Deserialize for HashSet<T, S> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let len = read_len(input)?;
+        let mut set = HashSet::with_capacity_and_hasher(len.min(input.len()), S::default());
+        for _ in 0..len {
+            set.insert(T::deserialize(input)?);
+        }
+        Ok(set)
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for (key, value) in self {
+            key.serialize(out);
+            value.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let len = read_len(input)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let key = K::deserialize(input)?;
+            let value = V::deserialize(input)?;
+            map.insert(key, value);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.len() as u64);
+        for (key, value) in self {
+            key.serialize(out);
+            value.serialize(out);
+        }
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize, S: BuildHasher + Default> Deserialize
+    for HashMap<K, V, S>
+{
+    fn deserialize(input: &mut &[u8]) -> Result<Self> {
+        let len = read_len(input)?;
+        let mut map = HashMap::with_capacity_and_hasher(len.min(input.len()), S::default());
+        for _ in 0..len {
+            let key = K::deserialize(input)?;
+            let value = V::deserialize(input)?;
+            map.insert(key, value);
+        }
+        Ok(map)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                $(self.$idx.serialize(out);)+
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(input: &mut &[u8]) -> Result<Self> {
+                Ok(($($name::deserialize(input)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.serialize(&mut buf);
+        let mut input = buf.as_slice();
+        let back = T::deserialize(&mut input).expect("decodes");
+        assert_eq!(back, value);
+        assert!(input.is_empty(), "trailing bytes after {value:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(300u16);
+        round_trip(-1i64);
+        round_trip(i64::MIN);
+        round_trip(true);
+        round_trip(3.5f64);
+        round_trip(String::from("hello"));
+        round_trip('λ');
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        round_trip(Some(7u32));
+        round_trip(Option::<u32>::None);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(BTreeSet::from([1u32, 9, 4]));
+        round_trip(BTreeMap::from([(1u64, "a".to_string()), (2, "b".to_string())]));
+        round_trip(HashMap::<u64, u64>::from([(3, 4), (5, 6)]));
+        round_trip((1u8, -2i32, String::from("x")));
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut buf = Vec::new();
+        vec![1u64, 2, 3].serialize(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut input = buf.as_slice();
+        assert!(Vec::<u64>::deserialize(&mut input).is_err());
+    }
+
+    #[test]
+    fn varint_is_compact() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        write_varint(&mut buf, 128);
+        assert_eq!(buf.len(), 2);
+    }
+}

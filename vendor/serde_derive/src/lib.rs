@@ -1,0 +1,354 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` crate's binary-format traits. Because `syn`/`quote` are
+//! unavailable offline, the item is parsed directly from the
+//! [`proc_macro::TokenStream`]. Supported shapes — exactly what this
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums whose variants are unit, tuple, or struct-like (encoded as a
+//!   varint variant tag followed by the fields in declaration order);
+//! * **no** generic parameters (generic types such as `net::WireMessage`
+//!   implement the traits by hand).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives `serde::Serialize` for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let body = serialize_struct_body(fields);
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut Vec<u8>) {{ let _ = out; {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| serialize_variant_arm(name, tag as u32, v))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self, out: &mut Vec<u8>) {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let ctor = deserialize_ctor(name, fields);
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(input: &mut &[u8]) -> ::serde::Result<Self> {{\n\
+                         let _ = &input; Ok({ctor})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| {
+                    let ctor = deserialize_ctor(&format!("{name}::{}", v.name), &v.fields);
+                    format!("{tag}u32 => Ok({ctor}),\n")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(input: &mut &[u8]) -> ::serde::Result<Self> {{\n\
+                         match ::serde::read_variant_tag(input)? {{\n\
+                             {arms}\
+                             other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derived Deserialize impl parses")
+}
+
+fn serialize_struct_body(fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => String::new(),
+        Fields::Tuple(arity) => (0..*arity)
+            .map(|i| format!("::serde::Serialize::serialize(&self.{i}, out);\n"))
+            .collect(),
+        Fields::Named(names) => names
+            .iter()
+            .map(|f| format!("::serde::Serialize::serialize(&self.{f}, out);\n"))
+            .collect(),
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, tag: u32, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        Fields::Unit => {
+            format!("{enum_name}::{v} => {{ ::serde::write_variant_tag(out, {tag}u32); }}\n")
+        }
+        Fields::Tuple(arity) => {
+            let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+            let writes: String = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b}, out);\n"))
+                .collect();
+            format!(
+                "{enum_name}::{v}({binds}) => {{ ::serde::write_variant_tag(out, {tag}u32); {writes} }}\n",
+                binds = binders.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let writes: String = names
+                .iter()
+                .map(|f| format!("::serde::Serialize::serialize({f}, out);\n"))
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {binds} }} => {{ ::serde::write_variant_tag(out, {tag}u32); {writes} }}\n",
+                binds = names.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_ctor(path: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => path.to_string(),
+        Fields::Tuple(arity) => {
+            let args: Vec<String> = (0..*arity)
+                .map(|_| "::serde::Deserialize::deserialize(input)?".to_string())
+                .collect();
+            format!("{path}({})", args.join(", "))
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::deserialize(input)?"))
+                .collect();
+            format!("{path} {{ {} }}", inits.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attributes_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+
+    if matches!(peek_punct(&tokens, pos), Some('<')) {
+        panic!(
+            "vendored serde_derive does not support generic type `{name}`; \
+             implement Serialize/Deserialize by hand (see net::WireMessage)"
+        );
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unsupported struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => {
+            // `union`, trait objects etc. — out of scope for this stand-in.
+            let _ = &mut tokens;
+            panic!("cannot derive serde traits for `{other} {name}`")
+        }
+    }
+}
+
+fn skip_attributes_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1;
+                }
+            }
+            // `pub` / `pub(crate)` visibility.
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn peek_punct(tokens: &[TokenTree], pos: usize) -> Option<char> {
+    match tokens.get(pos) {
+        Some(TokenTree::Punct(p)) => Some(p.as_char()),
+        _ => None,
+    }
+}
+
+/// Parses `name: Type, ...` field lists, skipping attributes and visibility.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut pos);
+        if matches!(peek_punct(&tokens, pos), Some(',')) {
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut pos);
+        if matches!(peek_punct(&tokens, pos), Some(',')) {
+            pos += 1;
+        }
+    }
+    count
+}
+
+/// Advances `pos` past one type, stopping at a top-level `,` (angle-bracket
+/// depth is tracked so `HashMap<u64, u64>` reads as one type).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    *pos += 1;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    *pos += 1;
+                }
+                ',' if angle_depth == 0 => return,
+                _ => *pos += 1,
+            },
+            _ => *pos += 1,
+        }
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attributes_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next top-level comma.
+        if matches!(peek_punct(&tokens, pos), Some('=')) {
+            while pos < tokens.len() && !matches!(peek_punct(&tokens, pos), Some(',')) {
+                pos += 1;
+            }
+        }
+        if matches!(peek_punct(&tokens, pos), Some(',')) {
+            pos += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
