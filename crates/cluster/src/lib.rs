@@ -2,12 +2,12 @@
 //!
 //! The discrete-event simulator (`simnet`) measures protocol behaviour in
 //! *simulated* time. This crate complements it with a wall-clock runtime: one
-//! OS thread per replica, crossbeam channels as links, and a delay thread
-//! that injects the configured WAN latency into every message. It exercises
-//! the exact same [`simnet::Process`] implementations (CAESAR, EPaxos, …)
-//! without any code change, and is used by the `cluster_smoke` integration
-//! test and the quickstart example to show the protocols running on real
-//! threads.
+//! OS thread per replica, crossbeam channels as links, and per-message delays
+//! that inject the configured WAN latency. It exercises the exact same
+//! [`simnet::Process`] implementations (CAESAR, EPaxos, …) without any code
+//! change, applies every execution to a per-replica key-value store, and
+//! serves clients through the runtime-agnostic
+//! [`consensus_core::session::ClusterHandle`] API.
 //!
 //! Latencies are scaled down by a configurable factor so a five-site WAN
 //! round trip does not make tests take minutes of wall-clock time.
@@ -17,15 +17,16 @@
 //! ```
 //! use caesar::{CaesarConfig, CaesarReplica};
 //! use cluster::{Cluster, ClusterConfig};
-//! use consensus_types::{Command, CommandId, NodeId};
+//! use consensus_core::session::{ClusterHandle, Op};
+//! use consensus_types::NodeId;
 //! use simnet::LatencyMatrix;
 //!
 //! let config = ClusterConfig::new(LatencyMatrix::ec2_five_sites()).with_latency_scale(0.01);
 //! let caesar = CaesarConfig::new(5);
-//! let mut cluster = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
-//! cluster.submit(NodeId(0), Command::put(CommandId::new(NodeId(0), 1), 7, 1));
-//! let decisions = cluster.wait_for_decisions(NodeId(0), 1, std::time::Duration::from_secs(5));
-//! assert_eq!(decisions.len(), 1);
+//! let cluster = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
+//! let client = cluster.client(NodeId(0));
+//! let reply = client.submit(Op::put(7, 1)).unwrap().wait().unwrap();
+//! assert_eq!(reply.node, NodeId(0));
 //! cluster.shutdown();
 //! ```
 
@@ -37,8 +38,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use consensus_types::{Command, Decision, NodeId, SimTime};
+use consensus_core::session::{
+    ClientHandle, ClusterHandle, ParkDrive, Reply, SessionCore, SessionError, SubmitTransport,
+    DEFAULT_IN_FLIGHT,
+};
+use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use kvstore::KvStore;
 use parking_lot::Mutex;
 use simnet::{Context, LatencyMatrix, Process};
 
@@ -50,19 +56,29 @@ pub struct ClusterConfig {
     /// Multiplier applied to every latency before sleeping (e.g. `0.01` turns
     /// a 93 ms one-way delay into 0.93 ms so tests stay fast).
     pub latency_scale: f64,
+    /// Bound on client-session commands in flight before `submit` pushes
+    /// back.
+    pub max_in_flight: usize,
 }
 
 impl ClusterConfig {
     /// Creates a configuration with real (unscaled) latencies.
     #[must_use]
     pub fn new(latency: LatencyMatrix) -> Self {
-        Self { latency, latency_scale: 1.0 }
+        Self { latency, latency_scale: 1.0, max_in_flight: DEFAULT_IN_FLIGHT }
     }
 
     /// Sets the latency scale factor.
     #[must_use]
     pub fn with_latency_scale(mut self, scale: f64) -> Self {
         self.latency_scale = scale;
+        self
+    }
+
+    /// Sets the client-session in-flight bound.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = max;
         self
     }
 }
@@ -75,9 +91,10 @@ enum Envelope<M> {
 
 /// A running cluster of replica threads.
 pub struct Cluster<P: Process> {
-    senders: Vec<Sender<Envelope<P::Message>>>,
+    senders: Arc<Vec<Sender<Envelope<P::Message>>>>,
     handles: Vec<JoinHandle<()>>,
     decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
+    session: Arc<SessionCore>,
     started_at: Instant,
 }
 
@@ -93,6 +110,7 @@ where
         let started_at = Instant::now();
         let decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        let session = SessionCore::new(config.max_in_flight);
         let mut senders = Vec::with_capacity(nodes);
         let mut receivers: Vec<Receiver<Envelope<P::Message>>> = Vec::with_capacity(nodes);
         for _ in 0..nodes {
@@ -100,33 +118,40 @@ where
             senders.push(tx);
             receivers.push(rx);
         }
+        let senders = Arc::new(senders);
         let mut handles = Vec::with_capacity(nodes);
         for (index, rx) in receivers.into_iter().enumerate() {
             let id = NodeId::from_index(index);
             let mut process = make(id);
-            let peers = senders.clone();
+            let peers = Arc::clone(&senders);
             let latency = config.latency.clone();
             let scale = config.latency_scale;
             let decisions = Arc::clone(&decisions);
+            let session = Arc::clone(&session);
             let started = started_at;
             handles.push(std::thread::spawn(move || {
-                replica_loop(
+                let mut replica = ReplicaLoop {
                     id,
                     nodes,
-                    &mut process,
                     rx,
-                    &peers,
-                    &latency,
+                    peers,
+                    latency,
                     scale,
-                    &decisions,
+                    decisions,
+                    session,
                     started,
-                );
+                    store: KvStore::new(),
+                    timers: Vec::new(),
+                };
+                replica.run(&mut process);
             }));
         }
-        Self { senders, handles, decisions, started_at }
+        Self { senders, handles, decisions, session, started_at }
     }
 
-    /// Submits a client command to `node`.
+    /// Submits a client command to `node` without waiting for a reply.
+    /// Session clients obtained through [`ClusterHandle::client`] additionally
+    /// route the reply back when the command executes at `node`.
     pub fn submit(&self, node: NodeId, cmd: Command) {
         let _ = self.senders[node.index()].send(Envelope::Client { cmd });
     }
@@ -162,142 +187,200 @@ where
         self.started_at.elapsed()
     }
 
-    /// Stops every replica thread and waits for them to exit.
+    /// Stops every replica thread, waits for them to exit, and fails any
+    /// session tickets still waiting for a reply.
     pub fn shutdown(self) {
-        for tx in &self.senders {
+        for tx in self.senders.iter() {
             let _ = tx.send(Envelope::Shutdown);
         }
         for handle in self.handles {
             let _ = handle.join();
         }
+        self.session.close("cluster shut down");
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn replica_loop<P: Process>(
+struct ClusterTransport<M> {
+    senders: Arc<Vec<Sender<Envelope<M>>>>,
+}
+
+impl<M: Send> SubmitTransport for ClusterTransport<M> {
+    fn submit(&self, node: NodeId, cmd: Command, _delay_us: u64) -> Result<(), SessionError> {
+        self.senders
+            .get(node.index())
+            .ok_or_else(|| SessionError::Rejected(format!("no replica {node}")))?
+            .send(Envelope::Client { cmd })
+            .map_err(|_| SessionError::Disconnected(format!("replica {node} is gone")))
+    }
+}
+
+impl<P> ClusterHandle for Cluster<P>
+where
+    P: Process + Send + 'static,
+    P::Message: Send + 'static,
+{
+    fn nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn client(&self, node: NodeId) -> ClientHandle {
+        ClientHandle::new(
+            node,
+            Arc::clone(&self.session),
+            Arc::new(ClusterTransport { senders: Arc::clone(&self.senders) }),
+            Arc::new(ParkDrive),
+        )
+    }
+}
+
+/// Per-thread replica state: channel plumbing, timer queue, state machine.
+struct ReplicaLoop<M> {
     id: NodeId,
     nodes: usize,
-    process: &mut P,
-    rx: Receiver<Envelope<P::Message>>,
-    peers: &[Sender<Envelope<P::Message>>],
-    latency: &LatencyMatrix,
+    rx: Receiver<Envelope<M>>,
+    peers: Arc<Vec<Sender<Envelope<M>>>>,
+    latency: LatencyMatrix,
     scale: f64,
-    decisions: &Mutex<HashMap<NodeId, Vec<Decision>>>,
+    decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
+    session: Arc<SessionCore>,
     started: Instant,
-) {
-    // Timers (self-scheduled messages) are kept local and polled alongside
-    // the channel.
-    let mut timers: Vec<(Instant, P::Message)> = Vec::new();
-    let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
-    let mut new_timers: Vec<(SimTime, P::Message)> = Vec::new();
-
-    let now_us = |started: Instant| -> SimTime { started.elapsed().as_micros() as SimTime };
-
-    {
-        let mut ctx =
-            Context::for_runtime(id, nodes, now_us(started), &mut outbox, &mut new_timers);
-        process.on_start(&mut ctx);
-    }
-    flush(
-        id,
-        process,
-        &mut outbox,
-        &mut new_timers,
-        &mut timers,
-        peers,
-        latency,
-        scale,
-        decisions,
-        started,
-    );
-
-    loop {
-        let envelope = rx.recv_timeout(Duration::from_millis(1));
-        match envelope {
-            Ok(Envelope::Shutdown) => return,
-            Ok(Envelope::Message { from, msg, deliver_at }) => {
-                let wait = deliver_at.saturating_duration_since(Instant::now());
-                if !wait.is_zero() {
-                    std::thread::sleep(wait);
-                }
-                let mut ctx =
-                    Context::for_runtime(id, nodes, now_us(started), &mut outbox, &mut new_timers);
-                process.on_message(from, msg, &mut ctx);
-            }
-            Ok(Envelope::Client { cmd }) => {
-                let mut ctx =
-                    Context::for_runtime(id, nodes, now_us(started), &mut outbox, &mut new_timers);
-                process.on_client_command(cmd, &mut ctx);
-            }
-            Err(_) => {}
-        }
-        flush(
-            id,
-            process,
-            &mut outbox,
-            &mut new_timers,
-            &mut timers,
-            peers,
-            latency,
-            scale,
-            decisions,
-            started,
-        );
-    }
+    store: KvStore,
+    timers: Vec<(Instant, M)>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn flush<P: Process>(
-    id: NodeId,
-    process: &mut P,
-    outbox: &mut Vec<(NodeId, P::Message)>,
-    new_timers: &mut Vec<(SimTime, P::Message)>,
-    timers: &mut Vec<(Instant, P::Message)>,
-    peers: &[Sender<Envelope<P::Message>>],
-    latency: &LatencyMatrix,
-    scale: f64,
-    decisions: &Mutex<HashMap<NodeId, Vec<Decision>>>,
-    started: Instant,
-) {
-    for (to, msg) in outbox.drain(..) {
-        let delay_us = (latency.one_way(id, to) as f64 * scale) as u64;
-        let deliver_at = Instant::now() + Duration::from_micros(delay_us);
-        let _ = peers[to.index()].send(Envelope::Message { from: id, msg, deliver_at });
+impl<M: Send> ReplicaLoop<M> {
+    fn now_us(&self) -> SimTime {
+        self.started.elapsed().as_micros() as SimTime
     }
-    for (delay, msg) in new_timers.drain(..) {
-        let scaled = Duration::from_micros((delay as f64 * scale) as u64);
-        timers.push((Instant::now() + scaled, msg));
-    }
-    // Deliver any due timers synchronously (cheap polling model).
-    let now = Instant::now();
-    let (due, later): (Vec<_>, Vec<_>) = timers.drain(..).partition(|(at, _)| *at <= now);
-    *timers = later;
-    for (_, msg) in due {
-        let mut outbox2 = Vec::new();
-        let mut timers2 = Vec::new();
+
+    fn run<P: Process<Message = M>>(&mut self, process: &mut P) {
+        let mut outbox: Vec<(NodeId, M)> = Vec::new();
+        let mut new_timers: Vec<(SimTime, M)> = Vec::new();
+        let mut executions: Vec<Execution> = Vec::new();
+
         {
             let mut ctx = Context::for_runtime(
-                id,
-                peers.len(),
-                started.elapsed().as_micros() as SimTime,
-                &mut outbox2,
-                &mut timers2,
+                self.id,
+                self.nodes,
+                self.now_us(),
+                &mut outbox,
+                &mut new_timers,
+                &mut executions,
             );
-            process.on_message(id, msg, &mut ctx);
+            process.on_start(&mut ctx);
         }
-        for (to, msg) in outbox2 {
-            let delay_us = (latency.one_way(id, to) as f64 * scale) as u64;
-            let deliver_at = Instant::now() + Duration::from_micros(delay_us);
-            let _ = peers[to.index()].send(Envelope::Message { from: id, msg, deliver_at });
-        }
-        for (delay, msg) in timers2 {
-            let scaled = Duration::from_micros((delay as f64 * scale) as u64);
-            timers.push((Instant::now() + scaled, msg));
+        self.flush(process, &mut outbox, &mut new_timers, &mut executions);
+
+        loop {
+            let envelope = self.rx.recv_timeout(Duration::from_millis(1));
+            match envelope {
+                Ok(Envelope::Shutdown) => return,
+                Ok(Envelope::Message { from, msg, deliver_at }) => {
+                    let wait = deliver_at.saturating_duration_since(Instant::now());
+                    if !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    let mut ctx = Context::for_runtime(
+                        self.id,
+                        self.nodes,
+                        self.now_us(),
+                        &mut outbox,
+                        &mut new_timers,
+                        &mut executions,
+                    );
+                    process.on_message(from, msg, &mut ctx);
+                }
+                Ok(Envelope::Client { cmd }) => {
+                    let mut ctx = Context::for_runtime(
+                        self.id,
+                        self.nodes,
+                        self.now_us(),
+                        &mut outbox,
+                        &mut new_timers,
+                        &mut executions,
+                    );
+                    process.on_client_command(cmd, &mut ctx);
+                }
+                Err(_) => {}
+            }
+            self.flush(process, &mut outbox, &mut new_timers, &mut executions);
         }
     }
-    let executed = process.drain_decisions();
-    if !executed.is_empty() {
-        decisions.lock().entry(id).or_default().extend(executed);
+
+    /// Routes buffered sends/timers, fires due timers, and publishes the
+    /// executions the callbacks produced.
+    fn flush<P: Process<Message = M>>(
+        &mut self,
+        process: &mut P,
+        outbox: &mut Vec<(NodeId, M)>,
+        new_timers: &mut Vec<(SimTime, M)>,
+        executions: &mut Vec<Execution>,
+    ) {
+        for (to, msg) in outbox.drain(..) {
+            let delay_us = (self.latency.one_way(self.id, to) as f64 * self.scale) as u64;
+            let deliver_at = Instant::now() + Duration::from_micros(delay_us);
+            let _ =
+                self.peers[to.index()].send(Envelope::Message { from: self.id, msg, deliver_at });
+        }
+        for (delay, msg) in new_timers.drain(..) {
+            let scaled = Duration::from_micros((delay as f64 * self.scale) as u64);
+            self.timers.push((Instant::now() + scaled, msg));
+        }
+        // Deliver any due timers synchronously (cheap polling model).
+        let now = Instant::now();
+        let (due, later): (Vec<_>, Vec<_>) = self.timers.drain(..).partition(|(at, _)| *at <= now);
+        self.timers = later;
+        for (_, msg) in due {
+            let mut outbox2 = Vec::new();
+            let mut new_timers2 = Vec::new();
+            {
+                let mut ctx = Context::for_runtime(
+                    self.id,
+                    self.nodes,
+                    self.now_us(),
+                    &mut outbox2,
+                    &mut new_timers2,
+                    executions,
+                );
+                process.on_message(self.id, msg, &mut ctx);
+            }
+            for (to, msg) in outbox2 {
+                let delay_us = (self.latency.one_way(self.id, to) as f64 * self.scale) as u64;
+                let deliver_at = Instant::now() + Duration::from_micros(delay_us);
+                let _ = self.peers[to.index()].send(Envelope::Message {
+                    from: self.id,
+                    msg,
+                    deliver_at,
+                });
+            }
+            for (delay, msg) in new_timers2 {
+                let scaled = Duration::from_micros((delay as f64 * self.scale) as u64);
+                self.timers.push((Instant::now() + scaled, msg));
+            }
+        }
+        self.publish(executions);
+    }
+
+    /// Applies executions to the replica's store, records their decisions,
+    /// and answers session clients whose commands were submitted here.
+    fn publish(&mut self, executions: &mut Vec<Execution>) {
+        if executions.is_empty() {
+            return;
+        }
+        let mut batch = Vec::with_capacity(executions.len());
+        for execution in executions.drain(..) {
+            let output = self.store.apply(&execution.command);
+            if execution.command.id().origin() == self.id {
+                self.session.complete(Reply {
+                    command: execution.command.id(),
+                    node: self.id,
+                    output,
+                    decision: execution.decision.clone(),
+                });
+            }
+            batch.push(execution.decision);
+        }
+        self.decisions.lock().entry(self.id).or_default().extend(batch);
     }
 }
 
@@ -305,6 +388,7 @@ fn flush<P: Process>(
 mod tests {
     use super::*;
     use caesar::{CaesarConfig, CaesarReplica};
+    use consensus_core::session::Op;
     use consensus_types::CommandId;
     use epaxos::{EpaxosConfig, EpaxosReplica};
 
@@ -336,5 +420,37 @@ mod tests {
         let order1: Vec<CommandId> = d1.iter().map(|d| d.command).collect();
         assert_eq!(order0, order1, "conflicting commands must execute in the same order");
         cluster.shutdown();
+    }
+
+    #[test]
+    fn session_clients_submit_and_await_replies() {
+        let config = ClusterConfig::new(LatencyMatrix::ec2_five_sites()).with_latency_scale(0.002);
+        let caesar = CaesarConfig::new(5).with_recovery_timeout(None);
+        let cluster = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
+        let client = cluster.client(NodeId(2));
+        let write = client.submit(Op::put(9, 77)).expect("submits");
+        let reply = write.wait().expect("replies");
+        assert_eq!(reply.node, NodeId(2));
+        // Read-your-writes at the submitting replica.
+        let read = client.submit(Op::get(9)).expect("submits").wait().expect("replies");
+        assert_eq!(read.output, Some(77));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_outstanding_tickets_instead_of_hanging() {
+        // Single-node "cluster" of a 5-replica protocol: no quorum can ever
+        // form, so the submitted command cannot complete.
+        let config = ClusterConfig::new(LatencyMatrix::uniform(1, 1.0));
+        let caesar = CaesarConfig::new(5).with_recovery_timeout(None);
+        let cluster = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
+        let ticket = cluster.client(NodeId(0)).submit(Op::put(1, 1)).expect("submits");
+        let waiter = std::thread::spawn(move || ticket.wait_timeout(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(50));
+        cluster.shutdown();
+        match waiter.join().expect("waiter thread") {
+            Err(SessionError::Disconnected(_)) => {}
+            other => panic!("expected a disconnect error, got {other:?}"),
+        }
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! # Protocol phases
 //!
-//! * **Fast proposal** ([`CaesarReplica::on_client_command`] →
+//! * **Fast proposal** ([`simnet::Process::on_client_command`] →
 //!   `FastPropose`/`FastProposeReply`): the leader proposes a timestamp drawn
 //!   from its logical clock; acceptors either confirm it (possibly after the
 //!   *wait condition* holds the command back while a conflicting,

@@ -93,7 +93,6 @@ pub struct CaesarReplica {
     recovering: HashMap<CommandId, RecoveryState>,
     stable_seen_at: HashMap<CommandId, SimTime>,
     metrics: CaesarMetrics,
-    out_decisions: Vec<Decision>,
 }
 
 impl std::fmt::Debug for CaesarReplica {
@@ -127,7 +126,6 @@ impl CaesarReplica {
             recovering: HashMap::new(),
             stable_seen_at: HashMap::new(),
             metrics: CaesarMetrics::default(),
-            out_decisions: Vec::new(),
             config,
         }
     }
@@ -635,14 +633,15 @@ impl CaesarReplica {
                 }
                 None => (now, DecisionPath::Ordered, LatencyBreakdown::default()),
             };
-            self.out_decisions.push(Decision {
+            let decision = Decision {
                 command: id,
                 timestamp: info.ts,
                 path,
                 proposed_at,
                 executed_at: now,
                 breakdown,
-            });
+            };
+            ctx.deliver(info.cmd.clone(), decision);
         }
     }
 
@@ -967,10 +966,6 @@ impl Process for CaesarReplica {
                 self.on_recovery_timeout(cmd_id, ctx);
             }
         }
-    }
-
-    fn drain_decisions(&mut self) -> Vec<Decision> {
-        std::mem::take(&mut self.out_decisions)
     }
 
     fn processing_cost(&self, msg: &CaesarMessage) -> SimTime {

@@ -230,7 +230,6 @@ pub struct EpaxosReplica {
     recovering: HashMap<CommandId, (Ballot, Vec<Option<PrepareInfo>>)>,
     recovery_timer_set: HashSet<CommandId>,
     metrics: EpaxosMetrics,
-    out_decisions: Vec<Decision>,
 }
 
 impl EpaxosReplica {
@@ -249,7 +248,6 @@ impl EpaxosReplica {
             recovering: HashMap::new(),
             recovery_timer_set: HashSet::new(),
             metrics: EpaxosMetrics::default(),
-            out_decisions: Vec::new(),
         }
     }
 
@@ -358,20 +356,25 @@ impl EpaxosReplica {
     fn apply_executions(&mut self, executed: Vec<CommandId>, ctx: &mut Context<'_, EpaxosMessage>) {
         let now = ctx.now();
         for id in executed {
-            if let Some(instance) = self.instances.get_mut(&id) {
-                instance.status = InstanceStatus::Executed;
-            }
+            let cmd = match self.instances.get_mut(&id) {
+                Some(instance) => {
+                    instance.status = InstanceStatus::Executed;
+                    instance.cmd.clone()
+                }
+                None => continue,
+            };
             self.metrics.commands_executed += 1;
             let (proposed_at, path) =
                 self.led.get(&id).copied().unwrap_or((now, DecisionPath::Ordered));
-            self.out_decisions.push(Decision {
+            let decision = Decision {
                 command: id,
                 timestamp: Timestamp::ZERO,
                 path,
                 proposed_at,
                 executed_at: now,
                 breakdown: LatencyBreakdown::default(),
-            });
+            };
+            ctx.deliver(cmd, decision);
         }
     }
 }
@@ -654,10 +657,6 @@ impl Process for EpaxosReplica {
                 ctx.schedule_self(timeout, EpaxosMessage::RecoveryTimeout { cmd_id });
             }
         }
-    }
-
-    fn drain_decisions(&mut self) -> Vec<Decision> {
-        std::mem::take(&mut self.out_decisions)
     }
 
     fn processing_cost(&self, msg: &EpaxosMessage) -> SimTime {

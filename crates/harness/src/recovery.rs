@@ -3,7 +3,7 @@
 use caesar::{CaesarConfig, CaesarReplica};
 use consensus_types::{NodeId, SimTime, MICROS_PER_SEC};
 use epaxos::{EpaxosConfig, EpaxosReplica};
-use simnet::{LatencyMatrix, Process, SimConfig, Simulator};
+use simnet::{LatencyMatrix, Process, SimConfig, SimSession, Simulator};
 use workload::{ClosedLoopDriver, WorkloadConfig, WorkloadGenerator};
 
 use crate::report::Table;
@@ -102,7 +102,8 @@ fn run_crash_experiment<P, F>(
     seed: u64,
 ) -> RecoveryTimeline
 where
-    P: Process,
+    P: Process + Send + 'static,
+    P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
     let duration: SimTime = total_seconds * MICROS_PER_SEC;
@@ -112,21 +113,21 @@ where
         .with_horizon(duration + 2 * MICROS_PER_SEC);
     let mut sim = Simulator::new(sim_config, make);
     sim.schedule_crash(crash_at_s * MICROS_PER_SEC, NodeId(0));
+    let session = SimSession::new(sim);
 
     let workload = WorkloadConfig::new(5).with_conflict_percent(10.0);
     let generator = WorkloadGenerator::new(workload, seed ^ 0x000F_1612);
     let mut driver = ClosedLoopDriver::new(generator, clients_per_node);
-    driver.start(&mut sim);
-    driver.pump_until(&mut sim, duration);
+    driver.start(&session);
+    driver.pump_until(&session, duration);
 
-    // Bucket completions (at their origin replica) into one-second windows.
+    // Bucket replies (received at their submitting replica) into one-second
+    // windows.
     let mut per_second = vec![0u64; total_seconds as usize];
-    for (node, d) in driver.decisions() {
-        if d.command.origin() == *node {
-            let bucket = (d.executed_at / MICROS_PER_SEC) as usize;
-            if bucket < per_second.len() {
-                per_second[bucket] += 1;
-            }
+    for reply in driver.replies() {
+        let bucket = (reply.decision.executed_at / MICROS_PER_SEC) as usize;
+        if bucket < per_second.len() {
+            per_second[bucket] += 1;
         }
     }
     RecoveryTimeline { protocol, crash_at_s, per_second }

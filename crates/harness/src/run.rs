@@ -2,12 +2,13 @@
 //! five-site cluster.
 
 use caesar::{CaesarConfig, CaesarReplica};
-use consensus_types::{Decision, NodeId, SimTime, MICROS_PER_SEC};
+use consensus_core::session::Reply;
+use consensus_types::{NodeId, SimTime, MICROS_PER_SEC};
 use epaxos::{EpaxosConfig, EpaxosReplica};
 use m2paxos::{M2PaxosConfig, M2PaxosReplica};
 use mencius::{MenciusConfig, MenciusReplica};
 use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
-use simnet::{GeoSite, LatencyMatrix, Process, SimConfig, Simulator};
+use simnet::{GeoSite, LatencyMatrix, Process, SimConfig, SimSession, Simulator};
 use workload::{ClosedLoopDriver, WorkloadConfig, WorkloadGenerator};
 
 /// Short labels for the five sites, in node-id order (matches the paper's
@@ -318,7 +319,8 @@ type ProtocolStats = (Option<f64>, Option<PhaseShares>, Option<Vec<f64>>);
 
 fn run_generic<P, F, S>(config: &RunConfig, make: F, stats: S) -> RunResult
 where
-    P: Process,
+    P: Process + Send + 'static,
+    P::Message: Send,
     F: FnMut(NodeId) -> P,
     S: FnOnce(&Simulator<P>) -> ProtocolStats,
 {
@@ -331,32 +333,33 @@ where
         .with_jitter_us(config.jitter_us)
         .with_seed(config.seed)
         .with_horizon(config.duration_us() + 10 * MICROS_PER_SEC);
-    let mut sim = Simulator::new(sim_config, make);
+    let session = SimSession::new(Simulator::new(sim_config, make));
 
     let workload = WorkloadConfig::new(config.nodes).with_conflict_percent(config.conflict_percent);
     let generator = WorkloadGenerator::new(workload, config.seed ^ 0x57A7);
     let mut driver = ClosedLoopDriver::new(generator, config.clients_per_node);
-    driver.start(&mut sim);
-    driver.pump_until(&mut sim, config.duration_us());
+    driver.start(&session);
+    driver.pump_until(&session, config.duration_us());
 
-    let (slow_path_percent, phase_shares, per_site_wait_ms) = stats(&sim);
-    summarize(config, driver.into_decisions(), slow_path_percent, phase_shares, per_site_wait_ms)
+    let (slow_path_percent, phase_shares, per_site_wait_ms) = session.with_sim(|sim| stats(sim));
+    summarize(config, &driver.into_replies(), slow_path_percent, phase_shares, per_site_wait_ms)
 }
 
 fn summarize(
     config: &RunConfig,
-    decisions: Vec<(NodeId, Decision)>,
+    replies: &[Reply],
     slow_path_percent: Option<f64>,
     phase_shares: Option<PhaseShares>,
     per_site_wait_ms: Option<Vec<f64>>,
 ) -> RunResult {
     let mut latency_sum = vec![0.0f64; config.nodes];
     let mut completed = vec![0u64; config.nodes];
-    for (node, d) in &decisions {
-        // Client latency is measured at the command's origin replica.
-        if d.command.origin() == *node && d.proposed_at < d.executed_at {
-            latency_sum[node.index()] += d.latency() as f64 / 1_000.0;
-            completed[node.index()] += 1;
+    for reply in replies {
+        // Client latency is the submit→reply time at the submitting replica.
+        let d = &reply.decision;
+        if d.proposed_at < d.executed_at {
+            latency_sum[reply.node.index()] += d.latency() as f64 / 1_000.0;
+            completed[reply.node.index()] += 1;
         }
     }
     let per_site_latency_ms: Vec<f64> = latency_sum

@@ -9,7 +9,7 @@
 //! * [`KeySpace`] — the paper's key layout: a shared pool of 100 "hot" keys
 //!   (conflicting accesses) plus per-client private keys (non-conflicting
 //!   accesses),
-//! * [`apply`] helpers to run a sequence of decided commands and compare
+//! * [`apply_all`] helpers to run a sequence of decided commands and compare
 //!   replica states.
 //!
 //! # Example

@@ -124,7 +124,6 @@ pub struct M2PaxosReplica {
     /// Locally submitted commands → submission time.
     pending_local: HashMap<CommandId, SimTime>,
     metrics: M2PaxosMetrics,
-    out_decisions: Vec<Decision>,
 }
 
 impl M2PaxosReplica {
@@ -141,7 +140,6 @@ impl M2PaxosReplica {
             next_exec: HashMap::new(),
             pending_local: HashMap::new(),
             metrics: M2PaxosMetrics::default(),
-            out_decisions: Vec::new(),
         }
     }
 
@@ -172,7 +170,7 @@ impl M2PaxosReplica {
     fn lead(&mut self, cmd: Command, ctx: &mut Context<'_, M2PaxosMessage>) {
         let Some(key) = cmd.key() else {
             // A command with no key conflicts with nothing: decide it locally.
-            self.execute(cmd, ctx.now());
+            self.execute(cmd, ctx);
             return;
         };
         let epoch = match self.owners.get(&key) {
@@ -200,36 +198,38 @@ impl M2PaxosReplica {
         ctx.broadcast_others(M2PaxosMessage::Accept { cmd, seq: my_seq, epoch });
     }
 
-    fn commit(&mut self, cmd: Command, seq: u64, now: SimTime) {
+    fn commit(&mut self, cmd: Command, seq: u64, ctx: &mut Context<'_, M2PaxosMessage>) {
         let Some(key) = cmd.key() else {
-            self.execute(cmd, now);
+            self.execute(cmd, ctx);
             return;
         };
         self.committed.entry(key).or_default().insert(seq, cmd);
-        self.execute_ready(key, now);
+        self.execute_ready(key, ctx);
     }
 
-    fn execute_ready(&mut self, key: u64, now: SimTime) {
+    fn execute_ready(&mut self, key: u64, ctx: &mut Context<'_, M2PaxosMessage>) {
         loop {
             let next = *self.next_exec.entry(key).or_insert(0);
             let Some(per_key) = self.committed.get_mut(&key) else { return };
             let Some(cmd) = per_key.remove(&next) else { return };
             *self.next_exec.get_mut(&key).expect("present") += 1;
-            self.execute(cmd, now);
+            self.execute(cmd, ctx);
         }
     }
 
-    fn execute(&mut self, cmd: Command, now: SimTime) {
+    fn execute(&mut self, cmd: Command, ctx: &mut Context<'_, M2PaxosMessage>) {
+        let now = ctx.now();
         self.metrics.commands_executed += 1;
         let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
-        self.out_decisions.push(Decision {
+        let decision = Decision {
             command: cmd.id(),
             timestamp: Timestamp::ZERO,
             path: DecisionPath::Ordered,
             proposed_at,
             executed_at: now,
             breakdown: LatencyBreakdown::default(),
-        });
+        };
+        ctx.deliver(cmd, decision);
     }
 }
 
@@ -283,17 +283,13 @@ impl Process for M2PaxosReplica {
                     let PendingAccept { cmd, seq, .. } =
                         self.pending.remove(&cmd_id).expect("present");
                     ctx.broadcast_others(M2PaxosMessage::Commit { cmd: cmd.clone(), seq });
-                    self.commit(cmd, seq, ctx.now());
+                    self.commit(cmd, seq, ctx);
                 }
             }
             M2PaxosMessage::Commit { cmd, seq } => {
-                self.commit(cmd, seq, ctx.now());
+                self.commit(cmd, seq, ctx);
             }
         }
-    }
-
-    fn drain_decisions(&mut self) -> Vec<Decision> {
-        std::mem::take(&mut self.out_decisions)
     }
 
     fn processing_cost(&self, msg: &M2PaxosMessage) -> SimTime {

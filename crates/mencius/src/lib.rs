@@ -125,7 +125,6 @@ pub struct MenciusReplica {
     /// Locally proposed commands → proposal time.
     pending_local: HashMap<CommandId, SimTime>,
     metrics: MenciusMetrics,
-    out_decisions: Vec<Decision>,
 }
 
 impl MenciusReplica {
@@ -143,7 +142,6 @@ impl MenciusReplica {
             next_execute: 0,
             pending_local: HashMap::new(),
             metrics: MenciusMetrics::default(),
-            out_decisions: Vec::new(),
             id,
             config,
         }
@@ -192,14 +190,15 @@ impl MenciusReplica {
             if let SlotValue::Command(cmd) = value {
                 self.metrics.commands_executed += 1;
                 let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
-                self.out_decisions.push(Decision {
+                let decision = Decision {
                     command: cmd.id(),
                     timestamp: Timestamp::ZERO,
                     path: DecisionPath::Ordered,
                     proposed_at,
                     executed_at: now,
                     breakdown: LatencyBreakdown::default(),
-                });
+                };
+                ctx.deliver(cmd, decision);
             }
         }
     }
@@ -272,10 +271,6 @@ impl Process for MenciusReplica {
                 self.execute_ready(ctx);
             }
         }
-    }
-
-    fn drain_decisions(&mut self) -> Vec<Decision> {
-        std::mem::take(&mut self.out_decisions)
     }
 
     fn processing_cost(&self, msg: &MenciusMessage) -> SimTime {

@@ -122,7 +122,6 @@ pub struct MultiPaxosReplica {
     /// co-located client's latency can be reported when the command executes.
     pending_local: HashMap<CommandId, SimTime>,
     metrics: MultiPaxosMetrics,
-    out_decisions: Vec<Decision>,
 }
 
 impl MultiPaxosReplica {
@@ -139,7 +138,6 @@ impl MultiPaxosReplica {
             next_execute: 0,
             pending_local: HashMap::new(),
             metrics: MultiPaxosMetrics::default(),
-            out_decisions: Vec::new(),
         }
     }
 
@@ -181,14 +179,15 @@ impl MultiPaxosReplica {
             self.next_execute += 1;
             self.metrics.commands_executed += 1;
             let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
-            self.out_decisions.push(Decision {
+            let decision = Decision {
                 command: cmd.id(),
                 timestamp: Timestamp::ZERO,
                 path: DecisionPath::Ordered,
                 proposed_at,
                 executed_at: now,
                 breakdown: LatencyBreakdown::default(),
-            });
+            };
+            ctx.deliver(cmd, decision);
         }
     }
 }
@@ -244,10 +243,6 @@ impl Process for MultiPaxosReplica {
                 self.execute_ready(ctx);
             }
         }
-    }
-
-    fn drain_decisions(&mut self) -> Vec<Decision> {
-        std::mem::take(&mut self.out_decisions)
     }
 
     fn processing_cost(&self, msg: &MultiPaxosMessage) -> SimTime {

@@ -1,0 +1,153 @@
+//! An external TCP client of a running replica.
+//!
+//! [`ReplicaClient`] is what a process *outside* the cluster uses: it opens
+//! one TCP connection to any replica's listen address, submits commands as
+//! [`WireMessage::ClientRequest`] frames, and receives
+//! [`Event::ClientReply`] frames back on the same connection once the
+//! command executes at that replica. It needs no knowledge of the consensus
+//! protocol running behind the socket — client frames are
+//! protocol-agnostic.
+//!
+//! Command ids are `(replica, sequence)` pairs; the sequence starts at a
+//! caller-chosen base so that independent clients (or a client that
+//! reconnects) keep their ids disjoint.
+
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use consensus_core::session::{
+    ClientHandle, Op, ParkDrive, Reply, SessionCore, SessionError, SubmitTransport, Ticket,
+};
+use consensus_types::{Command, NodeId};
+
+use crate::wire::{send_msg, Event, FrameReader, WireMessage};
+
+/// Writes `ClientRequest` frames over the client's connection. The `()`
+/// message type pins the protocol-agnostic encoding: client frames never
+/// involve the consensus message type.
+struct RemoteTransport {
+    writer: Mutex<TcpStream>,
+}
+
+impl SubmitTransport for RemoteTransport {
+    fn submit(&self, node: NodeId, cmd: Command, _delay_us: u64) -> Result<(), SessionError> {
+        let mut writer = self.writer.lock().expect("client writer lock");
+        send_msg(&mut *writer, &WireMessage::<()>::ClientRequest { cmd })
+            .map_err(|err| SessionError::Disconnected(format!("submit to {node} failed: {err}")))
+    }
+}
+
+/// A synchronous client of one replica, connected over real TCP.
+///
+/// See the `consensus_client` example for an end-to-end external process
+/// built on this type.
+pub struct ReplicaClient {
+    handle: ClientHandle,
+    core: Arc<SessionCore>,
+    stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl ReplicaClient {
+    /// Connects to the replica `node` listening at `addr`. Command sequence
+    /// numbers start after `seq_base`; pick disjoint bases for concurrent
+    /// clients of the same replica (a reconnecting client passes its previous
+    /// [`ReplicaClient::last_seq`]).
+    pub fn connect(addr: SocketAddr, node: NodeId, seq_base: u64) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let core = SessionCore::new(consensus_core::session::DEFAULT_IN_FLIGHT);
+        core.seed_sequence(node, seq_base);
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let mut read_half = stream.try_clone()?;
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let _ = read_half.set_read_timeout(Some(Duration::from_millis(100)));
+                let mut decoder = FrameReader::new();
+                loop {
+                    match decoder.read_msg::<_, Event>(&mut read_half) {
+                        Ok(Some(Event::ClientReply { from, command, output, decision })) => {
+                            core.complete(Reply { command, node: from, output, decision });
+                        }
+                        Ok(Some(Event::ClientAbort { command, reason, .. })) => {
+                            core.fail(command, SessionError::Disconnected(reason));
+                        }
+                        Ok(Some(Event::Decisions { .. })) => {}
+                        Ok(None) => {
+                            if stop.load(Ordering::SeqCst) {
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            core.close("connection to the replica was lost");
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+        let transport = Arc::new(RemoteTransport { writer: Mutex::new(stream.try_clone()?) });
+        let handle = ClientHandle::new(node, Arc::clone(&core), transport, Arc::new(ParkDrive));
+        Ok(Self { handle, core, stream, stop, reader: Some(reader) })
+    }
+
+    /// The replica this client submits to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.handle.node()
+    }
+
+    /// The highest command sequence number this client has used; pass it as
+    /// `seq_base` when reconnecting so ids stay disjoint.
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.core.current_sequence(self.node())
+    }
+
+    /// Submits an operation; the returned ticket resolves when the command
+    /// executes at the connected replica.
+    pub fn submit(&self, op: Op) -> Result<Ticket, SessionError> {
+        self.handle.submit(op)
+    }
+
+    /// Writes `value` under `key` and waits for the reply (the previous
+    /// value, if any).
+    pub fn put(&self, key: u64, value: u64) -> Result<Reply, SessionError> {
+        self.submit(Op::put(key, value))?.wait()
+    }
+
+    /// Reads `key` at the connected replica and waits for the reply.
+    pub fn get(&self, key: u64) -> Result<Reply, SessionError> {
+        self.submit(Op::get(key))?.wait()
+    }
+
+    /// Closes the connection and joins the reader thread. Pending tickets
+    /// fail with [`SessionError::Disconnected`].
+    pub fn shutdown(mut self) {
+        self.teardown();
+    }
+
+    fn teardown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+        self.core.close("client disconnected");
+    }
+}
+
+impl Drop for ReplicaClient {
+    fn drop(&mut self) {
+        if self.reader.is_some() {
+            self.teardown();
+        }
+    }
+}

@@ -3,9 +3,15 @@
 //! [`NetCluster`] is the socket-runtime analogue of `cluster::Cluster` and
 //! the simulator: it spawns one [`NetReplica`] per node on an OS-assigned
 //! loopback port, distributes the address book, opens one *client*
-//! connection per replica for command submission, and subscribes to every
-//! replica's decision stream so tests and examples can assert on delivery
-//! orders observed **over the wire** — not through shared memory.
+//! connection per replica, and subscribes to every replica's decision stream
+//! so tests and examples can assert on delivery orders observed **over the
+//! wire** — not through shared memory.
+//!
+//! It also implements the runtime-agnostic
+//! [`consensus_core::session::ClusterHandle`]: session clients submit
+//! [`WireMessage::ClientRequest`] frames and receive
+//! [`Event::ClientReply`] frames on the same connection, exactly like a
+//! fully external process would (see [`crate::ReplicaClient`]).
 
 use std::collections::HashMap;
 use std::io;
@@ -15,6 +21,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use consensus_core::session::{
+    ClientHandle, ClusterHandle, ParkDrive, Reply, SessionCore, SessionError, SubmitTransport,
+    DEFAULT_IN_FLIGHT,
+};
 use consensus_types::{Command, Decision, NodeId};
 use simnet::Process;
 
@@ -31,13 +41,16 @@ pub struct NetConfig {
     pub delay: Option<DelayShim>,
     /// Multiplier mapping `SimTime` protocol timeouts onto wall-clock time.
     pub timer_scale: f64,
+    /// Bound on client-session commands in flight before `submit` pushes
+    /// back.
+    pub max_in_flight: usize,
 }
 
 impl NetConfig {
     /// A loopback cluster with no artificial delay and real-time timers.
     #[must_use]
     pub fn new(nodes: usize) -> Self {
-        Self { nodes, delay: None, timer_scale: 1.0 }
+        Self { nodes, delay: None, timer_scale: 1.0, max_in_flight: DEFAULT_IN_FLIGHT }
     }
 
     /// Installs an artificial-delay shim.
@@ -53,10 +66,17 @@ impl NetConfig {
         self.timer_scale = scale;
         self
     }
+
+    /// Sets the client-session in-flight bound.
+    #[must_use]
+    pub fn with_max_in_flight(mut self, max: usize) -> Self {
+        self.max_in_flight = max;
+        self
+    }
 }
 
 /// A per-replica client connection: the write half submits commands, a
-/// background reader collects decision events.
+/// background reader collects decision events and routes client replies.
 struct ClientLink {
     writer: Mutex<TcpStream>,
 }
@@ -64,8 +84,9 @@ struct ClientLink {
 /// A running cluster of socket-backed replicas.
 pub struct NetCluster<P: Process> {
     replicas: Vec<NetReplica<P>>,
-    links: Vec<ClientLink>,
+    links: Arc<Vec<ClientLink>>,
     decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
+    session: Arc<SessionCore>,
     readers: Vec<JoinHandle<()>>,
     reader_stop: Arc<AtomicBool>,
     started_at: Instant,
@@ -99,23 +120,38 @@ where
         // decision event can precede registration.
         let decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>> =
             Arc::new(Mutex::new(HashMap::new()));
+        let session = SessionCore::new(config.max_in_flight);
         let reader_stop = Arc::new(AtomicBool::new(false));
         let mut links = Vec::with_capacity(config.nodes);
         let mut readers = Vec::with_capacity(config.nodes);
-        for &addr in &addrs {
+        for (index, &addr) in addrs.iter().enumerate() {
+            let node = NodeId::from_index(index);
             let mut writer = TcpStream::connect(addr)?;
             writer.set_nodelay(true)?;
             send_msg(&mut writer, &WireMessage::<P::Message>::Subscribe)?;
             let read_half = writer.try_clone()?;
             let sink = Arc::clone(&decisions);
             let stop = Arc::clone(&reader_stop);
-            readers.push(std::thread::spawn(move || client_reader(read_half, &sink, &stop)));
+            let session = Arc::clone(&session);
+            readers.push(std::thread::spawn(move || {
+                client_reader(read_half, node, &sink, &session, &stop);
+            }));
             links.push(ClientLink { writer: Mutex::new(writer) });
         }
-        Ok(Self { replicas, links, decisions, readers, reader_stop, started_at: epoch })
+        Ok(Self {
+            replicas,
+            links: Arc::new(links),
+            decisions,
+            session,
+            readers,
+            reader_stop,
+            started_at: epoch,
+        })
     }
 
-    /// Submits a client command to `node` over its TCP client connection.
+    /// Submits a client command to `node` over its TCP client connection,
+    /// without waiting for a reply. Session clients obtained through
+    /// [`ClusterHandle::client`] additionally route the reply back.
     pub fn submit(&self, node: NodeId, cmd: Command) -> io::Result<()> {
         let link = &self.links[node.index()];
         let mut writer = link.writer.lock().expect("client writer lock");
@@ -169,10 +205,18 @@ where
         self.replicas.len()
     }
 
-    /// The listen address of `node` (loopback, OS-assigned port).
+    /// The listen address of `node` (loopback, OS-assigned port). External
+    /// clients ([`crate::ReplicaClient`]) connect here.
     #[must_use]
     pub fn addr(&self, node: NodeId) -> SocketAddr {
         self.replicas[node.index()].local_addr()
+    }
+
+    /// Requests shutdown of a single replica without stopping the cluster —
+    /// for tests that take a node down mid-run. The replica aborts its
+    /// pending client requests as it exits.
+    pub fn stop_replica(&self, node: NodeId) {
+        self.replicas[node.index()].request_shutdown();
     }
 
     /// Total frames sent/received/dropped across all replicas.
@@ -190,15 +234,26 @@ where
         (sent, received, dropped)
     }
 
+    /// Total batched peer writes across all replicas (each flushes every
+    /// frame due at one writer wakeup with a single write call).
+    #[must_use]
+    pub fn batches_flushed(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|replica| replica.stats().batches_flushed.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Wall-clock time since the cluster started.
     #[must_use]
     pub fn elapsed(&self) -> Duration {
         self.started_at.elapsed()
     }
 
-    /// Stops every replica and joins all cluster threads.
+    /// Stops every replica, joins all cluster threads, and fails any session
+    /// tickets still waiting for a reply.
     pub fn shutdown(self) {
-        for link in &self.links {
+        for link in self.links.iter() {
             let mut writer = link.writer.lock().expect("client writer lock");
             let _ = send_msg(&mut *writer, &WireMessage::<P::Message>::Shutdown);
         }
@@ -210,12 +265,59 @@ where
         for reader in self.readers {
             let _ = reader.join();
         }
+        self.session.close("cluster shut down");
+    }
+}
+
+/// Session transport: submissions travel as `ClientRequest` frames over the
+/// per-replica client connection, exactly like an external TCP client.
+struct NetTransport<M> {
+    links: Arc<Vec<ClientLink>>,
+    _marker: std::marker::PhantomData<fn() -> M>,
+}
+
+impl<M> SubmitTransport for NetTransport<M>
+where
+    M: serde::Serialize + Send + 'static,
+{
+    fn submit(&self, node: NodeId, cmd: Command, _delay_us: u64) -> Result<(), SessionError> {
+        let link = self
+            .links
+            .get(node.index())
+            .ok_or_else(|| SessionError::Rejected(format!("no replica {node}")))?;
+        let mut writer = link.writer.lock().expect("client writer lock");
+        send_msg(&mut *writer, &WireMessage::<M>::ClientRequest { cmd })
+            .map_err(|err| SessionError::Disconnected(format!("submit to {node} failed: {err}")))
+    }
+}
+
+impl<P> ClusterHandle for NetCluster<P>
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+{
+    fn nodes(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn client(&self, node: NodeId) -> ClientHandle {
+        ClientHandle::new(
+            node,
+            Arc::clone(&self.session),
+            Arc::new(NetTransport::<P::Message> {
+                links: Arc::clone(&self.links),
+                _marker: std::marker::PhantomData,
+            }),
+            Arc::new(ParkDrive),
+        )
     }
 }
 
 fn client_reader(
     mut stream: TcpStream,
+    node: NodeId,
     sink: &Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
+    session: &Arc<SessionCore>,
     stop: &Arc<AtomicBool>,
 ) {
     // Timeout-tolerant decoding: a read timeout mid-frame must not lose the
@@ -227,12 +329,23 @@ fn client_reader(
             Ok(Some(Event::Decisions { from, batch })) => {
                 sink.lock().expect("decision map lock").entry(from).or_default().extend(batch);
             }
+            Ok(Some(Event::ClientReply { from, command, output, decision })) => {
+                session.complete(Reply { command, node: from, output, decision });
+            }
+            Ok(Some(Event::ClientAbort { command, reason, .. })) => {
+                session.fail(command, SessionError::Disconnected(reason));
+            }
             Ok(None) => {
                 if stop.load(Ordering::SeqCst) {
                     return;
                 }
             }
-            Err(_) => return,
+            Err(_) => {
+                // The link died: every command submitted to this replica and
+                // still pending will never be answered over it.
+                session.fail_node(node, "client connection to the replica was lost");
+                return;
+            }
         }
     }
 }

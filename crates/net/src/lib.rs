@@ -50,10 +50,12 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod client;
 mod cluster;
 mod replica;
 pub mod wire;
 
+pub use client::ReplicaClient;
 pub use cluster::{NetCluster, NetConfig};
 pub use replica::{DelayShim, NetReplica, NetReplicaConfig, NetReplicaStats};
 pub use wire::{Event, WireMessage};

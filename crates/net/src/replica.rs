@@ -7,24 +7,34 @@
 //! * a **listener** accepts inbound connections; each gets a reader thread
 //!   that decodes [`WireMessage`] frames into the replica's mailbox;
 //! * a **core loop** drains the mailbox, invokes the process callbacks,
-//!   flushes the outbox to per-peer writer threads, and maps the process's
-//!   `SimTime` timers onto wall-clock deadlines in a local timer wheel;
+//!   applies executions to the replica's key-value store, answers client
+//!   requests, flushes the outbox to per-peer writer threads, and maps the
+//!   process's `SimTime` timers onto wall-clock deadlines in a local timer
+//!   wheel;
 //! * per-peer **writer** threads own one outbound connection each, with
 //!   automatic reconnect + backoff, so a replica that comes up late or drops
-//!   a link is re-linked transparently;
+//!   a link is re-linked transparently; all frames due at a wakeup are
+//!   flushed in **one batched write** instead of a syscall per frame;
 //! * an optional [`DelayShim`] holds outbound frames until an artificial
 //!   delivery deadline, emulating a WAN latency matrix on loopback.
+//!
+//! Client connections submit [`WireMessage::ClientRequest`] frames; when the
+//! command executes at this replica, the core loop answers the submitting
+//! connection with an [`Event::ClientReply`] carrying the store output. A
+//! replica that shuts down with requests still pending answers them with
+//! [`Event::ClientAbort`] so no client waits forever.
 
 use std::collections::HashMap;
-use std::io;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use consensus_types::{NodeId, SimTime};
+use consensus_types::{CommandId, Execution, NodeId, SimTime};
+use kvstore::KvStore;
 use simnet::{Context, LatencyMatrix, Process};
 
 use crate::wire::{send_msg, Event, FrameReader, WireMessage};
@@ -108,6 +118,10 @@ pub struct NetReplicaStats {
     pub frames_dropped: AtomicU64,
     /// Successful outbound connection establishments (first + re-connects).
     pub connects: AtomicU64,
+    /// Batched peer writes: each is one `write` call flushing every frame
+    /// that was due at that writer wakeup ([`Self::frames_sent`] ÷ this is
+    /// the average batch size).
+    pub batches_flushed: AtomicU64,
 }
 
 /// A consensus replica served over TCP.
@@ -127,6 +141,9 @@ pub struct NetReplica<P: Process> {
     shutdown: Arc<AtomicBool>,
     stats: Arc<NetReplicaStats>,
     subscribers: Arc<Mutex<Vec<TcpStream>>>,
+    /// Write halves of client connections awaiting a reply, keyed by the
+    /// command they submitted via [`WireMessage::ClientRequest`].
+    client_replies: Arc<Mutex<HashMap<CommandId, TcpStream>>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -145,14 +162,16 @@ where
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(NetReplicaStats::default());
         let subscribers = Arc::new(Mutex::new(Vec::new()));
+        let client_replies = Arc::new(Mutex::new(HashMap::new()));
 
         let accept_thread = {
             let mailbox = mailbox_tx.clone();
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
             let subscribers = Arc::clone(&subscribers);
+            let client_replies = Arc::clone(&client_replies);
             std::thread::spawn(move || {
-                accept_loop(&listener, &mailbox, &shutdown, &stats, &subscribers);
+                accept_loop(&listener, &mailbox, &shutdown, &stats, &subscribers, &client_replies);
             })
         };
 
@@ -166,6 +185,7 @@ where
             shutdown: Arc::clone(&shutdown),
             stats,
             subscribers,
+            client_replies,
             threads: vec![accept_thread],
         })
     }
@@ -238,6 +258,8 @@ where
             epoch: self.config.epoch,
             shutdown: Arc::clone(&self.shutdown),
             subscribers: Arc::clone(&self.subscribers),
+            client_replies: Arc::clone(&self.client_replies),
+            store: KvStore::new(),
         };
         self.threads.push(std::thread::spawn(move || core.run()));
     }
@@ -264,6 +286,7 @@ fn accept_loop<M>(
     shutdown: &Arc<AtomicBool>,
     stats: &Arc<NetReplicaStats>,
     subscribers: &Arc<Mutex<Vec<TcpStream>>>,
+    client_replies: &Arc<Mutex<HashMap<CommandId, TcpStream>>>,
 ) where
     M: serde::Deserialize + Send + 'static,
 {
@@ -274,10 +297,11 @@ fn accept_loop<M>(
                 let shutdown = Arc::clone(shutdown);
                 let stats = Arc::clone(stats);
                 let subscribers = Arc::clone(subscribers);
+                let client_replies = Arc::clone(client_replies);
                 // Reader threads exit on EOF, decode error, or shutdown;
                 // the read timeout bounds how long shutdown can take.
                 std::thread::spawn(move || {
-                    reader_loop(stream, &mailbox, &shutdown, &stats, &subscribers);
+                    reader_loop(stream, &mailbox, &shutdown, &stats, &subscribers, &client_replies);
                 });
             }
             Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
@@ -294,6 +318,7 @@ fn reader_loop<M>(
     shutdown: &Arc<AtomicBool>,
     stats: &Arc<NetReplicaStats>,
     subscribers: &Arc<Mutex<Vec<TcpStream>>>,
+    client_replies: &Arc<Mutex<HashMap<CommandId, TcpStream>>>,
 ) where
     M: serde::Deserialize,
 {
@@ -302,6 +327,12 @@ fn reader_loop<M>(
     // FrameReader keeps partial frames across timeouts, so a timeout firing
     // mid-frame never desynchronizes the stream.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let peer = stream.peer_addr().ok();
+    // Commands this connection registered reply routes for, so they can be
+    // unregistered when the connection goes away (otherwise every
+    // never-executed request would leak its cloned socket for the replica's
+    // lifetime).
+    let mut registered: Vec<CommandId> = Vec::new();
     let mut decoder = FrameReader::new();
     while !shutdown.load(Ordering::SeqCst) {
         match decoder.read_msg::<_, WireMessage<M>>(&mut stream) {
@@ -315,20 +346,50 @@ fn reader_loop<M>(
                     subscribers.lock().expect("subscriber list lock").push(write_half);
                 }
             }
+            Ok(Some(WireMessage::ClientRequest { cmd })) => {
+                // Route the eventual reply back over this connection: the
+                // core loop looks the command up when it executes.
+                stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                if let Ok(write_half) = stream.try_clone() {
+                    let _ = write_half.set_write_timeout(Some(Duration::from_secs(1)));
+                    registered.push(cmd.id());
+                    client_replies
+                        .lock()
+                        .expect("client reply registry lock")
+                        .insert(cmd.id(), write_half);
+                }
+                if mailbox.send(WireMessage::ClientRequest { cmd }).is_err() {
+                    break; // core loop gone
+                }
+            }
             Ok(Some(message)) => {
                 stats.frames_received.fetch_add(1, Ordering::Relaxed);
                 if mailbox.send(message).is_err() {
-                    return; // core loop gone
+                    break; // core loop gone
                 }
             }
             Ok(None) => continue, // timeout: poll the shutdown flag again
-            Err(_) => return,     // EOF or protocol error: drop the connection
+            Err(_) => break,      // EOF or protocol error: drop the connection
+        }
+    }
+    // The connection is gone: drop the reply routes it still owns. A route
+    // is only removed if it still points at this connection (same peer), so
+    // a newer connection that re-registered an id keeps its route.
+    if !registered.is_empty() {
+        let mut routes = client_replies.lock().expect("client reply registry lock");
+        for id in registered {
+            if routes.get(&id).is_some_and(|sink| sink.peer_addr().ok() == peer) {
+                routes.remove(&id);
+            }
         }
     }
 }
 
 /// Owns one outbound link, (re)connecting as needed and honouring the
-/// artificial delivery deadlines attached by the core loop.
+/// artificial delivery deadlines attached by the core loop. All frames due
+/// at a wakeup are flushed in **one** batched write (the ROADMAP's
+/// "one writev instead of frame-per-message" item): each frame is
+/// length-prefix-encoded into a single buffer and written with one syscall.
 fn writer_loop<M: serde::Serialize>(
     me: NodeId,
     addr: SocketAddr,
@@ -338,23 +399,58 @@ fn writer_loop<M: serde::Serialize>(
     backoff: Duration,
 ) {
     let mut stream: Option<TcpStream> = None;
+    // Frames taken off the queue whose artificial deadline has not passed
+    // yet (deadlines are monotone per link, so this is a FIFO).
+    let mut pending: std::collections::VecDeque<Outbound<M>> = std::collections::VecDeque::new();
     loop {
-        let (deliver_at, message) = match queue.recv_timeout(Duration::from_millis(50)) {
-            Ok(entry) => entry,
-            Err(RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::SeqCst) {
-                    return;
+        if pending.is_empty() {
+            match queue.recv_timeout(Duration::from_millis(50)) {
+                Ok(entry) => pending.push_back(entry),
+                Err(RecvTimeoutError::Timeout) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
                 }
-                continue;
+                Err(RecvTimeoutError::Disconnected) => return,
             }
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        let wait = deliver_at.saturating_duration_since(Instant::now());
+        }
+        // Honour the artificial delivery deadline of the oldest frame…
+        let wait = pending[0].0.saturating_duration_since(Instant::now());
         if !wait.is_zero() {
             std::thread::sleep(wait);
         }
-        // Try to write; on failure reconnect once and retry, then drop the
-        // frame (protocols recover from message loss via their timeouts).
+        // …then absorb everything else already queued so one write flushes
+        // the whole burst.
+        loop {
+            match queue.try_recv() {
+                Ok(entry) => pending.push_back(entry),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        // Encode every due frame into one buffer.
+        let now = Instant::now();
+        let mut batch = Vec::new();
+        let mut count: u64 = 0;
+        while let Some((at, _)) = pending.front() {
+            if *at > now {
+                break;
+            }
+            let (_, message) = pending.pop_front().expect("frame present");
+            // `Vec<u8>` implements `io::Write`, so the standard frame writer
+            // appends the length-prefixed encoding to the batch buffer.
+            if send_msg(&mut batch, &message).is_err() {
+                stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            count += 1;
+        }
+        if count == 0 {
+            continue;
+        }
+        // Write the batch; on failure reconnect once and retry, then drop it
+        // (protocols recover from message loss via their timeouts).
         let mut attempts = 0;
         loop {
             if stream.is_none() {
@@ -364,16 +460,17 @@ fn writer_loop<M: serde::Serialize>(
                 }
             }
             let sock = stream.as_mut().expect("connected stream");
-            match send_msg(sock, &message) {
+            match sock.write_all(&batch).and_then(|()| sock.flush()) {
                 Ok(()) => {
-                    stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    stats.frames_sent.fetch_add(count, Ordering::Relaxed);
+                    stats.batches_flushed.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
                 Err(_) => {
                     stream = None;
                     attempts += 1;
                     if attempts >= 2 {
-                        stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                        stats.frames_dropped.fetch_add(count, Ordering::Relaxed);
                         break;
                     }
                 }
@@ -454,6 +551,10 @@ struct CoreLoop<P: Process> {
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
     subscribers: Arc<Mutex<Vec<TcpStream>>>,
+    client_replies: Arc<Mutex<HashMap<CommandId, TcpStream>>>,
+    /// The replica's deterministic state machine; every execution is applied
+    /// here, and its output answers `ClientRequest` submissions.
+    store: KvStore,
 }
 
 impl<P> CoreLoop<P>
@@ -468,14 +569,21 @@ where
     fn run(mut self) {
         let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
         let mut new_timers: Vec<(SimTime, P::Message)> = Vec::new();
+        let mut executions: Vec<Execution> = Vec::new();
 
         {
             let now = self.now_us();
-            let mut ctx =
-                Context::for_runtime(self.id, self.nodes, now, &mut outbox, &mut new_timers);
+            let mut ctx = Context::for_runtime(
+                self.id,
+                self.nodes,
+                now,
+                &mut outbox,
+                &mut new_timers,
+                &mut executions,
+            );
             self.process.on_start(&mut ctx);
         }
-        self.flush(&mut outbox, &mut new_timers);
+        self.flush(&mut outbox, &mut new_timers, &mut executions);
 
         loop {
             // Sleep until the next timer deadline, but never so long that a
@@ -488,7 +596,7 @@ where
                 .min(Duration::from_millis(25));
             match self.mailbox.recv_timeout(timeout) {
                 Ok(envelope) => {
-                    if !self.dispatch(envelope, &mut outbox, &mut new_timers) {
+                    if !self.dispatch(envelope, &mut outbox, &mut new_timers, &mut executions) {
                         break;
                     }
                 }
@@ -502,17 +610,25 @@ where
             // Fire due timers and self-deliveries through the same envelope
             // path the mailbox uses.
             for msg in self.timers.pop_due(Instant::now()) {
-                self.dispatch(WireMessage::Timer { msg }, &mut outbox, &mut new_timers);
+                self.dispatch(
+                    WireMessage::Timer { msg },
+                    &mut outbox,
+                    &mut new_timers,
+                    &mut executions,
+                );
             }
-            self.flush(&mut outbox, &mut new_timers);
+            self.flush(&mut outbox, &mut new_timers, &mut executions);
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
         }
 
         self.shutdown.store(true, Ordering::SeqCst);
-        // Final decision flush so subscribers see everything executed.
-        self.publish_decisions();
+        // Final flush so subscribers see everything executed, then fail any
+        // client requests that will never be answered — a waiter must not
+        // hang on a replica that is gone.
+        self.publish(&mut executions);
+        self.abort_pending_clients();
     }
 
     /// Handles one envelope; returns `false` when the loop should stop.
@@ -521,34 +637,39 @@ where
         envelope: WireMessage<P::Message>,
         outbox: &mut Vec<(NodeId, P::Message)>,
         new_timers: &mut Vec<(SimTime, P::Message)>,
+        executions: &mut Vec<Execution>,
     ) -> bool {
         match envelope {
             WireMessage::Shutdown => return false,
             WireMessage::Hello { .. } | WireMessage::Subscribe => {}
             WireMessage::Peer { from, msg } => {
                 let now = self.now_us();
-                let mut ctx = Context::for_runtime(self.id, self.nodes, now, outbox, new_timers);
+                let mut ctx =
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
                 self.process.on_message(from, msg, &mut ctx);
             }
-            WireMessage::Client { cmd } => {
+            WireMessage::Client { cmd } | WireMessage::ClientRequest { cmd } => {
                 let now = self.now_us();
-                let mut ctx = Context::for_runtime(self.id, self.nodes, now, outbox, new_timers);
+                let mut ctx =
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
                 self.process.on_client_command(cmd, &mut ctx);
             }
             WireMessage::Timer { msg } => {
                 let now = self.now_us();
-                let mut ctx = Context::for_runtime(self.id, self.nodes, now, outbox, new_timers);
+                let mut ctx =
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
                 self.process.on_message(self.id, msg, &mut ctx);
             }
         }
         true
     }
 
-    /// Routes buffered sends and timers, then publishes fresh decisions.
+    /// Routes buffered sends and timers, then publishes fresh executions.
     fn flush(
         &mut self,
         outbox: &mut Vec<(NodeId, P::Message)>,
         new_timers: &mut Vec<(SimTime, P::Message)>,
+        executions: &mut Vec<Execution>,
     ) {
         let now = Instant::now();
         for (to, msg) in outbox.drain(..) {
@@ -567,17 +688,56 @@ where
             let scaled = Duration::from_micros((delay_us as f64 * self.timer_scale) as u64);
             self.timers.push(now + scaled, msg);
         }
-        self.publish_decisions();
+        self.publish(executions);
     }
 
-    fn publish_decisions(&mut self) {
-        let executed = self.process.drain_decisions();
-        if executed.is_empty() {
+    /// Applies fresh executions to the store, answers pending client
+    /// requests, and streams the decision batch to subscribers.
+    ///
+    /// Reply and subscriber writes happen on the core-loop thread, bounded
+    /// by the 1 s per-connection write timeout set at registration; a
+    /// stalled client can therefore delay (not wedge) protocol processing.
+    /// Decoupling them behind per-connection writer queues, like peer
+    /// traffic, is the upgrade path if external clients become many.
+    fn publish(&mut self, executions: &mut Vec<Execution>) {
+        if executions.is_empty() {
             return;
         }
-        let event = Event::Decisions { from: self.id, batch: executed };
+        let mut batch = Vec::with_capacity(executions.len());
+        for execution in executions.drain(..) {
+            let output = self.store.apply(&execution.command);
+            let id = execution.command.id();
+            let waiting =
+                self.client_replies.lock().expect("client reply registry lock").remove(&id);
+            if let Some(mut sink) = waiting {
+                let event = Event::ClientReply {
+                    from: self.id,
+                    command: id,
+                    output,
+                    decision: execution.decision.clone(),
+                };
+                let _ = send_msg(&mut sink, &event);
+            }
+            batch.push(execution.decision);
+        }
+        let event = Event::Decisions { from: self.id, batch };
         let mut sinks = self.subscribers.lock().expect("subscriber list lock");
         // Drop sinks whose connection died; keep the rest.
         sinks.retain_mut(|sink| send_msg(sink, &event).is_ok());
+    }
+
+    /// Tells every connection still waiting for a reply that it will never
+    /// come (the replica is shutting down).
+    fn abort_pending_clients(&mut self) {
+        let pending: Vec<(CommandId, TcpStream)> =
+            self.client_replies.lock().expect("client reply registry lock").drain().collect();
+        for (command, mut sink) in pending {
+            let event = Event::ClientAbort {
+                from: self.id,
+                command,
+                reason: "replica shut down before the command executed".to_string(),
+            };
+            let _ = send_msg(&mut sink, &event);
+        }
     }
 }

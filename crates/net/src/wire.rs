@@ -5,19 +5,26 @@
 //! flow over the frames:
 //!
 //! * [`WireMessage`] — everything a replica *receives*: peer protocol
-//!   messages, client command submissions, decision-stream subscriptions,
-//!   timer wakeups (local mailbox only) and shutdown requests;
-//! * [`Event`] — everything a replica *publishes* to subscribed clients:
-//!   batches of executed [`Decision`]s.
+//!   messages, client command submissions (fire-and-forget
+//!   [`WireMessage::Client`] or reply-expecting
+//!   [`WireMessage::ClientRequest`]), decision-stream subscriptions, timer
+//!   wakeups (local mailbox only) and shutdown requests;
+//! * [`Event`] — everything a replica *publishes* to client connections:
+//!   batches of executed [`Decision`]s, plus per-command
+//!   [`Event::ClientReply`] / [`Event::ClientAbort`] frames answering
+//!   `ClientRequest` submissions.
 //!
 //! `WireMessage<M>` is generic over the protocol message type, so the one
-//! envelope serves CAESAR, EPaxos, Multi-Paxos, Mencius and M²Paxos alike.
-//! The serde impls are written by hand because the vendored derive does not
-//! support generic types.
+//! envelope serves CAESAR, EPaxos, Multi-Paxos, Mencius and M²Paxos alike;
+//! the client-facing variants do not involve `M`, so an external client can
+//! speak the protocol without knowing which consensus algorithm is running
+//! (it submits `WireMessage::<()>::ClientRequest` frames). The serde impls
+//! are written by hand because the vendored derive does not support generic
+//! types.
 
 use std::io::{self, Read, Write};
 
-use consensus_types::{Command, Decision, NodeId};
+use consensus_types::{Command, CommandId, Decision, NodeId};
 
 /// Upper bound on a frame payload, guarding against corrupt length prefixes.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
@@ -41,8 +48,17 @@ pub enum WireMessage<M> {
         msg: M,
     },
     /// A client command submitted to this replica, making it the command's
-    /// leader.
+    /// leader. Fire-and-forget: no reply frame is produced.
     Client {
+        /// The command to order.
+        cmd: Command,
+    },
+    /// A client command submitted to this replica **with a reply**: once the
+    /// command executes here, the replica answers the submitting connection
+    /// with an [`Event::ClientReply`] frame carrying the key-value store
+    /// result (read-your-writes at this replica). If the replica shuts down
+    /// first, it answers with [`Event::ClientAbort`] instead.
+    ClientRequest {
         /// The command to order.
         cmd: Command,
     },
@@ -61,7 +77,7 @@ pub enum WireMessage<M> {
     Shutdown,
 }
 
-/// Envelope for frames a replica publishes to subscribed clients.
+/// Envelope for frames a replica publishes to client connections.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Event {
     /// Commands executed at `from` since the last event, in execution order.
@@ -70,6 +86,29 @@ pub enum Event {
         from: NodeId,
         /// The executed commands, oldest first.
         batch: Vec<Decision>,
+    },
+    /// Answer to a [`WireMessage::ClientRequest`]: the command executed at
+    /// the replica the client submitted it to.
+    ClientReply {
+        /// The replying replica.
+        from: NodeId,
+        /// The command this reply answers.
+        command: CommandId,
+        /// The key-value store result at the replying replica: the value
+        /// read by a `Get`, the previous value overwritten by a `Put`.
+        output: Option<u64>,
+        /// The decision record (path, timestamps, latency breakdown).
+        decision: Decision,
+    },
+    /// A [`WireMessage::ClientRequest`] will never be answered (the replica
+    /// is shutting down); the client should fail the pending ticket.
+    ClientAbort {
+        /// The aborting replica.
+        from: NodeId,
+        /// The command whose reply will never come.
+        command: CommandId,
+        /// Why the reply will never come.
+        reason: String,
     },
 }
 
@@ -95,6 +134,10 @@ impl<M: serde::Serialize> serde::Serialize for WireMessage<M> {
                 msg.serialize(out);
             }
             WireMessage::Shutdown => serde::write_variant_tag(out, 5),
+            WireMessage::ClientRequest { cmd } => {
+                serde::write_variant_tag(out, 6);
+                cmd.serialize(out);
+            }
         }
     }
 }
@@ -111,6 +154,7 @@ impl<M: serde::Deserialize> serde::Deserialize for WireMessage<M> {
             3 => Ok(WireMessage::Subscribe),
             4 => Ok(WireMessage::Timer { msg: M::deserialize(input)? }),
             5 => Ok(WireMessage::Shutdown),
+            6 => Ok(WireMessage::ClientRequest { cmd: Command::deserialize(input)? }),
             other => Err(serde::Error::unknown_variant("WireMessage", other)),
         }
     }
@@ -124,6 +168,19 @@ impl serde::Serialize for Event {
                 from.serialize(out);
                 batch.serialize(out);
             }
+            Event::ClientReply { from, command, output, decision } => {
+                serde::write_variant_tag(out, 1);
+                from.serialize(out);
+                command.serialize(out);
+                output.serialize(out);
+                decision.serialize(out);
+            }
+            Event::ClientAbort { from, command, reason } => {
+                serde::write_variant_tag(out, 2);
+                from.serialize(out);
+                command.serialize(out);
+                reason.serialize(out);
+            }
         }
     }
 }
@@ -134,6 +191,17 @@ impl serde::Deserialize for Event {
             0 => Ok(Event::Decisions {
                 from: NodeId::deserialize(input)?,
                 batch: Vec::deserialize(input)?,
+            }),
+            1 => Ok(Event::ClientReply {
+                from: NodeId::deserialize(input)?,
+                command: CommandId::deserialize(input)?,
+                output: Option::deserialize(input)?,
+                decision: Decision::deserialize(input)?,
+            }),
+            2 => Ok(Event::ClientAbort {
+                from: NodeId::deserialize(input)?,
+                command: CommandId::deserialize(input)?,
+                reason: String::deserialize(input)?,
             }),
             other => Err(serde::Error::unknown_variant("Event", other)),
         }
@@ -281,14 +349,57 @@ mod tests {
         let messages: Vec<WireMessage<u64>> = vec![
             WireMessage::Hello { from: NodeId(4) },
             WireMessage::Peer { from: NodeId(2), msg: 99 },
-            WireMessage::Client { cmd },
+            WireMessage::Client { cmd: cmd.clone() },
             WireMessage::Subscribe,
             WireMessage::Timer { msg: 5 },
             WireMessage::Shutdown,
+            WireMessage::ClientRequest { cmd },
         ];
         for msg in &messages {
             assert_eq!(&round_trip(msg), msg);
         }
+    }
+
+    #[test]
+    fn client_request_frames_are_protocol_agnostic() {
+        // A client that does not know the protocol message type serializes a
+        // `WireMessage::<()>::ClientRequest`; the replica decodes it with its
+        // real message type. The bytes must be identical.
+        let cmd = Command::put(CommandId::new(NodeId(0), 3), 7, 11);
+        let mut client_bytes = Vec::new();
+        send_msg(&mut client_bytes, &WireMessage::<()>::ClientRequest { cmd: cmd.clone() })
+            .expect("frame writes");
+        let decoded: WireMessage<CaesarMessage> =
+            recv_msg(&mut client_bytes.as_slice()).expect("frame reads");
+        match decoded {
+            WireMessage::ClientRequest { cmd: got } => assert_eq!(got, cmd),
+            other => panic!("variant changed in flight: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_reply_and_abort_events_round_trip() {
+        let decision = Decision {
+            command: CommandId::new(NodeId(1), 5),
+            timestamp: Timestamp::new(9, NodeId(1)),
+            path: consensus_types::DecisionPath::Fast,
+            proposed_at: 3,
+            executed_at: 40,
+            breakdown: Default::default(),
+        };
+        let reply = Event::ClientReply {
+            from: NodeId(1),
+            command: CommandId::new(NodeId(1), 5),
+            output: Some(17),
+            decision,
+        };
+        assert_eq!(round_trip(&reply), reply);
+        let abort = Event::ClientAbort {
+            from: NodeId(2),
+            command: CommandId::new(NodeId(2), 9),
+            reason: "replica shut down".to_string(),
+        };
+        assert_eq!(round_trip(&abort), abort);
     }
 
     #[test]

@@ -1,0 +1,610 @@
+//! The session layer: waiter table, tickets, and the [`ClusterHandle`] /
+//! [`ClientHandle`] API every runtime implements.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use consensus_types::{Command, CommandId, Decision, NodeId, Operation};
+
+/// Default bound on commands a session keeps in flight before `submit`
+/// pushes back with [`SessionError::Backpressure`].
+pub const DEFAULT_IN_FLIGHT: usize = 4096;
+
+/// Default timeout applied by [`Ticket::wait`].
+pub const DEFAULT_WAIT: Duration = Duration::from_secs(60);
+
+/// Longest single park inside [`Ticket::wait`], so a ticket re-checks its
+/// deadline even if the runtime never notifies it.
+const MAX_PARK: Duration = Duration::from_millis(50);
+
+/// Why a submitted command did not (or will never) produce a [`Reply`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionError {
+    /// The wait deadline elapsed before the command executed at the
+    /// submitting replica. The command may still commit later.
+    Timeout,
+    /// The session already has its configured maximum of commands in flight;
+    /// wait on an outstanding ticket before submitting more.
+    Backpressure {
+        /// Number of commands currently in flight.
+        in_flight: usize,
+    },
+    /// The replica (or the link to it) went away before the command's
+    /// execution was observed.
+    Disconnected(String),
+    /// The submission itself was refused (duplicate command id, serialization
+    /// failure, …).
+    Rejected(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Timeout => write!(f, "timed out waiting for the reply"),
+            SessionError::Backpressure { in_flight } => {
+                write!(f, "session backpressure: {in_flight} commands already in flight")
+            }
+            SessionError::Disconnected(reason) => write!(f, "replica disconnected: {reason}"),
+            SessionError::Rejected(reason) => write!(f, "submission rejected: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// A client operation, before the session assigns it a [`CommandId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Op {
+    /// What the command does to the key-value store.
+    pub operation: Operation,
+    /// The key it touches (`None` conflicts with nothing).
+    pub key: Option<u64>,
+    /// The value written by a `Put`.
+    pub value: u64,
+}
+
+impl Op {
+    /// An update of `key` to `value` (the paper's benchmark operation).
+    #[must_use]
+    pub fn put(key: u64, value: u64) -> Self {
+        Self { operation: Operation::Put, key: Some(key), value }
+    }
+
+    /// A read of `key`; the reply carries the value observed at the
+    /// submitting replica.
+    #[must_use]
+    pub fn get(key: u64) -> Self {
+        Self { operation: Operation::Get, key: Some(key), value: 0 }
+    }
+
+    /// A command that conflicts with nothing.
+    #[must_use]
+    pub fn noop() -> Self {
+        Self { operation: Operation::Noop, key: None, value: 0 }
+    }
+
+    /// Materializes the operation as a [`Command`] with the given id.
+    #[must_use]
+    pub fn command(self, id: CommandId) -> Command {
+        Command::new(id, self.operation, self.key, self.value)
+    }
+}
+
+/// What a client gets back when its command executes at the submitting
+/// replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The command this reply answers.
+    pub command: CommandId,
+    /// The replica that executed the command and produced this reply.
+    pub node: NodeId,
+    /// The key-value store result at that replica: the value read by a `Get`,
+    /// the previous value overwritten by a `Put`, `None` otherwise.
+    pub output: Option<u64>,
+    /// The decision record (path, timestamps, latency breakdown).
+    pub decision: Decision,
+}
+
+/// One entry of the waiter table: a slot the runtime fills with the reply
+/// (or an error) and a condition variable for threaded runtimes to park on.
+#[derive(Debug, Default)]
+pub struct Waiter {
+    state: Mutex<Option<Result<Reply, SessionError>>>,
+    resolved: Condvar,
+}
+
+impl Waiter {
+    /// Non-destructively checks whether the slot has been filled.
+    #[must_use]
+    pub fn is_resolved(&self) -> bool {
+        self.state.lock().expect("waiter lock").is_some()
+    }
+
+    /// Takes the result out of the slot, if present.
+    #[must_use]
+    pub fn poll(&self) -> Option<Result<Reply, SessionError>> {
+        self.state.lock().expect("waiter lock").take()
+    }
+
+    /// Fills the slot and wakes every parked waiter.
+    fn resolve(&self, result: Result<Reply, SessionError>) {
+        let mut slot = self.state.lock().expect("waiter lock");
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        self.resolved.notify_all();
+    }
+
+    /// Parks the calling thread until the slot fills or `timeout` elapses.
+    fn park(&self, timeout: Duration) {
+        let slot = self.state.lock().expect("waiter lock");
+        if slot.is_none() {
+            let _ = self.resolved.wait_timeout(slot, timeout).expect("waiter lock");
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CoreInner {
+    waiters: HashMap<CommandId, Arc<Waiter>>,
+    /// Per-replica command-id sequence allocator (used by [`Op`] submission).
+    seqs: HashMap<NodeId, u64>,
+    /// Set once the runtime behind this session is gone for good.
+    closed: Option<String>,
+}
+
+/// The waiter table shared between a runtime and its client handles:
+/// completions are routed by [`CommandId`], submissions are bounded by the
+/// in-flight capacity.
+#[derive(Debug)]
+pub struct SessionCore {
+    capacity: usize,
+    inner: Mutex<CoreInner>,
+}
+
+impl SessionCore {
+    /// Creates a core that allows at most `capacity` commands in flight.
+    #[must_use]
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self { capacity: capacity.max(1), inner: Mutex::new(CoreInner::default()) })
+    }
+
+    /// Number of submitted commands still awaiting their reply.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inner.lock().expect("session lock").waiters.len()
+    }
+
+    /// Pre-seeds the command-id sequence allocator for `node`, so a client
+    /// that reconnects (or several independent clients of one replica) can
+    /// keep its ids disjoint from earlier sessions.
+    pub fn seed_sequence(&self, node: NodeId, next: u64) {
+        let mut inner = self.inner.lock().expect("session lock");
+        let seq = inner.seqs.entry(node).or_insert(0);
+        *seq = (*seq).max(next);
+    }
+
+    /// The highest command sequence number allocated for `node` so far.
+    #[must_use]
+    pub fn current_sequence(&self, node: NodeId) -> u64 {
+        self.inner.lock().expect("session lock").seqs.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Allocates the next command id for a submission at `node`.
+    #[must_use]
+    pub fn next_id(&self, node: NodeId) -> CommandId {
+        let mut inner = self.inner.lock().expect("session lock");
+        let seq = inner.seqs.entry(node).or_insert(0);
+        *seq += 1;
+        CommandId::new(node, *seq)
+    }
+
+    /// Registers a waiter for `id`, enforcing the in-flight bound.
+    pub fn register(&self, id: CommandId) -> Result<Arc<Waiter>, SessionError> {
+        let mut inner = self.inner.lock().expect("session lock");
+        if let Some(reason) = &inner.closed {
+            return Err(SessionError::Disconnected(reason.clone()));
+        }
+        if inner.waiters.len() >= self.capacity {
+            return Err(SessionError::Backpressure { in_flight: inner.waiters.len() });
+        }
+        if inner.waiters.contains_key(&id) {
+            return Err(SessionError::Rejected(format!("command id {id} already in flight")));
+        }
+        let waiter = Arc::new(Waiter::default());
+        inner.waiters.insert(id, Arc::clone(&waiter));
+        Ok(waiter)
+    }
+
+    /// Routes a completion to its waiter, if one is registered (runtimes call
+    /// this for every origin-side execution; unknown ids are ignored).
+    pub fn complete(&self, reply: Reply) {
+        let waiter = self.inner.lock().expect("session lock").waiters.remove(&reply.command);
+        if let Some(waiter) = waiter {
+            waiter.resolve(Ok(reply));
+        }
+    }
+
+    /// Fails the waiter registered for `id`, if any.
+    pub fn fail(&self, id: CommandId, error: SessionError) {
+        let waiter = self.inner.lock().expect("session lock").waiters.remove(&id);
+        if let Some(waiter) = waiter {
+            waiter.resolve(Err(error));
+        }
+    }
+
+    /// Fails every pending waiter whose command was submitted at `node`
+    /// (commands carry their submission replica as the id origin). Used when
+    /// a single replica — or the link to it — dies mid-run.
+    pub fn fail_node(&self, node: NodeId, reason: &str) {
+        let failed: Vec<(CommandId, Arc<Waiter>)> = {
+            let mut inner = self.inner.lock().expect("session lock");
+            let ids: Vec<CommandId> =
+                inner.waiters.keys().copied().filter(|id| id.origin() == node).collect();
+            ids.iter().map(|id| (*id, inner.waiters.remove(id).expect("present"))).collect()
+        };
+        for (_, waiter) in failed {
+            waiter.resolve(Err(SessionError::Disconnected(reason.to_string())));
+        }
+    }
+
+    /// Closes the session: every pending waiter fails with
+    /// [`SessionError::Disconnected`] and future submissions are refused.
+    pub fn close(&self, reason: &str) {
+        let drained: Vec<Arc<Waiter>> = {
+            let mut inner = self.inner.lock().expect("session lock");
+            inner.closed = Some(reason.to_string());
+            inner.waiters.drain().map(|(_, w)| w).collect()
+        };
+        for waiter in drained {
+            waiter.resolve(Err(SessionError::Disconnected(reason.to_string())));
+        }
+    }
+
+    /// Drops the waiter for `id` without resolving it (ticket timeout /
+    /// failed submission), freeing its in-flight slot.
+    pub fn abandon(&self, id: CommandId) {
+        self.inner.lock().expect("session lock").waiters.remove(&id);
+    }
+}
+
+/// How a [`Ticket`] makes progress while waiting.
+///
+/// Wall-clock runtimes resolve waiters from background threads, so their
+/// tickets just park ([`ParkDrive`]). The discrete-event simulator has no
+/// background threads: its drive implementation steps simulated time forward
+/// until the waiter resolves.
+pub trait Drive: Send + Sync {
+    /// Advances the runtime toward resolving `command`, returning once the
+    /// waiter resolved, `slice` elapsed, or no further progress is possible.
+    fn drive(&self, command: CommandId, waiter: &Waiter, slice: Duration);
+}
+
+/// [`Drive`] for runtimes whose progress happens on background threads: the
+/// ticket parks on the waiter's condition variable.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ParkDrive;
+
+impl Drive for ParkDrive {
+    fn drive(&self, _command: CommandId, waiter: &Waiter, slice: Duration) {
+        waiter.park(slice);
+    }
+}
+
+/// How a [`ClientHandle`] hands a command to its runtime.
+pub trait SubmitTransport: Send + Sync {
+    /// Delivers `cmd` to replica `node` for ordering. `delay_us` is a
+    /// submission delay honoured by simulated-time runtimes (wall-clock
+    /// runtimes submit immediately).
+    fn submit(&self, node: NodeId, cmd: Command, delay_us: u64) -> Result<(), SessionError>;
+}
+
+/// An outstanding submission: await it with [`Ticket::wait`].
+#[derive(Clone)]
+pub struct Ticket {
+    command: CommandId,
+    node: NodeId,
+    core: Arc<SessionCore>,
+    waiter: Arc<Waiter>,
+    drive: Arc<dyn Drive>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket")
+            .field("command", &self.command)
+            .field("node", &self.node)
+            .field("resolved", &self.waiter.is_resolved())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// The id of the submitted command.
+    #[must_use]
+    pub fn command(&self) -> CommandId {
+        self.command
+    }
+
+    /// The replica the command was submitted to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Non-blocking completion check; consumes the result if present.
+    #[must_use]
+    pub fn try_wait(&self) -> Option<Result<Reply, SessionError>> {
+        self.waiter.poll()
+    }
+
+    /// Waits (with the [`DEFAULT_WAIT`] timeout) for the command to execute
+    /// at the submitting replica.
+    pub fn wait(&self) -> Result<Reply, SessionError> {
+        self.wait_timeout(DEFAULT_WAIT)
+    }
+
+    /// Waits until the reply arrives, the session disconnects, or `timeout`
+    /// elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<Reply, SessionError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(result) = self.waiter.poll() {
+                return result;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.core.abandon(self.command);
+                return Err(SessionError::Timeout);
+            }
+            let slice = deadline.saturating_duration_since(now).min(MAX_PARK);
+            self.drive.drive(self.command, &self.waiter, slice);
+        }
+    }
+}
+
+/// A client bound to one replica of a running cluster. Cheap to clone; all
+/// clones share the cluster's waiter table.
+#[derive(Clone)]
+pub struct ClientHandle {
+    node: NodeId,
+    core: Arc<SessionCore>,
+    transport: Arc<dyn SubmitTransport>,
+    drive: Arc<dyn Drive>,
+}
+
+impl fmt::Debug for ClientHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClientHandle")
+            .field("node", &self.node)
+            .field("in_flight", &self.core.in_flight())
+            .finish()
+    }
+}
+
+impl ClientHandle {
+    /// Assembles a handle from a runtime's parts (runtimes call this from
+    /// their [`ClusterHandle::client`] implementation).
+    #[must_use]
+    pub fn new(
+        node: NodeId,
+        core: Arc<SessionCore>,
+        transport: Arc<dyn SubmitTransport>,
+        drive: Arc<dyn Drive>,
+    ) -> Self {
+        Self { node, core, transport, drive }
+    }
+
+    /// The replica this handle submits to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The waiter table this handle routes completions through.
+    #[must_use]
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.core
+    }
+
+    /// Submits `op`, assigning it the next command id of this replica.
+    pub fn submit(&self, op: Op) -> Result<Ticket, SessionError> {
+        self.submit_after(op, 0)
+    }
+
+    /// Like [`ClientHandle::submit`] with a submission delay in simulated
+    /// microseconds (wall-clock runtimes submit immediately).
+    pub fn submit_after(&self, op: Op, delay_us: u64) -> Result<Ticket, SessionError> {
+        let id = self.core.next_id(self.node);
+        self.submit_command_after(op.command(id), delay_us)
+    }
+
+    /// Submits a caller-built command. Its id origin must be this handle's
+    /// replica, or the reply can never be routed back.
+    pub fn submit_command(&self, cmd: Command) -> Result<Ticket, SessionError> {
+        self.submit_command_after(cmd, 0)
+    }
+
+    /// Like [`ClientHandle::submit_command`] with a submission delay in
+    /// simulated microseconds.
+    pub fn submit_command_after(
+        &self,
+        cmd: Command,
+        delay_us: u64,
+    ) -> Result<Ticket, SessionError> {
+        if cmd.id().origin() != self.node {
+            return Err(SessionError::Rejected(format!(
+                "command {} carries origin {}, but this handle submits to {}",
+                cmd.id(),
+                cmd.id().origin(),
+                self.node
+            )));
+        }
+        let id = cmd.id();
+        let waiter = self.core.register(id)?;
+        if let Err(err) = self.transport.submit(self.node, cmd, delay_us) {
+            self.core.abandon(id);
+            return Err(err);
+        }
+        Ok(Ticket {
+            command: id,
+            node: self.node,
+            core: Arc::clone(&self.core),
+            waiter,
+            drive: Arc::clone(&self.drive),
+        })
+    }
+}
+
+/// A running cluster that clients can attach to: every runtime (simulator,
+/// threads, TCP) implements this.
+pub trait ClusterHandle {
+    /// Number of replicas in the cluster.
+    fn nodes(&self) -> usize;
+
+    /// A client bound to replica `node`.
+    fn client(&self, node: NodeId) -> ClientHandle;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_types::{DecisionPath, LatencyBreakdown, Timestamp};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn reply(id: CommandId, node: NodeId, output: Option<u64>) -> Reply {
+        Reply {
+            command: id,
+            node,
+            output,
+            decision: Decision {
+                command: id,
+                timestamp: Timestamp::ZERO,
+                path: DecisionPath::Fast,
+                proposed_at: 0,
+                executed_at: 10,
+                breakdown: LatencyBreakdown::default(),
+            },
+        }
+    }
+
+    /// A transport that records submissions and (optionally) completes them
+    /// instantly against the shared core.
+    struct LoopbackTransport {
+        core: Arc<SessionCore>,
+        submitted: AtomicU64,
+        echo: bool,
+    }
+
+    impl SubmitTransport for LoopbackTransport {
+        fn submit(&self, node: NodeId, cmd: Command, _delay_us: u64) -> Result<(), SessionError> {
+            self.submitted.fetch_add(1, Ordering::Relaxed);
+            if self.echo {
+                self.core.complete(reply(cmd.id(), node, Some(cmd.value())));
+            }
+            Ok(())
+        }
+    }
+
+    fn handle(capacity: usize, echo: bool) -> (ClientHandle, Arc<LoopbackTransport>) {
+        let core = SessionCore::new(capacity);
+        let transport =
+            Arc::new(LoopbackTransport { core: Arc::clone(&core), submitted: 0.into(), echo });
+        let h =
+            ClientHandle::new(NodeId(0), core, Arc::clone(&transport) as _, Arc::new(ParkDrive));
+        (h, transport)
+    }
+
+    #[test]
+    fn submit_and_wait_round_trips_a_reply() {
+        let (client, transport) = handle(8, true);
+        let ticket = client.submit(Op::put(7, 42)).expect("submits");
+        let reply = ticket.wait_timeout(Duration::from_secs(1)).expect("replies");
+        assert_eq!(reply.command, ticket.command());
+        assert_eq!(reply.output, Some(42));
+        assert_eq!(transport.submitted.load(Ordering::Relaxed), 1);
+        assert_eq!(client.core().in_flight(), 0);
+    }
+
+    #[test]
+    fn command_ids_are_allocated_sequentially_per_node() {
+        let (client, _) = handle(8, true);
+        let a = client.submit(Op::noop()).expect("submits");
+        let b = client.submit(Op::noop()).expect("submits");
+        assert_eq!(a.command(), CommandId::new(NodeId(0), 1));
+        assert_eq!(b.command(), CommandId::new(NodeId(0), 2));
+    }
+
+    #[test]
+    fn backpressure_bounds_in_flight_commands() {
+        let (client, _) = handle(2, false);
+        let _a = client.submit(Op::noop()).expect("submits");
+        let _b = client.submit(Op::noop()).expect("submits");
+        match client.submit(Op::noop()) {
+            Err(SessionError::Backpressure { in_flight }) => assert_eq!(in_flight, 2),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_times_out_and_frees_the_slot() {
+        let (client, _) = handle(1, false);
+        let ticket = client.submit(Op::noop()).expect("submits");
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(20)), Err(SessionError::Timeout));
+        // The slot was abandoned, so a new submission fits again.
+        assert_eq!(client.core().in_flight(), 0);
+        client.submit(Op::noop()).expect("slot freed");
+    }
+
+    #[test]
+    fn close_fails_pending_tickets_and_future_submissions() {
+        let (client, _) = handle(8, false);
+        let ticket = client.submit(Op::noop()).expect("submits");
+        let core = Arc::clone(client.core());
+        let waiter = std::thread::spawn(move || ticket.wait_timeout(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        core.close("runtime shut down");
+        match waiter.join().expect("waiter thread") {
+            Err(SessionError::Disconnected(reason)) => assert!(reason.contains("shut down")),
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+        match client.submit(Op::noop()) {
+            Err(SessionError::Disconnected(_)) => {}
+            other => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_node_only_fails_that_replicas_waiters() {
+        let core = SessionCore::new(8);
+        let w0 = core.register(CommandId::new(NodeId(0), 1)).expect("registers");
+        let w1 = core.register(CommandId::new(NodeId(1), 1)).expect("registers");
+        core.fail_node(NodeId(0), "link lost");
+        assert!(w0.is_resolved());
+        assert!(!w1.is_resolved());
+        assert_eq!(core.in_flight(), 1);
+    }
+
+    #[test]
+    fn mismatched_origin_is_rejected() {
+        let (client, _) = handle(8, true);
+        let cmd = Command::put(CommandId::new(NodeId(3), 1), 7, 1);
+        match client.submit_command(cmd) {
+            Err(SessionError::Rejected(_)) => {}
+            other => panic!("expected rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn seeded_sequences_keep_reconnected_clients_disjoint() {
+        let core = SessionCore::new(8);
+        core.seed_sequence(NodeId(2), 100);
+        assert_eq!(core.next_id(NodeId(2)), CommandId::new(NodeId(2), 101));
+        // Seeding never goes backwards.
+        core.seed_sequence(NodeId(2), 5);
+        assert_eq!(core.next_id(NodeId(2)), CommandId::new(NodeId(2), 102));
+    }
+}

@@ -12,7 +12,10 @@
 //!   timeouts, models per-node CPU occupancy so that throughput saturates as
 //!   client load grows, and injects crash faults,
 //! * the [`Process`] trait that every protocol crate implements
-//!   (CAESAR, EPaxos, Multi-Paxos, Mencius, M²Paxos).
+//!   (CAESAR, EPaxos, Multi-Paxos, Mencius, M²Paxos); executed commands are
+//!   pushed through [`Context::deliver`],
+//! * [`SimSession`], which exposes the simulator through the
+//!   runtime-agnostic submit/await client API of `consensus_core::session`.
 //!
 //! All randomness comes from a caller-provided seed, so every experiment in
 //! the harness is exactly reproducible.
@@ -20,37 +23,35 @@
 //! # Example
 //!
 //! ```
-//! use consensus_types::{Command, CommandId, Decision, NodeId};
-//! use simnet::{Context, LatencyMatrix, Process, SimConfig, Simulator};
+//! use consensus_types::{Command, Decision, NodeId};
+//! use simnet::{Context, LatencyMatrix, Process, SimConfig, SimSession, Simulator};
+//! use consensus_core::session::{ClusterHandle, Op};
 //!
 //! /// A toy protocol: every node immediately "executes" the commands it is given.
-//! struct Echo {
-//!     decided: Vec<Decision>,
-//! }
+//! struct Echo;
 //!
 //! impl Process for Echo {
 //!     type Message = ();
 //!     fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, ()>) {
-//!         self.decided.push(Decision {
+//!         let decision = Decision {
 //!             command: cmd.id(),
 //!             timestamp: Default::default(),
 //!             path: consensus_types::DecisionPath::Ordered,
 //!             proposed_at: ctx.now(),
 //!             executed_at: ctx.now(),
 //!             breakdown: Default::default(),
-//!         });
+//!         };
+//!         ctx.deliver(cmd, decision);
 //!     }
 //!     fn on_message(&mut self, _: NodeId, _: (), _: &mut Context<'_, ()>) {}
-//!     fn drain_decisions(&mut self) -> Vec<Decision> {
-//!         std::mem::take(&mut self.decided)
-//!     }
 //! }
 //!
 //! let config = SimConfig::new(LatencyMatrix::uniform(3, 10.0));
-//! let mut sim = Simulator::new(config, |_id| Echo { decided: Vec::new() });
-//! sim.schedule_command(0, NodeId(0), Command::put(CommandId::new(NodeId(0), 1), 1, 1));
-//! sim.run();
-//! assert_eq!(sim.decisions(NodeId(0)).len(), 1);
+//! let session = SimSession::new(Simulator::new(config, |_id| Echo));
+//! let client = session.client(NodeId(0));
+//! let reply = client.submit(Op::put(1, 9)).unwrap().wait().unwrap();
+//! assert_eq!(reply.node, NodeId(0));
+//! assert_eq!(session.decisions(NodeId(0)).len(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -58,8 +59,10 @@
 
 mod latency;
 mod process;
+mod session;
 mod sim;
 
 pub use latency::{GeoSite, LatencyMatrix};
 pub use process::{Context, Process};
+pub use session::SimSession;
 pub use sim::{SimConfig, SimStats, Simulator};

@@ -1,11 +1,13 @@
 //! The [`Process`] trait implemented by every replica, and the [`Context`]
 //! handle it uses to interact with the simulated network.
 
-use consensus_types::{Command, Decision, NodeId, SimTime};
+use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
 
 /// Actions a process can take while handling an event. The simulator hands a
 /// fresh `Context` to every callback and turns the buffered actions into
-/// future events when the callback returns.
+/// future events when the callback returns; executed commands pushed through
+/// [`Context::deliver`] are routed to the runtime's decision sinks (client
+/// sessions, decision streams, state machines).
 #[derive(Debug)]
 pub struct Context<'a, M> {
     pub(crate) me: NodeId,
@@ -13,20 +15,22 @@ pub struct Context<'a, M> {
     pub(crate) now: SimTime,
     pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
     pub(crate) timers: &'a mut Vec<(SimTime, M)>,
+    pub(crate) executions: &'a mut Vec<Execution>,
 }
 
 impl<'a, M> Context<'a, M> {
-    /// Creates a context for an external runtime (the `cluster` crate's
-    /// thread-based runtime uses this). The simulator builds its contexts
-    /// internally, so most users never call it.
+    /// Creates a context for an external runtime (the `cluster` and `net`
+    /// runtimes use this). The simulator builds its contexts internally, so
+    /// most users never call it.
     pub fn for_runtime(
         me: NodeId,
         nodes: usize,
         now: SimTime,
         outbox: &'a mut Vec<(NodeId, M)>,
         timers: &'a mut Vec<(SimTime, M)>,
+        executions: &'a mut Vec<Execution>,
     ) -> Self {
-        Self { me, nodes, now, outbox, timers }
+        Self { me, nodes, now, outbox, timers, executions }
     }
 
     /// The id of the replica handling the current event.
@@ -84,13 +88,23 @@ impl<'a, M> Context<'a, M> {
     pub fn schedule_self(&mut self, delay: SimTime, msg: M) {
         self.timers.push((delay, msg));
     }
+
+    /// Pushes an executed command to the runtime, in execution order.
+    ///
+    /// Protocols call this at the moment a command runs against the state
+    /// machine; the runtime applies the payload to its key-value store,
+    /// answers any client session waiting on the command, and records the
+    /// decision. This replaces the old poll-based `drain_decisions`.
+    pub fn deliver(&mut self, command: Command, decision: Decision) {
+        self.executions.push(Execution { command, decision });
+    }
 }
 
 /// A replica participating in the simulation.
 ///
-/// Protocol crates implement this trait once per protocol; the simulator owns
+/// Protocol crates implement this trait once per protocol; the runtime owns
 /// one value per node and drives it with messages, timers and client
-/// commands.
+/// commands. Executed commands are pushed through [`Context::deliver`].
 pub trait Process {
     /// The protocol's message type. Timer payloads use the same type
     /// (timeouts are modelled as messages a replica schedules to itself).
@@ -114,9 +128,6 @@ pub trait Process {
         ctx: &mut Context<'_, Self::Message>,
     );
 
-    /// Returns the commands executed since the last call, in execution order.
-    fn drain_decisions(&mut self) -> Vec<Decision>;
-
     /// Simulated CPU cost, in microseconds, of handling `msg`. The simulator
     /// serializes message handling per node using this cost, which is what
     /// makes throughput saturate as offered load grows (Figures 8 and 9).
@@ -135,13 +146,21 @@ pub trait Process {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use consensus_types::{CommandId, DecisionPath, LatencyBreakdown, Timestamp};
 
     #[test]
-    fn context_buffers_sends_and_timers() {
+    fn context_buffers_sends_timers_and_executions() {
         let mut outbox = Vec::new();
         let mut timers = Vec::new();
-        let mut ctx: Context<'_, u32> =
-            Context { me: NodeId(1), nodes: 3, now: 42, outbox: &mut outbox, timers: &mut timers };
+        let mut executions = Vec::new();
+        let mut ctx: Context<'_, u32> = Context {
+            me: NodeId(1),
+            nodes: 3,
+            now: 42,
+            outbox: &mut outbox,
+            timers: &mut timers,
+            executions: &mut executions,
+        };
 
         assert_eq!(ctx.me(), NodeId(1));
         assert_eq!(ctx.nodes(), 3);
@@ -151,11 +170,26 @@ mod tests {
         ctx.broadcast(9);
         ctx.broadcast_others(11);
         ctx.schedule_self(100, 13);
+        let cmd = Command::put(CommandId::new(NodeId(1), 1), 7, 1);
+        ctx.deliver(
+            cmd.clone(),
+            Decision {
+                command: cmd.id(),
+                timestamp: Timestamp::ZERO,
+                path: DecisionPath::Ordered,
+                proposed_at: 0,
+                executed_at: 42,
+                breakdown: LatencyBreakdown::default(),
+            },
+        );
 
         assert_eq!(outbox.len(), 1 + 3 + 2);
         assert_eq!(outbox[0], (NodeId(2), 7));
         assert!(outbox[1..4].iter().all(|(_, m)| *m == 9));
         assert!(outbox[4..].iter().all(|(to, m)| *m == 11 && *to != NodeId(1)));
         assert_eq!(timers, vec![(100, 13)]);
+        assert_eq!(executions.len(), 1);
+        assert_eq!(executions[0].command, cmd);
+        assert_eq!(executions[0].decision.executed_at, 42);
     }
 }

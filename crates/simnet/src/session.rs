@@ -1,0 +1,341 @@
+//! [`SimSession`]: the simulator behind the runtime-agnostic client session
+//! API.
+//!
+//! A `SimSession` wraps a [`Simulator`], owns one deterministic [`KvStore`]
+//! per replica, and implements [`ClusterHandle`] so the same submit/await
+//! client code drives the discrete-event simulator, the threaded runtime and
+//! the TCP runtime. Submissions are scheduled at the current simulated time;
+//! [`consensus_core::session::Ticket::wait`] advances simulated time until
+//! the command executes at the submitting replica and then returns the
+//! [`Reply`] (including the store output, so reads observe the submitting
+//! replica's state).
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use consensus_core::session::{
+    ClientHandle, ClusterHandle, Drive, Reply, SessionCore, SessionError, SubmitTransport, Waiter,
+    DEFAULT_IN_FLIGHT,
+};
+use consensus_types::{Command, CommandId, Decision, NodeId, SimTime};
+use kvstore::KvStore;
+
+use crate::process::Process;
+use crate::sim::{SimStats, Simulator};
+
+struct SimInner<P: Process> {
+    sim: Simulator<P>,
+    stores: Vec<KvStore>,
+    /// Replies produced at each command's submitting replica, in routing
+    /// order. Drained by [`SimSession::take_replies`] (closed-loop drivers).
+    replies: Vec<Reply>,
+}
+
+struct Shared<P: Process> {
+    inner: Mutex<SimInner<P>>,
+    core: Arc<SessionCore>,
+}
+
+/// A [`Simulator`] wrapped for client sessions. See the module docs.
+pub struct SimSession<P: Process> {
+    shared: Arc<Shared<P>>,
+}
+
+impl<P> Clone for SimSession<P>
+where
+    P: Process,
+{
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<P> SimSession<P>
+where
+    P: Process + Send + 'static,
+    P::Message: Send,
+{
+    /// Wraps `sim` with the default in-flight bound.
+    #[must_use]
+    pub fn new(sim: Simulator<P>) -> Self {
+        Self::with_capacity(sim, DEFAULT_IN_FLIGHT)
+    }
+
+    /// Wraps `sim`, allowing at most `capacity` commands in flight.
+    #[must_use]
+    pub fn with_capacity(sim: Simulator<P>, capacity: usize) -> Self {
+        let nodes = sim.node_count();
+        Self {
+            shared: Arc::new(Shared {
+                inner: Mutex::new(SimInner {
+                    sim,
+                    stores: vec![KvStore::new(); nodes],
+                    replies: Vec::new(),
+                }),
+                core: SessionCore::new(capacity),
+            }),
+        }
+    }
+
+    /// The session's waiter table (shared with every [`ClientHandle`]).
+    #[must_use]
+    pub fn core(&self) -> &Arc<SessionCore> {
+        &self.shared.core
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SimInner<P>> {
+        self.shared.inner.lock().expect("simulation lock")
+    }
+
+    /// Runs one simulation event and routes any executions it produced;
+    /// returns the event's simulated time, or `None` when the queue drained.
+    pub fn step(&self) -> Option<SimTime> {
+        let mut inner = self.lock();
+        let at = inner.sim.step();
+        route(&mut inner, &self.shared.core);
+        at
+    }
+
+    /// Runs until the event queue is empty (all submitted work finished).
+    pub fn run(&self) -> SimStats {
+        let mut inner = self.lock();
+        let stats = inner.sim.run();
+        route(&mut inner, &self.shared.core);
+        stats
+    }
+
+    /// Runs until simulated time reaches `until` (or the queue drains).
+    pub fn run_until(&self, until: SimTime) -> SimStats {
+        let mut inner = self.lock();
+        let stats = inner.sim.run_until(until);
+        route(&mut inner, &self.shared.core);
+        stats
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.lock().sim.now()
+    }
+
+    /// Whether `node` has crashed.
+    #[must_use]
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.lock().sim.is_crashed(node)
+    }
+
+    /// Drains the replies routed at submitting replicas since the last call
+    /// (in routing order). Closed-loop drivers use this instead of holding
+    /// one ticket per in-flight command.
+    #[must_use]
+    pub fn take_replies(&self) -> Vec<Reply> {
+        std::mem::take(&mut self.lock().replies)
+    }
+
+    /// The decisions executed at `node` so far, in execution order.
+    #[must_use]
+    pub fn decisions(&self, node: NodeId) -> Vec<Decision> {
+        self.lock().sim.decisions(node).to_vec()
+    }
+
+    /// A snapshot of `node`'s key-value store.
+    #[must_use]
+    pub fn store(&self, node: NodeId) -> KvStore {
+        self.lock().stores[node.index()].clone()
+    }
+
+    /// Runs `f` against the wrapped simulator (metrics inspection, crash
+    /// scheduling, raw command injection).
+    pub fn with_sim<R>(&self, f: impl FnOnce(&mut Simulator<P>) -> R) -> R {
+        f(&mut self.lock().sim)
+    }
+}
+
+/// Applies every pending execution to the per-replica stores and completes
+/// session waiters for commands executing at their submitting replica.
+fn route<P: Process>(inner: &mut SimInner<P>, core: &SessionCore) {
+    for index in 0..inner.sim.node_count() {
+        let node = NodeId::from_index(index);
+        for execution in inner.sim.take_executions(node) {
+            let output = inner.stores[index].apply(&execution.command);
+            if execution.command.id().origin() == node {
+                let reply = Reply {
+                    command: execution.command.id(),
+                    node,
+                    output,
+                    decision: execution.decision,
+                };
+                core.complete(reply.clone());
+                inner.replies.push(reply);
+            }
+        }
+    }
+}
+
+struct SimTransport<P: Process> {
+    shared: Arc<Shared<P>>,
+}
+
+impl<P> SubmitTransport for SimTransport<P>
+where
+    P: Process + Send + 'static,
+    P::Message: Send,
+{
+    fn submit(&self, node: NodeId, cmd: Command, delay_us: u64) -> Result<(), SessionError> {
+        let mut inner = self.shared.inner.lock().expect("simulation lock");
+        if inner.sim.is_crashed(node) {
+            return Err(SessionError::Disconnected(format!("replica {node} has crashed")));
+        }
+        let at = inner.sim.now() + delay_us;
+        inner.sim.schedule_command(at, node, cmd);
+        Ok(())
+    }
+}
+
+struct SimDrive<P: Process> {
+    shared: Arc<Shared<P>>,
+}
+
+impl<P> Drive for SimDrive<P>
+where
+    P: Process + Send + 'static,
+    P::Message: Send,
+{
+    fn drive(&self, command: CommandId, waiter: &Waiter, slice: Duration) {
+        // Honour the wall-clock slice so `Ticket::wait_timeout` can expire:
+        // a command stuck forever (e.g. quorum lost while recovery timers
+        // keep re-arming) would otherwise spin here holding the simulation
+        // lock and make `SessionError::Timeout` unreachable.
+        let deadline = std::time::Instant::now() + slice;
+        let mut inner = self.shared.inner.lock().expect("simulation lock");
+        loop {
+            if waiter.is_resolved() {
+                return;
+            }
+            if inner.sim.step().is_none() {
+                drop(inner);
+                self.shared.core.fail(
+                    command,
+                    SessionError::Disconnected(
+                        "simulation event queue drained before the reply".to_string(),
+                    ),
+                );
+                return;
+            }
+            route(&mut inner, &self.shared.core);
+            if std::time::Instant::now() >= deadline {
+                return;
+            }
+        }
+    }
+}
+
+impl<P> ClusterHandle for SimSession<P>
+where
+    P: Process + Send + 'static,
+    P::Message: Send,
+{
+    fn nodes(&self) -> usize {
+        self.lock().sim.node_count()
+    }
+
+    fn client(&self, node: NodeId) -> ClientHandle {
+        ClientHandle::new(
+            node,
+            Arc::clone(&self.shared.core),
+            Arc::new(SimTransport { shared: Arc::clone(&self.shared) }),
+            Arc::new(SimDrive { shared: Arc::clone(&self.shared) }),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyMatrix;
+    use crate::process::Context;
+    use crate::sim::SimConfig;
+    use consensus_core::session::Op;
+    use consensus_types::{DecisionPath, LatencyBreakdown, Timestamp};
+
+    /// Echo "protocol": executes every command locally as soon as the
+    /// loopback broadcast returns to the proposer, then tells the others.
+    #[derive(Debug, Default)]
+    struct Echo;
+
+    #[derive(Debug, Clone)]
+    enum EchoMsg {
+        Execute(Command, SimTime),
+    }
+
+    impl Process for Echo {
+        type Message = EchoMsg;
+
+        fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, EchoMsg>) {
+            ctx.broadcast(EchoMsg::Execute(cmd, ctx.now()));
+        }
+
+        fn on_message(&mut self, _: NodeId, msg: EchoMsg, ctx: &mut Context<'_, EchoMsg>) {
+            let EchoMsg::Execute(cmd, proposed_at) = msg;
+            let decision = Decision {
+                command: cmd.id(),
+                timestamp: Timestamp::ZERO,
+                path: DecisionPath::Ordered,
+                proposed_at,
+                executed_at: ctx.now(),
+                breakdown: LatencyBreakdown::default(),
+            };
+            ctx.deliver(cmd, decision);
+        }
+    }
+
+    fn session() -> SimSession<Echo> {
+        let config = SimConfig::new(LatencyMatrix::uniform(3, 10.0));
+        SimSession::new(Simulator::new(config, |_| Echo))
+    }
+
+    #[test]
+    fn ticket_wait_advances_simulated_time_to_the_reply() {
+        let session = session();
+        let client = session.client(NodeId(0));
+        let ticket = client.submit(Op::put(7, 41)).expect("submits");
+        let reply = ticket.wait().expect("replies");
+        assert_eq!(reply.node, NodeId(0));
+        assert_eq!(reply.output, None, "first write of the key");
+        assert!(session.now() > 0, "the loopback latency must have elapsed");
+        // Read-your-writes at the submitting replica.
+        let read = client.submit(Op::get(7)).expect("submits").wait().expect("replies");
+        assert_eq!(read.output, Some(41));
+    }
+
+    #[test]
+    fn replies_resolve_to_an_error_when_the_simulation_drains() {
+        let session = session();
+        session.with_sim(|sim| sim.schedule_crash(0, NodeId(1)));
+        let ticket = session.client(NodeId(1)).submit(Op::put(1, 1));
+        // The submission may be refused up front (crash already processed) or
+        // fail once the queue drains — either way, no hang.
+        match ticket {
+            Err(SessionError::Disconnected(_)) => {}
+            Ok(ticket) => match ticket.wait_timeout(Duration::from_secs(5)) {
+                Err(SessionError::Disconnected(_)) => {}
+                other => panic!("expected disconnect, got {other:?}"),
+            },
+            Err(other) => panic!("expected disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stores_stay_identical_across_replicas() {
+        let session = session();
+        let client = session.client(NodeId(2));
+        for i in 0..5 {
+            client.submit(Op::put(i, i * 10)).expect("submits").wait().expect("replies");
+        }
+        session.run();
+        let reference = session.store(NodeId(0)).fingerprint();
+        for node in NodeId::all(3) {
+            assert_eq!(session.store(node).fingerprint(), reference);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use consensus_types::{Command, Decision, NodeId, SimTime};
+use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -112,6 +112,9 @@ pub struct Simulator<P: Process> {
     now: SimTime,
     rng: ChaCha12Rng,
     decisions: Vec<Vec<Decision>>,
+    /// Executions (command payload + decision) not yet drained by a session
+    /// router via [`Simulator::take_executions`].
+    executions: Vec<Vec<Execution>>,
     stats: SimStats,
     started: bool,
 }
@@ -133,6 +136,7 @@ impl<P: Process> Simulator<P> {
             now: 0,
             rng,
             decisions: vec![Vec::new(); n],
+            executions: vec![Vec::new(); n],
             stats: SimStats::default(),
             config,
             started: false,
@@ -187,6 +191,14 @@ impl<P: Process> Simulator<P> {
         std::mem::take(&mut self.decisions[node.index()])
     }
 
+    /// Removes and returns the executions (command payload + decision)
+    /// delivered at `node` since the last call. The session layer drains
+    /// this after every step to apply state-machine effects and answer
+    /// waiting clients; [`Simulator::decisions`] is unaffected.
+    pub fn take_executions(&mut self, node: NodeId) -> Vec<Execution> {
+        std::mem::take(&mut self.executions[node.index()])
+    }
+
     /// Schedules a client command to be proposed at `node` at simulated time
     /// `at` (microseconds).
     pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: Command) {
@@ -220,6 +232,7 @@ impl<P: Process> Simulator<P> {
             let node = NodeId::from_index(i);
             let mut outbox = Vec::new();
             let mut timers = Vec::new();
+            let mut executions = Vec::new();
             {
                 let mut ctx = Context {
                     me: node,
@@ -227,10 +240,19 @@ impl<P: Process> Simulator<P> {
                     now: 0,
                     outbox: &mut outbox,
                     timers: &mut timers,
+                    executions: &mut executions,
                 };
                 self.nodes[i].on_start(&mut ctx);
             }
+            self.record_executions(node, executions);
             self.flush_actions(node, 0, outbox, timers);
+        }
+    }
+
+    fn record_executions(&mut self, node: NodeId, executions: Vec<Execution>) {
+        for execution in executions {
+            self.decisions[node.index()].push(execution.decision.clone());
+            self.executions[node.index()].push(execution);
         }
     }
 
@@ -288,6 +310,7 @@ impl<P: Process> Simulator<P> {
             let cost;
             let mut outbox = Vec::new();
             let mut timers = Vec::new();
+            let mut executions = Vec::new();
             {
                 let mut ctx = Context {
                     me: event.node,
@@ -295,6 +318,7 @@ impl<P: Process> Simulator<P> {
                     now: at,
                     outbox: &mut outbox,
                     timers: &mut timers,
+                    executions: &mut executions,
                 };
                 match event.payload {
                     Payload::Message { from, msg } => {
@@ -316,8 +340,7 @@ impl<P: Process> Simulator<P> {
                 }
             }
             self.busy_until[node_idx] = at + cost;
-            let new_decisions = self.nodes[node_idx].drain_decisions();
-            self.decisions[node_idx].extend(new_decisions);
+            self.record_executions(event.node, executions);
             self.flush_actions(event.node, at, outbox, timers);
             return Some(at);
         }
@@ -389,7 +412,6 @@ mod tests {
     struct PingPong {
         pings_seen: u32,
         pongs_seen: u32,
-        decided: Vec<Decision>,
     }
 
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -405,14 +427,15 @@ mod tests {
         fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, Msg>) {
             ctx.broadcast_others(Msg::Ping);
             ctx.schedule_self(1_000, Msg::Tick);
-            self.decided.push(Decision {
+            let decision = Decision {
                 command: cmd.id(),
                 timestamp: Timestamp::ZERO,
                 path: DecisionPath::Ordered,
                 proposed_at: ctx.now(),
                 executed_at: ctx.now(),
                 breakdown: LatencyBreakdown::default(),
-            });
+            };
+            ctx.deliver(cmd, decision);
         }
 
         fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Context<'_, Msg>) {
@@ -424,10 +447,6 @@ mod tests {
                 Msg::Pong => self.pongs_seen += 1,
                 Msg::Tick => {}
             }
-        }
-
-        fn drain_decisions(&mut self) -> Vec<Decision> {
-            std::mem::take(&mut self.decided)
         }
     }
 
@@ -504,9 +523,6 @@ mod tests {
             fn on_message(&mut self, _: NodeId, msg: u64, _: &mut Context<'_, u64>) {
                 self.seen.push(msg);
             }
-            fn drain_decisions(&mut self) -> Vec<Decision> {
-                Vec::new()
-            }
         }
 
         let config = SimConfig::new(LatencyMatrix::uniform(2, 10.0)).with_jitter_us(5_000);
@@ -547,9 +563,6 @@ mod tests {
             }
             fn on_message(&mut self, _: NodeId, _: u8, ctx: &mut Context<'_, u8>) {
                 self.handled.push(ctx.now());
-            }
-            fn drain_decisions(&mut self) -> Vec<Decision> {
-                Vec::new()
             }
             fn processing_cost(&self, _: &u8) -> SimTime {
                 1_000

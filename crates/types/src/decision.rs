@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{CommandId, SimTime, Timestamp};
+use crate::{Command, CommandId, SimTime, Timestamp};
 
 /// How a command reached its final (stable) decision.
 ///
@@ -86,6 +86,18 @@ impl Decision {
     pub fn latency(&self) -> SimTime {
         self.executed_at.saturating_sub(self.proposed_at)
     }
+}
+
+/// A command execution pushed by a replica through the runtime's
+/// `Context::deliver` sink: the full command payload (so runtimes can apply
+/// it to their state machine and answer client reads) together with its
+/// [`Decision`] record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Execution {
+    /// The executed command, payload included.
+    pub command: Command,
+    /// The decision record describing how and when it executed.
+    pub decision: Decision,
 }
 
 #[cfg(test)]

@@ -44,7 +44,7 @@ mod timestamp;
 pub use ballot::Ballot;
 pub use command::{Command, CommandId, ConflictKey, Operation};
 pub use cstruct::CStruct;
-pub use decision::{Decision, DecisionPath, LatencyBreakdown};
+pub use decision::{Decision, DecisionPath, Execution, LatencyBreakdown};
 pub use error::{ConsensusError, Result};
 pub use id::NodeId;
 pub use quorum::QuorumSpec;

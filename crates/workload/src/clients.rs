@@ -3,28 +3,35 @@
 
 use std::collections::HashMap;
 
-use consensus_types::{Command, CommandId, Decision, NodeId, SimTime};
-use simnet::{Process, Simulator};
+use consensus_core::session::{ClientHandle, ClusterHandle, Reply};
+use consensus_types::{Command, CommandId, NodeId, SimTime};
+use simnet::{Process, SimSession, Simulator};
 
 use crate::generator::WorkloadGenerator;
 
 /// Closed-loop clients, as used for the latency measurements in the paper:
 /// a fixed number of clients is co-located with every replica; each client
-/// submits one command, waits for it to execute at its local replica, then
-/// immediately submits the next one.
+/// submits one command through the session API, waits for its reply at the
+/// local replica, then immediately submits the next one.
+///
+/// The driver runs against a [`SimSession`] so latency is true
+/// submit→reply time as a session client would observe it, while the
+/// discrete-event clock keeps every run reproducible.
 #[derive(Debug)]
 pub struct ClosedLoopDriver {
     generator: WorkloadGenerator,
     clients_per_node: usize,
     think_time: SimTime,
-    /// Outstanding command → (origin node, client index).
+    /// Outstanding command → (submitting node, client index).
     outstanding: HashMap<CommandId, (NodeId, u64)>,
     /// Every command issued so far, by id (used by tests to recover payloads
     /// and conflict relations).
     issued_commands: HashMap<CommandId, Command>,
-    /// Decisions drained from the simulator, tagged with the replica that
-    /// executed them.
-    collected: Vec<(NodeId, Decision)>,
+    /// Replies received at the submitting replicas, in completion order.
+    replies: Vec<Reply>,
+    /// One cached session client per replica (handles are cheap to clone
+    /// but not free to build, and the driver submits per command).
+    handles: Vec<ClientHandle>,
     issued: u64,
     completed: u64,
     max_commands: Option<u64>,
@@ -42,7 +49,8 @@ impl ClosedLoopDriver {
             think_time: 0,
             outstanding: HashMap::new(),
             issued_commands: HashMap::new(),
-            collected: Vec::new(),
+            replies: Vec::new(),
+            handles: Vec::new(),
             issued: 0,
             completed: 0,
             max_commands: None,
@@ -71,16 +79,16 @@ impl ClosedLoopDriver {
         self.issued
     }
 
-    /// Number of commands whose execution completed at their origin replica.
+    /// Number of commands whose reply arrived from their submitting replica.
     #[must_use]
     pub fn completed(&self) -> u64 {
         self.completed
     }
 
-    /// All decisions drained from the simulator so far, tagged by replica.
+    /// All replies received so far, in completion order.
     #[must_use]
-    pub fn decisions(&self) -> &[(NodeId, Decision)] {
-        &self.collected
+    pub fn replies(&self) -> &[Reply] {
+        &self.replies
     }
 
     /// Looks up the payload of a command this driver issued.
@@ -95,10 +103,10 @@ impl ClosedLoopDriver {
         &self.issued_commands
     }
 
-    /// Consumes the driver and returns the collected decisions.
+    /// Consumes the driver and returns the collected replies.
     #[must_use]
-    pub fn into_decisions(self) -> Vec<(NodeId, Decision)> {
-        self.collected
+    pub fn into_replies(self) -> Vec<Reply> {
+        self.replies
     }
 
     fn can_issue(&self) -> bool {
@@ -108,60 +116,68 @@ impl ClosedLoopDriver {
         }
     }
 
+    fn submit(&mut self, node: NodeId, client: u64, delay_us: SimTime) {
+        let cmd = self.generator.next_command(node, client);
+        self.outstanding.insert(cmd.id(), (node, client));
+        self.issued_commands.insert(cmd.id(), cmd.clone());
+        self.issued += 1;
+        self.handles[node.index()]
+            .submit_command_after(cmd, delay_us)
+            .expect("closed-loop submission fits the session's in-flight bound");
+    }
+
     /// Submits the initial command of every client, staggered by a few
     /// microseconds so replicas do not process them in lockstep.
-    pub fn start<P: Process>(&mut self, sim: &mut Simulator<P>) {
-        let nodes = sim.node_count();
+    pub fn start<P>(&mut self, session: &SimSession<P>)
+    where
+        P: Process + Send + 'static,
+        P::Message: Send,
+    {
+        let nodes = session.nodes();
+        self.handles = (0..nodes).map(|node| session.client(NodeId::from_index(node))).collect();
         for node in 0..nodes {
             for client in 0..self.clients_per_node {
                 if !self.can_issue() {
                     return;
                 }
-                let node_id = NodeId::from_index(node);
-                let cmd = self.generator.next_command(node_id, client as u64);
-                self.outstanding.insert(cmd.id(), (node_id, client as u64));
-                self.issued_commands.insert(cmd.id(), cmd.clone());
-                self.issued += 1;
-                let at = (node * 37 + client * 11) as SimTime;
-                sim.schedule_command(at, node_id, cmd);
+                let delay = (node * 37 + client * 11) as SimTime;
+                self.submit(NodeId::from_index(node), client as u64, delay);
             }
         }
     }
 
     /// Runs the simulation until `until` (simulated microseconds), feeding
-    /// each client its next command as soon as the previous one completes.
-    pub fn pump_until<P: Process>(&mut self, sim: &mut Simulator<P>, until: SimTime) {
-        while let Some(now) = sim.step() {
+    /// each client its next command as soon as the previous one's reply
+    /// arrives.
+    pub fn pump_until<P>(&mut self, session: &SimSession<P>, until: SimTime)
+    where
+        P: Process + Send + 'static,
+        P::Message: Send,
+    {
+        while let Some(now) = session.step() {
             if now > until {
                 break;
             }
-            self.collect(sim, now);
+            self.collect(session);
         }
-        // Drain anything recorded by the last step.
-        let now = sim.now();
-        self.collect(sim, now);
+        // Drain anything routed by the last step.
+        self.collect(session);
     }
 
-    fn collect<P: Process>(&mut self, sim: &mut Simulator<P>, now: SimTime) {
-        for node in 0..sim.node_count() {
-            let node_id = NodeId::from_index(node);
-            let decisions = sim.take_decisions(node_id);
-            for d in decisions {
-                if let Some((origin, client)) = self.outstanding.get(&d.command).copied() {
-                    if origin == node_id {
-                        self.outstanding.remove(&d.command);
-                        self.completed += 1;
-                        if self.can_issue() && !sim.is_crashed(node_id) {
-                            let next = self.generator.next_command(node_id, client);
-                            self.outstanding.insert(next.id(), (node_id, client));
-                            self.issued_commands.insert(next.id(), next.clone());
-                            self.issued += 1;
-                            sim.schedule_command(now + self.think_time, node_id, next);
-                        }
-                    }
+    fn collect<P>(&mut self, session: &SimSession<P>)
+    where
+        P: Process + Send + 'static,
+        P::Message: Send,
+    {
+        for reply in session.take_replies() {
+            if let Some((node, client)) = self.outstanding.remove(&reply.command) {
+                self.completed += 1;
+                if self.can_issue() && !session.is_crashed(node) {
+                    let think = self.think_time;
+                    self.submit(node, client, think);
                 }
-                self.collected.push((node_id, d));
             }
+            self.replies.push(reply);
         }
     }
 }
@@ -242,34 +258,44 @@ mod tests {
         })
     }
 
+    fn session() -> SimSession<CaesarReplica> {
+        SimSession::new(sim())
+    }
+
     #[test]
     fn closed_loop_clients_keep_one_command_outstanding() {
         let generator =
             WorkloadGenerator::new(WorkloadConfig::new(5).with_conflict_percent(10.0), 3);
         let mut driver = ClosedLoopDriver::new(generator, 2).with_max_commands(40);
-        let mut sim = sim();
-        driver.start(&mut sim);
+        let session = session();
+        driver.start(&session);
         assert_eq!(driver.issued(), 10);
-        driver.pump_until(&mut sim, 20_000_000);
+        driver.pump_until(&session, 20_000_000);
         assert_eq!(driver.issued(), 40);
         assert_eq!(driver.completed(), 40);
+        // Every reply came from the replica the command was submitted to.
+        for reply in driver.replies() {
+            assert_eq!(reply.command.origin(), reply.node);
+        }
         // Every command executed on every replica.
-        let per_node0 = driver.decisions().iter().filter(|(n, _)| *n == NodeId(0)).count();
-        assert_eq!(per_node0, 40);
+        assert_eq!(session.decisions(NodeId(0)).len(), 40);
     }
 
     #[test]
     fn closed_loop_latencies_are_positive_and_bounded_by_wan_rtt() {
         let generator = WorkloadGenerator::new(WorkloadConfig::new(5), 3);
         let mut driver = ClosedLoopDriver::new(generator, 1).with_max_commands(10);
-        let mut sim = sim();
-        driver.start(&mut sim);
-        driver.pump_until(&mut sim, 30_000_000);
-        for (node, d) in driver.decisions() {
-            if d.command.origin() == *node {
-                assert!(d.latency() > 0);
-                assert!(d.latency() < 2_000_000, "latency {} too large", d.latency());
-            }
+        let session = session();
+        driver.start(&session);
+        driver.pump_until(&session, 30_000_000);
+        assert_eq!(driver.completed(), 10);
+        for reply in driver.replies() {
+            assert!(reply.decision.latency() > 0);
+            assert!(
+                reply.decision.latency() < 2_000_000,
+                "latency {} too large",
+                reply.decision.latency()
+            );
         }
     }
 

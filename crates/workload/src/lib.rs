@@ -13,7 +13,9 @@
 //!
 //! This crate provides the command generator ([`WorkloadGenerator`]) and the
 //! client drivers ([`ClosedLoopDriver`], [`OpenLoopSchedule`]) that the
-//! harness plugs into the simulator.
+//! harness plugs into the simulator. The closed-loop driver runs on the
+//! session API (`consensus_core::session`), so the latency it reports is the
+//! true submit→reply time a client of any runtime would observe.
 //!
 //! # Example
 //!

@@ -1,0 +1,89 @@
+//! An **external** consensus client: connects to a running `net` replica
+//! over TCP, writes a key, reads it back, and prints what it saw.
+//!
+//! ```text
+//! # against a running cluster (e.g. `cargo run --example tcp_cluster -- serve`):
+//! cargo run --release --example consensus_client -- 127.0.0.1:PORT [node-index]
+//!
+//! # self-contained demo: starts its own 3-node loopback cluster, then talks
+//! # to it through a real TCP connection like any external process would:
+//! cargo run --release --example consensus_client
+//! ```
+//!
+//! The client speaks only the wire protocol — length-prefixed bincode frames
+//! carrying `WireMessage::ClientRequest` out and `Event::ClientReply` back —
+//! so it needs no knowledge of which consensus protocol the replicas run.
+//! The reply to the `Get` carries the value observed at the connected
+//! replica (read-your-writes).
+
+use std::net::SocketAddr;
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_types::NodeId;
+use net::{NetCluster, NetConfig, ReplicaClient};
+
+const KEY: u64 = 42;
+
+fn run_client(addr: SocketAddr, node: NodeId) {
+    // A time-derived sequence base keeps this client's command ids disjoint
+    // from other clients of the same replica.
+    let seq_base = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(1)
+        % 1_000_000_000
+        * 1_000;
+    let client = ReplicaClient::connect(addr, node, seq_base).unwrap_or_else(|err| {
+        eprintln!("failed to connect to {addr}: {err}");
+        std::process::exit(1);
+    });
+    println!("connected to replica {node} at {addr}");
+
+    let value = seq_base ^ 0xCAE5;
+    let write = client.put(KEY, value).unwrap_or_else(|err| {
+        eprintln!("write failed: {err}");
+        std::process::exit(1);
+    });
+    println!(
+        "put k{KEY}={value}: decided via {:?}, latency {:.1} ms",
+        write.decision.path,
+        write.decision.latency() as f64 / 1_000.0
+    );
+
+    let read = client.get(KEY).unwrap_or_else(|err| {
+        eprintln!("read failed: {err}");
+        std::process::exit(1);
+    });
+    println!(
+        "get k{KEY} -> {:?} (latency {:.1} ms)",
+        read.output,
+        read.decision.latency() as f64 / 1_000.0
+    );
+    assert_eq!(read.output, Some(value), "read-your-writes must hold at the submitting replica");
+    println!("OK: the read observed the written value over a real TCP round trip.");
+    client.shutdown();
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next() {
+        Some(addr) => {
+            let addr: SocketAddr = addr.parse().expect("first argument must be host:port");
+            let node_index: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or_default();
+            run_client(addr, NodeId::from_index(node_index));
+        }
+        None => {
+            // Demo mode: bring up a local cluster, then act as an external
+            // client against it over loopback TCP.
+            println!("no address given — starting a 3-node CAESAR cluster on loopback\n");
+            let caesar = CaesarConfig::new(3).with_recovery_timeout(None);
+            let cluster = NetCluster::start(NetConfig::new(3), move |id| {
+                CaesarReplica::new(id, caesar.clone())
+            })
+            .expect("cluster starts");
+            let node = NodeId(0);
+            run_client(cluster.addr(node), node);
+            cluster.shutdown();
+        }
+    }
+}

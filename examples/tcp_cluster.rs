@@ -5,7 +5,13 @@
 //! ```text
 //! cargo run --release --example tcp_cluster             # default: 10% scale, 200 cmds
 //! cargo run --release --example tcp_cluster -- 50 400   # 50% of EC2 latency, 400 cmds
+//! cargo run --release --example tcp_cluster -- serve 30 # serve a cluster for 30 s
 //! ```
+//!
+//! The `serve` mode starts a 3-node CAESAR cluster on loopback, prints one
+//! `listening pI ADDR` line per replica, and keeps the cluster up for the
+//! given number of seconds so an **external** process (see the
+//! `consensus_client` example) can connect and submit commands over TCP.
 //!
 //! This is the socket-runtime counterpart of `protocol_faceoff` (which runs
 //! in simulated time): every message here is bincode-framed, crosses a
@@ -97,7 +103,33 @@ where
     TcpRunStats { avg_ms, p99_ms, fast_percent, frames, wall }
 }
 
+/// Serves a 3-node loopback cluster for external clients, printing the
+/// address book on stdout.
+fn serve(seconds: u64) {
+    const SERVE_NODES: usize = 3;
+    let caesar = CaesarConfig::new(SERVE_NODES).with_recovery_timeout(None);
+    let cluster = NetCluster::start(NetConfig::new(SERVE_NODES), move |id| {
+        CaesarReplica::new(id, caesar.clone())
+    })
+    .expect("socket cluster starts");
+    for index in 0..SERVE_NODES {
+        let node = NodeId::from_index(index);
+        println!("listening {node} {}", cluster.addr(node));
+    }
+    println!("serving for {seconds} s — connect with the consensus_client example");
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("stdout flushes");
+    std::thread::sleep(Duration::from_secs(seconds));
+    cluster.shutdown();
+    println!("served, shutting down");
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("serve") {
+        let seconds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(30);
+        serve(seconds);
+        return;
+    }
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0) / 100.0;
     let commands: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(200);
     let conflict = 10.0;

@@ -8,59 +8,112 @@
 //! the experiments, and the `examples/quickstart.rs` binary for a guided
 //! tour.
 //!
-//! # Three runtimes
+//! # Three runtimes, one client API
 //!
-//! Every protocol implements the single [`simnet::Process`] trait once and
-//! can then run, unchanged, on three substrates:
+//! Every protocol implements the single [`simnet::Process`] trait once —
+//! pushing executed commands through `Context::deliver` — and then runs,
+//! unchanged, on three substrates:
 //!
 //! | runtime | substrate | time | use it for |
 //! |---|---|---|---|
 //! | [`simnet`] | discrete-event simulator | simulated | reproducing the paper's figures exactly (seeded, deterministic, crash injection, CPU-saturation model) |
 //! | [`cluster`] | one OS thread per replica, channel links | wall clock | exercising the protocols under real concurrency and scheduler interleavings in one process |
-//! | [`net`] | real TCP sockets, bincode frames | wall clock | deployment-shaped runs: real serialization, kernel buffers, reconnects, backpressure |
+//! | [`net`] | real TCP sockets, bincode frames | wall clock | deployment-shaped runs: real serialization, kernel buffers, reconnects, batched writes, external clients |
 //!
-//! `simnet` is where experiments live: every run is reproducible from a
-//! seed. `cluster` is the cheapest way to shake out ordering assumptions on
-//! real threads. `net` is the production path: an N-node cluster over
-//! loopback (or any addresses), with an optional delay shim that emulates
-//! the paper's five-site EC2 latency matrix on a single machine.
+//! All three serve clients through the same session API
+//! ([`consensus_core::session`]): `ClusterHandle::client(node)` hands out a
+//! `ClientHandle` bound to one replica, `ClientHandle::submit(op)` returns a
+//! `Ticket`, and `Ticket::wait()` resolves to a `Reply` once the command
+//! executes at the submitting replica — carrying the key-value store result,
+//! so reads observe that replica's state (read-your-writes). Completions are
+//! routed by command id through a waiter table with bounded in-flight
+//! backpressure; a replica that disconnects fails its outstanding tickets
+//! instead of leaving them hanging.
 //!
-//! ## Quickstart: a CAESAR cluster over TCP
+//! ## Submit/await on the simulator
 //!
-//! ```text
-//! cargo run --release --example tcp_cluster             # EC2 matrix at 10% scale
-//! cargo run --release --example tcp_cluster -- 50 400   # 50% scale, 400 commands
-//! ```
-//!
-//! or programmatically:
+//! `Ticket::wait` advances *simulated* time, so a client round trip is
+//! deterministic and instant in wall-clock terms:
 //!
 //! ```
 //! use caesar::{CaesarConfig, CaesarReplica};
-//! use consensus_types::{Command, CommandId, NodeId};
+//! use consensus_core::session::{ClusterHandle, Op};
+//! use consensus_types::NodeId;
+//! use simnet::{LatencyMatrix, SimConfig, SimSession, Simulator};
+//!
+//! let config = CaesarConfig::new(5);
+//! let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites());
+//! let session = SimSession::new(Simulator::new(sim_config, move |id| {
+//!     CaesarReplica::new(id, config.clone())
+//! }));
+//! let client = session.client(NodeId(0));
+//! let write = client.submit(Op::put(7, 1)).unwrap().wait().unwrap();
+//! let read = client.submit(Op::get(7)).unwrap().wait().unwrap();
+//! assert_eq!(read.output, Some(1), "read-your-writes at the submitting replica");
+//! assert!(write.decision.latency() > 0);
+//! ```
+//!
+//! ## Submit/await on real threads
+//!
+//! ```
+//! use caesar::{CaesarConfig, CaesarReplica};
+//! use cluster::{Cluster, ClusterConfig};
+//! use consensus_core::session::{ClusterHandle, Op};
+//! use consensus_types::NodeId;
+//! use simnet::LatencyMatrix;
+//!
+//! let config = ClusterConfig::new(LatencyMatrix::ec2_five_sites()).with_latency_scale(0.01);
+//! let caesar = CaesarConfig::new(5);
+//! let threads = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
+//! let reply = threads.client(NodeId(0)).submit(Op::put(7, 2)).unwrap().wait().unwrap();
+//! assert_eq!(reply.node, NodeId(0));
+//! threads.shutdown();
+//! ```
+//!
+//! ## Submit/await over TCP
+//!
+//! The same calls against [`net::NetCluster`] travel as
+//! `WireMessage::ClientRequest` frames and come back as
+//! `Event::ClientReply` frames — the identical wire protocol an external
+//! process speaks through [`net::ReplicaClient`] (see the
+//! `consensus_client` example):
+//!
+//! ```
+//! use caesar::{CaesarConfig, CaesarReplica};
+//! use consensus_core::session::{ClusterHandle, Op};
+//! use consensus_types::NodeId;
 //! use net::{NetCluster, NetConfig};
 //!
 //! let caesar = CaesarConfig::new(3).with_recovery_timeout(None);
-//! let cluster = NetCluster::start(NetConfig::new(3), move |id| {
+//! let sockets = NetCluster::start(NetConfig::new(3), move |id| {
 //!     CaesarReplica::new(id, caesar.clone())
 //! })
 //! .expect("cluster starts");
-//! cluster.submit(NodeId(0), Command::put(CommandId::new(NodeId(0), 1), 7, 1)).unwrap();
-//! assert_eq!(
-//!     cluster.wait_for_decisions(NodeId(0), 1, std::time::Duration::from_secs(10)).len(),
-//!     1
-//! );
-//! cluster.shutdown();
+//! let client = sockets.client(NodeId(0));
+//! client.submit(Op::put(7, 3)).unwrap().wait().unwrap();
+//! let read = client.submit(Op::get(7)).unwrap().wait().unwrap();
+//! assert_eq!(read.output, Some(3));
+//! sockets.shutdown();
+//! ```
+//!
+//! Or fully external, over a plain socket:
+//!
+//! ```text
+//! cargo run --release --example tcp_cluster -- serve 30       # terminal 1
+//! cargo run --release --example consensus_client -- ADDR      # terminal 2
 //! ```
 //!
 //! The `tests/cross_runtime.rs` integration test pins the three runtimes
-//! together: the same seeded workload must produce the identical delivery
-//! order on all of them.
+//! together: the same seeded workload, driven through `ClusterHandle`, must
+//! produce identical replies and the identical delivery order on all of
+//! them.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use caesar;
 pub use cluster;
+pub use consensus_core;
 pub use consensus_types;
 pub use epaxos;
 pub use harness;

@@ -1,41 +1,64 @@
-//! Cross-runtime agreement: the same seeded workload produces the identical
-//! delivery order whether CAESAR runs in the discrete-event simulator
-//! (`simnet`), on in-process threads (`cluster`), or over real TCP sockets
-//! (`net`).
+//! Cross-runtime agreement: the same seeded workload, driven through the
+//! runtime-agnostic session API (`ClusterHandle::client` → `submit` →
+//! `Ticket::wait`), produces identical *replies* and the identical
+//! per-replica delivery order whether CAESAR runs in the discrete-event
+//! simulator (`simnet::SimSession`), on in-process threads
+//! (`cluster::Cluster`), or over real TCP sockets (`net::NetCluster`).
 //!
 //! The workload is a fully conflicting chain (every command touches the same
 //! key) whose proposers are drawn from a seeded generator, submitted
-//! serially: each command is only proposed once the previous one has
-//! executed at every replica. Under those conditions CAESAR must deliver the
-//! chain in the identical total order at every replica of every runtime —
-//! any divergence means a runtime is corrupting message order, timestamps,
-//! or the stable/delivery pipeline.
+//! serially: each command's reply is awaited, and the command is only
+//! followed by the next one once every replica has executed it. Under those
+//! conditions CAESAR must deliver the chain in the identical total order at
+//! every replica of every runtime — and because each `Put` returns the
+//! previous value of the key, the reply stream doubles as a check that all
+//! three runtimes drive the identical state-machine history.
 
 use std::time::Duration;
 
 use caesar::{CaesarConfig, CaesarReplica};
 use cluster::{Cluster, ClusterConfig};
-use consensus_types::{Command, CommandId, NodeId};
+use consensus_core::session::{ClusterHandle, Op};
+use consensus_types::{CommandId, NodeId};
 use net::{NetCluster, NetConfig};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
-use simnet::{LatencyMatrix, SimConfig, Simulator};
+use simnet::{LatencyMatrix, SimConfig, SimSession, Simulator};
 
 const NODES: usize = 5;
 const COMMANDS: usize = 25;
 const KEY: u64 = 7;
 const SEED: u64 = 2024;
 
-/// The seeded workload: (origin, command) pairs, identical in every runtime.
-fn workload() -> Vec<(NodeId, Command)> {
+/// One command's client-visible outcome: its id and the previous value of
+/// the contended key, as reported by the `Put` reply.
+type ReplyRecord = (CommandId, Option<u64>);
+
+/// Drives the seeded conflicting chain through the session API of any
+/// runtime. `wait_all(count)` blocks until every replica executed `count`
+/// commands, keeping the chain strictly serial across the whole cluster.
+fn drive_chain<H: ClusterHandle>(
+    runtime: &str,
+    handle: &H,
+    wait_all: impl Fn(usize),
+) -> Vec<ReplyRecord> {
     let mut rng = ChaCha12Rng::seed_from_u64(SEED);
-    (0..COMMANDS as u64)
-        .map(|i| {
-            let origin = NodeId::from_index(rng.gen_range(0..NODES));
-            (origin, Command::put(CommandId::new(origin, i + 1), KEY, i))
-        })
-        .collect()
+    let mut records = Vec::with_capacity(COMMANDS);
+    for i in 0..COMMANDS as u64 {
+        let origin = NodeId::from_index(rng.gen_range(0..NODES));
+        let ticket = handle
+            .client(origin)
+            .submit(Op::put(KEY, i))
+            .unwrap_or_else(|err| panic!("{runtime}: submit {i} failed: {err}"));
+        let reply = ticket
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|err| panic!("{runtime}: reply {i} failed: {err}"));
+        assert_eq!(reply.node, origin, "{runtime}: reply must come from the submitting replica");
+        records.push((reply.command, reply.output));
+        wait_all(i as usize + 1);
+    }
+    records
 }
 
 fn assert_uniform_order(runtime: &str, orders: &[Vec<CommandId>]) -> Vec<CommandId> {
@@ -55,67 +78,103 @@ fn assert_uniform_order(runtime: &str, orders: &[Vec<CommandId>]) -> Vec<Command
     orders[0].clone()
 }
 
-fn simnet_order(workload: &[(NodeId, Command)]) -> Vec<CommandId> {
-    let config = CaesarConfig::new(NODES).with_recovery_timeout(None);
-    let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(SEED);
-    let mut sim = Simulator::new(sim_config, move |id| CaesarReplica::new(id, config.clone()));
-    for (i, (origin, cmd)) in workload.iter().enumerate() {
-        // 500 ms (sim time) gaps: far beyond the decision latency of the EC2
-        // matrix, so the chain is serial exactly like in the other runtimes.
-        sim.schedule_command(i as u64 * 500_000, *origin, cmd.clone());
-    }
-    sim.run();
-    let orders: Vec<Vec<CommandId>> = NodeId::all(NODES)
-        .map(|node| sim.decisions(node).iter().map(|d| d.command).collect())
-        .collect();
-    assert_uniform_order("simnet", &orders)
+struct RuntimeOutcome {
+    replies: Vec<ReplyRecord>,
+    order: Vec<CommandId>,
 }
 
-fn cluster_order(workload: &[(NodeId, Command)]) -> Vec<CommandId> {
+fn simnet_outcome() -> RuntimeOutcome {
+    let config = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(SEED);
+    let session = SimSession::new(Simulator::new(sim_config, move |id| {
+        CaesarReplica::new(id, config.clone())
+    }));
+    let replies = drive_chain("simnet", &session, |count| {
+        // Step simulated time until every replica caught up.
+        loop {
+            let done = NodeId::all(NODES).all(|node| session.decisions(node).len() >= count);
+            if done {
+                return;
+            }
+            assert!(session.step().is_some(), "simnet: queue drained at {count} commands");
+        }
+    });
+    let orders: Vec<Vec<CommandId>> = NodeId::all(NODES)
+        .map(|node| session.decisions(node).iter().map(|d| d.command).collect())
+        .collect();
+    RuntimeOutcome { replies, order: assert_uniform_order("simnet", &orders) }
+}
+
+fn cluster_outcome() -> RuntimeOutcome {
     let config = ClusterConfig::new(LatencyMatrix::ec2_five_sites()).with_latency_scale(0.005);
     let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
     let threads = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
-    for (i, (origin, cmd)) in workload.iter().enumerate() {
-        threads.submit(*origin, cmd.clone());
+    let replies = drive_chain("cluster", &threads, |count| {
         for node in NodeId::all(NODES) {
-            let got = threads.wait_for_decisions(node, i + 1, Duration::from_secs(30));
-            assert!(got.len() > i, "cluster: {node} stuck at {} of {}", got.len(), i + 1);
+            let got = threads.wait_for_decisions(node, count, Duration::from_secs(30));
+            assert!(got.len() >= count, "cluster: {node} stuck at {} of {count}", got.len());
         }
-    }
+    });
     let orders: Vec<Vec<CommandId>> = NodeId::all(NODES)
         .map(|node| threads.decisions(node).iter().map(|d| d.command).collect())
         .collect();
     let order = assert_uniform_order("cluster", &orders);
     threads.shutdown();
-    order
+    RuntimeOutcome { replies, order }
 }
 
-fn net_order(workload: &[(NodeId, Command)]) -> Vec<CommandId> {
+fn net_outcome() -> RuntimeOutcome {
     let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
     let sockets =
         NetCluster::start(NetConfig::new(NODES), move |id| CaesarReplica::new(id, caesar.clone()))
             .expect("net cluster starts");
-    for (i, (origin, cmd)) in workload.iter().enumerate() {
-        sockets.submit(*origin, cmd.clone()).expect("submit over TCP");
-        let per_node = sockets.wait_for_all(i + 1, Duration::from_secs(30));
+    let replies = drive_chain("net", &sockets, |count| {
+        let per_node = sockets.wait_for_all(count, Duration::from_secs(30));
         for (index, decisions) in per_node.iter().enumerate() {
-            assert!(decisions.len() > i, "net: p{index} stuck at {} of {}", decisions.len(), i + 1);
+            assert!(
+                decisions.len() >= count,
+                "net: p{index} stuck at {} of {count}",
+                decisions.len()
+            );
         }
-    }
+    });
     let orders: Vec<Vec<CommandId>> = NodeId::all(NODES)
         .map(|node| sockets.decisions(node).iter().map(|d| d.command).collect())
         .collect();
     let order = assert_uniform_order("net", &orders);
     sockets.shutdown();
-    order
+    RuntimeOutcome { replies, order }
 }
 
 #[test]
-fn caesar_delivery_order_is_identical_across_all_three_runtimes() {
-    let workload = workload();
-    let from_sim = simnet_order(&workload);
-    let from_threads = cluster_order(&workload);
-    let from_sockets = net_order(&workload);
-    assert_eq!(from_sim, from_threads, "simnet and the thread cluster delivered different orders");
-    assert_eq!(from_sim, from_sockets, "simnet and the TCP runtime delivered different orders");
+fn caesar_replies_and_delivery_order_are_identical_across_all_three_runtimes() {
+    let from_sim = simnet_outcome();
+    let from_threads = cluster_outcome();
+    let from_sockets = net_outcome();
+
+    // The session clients of every runtime saw the identical reply stream:
+    // same command ids (same allocation order), same read-back values (the
+    // serial conflicting chain makes output i the value written by i−1).
+    assert_eq!(
+        from_sim.replies, from_threads.replies,
+        "simnet and the thread cluster replied differently"
+    );
+    assert_eq!(
+        from_sim.replies, from_sockets.replies,
+        "simnet and the TCP runtime replied differently"
+    );
+    for (i, (_, output)) in from_sim.replies.iter().enumerate() {
+        let expected = if i == 0 { None } else { Some(i as u64 - 1) };
+        assert_eq!(*output, expected, "reply {i} must return the previously written value");
+    }
+
+    // And every replica of every runtime delivered the same order.
+    assert_eq!(
+        from_sim.order, from_threads.order,
+        "simnet and the thread cluster delivered different orders"
+    );
+    assert_eq!(
+        from_sim.order, from_sockets.order,
+        "simnet and the TCP runtime delivered different orders"
+    );
 }

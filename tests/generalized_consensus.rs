@@ -9,7 +9,7 @@ use kvstore::apply_all;
 use m2paxos::{M2PaxosConfig, M2PaxosReplica};
 use mencius::{MenciusConfig, MenciusReplica};
 use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
-use simnet::{LatencyMatrix, Process, SimConfig, Simulator};
+use simnet::{LatencyMatrix, Process, SimConfig, SimSession, Simulator};
 use workload::{ClosedLoopDriver, WorkloadConfig, WorkloadGenerator};
 
 /// Runs `clients` closed-loop clients per node for `seconds` simulated
@@ -23,40 +23,37 @@ fn run_protocol<P, F>(
     seed: u64,
 ) -> (Vec<CStruct>, Vec<Command>, u64)
 where
-    P: Process,
+    P: Process + Send + 'static,
+    P::Message: Send,
     F: FnMut(NodeId) -> P,
 {
     let sim_config = SimConfig::new(LatencyMatrix::ec2_five_sites())
         .with_seed(seed)
         .with_jitter_us(3_000)
         .with_horizon((seconds * 1_500_000.0) as u64 + 20_000_000);
-    let mut sim = Simulator::new(sim_config, make);
+    let session = SimSession::new(Simulator::new(sim_config, make));
     let workload = WorkloadConfig::new(5).with_conflict_percent(conflict);
     let generator = WorkloadGenerator::new(workload, seed ^ 0xABCD);
     let mut driver = ClosedLoopDriver::new(generator, clients);
-    driver.start(&mut sim);
-    driver.pump_until(&mut sim, (seconds * 1_000_000.0) as u64);
+    driver.start(&session);
+    driver.pump_until(&session, (seconds * 1_000_000.0) as u64);
     // Let in-flight commands finish so replicas converge.
-    sim.run_until((seconds * 1_000_000.0) as u64 + 15_000_000);
+    session.run_until((seconds * 1_000_000.0) as u64 + 15_000_000);
 
     let issued = driver.issued();
     let mut proposed: Vec<Command> = Vec::new();
     let mut structures = vec![CStruct::new(); 5];
     let all_cmds = driver.issued_commands().clone();
-    let mut decisions = driver.into_decisions();
     for node in NodeId::all(5) {
-        for d in sim.take_decisions(node) {
-            decisions.push((node, d));
-        }
-    }
-    for (node, d) in &decisions {
-        if let Some(cmd) = all_cmds.get(&d.command) {
-            structures[node.index()].append(cmd.clone());
-            proposed.push(cmd.clone());
-        } else {
-            // Fall back to a synthetic command carrying only the id (payload
-            // irrelevant for ordering checks).
-            structures[node.index()].append(Command::put(d.command, u64::MAX, 0));
+        for d in session.decisions(node) {
+            if let Some(cmd) = all_cmds.get(&d.command) {
+                structures[node.index()].append(cmd.clone());
+                proposed.push(cmd.clone());
+            } else {
+                // Fall back to a synthetic command carrying only the id
+                // (payload irrelevant for ordering checks).
+                structures[node.index()].append(Command::put(d.command, u64::MAX, 0));
+            }
         }
     }
     (structures, proposed, issued)
