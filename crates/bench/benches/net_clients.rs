@@ -1,0 +1,156 @@
+//! Socket-runtime client scaling — submit→reply latency and throughput vs.
+//! concurrent external client count on the reactor-based `net` runtime.
+//!
+//! The seed transport ran one reader thread per accepted connection, so
+//! "hundreds of clients" meant "hundreds of threads" before the first
+//! command was proposed. The epoll event loop holds every connection on one
+//! thread; this bench records what that buys: a 3-node loopback CAESAR
+//! cluster serves 1, 64, and 512 concurrent `ReplicaClient` connections,
+//! every client keeps one command in flight, and we report per-op client
+//! round-trip latency (avg/p99) and total throughput.
+//!
+//! Besides the table, the run writes `BENCH_net_clients.json` at the
+//! workspace root so the numbers are recorded alongside the figures.
+
+use std::time::{Duration, Instant};
+
+use bench::print_table;
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_core::session::Op;
+use consensus_types::NodeId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::Table;
+use net::{NetCluster, NetConfig, ReplicaClient};
+
+const NODES: usize = 3;
+
+struct ScalePoint {
+    clients: usize,
+    ops: usize,
+    throughput: f64,
+    avg_ms: f64,
+    p99_ms: f64,
+}
+
+/// Runs `rounds` closed-loop rounds of one op per client against a fresh
+/// cluster and returns latency/throughput stats.
+fn measure(client_count: usize, rounds: usize) -> ScalePoint {
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let cluster =
+        NetCluster::start(NetConfig::new(NODES), move |id| CaesarReplica::new(id, caesar.clone()))
+            .expect("cluster starts");
+    let addr = cluster.addr(NodeId(0));
+    let clients: Vec<ReplicaClient> = (0..client_count)
+        .map(|i| {
+            ReplicaClient::connect(addr, NodeId(0), (i as u64 + 1) * 1_000_000)
+                .expect("client connects")
+        })
+        .collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(client_count * rounds);
+    let started = Instant::now();
+    for round in 0..rounds {
+        // One command in flight per client, all concurrent.
+        let mut pending: Vec<(Instant, consensus_core::session::Ticket)> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, client)| {
+                let key = 1_000 + (i * rounds + round) as u64;
+                (Instant::now(), client.submit(Op::put(key, round as u64)).expect("submits"))
+            })
+            .collect();
+        // Poll so each op's latency is stamped when *it* resolves, not when
+        // its turn in a serial wait comes up.
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !pending.is_empty() {
+            pending.retain(|(submitted, ticket)| match ticket.try_wait() {
+                Some(result) => {
+                    result.expect("reply");
+                    latencies_ms.push(submitted.elapsed().as_secs_f64() * 1_000.0);
+                    false
+                }
+                None => true,
+            });
+            assert!(Instant::now() < deadline, "replies stalled");
+            if !pending.is_empty() {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+    let wall = started.elapsed();
+    for client in clients {
+        client.shutdown();
+    }
+    cluster.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let ops = latencies_ms.len();
+    let avg_ms = latencies_ms.iter().sum::<f64>() / ops.max(1) as f64;
+    let p99_ms = latencies_ms
+        .get(((ops as f64 * 0.99) as usize).min(ops.saturating_sub(1)))
+        .copied()
+        .unwrap_or_default();
+    ScalePoint {
+        clients: client_count,
+        ops,
+        throughput: ops as f64 / wall.as_secs_f64(),
+        avg_ms,
+        p99_ms,
+    }
+}
+
+fn write_json(points: &[ScalePoint]) {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"clients\": {}, \"ops\": {}, \"throughput_ops_per_s\": {:.1}, \
+                 \"avg_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                p.clients, p.ops, p.throughput, p.avg_ms, p.p99_ms
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"net_clients\",\n  \"runtime\": \"net (epoll reactor)\",\n  \
+         \"nodes\": {NODES},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // crates/bench → workspace root.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_net_clients.json");
+    if let Err(err) = std::fs::write(&path, json) {
+        eprintln!("could not write {}: {err}", path.display());
+    } else {
+        println!("recorded {}", path.display());
+    }
+}
+
+fn benchmark(c: &mut Criterion) {
+    let points: Vec<ScalePoint> =
+        [(1, 100), (64, 4), (512, 2)].map(|(clients, rounds)| measure(clients, rounds)).into();
+    let mut table = Table::new(
+        "Reactor net runtime: concurrent external clients on one replica",
+        &["clients", "ops", "throughput (op/s)", "avg (ms)", "p99 (ms)"],
+    );
+    for p in &points {
+        table.push_row(vec![
+            p.clients.to_string(),
+            p.ops.to_string(),
+            format!("{:.0}", p.throughput),
+            format!("{:.3}", p.avg_ms),
+            format!("{:.3}", p.p99_ms),
+        ]);
+    }
+    print_table(&table);
+    write_json(&points);
+
+    let mut group = c.benchmark_group("net_clients");
+    group.sample_size(10);
+    group.bench_function("64_clients_round", |b| {
+        b.iter(|| measure(64, 1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

@@ -87,9 +87,13 @@ pub struct NetCluster<P: Process> {
     links: Arc<Vec<ClientLink>>,
     decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
     session: Arc<SessionCore>,
-    readers: Vec<JoinHandle<()>>,
+    /// One decision-stream reader thread per node (slot replaced on
+    /// restart, after the previous incarnation's reader was joined).
+    readers: Vec<Option<JoinHandle<()>>>,
     reader_stop: Arc<AtomicBool>,
     started_at: Instant,
+    delay: Option<DelayShim>,
+    timer_scale: f64,
 }
 
 impl<P> NetCluster<P>
@@ -133,9 +137,9 @@ where
             let sink = Arc::clone(&decisions);
             let stop = Arc::clone(&reader_stop);
             let session = Arc::clone(&session);
-            readers.push(std::thread::spawn(move || {
+            readers.push(Some(std::thread::spawn(move || {
                 client_reader(read_half, node, &sink, &session, &stop);
-            }));
+            })));
             links.push(ClientLink { writer: Mutex::new(writer) });
         }
         Ok(Self {
@@ -146,6 +150,8 @@ where
             readers,
             reader_stop,
             started_at: epoch,
+            delay: config.delay,
+            timer_scale: config.timer_scale,
         })
     }
 
@@ -219,6 +225,61 @@ where
         self.replicas[node.index()].request_shutdown();
     }
 
+    /// Restarts a stopped replica **on its original address** with a fresh
+    /// process instance, re-links it into the cluster, and re-establishes
+    /// the orchestrator's client connection and decision subscription.
+    ///
+    /// The listener binds with `SO_REUSEADDR`, so lingering `TIME_WAIT`
+    /// connections from the replica's previous life do not block the
+    /// rebind; surviving peers re-dial the address automatically through
+    /// their event loops' reconnect backoff. Decisions the replica reports
+    /// after the restart append to the same per-node decision stream.
+    pub fn restart_replica(&mut self, node: NodeId, process: P) -> io::Result<()> {
+        let index = node.index();
+        // Make sure the previous incarnation is fully down (port released),
+        // **including its decision-stream reader**: the old reader fails
+        // this node's pending session tickets when its connection dies, and
+        // joining it here guarantees that happens before any ticket is
+        // submitted against the restarted replica — a late `fail_node`
+        // must not shoot down fresh, healthy submissions.
+        self.replicas[index].stop();
+        if let Some(reader) = self.readers[index].take() {
+            let _ = reader.join();
+        }
+        let addrs: Vec<SocketAddr> = self.replicas.iter().map(NetReplica::local_addr).collect();
+
+        let mut replica_config = NetReplicaConfig::loopback(node, self.replicas.len());
+        replica_config.bind = addrs[index];
+        replica_config.delay = self.delay.clone();
+        replica_config.timer_scale = self.timer_scale;
+        replica_config.epoch = self.started_at;
+        let mut replica = NetReplica::spawn(replica_config, process)?;
+        replica.start(addrs.clone());
+        self.replicas[index] = replica;
+
+        // Fresh client connection + subscription; a new reader resumes the
+        // decision stream into the same per-node sink.
+        let mut writer = connect_with_retry(addrs[index], Duration::from_secs(5))?;
+        writer.set_nodelay(true)?;
+        send_msg(&mut writer, &WireMessage::<P::Message>::Subscribe)?;
+        let read_half = writer.try_clone()?;
+        let sink = Arc::clone(&self.decisions);
+        let stop = Arc::clone(&self.reader_stop);
+        let session = Arc::clone(&self.session);
+        self.readers[index] = Some(std::thread::spawn(move || {
+            client_reader(read_half, node, &sink, &session, &stop);
+        }));
+        *self.links[index].writer.lock().expect("client writer lock") = writer;
+        Ok(())
+    }
+
+    /// Total OS threads across all replicas — constant (two per replica:
+    /// event loop + core loop) no matter how many clients are connected.
+    #[must_use]
+    pub fn replica_threads(&self) -> usize {
+        self.replicas.iter().map(NetReplica::thread_count).sum()
+    }
+
     /// Total frames sent/received/dropped across all replicas.
     #[must_use]
     pub fn transport_totals(&self) -> (u64, u64, u64) {
@@ -262,7 +323,7 @@ where
         }
         self.reader_stop.store(true, Ordering::SeqCst);
         drop(self.links); // closes client sockets; readers see EOF
-        for reader in self.readers {
+        for reader in self.readers.into_iter().flatten() {
             let _ = reader.join();
         }
         self.session.close("cluster shut down");
@@ -310,6 +371,20 @@ where
             }),
             Arc::new(ParkDrive),
         )
+    }
+}
+
+/// Dials `addr` until it accepts or `timeout` elapses (a restarted replica's
+/// listener is bound before `spawn` returns, but the dial can still race the
+/// kernel's accept queue under load).
+fn connect_with_retry(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(err) if Instant::now() >= deadline => return Err(err),
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
     }
 }
 

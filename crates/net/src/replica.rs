@@ -2,34 +2,38 @@
 //!
 //! A [`NetReplica`] owns a single [`simnet::Process`] implementation and
 //! drives it exactly the way the simulator does — through
-//! [`Context::for_runtime`] — but with TCP in place of the event queue:
+//! [`Context::for_runtime`] — but with TCP in place of the event queue. The
+//! replica runs **O(1) threads regardless of connection count**:
 //!
-//! * a **listener** accepts inbound connections; each gets a reader thread
-//!   that decodes [`WireMessage`] frames into the replica's mailbox;
-//! * a **core loop** drains the mailbox, invokes the process callbacks,
-//!   applies executions to the replica's key-value store, answers client
-//!   requests, flushes the outbox to per-peer writer threads, and maps the
-//!   process's `SimTime` timers onto wall-clock deadlines in a local timer
-//!   wheel;
-//! * per-peer **writer** threads own one outbound connection each, with
-//!   automatic reconnect + backoff, so a replica that comes up late or drops
-//!   a link is re-linked transparently; all frames due at a wakeup are
-//!   flushed in **one batched write** instead of a syscall per frame;
-//! * an optional [`DelayShim`] holds outbound frames until an artificial
-//!   delivery deadline, emulating a WAN latency matrix on loopback.
+//! * an **event-loop thread** (see [`crate::event_loop`]) owns every socket
+//!   — listener, peer links, subscribers, client connections — as
+//!   nonblocking descriptors on one epoll [`reactor::Poller`]; it decodes
+//!   inbound frames into the replica's mailbox and flushes per-connection
+//!   write buffers interest-driven;
+//! * a **core-loop thread** drains the mailbox, invokes the process
+//!   callbacks, applies executions to the replica's key-value store, and
+//!   maps the process's `SimTime` timers onto wall-clock deadlines in a
+//!   local timer wheel (its mailbox wait *is* the timer sleep — it blocks
+//!   until the earliest deadline, not on a polling interval).
+//!
+//! Outbound frames are serialized on the core loop and handed to the event
+//! loop pre-framed; the optional [`DelayShim`] attaches an artificial
+//! delivery deadline which the event loop honours as an epoll-wait timeout,
+//! emulating a WAN latency matrix on loopback without any sleeping thread.
 //!
 //! Client connections submit [`WireMessage::ClientRequest`] frames; when the
-//! command executes at this replica, the core loop answers the submitting
-//! connection with an [`Event::ClientReply`] carrying the store output. A
-//! replica that shuts down with requests still pending answers them with
-//! [`Event::ClientAbort`] so no client waits forever.
+//! command executes at this replica, the core loop emits an
+//! [`Event::ClientReply`] carrying the store output and the event loop
+//! routes it to the submitting connection. A replica that shuts down with
+//! requests still pending answers them with [`Event::ClientAbort`] so no
+//! client waits forever.
 
-use std::collections::HashMap;
-use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::collections::HashSet;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,11 +41,8 @@ use consensus_types::{CommandId, Execution, NodeId, SimTime};
 use kvstore::KvStore;
 use simnet::{Context, LatencyMatrix, Process};
 
-use crate::wire::{send_msg, Event, FrameReader, WireMessage};
-
-/// An outbound frame queued for a peer writer: artificial delivery deadline
-/// plus the envelope to put on the wire.
-type Outbound<M> = (Instant, WireMessage<M>);
+use crate::event_loop::{EventLoop, IoCmd, IoQueue};
+use crate::wire::{frame_bytes, Event, WireMessage};
 
 /// Emulates a WAN latency matrix on a fast local network by delaying each
 /// outbound frame until `one_way(src, dst) × scale` has elapsed since it was
@@ -75,7 +76,9 @@ pub struct NetReplicaConfig {
     pub id: NodeId,
     /// Total number of replicas in the cluster.
     pub nodes: usize,
-    /// Address to listen on; use port 0 to let the OS pick one.
+    /// Address to listen on; use port 0 to let the OS pick one. The
+    /// listener binds with `SO_REUSEADDR`, so a restarted replica can
+    /// reclaim the address of its previous life immediately.
     pub bind: SocketAddr,
     /// Optional artificial-delay shim applied to outbound frames (including
     /// self-deliveries).
@@ -109,28 +112,33 @@ impl NetReplicaConfig {
 /// Counters exposed by a running replica (all monotone).
 #[derive(Debug, Default)]
 pub struct NetReplicaStats {
-    /// Frames successfully written to peers.
+    /// Frames flushed to peer/client sockets (counted when their write
+    /// buffer drains).
     pub frames_sent: AtomicU64,
     /// Frames received and enqueued from any connection.
     pub frames_received: AtomicU64,
-    /// Outbound frames dropped after a write failed twice (pre- and
-    /// post-reconnect).
+    /// Outbound frames abandoned: buffered on a connection that died, or
+    /// displaced from an over-full down-link queue.
     pub frames_dropped: AtomicU64,
     /// Successful outbound connection establishments (first + re-connects).
     pub connects: AtomicU64,
-    /// Batched peer writes: each is one `write` call flushing every frame
-    /// that was due at that writer wakeup ([`Self::frames_sent`] ÷ this is
-    /// the average batch size).
+    /// Write-buffer flush passes that put at least one complete frame on
+    /// the wire; all frames buffered on a connection leave in one such pass
+    /// ([`Self::frames_sent`] ÷ this is the average batch size).
     pub batches_flushed: AtomicU64,
+    /// Frames whose CRC-32 check failed on decode; each one also tears its
+    /// connection down (a corrupted stream cannot be resynchronized).
+    pub corrupt_frames: AtomicU64,
 }
 
 /// A consensus replica served over TCP.
 ///
 /// Returned by [`NetReplica::spawn`] in a *bound but not yet linked* state:
-/// the listener is accepting (so peers can dial in at any time) but the core
-/// loop only starts once [`NetReplica::start`] provides the peer address
-/// book. This two-phase bring-up lets an orchestrator bind N replicas on
-/// OS-assigned ports first and distribute the resulting addresses second.
+/// the event loop is accepting (so peers can dial in at any time) but the
+/// core loop only starts once [`NetReplica::start`] provides the peer
+/// address book. This two-phase bring-up lets an orchestrator bind N
+/// replicas on OS-assigned ports first and distribute the resulting
+/// addresses second.
 pub struct NetReplica<P: Process> {
     id: NodeId,
     local_addr: SocketAddr,
@@ -138,12 +146,10 @@ pub struct NetReplica<P: Process> {
     process: Option<P>,
     mailbox_tx: Sender<WireMessage<P::Message>>,
     mailbox_rx: Option<Receiver<WireMessage<P::Message>>>,
+    io: Arc<IoQueue>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<NetReplicaStats>,
-    subscribers: Arc<Mutex<Vec<TcpStream>>>,
-    /// Write halves of client connections awaiting a reply, keyed by the
-    /// command they submitted via [`WireMessage::ClientRequest`].
-    client_replies: Arc<Mutex<HashMap<CommandId, TcpStream>>>,
+    subscriber_count: Arc<AtomicUsize>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -152,28 +158,29 @@ where
     P: Process + Send + 'static,
     P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
 {
-    /// Binds the listener and starts accepting connections. The process is
-    /// not driven until [`NetReplica::start`] is called.
+    /// Binds the listener and starts the event-loop thread, which accepts
+    /// connections immediately. The process is not driven until
+    /// [`NetReplica::start`] is called.
     pub fn spawn(config: NetReplicaConfig, process: P) -> io::Result<Self> {
-        let listener = TcpListener::bind(config.bind)?;
-        listener.set_nonblocking(true)?;
+        let listener = reactor::bind_reusable(config.bind, 1024)?;
         let local_addr = listener.local_addr()?;
         let (mailbox_tx, mailbox_rx) = mpsc::channel();
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(NetReplicaStats::default());
-        let subscribers = Arc::new(Mutex::new(Vec::new()));
-        let client_replies = Arc::new(Mutex::new(HashMap::new()));
+        let subscriber_count = Arc::new(AtomicUsize::new(0));
+        let io = Arc::new(IoQueue::new()?);
 
-        let accept_thread = {
-            let mailbox = mailbox_tx.clone();
-            let shutdown = Arc::clone(&shutdown);
-            let stats = Arc::clone(&stats);
-            let subscribers = Arc::clone(&subscribers);
-            let client_replies = Arc::clone(&client_replies);
-            std::thread::spawn(move || {
-                accept_loop(&listener, &mailbox, &shutdown, &stats, &subscribers, &client_replies);
-            })
-        };
+        let event_loop = EventLoop::new(
+            config.id,
+            listener,
+            Arc::clone(&io),
+            mailbox_tx.clone(),
+            config.reconnect_backoff,
+            Arc::clone(&stats),
+            Arc::clone(&subscriber_count),
+            Arc::clone(&shutdown),
+        )?;
+        let io_thread = std::thread::spawn(move || event_loop.run());
 
         Ok(Self {
             id: config.id,
@@ -182,11 +189,11 @@ where
             process: Some(process),
             mailbox_tx,
             mailbox_rx: Some(mailbox_rx),
-            shutdown: Arc::clone(&shutdown),
+            io,
+            shutdown,
             stats,
-            subscribers,
-            client_replies,
-            threads: vec![accept_thread],
+            subscriber_count,
+            threads: vec![io_thread],
         })
     }
 
@@ -206,6 +213,13 @@ where
     #[must_use]
     pub fn stats(&self) -> &Arc<NetReplicaStats> {
         &self.stats
+    }
+
+    /// Number of OS threads this replica runs. Constant — event loop plus
+    /// core loop — independent of how many peers or clients are connected.
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
     }
 
     /// A handle for injecting envelopes into the local mailbox without a
@@ -228,277 +242,59 @@ where
         let process = self.process.take().expect("NetReplica::start called twice");
         let mailbox_rx = self.mailbox_rx.take().expect("mailbox receiver present");
 
-        // One writer thread + queue per remote peer.
-        let mut peer_txs: HashMap<NodeId, Sender<Outbound<P::Message>>> = HashMap::new();
-        for (index, &addr) in peers.iter().enumerate() {
-            let to = NodeId::from_index(index);
-            if to == self.id {
-                continue;
-            }
-            let (tx, rx) = mpsc::channel::<Outbound<P::Message>>();
-            peer_txs.insert(to, tx);
-            let shutdown = Arc::clone(&self.shutdown);
-            let stats = Arc::clone(&self.stats);
-            let me = self.id;
-            let backoff = self.config.reconnect_backoff;
-            self.threads.push(std::thread::spawn(move || {
-                writer_loop(me, addr, &rx, &shutdown, &stats, backoff);
-            }));
-        }
+        // Hand the event loop its address book; it dials (and keeps
+        // redialing) every remote peer from its own thread.
+        let book: Vec<(NodeId, SocketAddr)> = peers
+            .iter()
+            .enumerate()
+            .map(|(index, &addr)| (NodeId::from_index(index), addr))
+            .filter(|&(to, _)| to != self.id)
+            .collect();
+        self.io.push(IoCmd::DialPeers(book));
 
         let core = CoreLoop {
             id: self.id,
             nodes: self.config.nodes,
             process,
             mailbox: mailbox_rx,
-            peer_txs,
+            io: Arc::clone(&self.io),
             timers: TimerWheel::default(),
             delay: self.config.delay.clone(),
             timer_scale: self.config.timer_scale,
             epoch: self.config.epoch,
             shutdown: Arc::clone(&self.shutdown),
-            subscribers: Arc::clone(&self.subscribers),
-            client_replies: Arc::clone(&self.client_replies),
             store: KvStore::new(),
+            reply_wanted: HashSet::new(),
+            subscribers: Arc::clone(&self.subscriber_count),
         };
         self.threads.push(std::thread::spawn(move || core.run()));
     }
 
     /// Requests shutdown without blocking (the core loop exits at its next
-    /// mailbox wakeup).
+    /// mailbox wakeup and the event loop follows).
     pub fn request_shutdown(&self) {
-        let _ = self.mailbox_tx.send(WireMessage::Shutdown);
         self.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.mailbox_tx.send(WireMessage::Shutdown);
+        // If the core loop never started, the event loop still has to exit.
+        if self.process.is_some() {
+            self.io.push(IoCmd::Shutdown);
+        }
     }
 
     /// Requests shutdown and joins every thread the replica spawned.
-    pub fn shutdown(mut self) {
+    /// Also used internally when a replica is replaced in-place (see
+    /// `NetCluster::restart_replica`).
+    pub fn stop(&mut self) {
         self.request_shutdown();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
     }
-}
 
-fn accept_loop<M>(
-    listener: &TcpListener,
-    mailbox: &Sender<WireMessage<M>>,
-    shutdown: &Arc<AtomicBool>,
-    stats: &Arc<NetReplicaStats>,
-    subscribers: &Arc<Mutex<Vec<TcpStream>>>,
-    client_replies: &Arc<Mutex<HashMap<CommandId, TcpStream>>>,
-) where
-    M: serde::Deserialize + Send + 'static,
-{
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let mailbox = mailbox.clone();
-                let shutdown = Arc::clone(shutdown);
-                let stats = Arc::clone(stats);
-                let subscribers = Arc::clone(subscribers);
-                let client_replies = Arc::clone(client_replies);
-                // Reader threads exit on EOF, decode error, or shutdown;
-                // the read timeout bounds how long shutdown can take.
-                std::thread::spawn(move || {
-                    reader_loop(stream, &mailbox, &shutdown, &stats, &subscribers, &client_replies);
-                });
-            }
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
+    /// Requests shutdown and joins every thread the replica spawned.
+    pub fn shutdown(mut self) {
+        self.stop();
     }
-}
-
-fn reader_loop<M>(
-    mut stream: TcpStream,
-    mailbox: &Sender<WireMessage<M>>,
-    shutdown: &Arc<AtomicBool>,
-    stats: &Arc<NetReplicaStats>,
-    subscribers: &Arc<Mutex<Vec<TcpStream>>>,
-    client_replies: &Arc<Mutex<HashMap<CommandId, TcpStream>>>,
-) where
-    M: serde::Deserialize,
-{
-    let _ = stream.set_nodelay(true);
-    // The read timeout only bounds how long shutdown can take; the
-    // FrameReader keeps partial frames across timeouts, so a timeout firing
-    // mid-frame never desynchronizes the stream.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let peer = stream.peer_addr().ok();
-    // Commands this connection registered reply routes for, so they can be
-    // unregistered when the connection goes away (otherwise every
-    // never-executed request would leak its cloned socket for the replica's
-    // lifetime).
-    let mut registered: Vec<CommandId> = Vec::new();
-    let mut decoder = FrameReader::new();
-    while !shutdown.load(Ordering::SeqCst) {
-        match decoder.read_msg::<_, WireMessage<M>>(&mut stream) {
-            Ok(Some(WireMessage::Subscribe)) => {
-                // Register the write half of this connection as a decision
-                // sink; the core loop publishes Event frames to it. The write
-                // timeout makes sure a stalled subscriber is dropped instead
-                // of blocking the core loop.
-                if let Ok(write_half) = stream.try_clone() {
-                    let _ = write_half.set_write_timeout(Some(Duration::from_secs(1)));
-                    subscribers.lock().expect("subscriber list lock").push(write_half);
-                }
-            }
-            Ok(Some(WireMessage::ClientRequest { cmd })) => {
-                // Route the eventual reply back over this connection: the
-                // core loop looks the command up when it executes.
-                stats.frames_received.fetch_add(1, Ordering::Relaxed);
-                if let Ok(write_half) = stream.try_clone() {
-                    let _ = write_half.set_write_timeout(Some(Duration::from_secs(1)));
-                    registered.push(cmd.id());
-                    client_replies
-                        .lock()
-                        .expect("client reply registry lock")
-                        .insert(cmd.id(), write_half);
-                }
-                if mailbox.send(WireMessage::ClientRequest { cmd }).is_err() {
-                    break; // core loop gone
-                }
-            }
-            Ok(Some(message)) => {
-                stats.frames_received.fetch_add(1, Ordering::Relaxed);
-                if mailbox.send(message).is_err() {
-                    break; // core loop gone
-                }
-            }
-            Ok(None) => continue, // timeout: poll the shutdown flag again
-            Err(_) => break,      // EOF or protocol error: drop the connection
-        }
-    }
-    // The connection is gone: drop the reply routes it still owns. A route
-    // is only removed if it still points at this connection (same peer), so
-    // a newer connection that re-registered an id keeps its route.
-    if !registered.is_empty() {
-        let mut routes = client_replies.lock().expect("client reply registry lock");
-        for id in registered {
-            if routes.get(&id).is_some_and(|sink| sink.peer_addr().ok() == peer) {
-                routes.remove(&id);
-            }
-        }
-    }
-}
-
-/// Owns one outbound link, (re)connecting as needed and honouring the
-/// artificial delivery deadlines attached by the core loop. All frames due
-/// at a wakeup are flushed in **one** batched write (the ROADMAP's
-/// "one writev instead of frame-per-message" item): each frame is
-/// length-prefix-encoded into a single buffer and written with one syscall.
-fn writer_loop<M: serde::Serialize>(
-    me: NodeId,
-    addr: SocketAddr,
-    queue: &Receiver<Outbound<M>>,
-    shutdown: &Arc<AtomicBool>,
-    stats: &Arc<NetReplicaStats>,
-    backoff: Duration,
-) {
-    let mut stream: Option<TcpStream> = None;
-    // Frames taken off the queue whose artificial deadline has not passed
-    // yet (deadlines are monotone per link, so this is a FIFO).
-    let mut pending: std::collections::VecDeque<Outbound<M>> = std::collections::VecDeque::new();
-    loop {
-        if pending.is_empty() {
-            match queue.recv_timeout(Duration::from_millis(50)) {
-                Ok(entry) => pending.push_back(entry),
-                Err(RecvTimeoutError::Timeout) => {
-                    if shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    continue;
-                }
-                Err(RecvTimeoutError::Disconnected) => return,
-            }
-        }
-        // Honour the artificial delivery deadline of the oldest frame…
-        let wait = pending[0].0.saturating_duration_since(Instant::now());
-        if !wait.is_zero() {
-            std::thread::sleep(wait);
-        }
-        // …then absorb everything else already queued so one write flushes
-        // the whole burst.
-        loop {
-            match queue.try_recv() {
-                Ok(entry) => pending.push_back(entry),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => break,
-            }
-        }
-        // Encode every due frame into one buffer.
-        let now = Instant::now();
-        let mut batch = Vec::new();
-        let mut count: u64 = 0;
-        while let Some((at, _)) = pending.front() {
-            if *at > now {
-                break;
-            }
-            let (_, message) = pending.pop_front().expect("frame present");
-            // `Vec<u8>` implements `io::Write`, so the standard frame writer
-            // appends the length-prefixed encoding to the batch buffer.
-            if send_msg(&mut batch, &message).is_err() {
-                stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
-                continue;
-            }
-            count += 1;
-        }
-        if count == 0 {
-            continue;
-        }
-        // Write the batch; on failure reconnect once and retry, then drop it
-        // (protocols recover from message loss via their timeouts).
-        let mut attempts = 0;
-        loop {
-            if stream.is_none() {
-                stream = connect::<M>(me, addr, shutdown, stats, backoff);
-                if stream.is_none() {
-                    return; // shutdown while reconnecting
-                }
-            }
-            let sock = stream.as_mut().expect("connected stream");
-            match sock.write_all(&batch).and_then(|()| sock.flush()) {
-                Ok(()) => {
-                    stats.frames_sent.fetch_add(count, Ordering::Relaxed);
-                    stats.batches_flushed.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
-                Err(_) => {
-                    stream = None;
-                    attempts += 1;
-                    if attempts >= 2 {
-                        stats.frames_dropped.fetch_add(count, Ordering::Relaxed);
-                        break;
-                    }
-                }
-            }
-        }
-    }
-}
-
-/// Dials `addr` until it succeeds or shutdown is requested, announcing the
-/// sender with a `Hello` frame on every fresh connection.
-fn connect<M: serde::Serialize>(
-    me: NodeId,
-    addr: SocketAddr,
-    shutdown: &Arc<AtomicBool>,
-    stats: &Arc<NetReplicaStats>,
-    backoff: Duration,
-) -> Option<TcpStream> {
-    while !shutdown.load(Ordering::SeqCst) {
-        if let Ok(mut sock) = TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
-            let _ = sock.set_nodelay(true);
-            if send_msg(&mut sock, &WireMessage::<M>::Hello { from: me }).is_ok() {
-                stats.connects.fetch_add(1, Ordering::Relaxed);
-                return Some(sock);
-            }
-        }
-        std::thread::sleep(backoff);
-    }
-    None
 }
 
 /// Pending self-deliveries: protocol timers and loopback (self-addressed)
@@ -544,17 +340,23 @@ struct CoreLoop<P: Process> {
     nodes: usize,
     process: P,
     mailbox: Receiver<WireMessage<P::Message>>,
-    peer_txs: HashMap<NodeId, Sender<Outbound<P::Message>>>,
+    io: Arc<IoQueue>,
     timers: TimerWheel<P::Message>,
     delay: Option<DelayShim>,
     timer_scale: f64,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
-    subscribers: Arc<Mutex<Vec<TcpStream>>>,
-    client_replies: Arc<Mutex<HashMap<CommandId, TcpStream>>>,
     /// The replica's deterministic state machine; every execution is applied
     /// here, and its output answers `ClientRequest` submissions.
     store: KvStore,
+    /// Commands submitted to **this** replica as `ClientRequest`s, i.e. the
+    /// only ones a connection here may be waiting on. Every replica executes
+    /// every command, so without this filter (N−1)/N of the reply frames
+    /// would be serialized just to be dropped by the event loop.
+    reply_wanted: HashSet<CommandId>,
+    /// Live decision-stream subscribers (maintained by the event loop);
+    /// when zero, `Event::Decisions` batches are not even serialized.
+    subscribers: Arc<AtomicUsize>,
 }
 
 impl<P> CoreLoop<P>
@@ -586,14 +388,14 @@ where
         self.flush(&mut outbox, &mut new_timers, &mut executions);
 
         loop {
-            // Sleep until the next timer deadline, but never so long that a
-            // shutdown request goes unnoticed.
+            // Block until the earliest timer deadline (the mailbox wait *is*
+            // the timer sleep); a long backstop covers the no-timer case —
+            // shutdown arrives as a mailbox message, not a poll.
             let timeout = self
                 .timers
                 .next_deadline()
                 .map(|at| at.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(25))
-                .min(Duration::from_millis(25));
+                .unwrap_or(Duration::from_secs(1));
             match self.mailbox.recv_timeout(timeout) {
                 Ok(envelope) => {
                     if !self.dispatch(envelope, &mut outbox, &mut new_timers, &mut executions) {
@@ -624,11 +426,11 @@ where
         }
 
         self.shutdown.store(true, Ordering::SeqCst);
-        // Final flush so subscribers see everything executed, then fail any
-        // client requests that will never be answered — a waiter must not
-        // hang on a replica that is gone.
+        // Final flush so subscribers see everything executed, then hand the
+        // event loop its shutdown command: it aborts the client requests
+        // still awaiting replies and closes every socket.
         self.publish(&mut executions);
-        self.abort_pending_clients();
+        self.io.push(IoCmd::Shutdown);
     }
 
     /// Handles one envelope; returns `false` when the loop should stop.
@@ -648,7 +450,14 @@ where
                     Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
                 self.process.on_message(from, msg, &mut ctx);
             }
-            WireMessage::Client { cmd } | WireMessage::ClientRequest { cmd } => {
+            WireMessage::ClientRequest { cmd } => {
+                self.reply_wanted.insert(cmd.id());
+                let now = self.now_us();
+                let mut ctx =
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
+                self.process.on_client_command(cmd, &mut ctx);
+            }
+            WireMessage::Client { cmd } => {
                 let now = self.now_us();
                 let mut ctx =
                     Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
@@ -665,6 +474,10 @@ where
     }
 
     /// Routes buffered sends and timers, then publishes fresh executions.
+    ///
+    /// Peer messages are serialized here (the event loop deals in opaque
+    /// frames) and pushed to the I/O thread in one batch — one waker write,
+    /// and every frame of this step lands in the same flush.
     fn flush(
         &mut self,
         outbox: &mut Vec<(NodeId, P::Message)>,
@@ -672,6 +485,7 @@ where
         executions: &mut Vec<Execution>,
     ) {
         let now = Instant::now();
+        let mut cmds: Vec<IoCmd> = Vec::new();
         for (to, msg) in outbox.drain(..) {
             let deliver_at = match &self.delay {
                 Some(shim) => now + shim.one_way(self.id, to),
@@ -680,64 +494,52 @@ where
             if to == self.id {
                 // Loopback: no socket, but the artificial delay still applies.
                 self.timers.push(deliver_at, msg);
-            } else if let Some(tx) = self.peer_txs.get(&to) {
-                let _ = tx.send((deliver_at, WireMessage::Peer { from: self.id, msg }));
+            } else if let Ok(frame) = frame_bytes(&WireMessage::Peer { from: self.id, msg }) {
+                cmds.push(IoCmd::SendPeer { to, deliver_at, frame });
             }
         }
         for (delay_us, msg) in new_timers.drain(..) {
             let scaled = Duration::from_micros((delay_us as f64 * self.timer_scale) as u64);
             self.timers.push(now + scaled, msg);
         }
+        self.io.push_many(cmds);
         self.publish(executions);
     }
 
-    /// Applies fresh executions to the store, answers pending client
-    /// requests, and streams the decision batch to subscribers.
-    ///
-    /// Reply and subscriber writes happen on the core-loop thread, bounded
-    /// by the 1 s per-connection write timeout set at registration; a
-    /// stalled client can therefore delay (not wedge) protocol processing.
-    /// Decoupling them behind per-connection writer queues, like peer
-    /// traffic, is the upgrade path if external clients become many.
+    /// Applies fresh executions to the store and hands the event loop the
+    /// reply and decision-stream frames: one [`Event::ClientReply`] per
+    /// execution (routed to whichever connection submitted the command, or
+    /// dropped if none did) and one [`Event::Decisions`] batch for the
+    /// subscribers. Serialization happens here; the I/O thread never blocks
+    /// on a stalled sink — slow connections buffer and flush on writability.
     fn publish(&mut self, executions: &mut Vec<Execution>) {
         if executions.is_empty() {
             return;
         }
+        let mut cmds: Vec<IoCmd> = Vec::with_capacity(executions.len() + 1);
         let mut batch = Vec::with_capacity(executions.len());
         for execution in executions.drain(..) {
             let output = self.store.apply(&execution.command);
             let id = execution.command.id();
-            let waiting =
-                self.client_replies.lock().expect("client reply registry lock").remove(&id);
-            if let Some(mut sink) = waiting {
-                let event = Event::ClientReply {
+            if self.reply_wanted.remove(&id) {
+                let reply = Event::ClientReply {
                     from: self.id,
                     command: id,
                     output,
                     decision: execution.decision.clone(),
                 };
-                let _ = send_msg(&mut sink, &event);
+                if let Ok(frame) = frame_bytes(&reply) {
+                    cmds.push(IoCmd::ClientReply { command: id, frame });
+                }
             }
             batch.push(execution.decision);
         }
-        let event = Event::Decisions { from: self.id, batch };
-        let mut sinks = self.subscribers.lock().expect("subscriber list lock");
-        // Drop sinks whose connection died; keep the rest.
-        sinks.retain_mut(|sink| send_msg(sink, &event).is_ok());
-    }
-
-    /// Tells every connection still waiting for a reply that it will never
-    /// come (the replica is shutting down).
-    fn abort_pending_clients(&mut self) {
-        let pending: Vec<(CommandId, TcpStream)> =
-            self.client_replies.lock().expect("client reply registry lock").drain().collect();
-        for (command, mut sink) in pending {
-            let event = Event::ClientAbort {
-                from: self.id,
-                command,
-                reason: "replica shut down before the command executed".to_string(),
-            };
-            let _ = send_msg(&mut sink, &event);
+        if self.subscribers.load(Ordering::Relaxed) > 0 {
+            let event = Event::Decisions { from: self.id, batch };
+            if let Ok(frame) = frame_bytes(&event) {
+                cmds.push(IoCmd::Publish { frame });
+            }
         }
+        self.io.push_many(cmds);
     }
 }

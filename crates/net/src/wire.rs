@@ -1,8 +1,12 @@
 //! Length-prefixed bincode framing and the wire envelopes.
 //!
 //! Every TCP segment exchanged by the runtime is one *frame*: a little-endian
-//! `u32` payload length followed by the bincode payload. Two envelope types
-//! flow over the frames:
+//! `u32` payload length, a little-endian `u32` CRC-32 checksum of the
+//! payload, then the bincode payload. The checksum is verified on decode —
+//! a mismatch surfaces as a [`checksum-mismatch error`](is_checksum_error)
+//! so the transport can count it (`corrupt_frames`) and tear the connection
+//! down rather than trust a desynchronized stream. Two envelope types flow
+//! over the frames:
 //!
 //! * [`WireMessage`] — everything a replica *receives*: peer protocol
 //!   messages, client command submissions (fire-and-forget
@@ -28,6 +32,47 @@ use consensus_types::{Command, CommandId, Decision, NodeId};
 
 /// Upper bound on a frame payload, guarding against corrupt length prefixes.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Bytes of frame header preceding the payload: `u32` length + `u32` CRC-32.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial) lookup table, built at
+/// compile time.
+static CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut index = 0;
+    while index < 256 {
+        let mut crc = index as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[index] = crc;
+        index += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum (IEEE 802.3) of `bytes`, as carried in the frame header.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Marker put in checksum-failure errors so the transport can distinguish a
+/// corrupted frame (count it, kill the link) from ordinary decode errors.
+const CHECKSUM_MISMATCH: &str = "frame checksum mismatch";
+
+/// Whether `err` reports a frame whose CRC-32 did not match its payload.
+#[must_use]
+pub fn is_checksum_error(err: &io::Error) -> bool {
+    err.kind() == io::ErrorKind::InvalidData && err.to_string().contains(CHECKSUM_MISMATCH)
+}
 
 /// Envelope for everything a replica's mailbox can receive.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -208,7 +253,7 @@ impl serde::Deserialize for Event {
     }
 }
 
-/// Writes one length-prefixed frame.
+/// Writes one checksummed, length-prefixed frame.
 pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
@@ -216,16 +261,18 @@ pub fn write_frame<W: Write>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
         return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
     }
     writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(&crc32(payload).to_le_bytes())?;
     writer.write_all(payload)?;
     writer.flush()
 }
 
-/// Reads one length-prefixed frame, validating the length against
-/// [`MAX_FRAME_LEN`].
+/// Reads one frame, validating the length against [`MAX_FRAME_LEN`] and the
+/// payload against the header checksum.
 pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
-    let mut len_bytes = [0u8; 4];
-    reader.read_exact(&mut len_bytes)?;
-    let len = u32::from_le_bytes(len_bytes);
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[..4].try_into().expect("4 header bytes"));
+    let expected_crc = u32::from_le_bytes(header[4..].try_into().expect("4 header bytes"));
     if len > MAX_FRAME_LEN {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -234,20 +281,104 @@ pub fn read_frame<R: Read>(reader: &mut R) -> io::Result<Vec<u8>> {
     }
     let mut payload = vec![0u8; len as usize];
     reader.read_exact(&mut payload)?;
+    if crc32(&payload) != expected_crc {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, CHECKSUM_MISMATCH));
+    }
     Ok(payload)
 }
 
-/// Incremental frame decoder that tolerates read timeouts.
+/// Incremental, push-based frame decoder: feed it whatever bytes a
+/// nonblocking read produced ([`FrameBuffer::extend`]) and pop complete,
+/// checksum-verified frames ([`FrameBuffer::next_frame`]) as they form.
+///
+/// This is the event loop's decode path: a reactor never blocks in
+/// `read_exact`, so partial frames simply stay buffered until the socket's
+/// next readability. Consumed bytes are reclaimed lazily to keep the buffer
+/// from re-copying its tail on every frame.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames.
+    pos: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed space once it dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pops the next complete frame, if one is fully buffered.
+    ///
+    /// `Ok(None)` means "need more bytes". `Err` means the stream is
+    /// poisoned (oversized length or checksum mismatch) and the connection
+    /// must be dropped — after a framing error the byte boundary is gone.
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let pending = &self.buf[self.pos..];
+        if pending.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(pending[..4].try_into().expect("4 buffered bytes"));
+        let expected_crc = u32::from_le_bytes(pending[4..8].try_into().expect("4 buffered bytes"));
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+            ));
+        }
+        let total = FRAME_HEADER_LEN + len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let payload = pending[FRAME_HEADER_LEN..total].to_vec();
+        if crc32(&payload) != expected_crc {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, CHECKSUM_MISMATCH));
+        }
+        self.pos += total;
+        Ok(Some(payload))
+    }
+
+    /// Like [`FrameBuffer::next_frame`], but deserializes the payload.
+    pub fn next_msg<T: serde::Deserialize>(&mut self) -> io::Result<Option<T>> {
+        match self.next_frame()? {
+            None => Ok(None),
+            Some(payload) => bincode::deserialize(&payload)
+                .map(Some)
+                .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string())),
+        }
+    }
+}
+
+/// Incremental frame decoder over a blocking [`Read`] that tolerates read
+/// timeouts.
 ///
 /// [`read_frame`] uses `read_exact` and therefore **loses bytes** if a read
 /// timeout fires mid-frame — fine for in-memory buffers and tests, wrong for
 /// sockets polled with a timeout. `FrameReader` instead accumulates whatever
-/// bytes arrive and only yields a frame once it is complete, so a
-/// `WouldBlock`/`TimedOut` between (or inside) frames never desynchronizes
-/// the stream.
+/// bytes arrive in a [`FrameBuffer`] and only yields a frame once it is
+/// complete, so a `WouldBlock`/`TimedOut` between (or inside) frames never
+/// desynchronizes the stream. Client-side readers use this; the replica's
+/// event loop drives the underlying [`FrameBuffer`] directly.
 #[derive(Debug, Default)]
 pub struct FrameReader {
-    buf: Vec<u8>,
+    buf: FrameBuffer,
 }
 
 impl FrameReader {
@@ -261,30 +392,19 @@ impl FrameReader {
     ///
     /// Returns `Ok(Some(payload))` for a complete frame, `Ok(None)` if the
     /// read timed out with the partial state preserved (call again later),
-    /// and `Err` on EOF, I/O error, or an oversized length prefix.
+    /// and `Err` on EOF, I/O error, checksum mismatch, or an oversized
+    /// length prefix.
     pub fn read_frame<R: Read>(&mut self, reader: &mut R) -> io::Result<Option<Vec<u8>>> {
         loop {
-            if self.buf.len() >= 4 {
-                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 buffered bytes"));
-                if len > MAX_FRAME_LEN {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
-                    ));
-                }
-                let total = 4 + len as usize;
-                if self.buf.len() >= total {
-                    let payload = self.buf[4..total].to_vec();
-                    self.buf.drain(..total);
-                    return Ok(Some(payload));
-                }
+            if let Some(payload) = self.buf.next_frame()? {
+                return Ok(Some(payload));
             }
             let mut chunk = [0u8; 16 * 1024];
             match reader.read(&mut chunk) {
                 Ok(0) => {
                     return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed"))
                 }
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.buf.extend(&chunk[..n]),
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
                 Err(err)
                     if matches!(
@@ -318,6 +438,16 @@ pub fn send_msg<W: Write, T: serde::Serialize>(writer: &mut W, value: &T) -> io:
     let payload = bincode::serialize(value)
         .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
     write_frame(writer, &payload)
+}
+
+/// Serializes `value` into one complete frame (header + payload) as an owned
+/// byte vector — the unit the event loop's write buffers deal in.
+pub fn frame_bytes<T: serde::Serialize>(value: &T) -> io::Result<Vec<u8>> {
+    let payload = bincode::serialize(value)
+        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))?;
+    let mut framed = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    write_frame(&mut framed, &payload)?;
+    Ok(framed)
 }
 
 /// Reads one frame and deserializes a `T` from it.
@@ -495,7 +625,58 @@ mod tests {
     fn oversized_frames_are_rejected() {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
         assert!(read_frame(&mut bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn corrupted_payloads_fail_the_checksum() {
+        let mut framed = Vec::new();
+        send_msg(&mut framed, &WireMessage::<u64>::Peer { from: NodeId(1), msg: 7 }).unwrap();
+        // Flip one payload bit; the length prefix still matches, so only the
+        // checksum can catch it.
+        let last = framed.len() - 1;
+        framed[last] ^= 0x01;
+        let err = read_frame(&mut framed.as_slice()).expect_err("corruption must be detected");
+        assert!(is_checksum_error(&err), "unexpected error class: {err}");
+
+        // The incremental decoder reports the same poisoned-stream error.
+        let mut buffer = FrameBuffer::new();
+        buffer.extend(&framed);
+        let err = buffer.next_frame().expect_err("corruption must be detected");
+        assert!(is_checksum_error(&err), "unexpected error class: {err}");
+    }
+
+    #[test]
+    fn frame_buffer_decodes_across_arbitrary_chunk_boundaries() {
+        let mut data = Vec::new();
+        let messages: Vec<WireMessage<u64>> = vec![
+            WireMessage::Hello { from: NodeId(3) },
+            WireMessage::Peer { from: NodeId(1), msg: 42 },
+            WireMessage::Subscribe,
+        ];
+        for msg in &messages {
+            send_msg(&mut data, msg).unwrap();
+        }
+        // Feed the stream one byte at a time; every complete frame must pop
+        // exactly once, in order.
+        let mut buffer = FrameBuffer::new();
+        let mut decoded: Vec<WireMessage<u64>> = Vec::new();
+        for byte in &data {
+            buffer.extend(std::slice::from_ref(byte));
+            while let Some(msg) = buffer.next_msg().expect("stream stays in sync") {
+                decoded.push(msg);
+            }
+        }
+        assert_eq!(decoded, messages);
+        assert_eq!(buffer.pending(), 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Transport-level integration tests: reconnect to late-starting peers, WAN
-//! emulation through the delay shim, outbox batching, and the external
+//! emulation through the delay shim, outbox batching, the external
 //! TCP client protocol (`ClientRequest`/`ClientReply` framing, reconnect,
-//! and abort-on-shutdown).
+//! and abort-on-shutdown), frame-corruption teardown, and crash/restart of
+//! a live replica on its original address.
 
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::Ordering;
@@ -183,6 +184,132 @@ fn tickets_fail_instead_of_hanging_when_the_cluster_shuts_down_mid_run() {
         Err(SessionError::Disconnected(_)) => {}
         other => panic!("expected a disconnect error, got {other:?}"),
     }
+}
+
+#[test]
+fn corrupt_frames_tear_down_the_connection_and_are_counted() {
+    use std::io::{Read as _, Write as _};
+
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut replica = NetReplica::spawn(
+        NetReplicaConfig::loopback(NodeId(0), 1),
+        Relay { seen: Arc::clone(&seen) },
+    )
+    .expect("replica binds");
+    let addr = replica.local_addr();
+    replica.start(vec![addr]);
+
+    // A raw socket sends a frame whose length prefix is valid but whose
+    // payload was flipped in flight: only the CRC-32 can catch it.
+    let mut framed = net::wire::frame_bytes(&net::WireMessage::<u64>::Hello { from: NodeId(9) })
+        .expect("frame encodes");
+    let last = framed.len() - 1;
+    framed[last] ^= 0x40;
+    let mut sock = std::net::TcpStream::connect(addr).expect("client connects");
+    sock.write_all(&framed).expect("corrupt frame sent");
+
+    // The replica must sever the connection (EOF on our side) …
+    sock.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout set");
+    let mut buf = [0u8; 16];
+    match sock.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("replica kept talking on a poisoned stream ({n} bytes)"),
+        Err(err) => panic!("expected clean EOF, got {err}"),
+    }
+    // … and account the corruption.
+    assert_eq!(replica.stats().corrupt_frames.load(Ordering::Relaxed), 1);
+
+    // A healthy connection afterwards still works: the replica survived.
+    let mut sock = std::net::TcpStream::connect(addr).expect("reconnect");
+    let clean = net::wire::frame_bytes(&net::WireMessage::<u64>::Hello { from: NodeId(9) })
+        .expect("frame encodes");
+    sock.write_all(&clean).expect("clean frame sent");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replica.stats().frames_received.load(Ordering::Relaxed) == 0 {
+        assert!(Instant::now() < deadline, "replica never decoded the clean frame");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    replica.shutdown();
+}
+
+#[test]
+fn killed_replica_restarts_on_its_address_and_rejoins() {
+    const NODES: usize = 5;
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let make = {
+        let caesar = caesar.clone();
+        move |id| CaesarReplica::new(id, caesar.clone())
+    };
+    let mut cluster = NetCluster::start(NetConfig::new(NODES), make).expect("cluster starts");
+    let crash_node = NodeId(4);
+    let crash_addr = cluster.addr(crash_node);
+
+    // Pre-crash traffic: every reply awaited, so all of it is committed
+    // before the crash (distinct keys keep dependencies empty, which lets
+    // the fresh post-restart replica execute later commands immediately).
+    for i in 0..5u64 {
+        let reply = cluster
+            .client(NodeId(0))
+            .submit(Op::put(100 + i, i))
+            .expect("submits")
+            .wait_timeout(Duration::from_secs(30))
+            .expect("replies before the crash");
+        assert_eq!(reply.node, NodeId(0));
+    }
+
+    // Crash: the replica goes away mid-run; the remaining four keep quorum.
+    cluster.stop_replica(crash_node);
+    std::thread::sleep(Duration::from_millis(100));
+    for i in 0..5u64 {
+        cluster
+            .client(NodeId(1))
+            .submit(Op::put(200 + i, i))
+            .expect("submits during downtime")
+            .wait_timeout(Duration::from_secs(30))
+            .expect("quorum of four still decides");
+    }
+
+    // Restart on the **same address** with a fresh process; surviving peers
+    // re-dial it through their reconnect backoff.
+    let executed_before_restart = cluster.decisions(crash_node).len();
+    cluster
+        .restart_replica(crash_node, CaesarReplica::new(crash_node, caesar.clone()))
+        .expect("replica restarts on its old address");
+    assert_eq!(cluster.addr(crash_node), crash_addr, "restart must reuse the address");
+
+    // Replies resume for commands submitted at a survivor …
+    for i in 0..5u64 {
+        cluster
+            .client(NodeId(0))
+            .submit(Op::put(300 + i, i))
+            .expect("submits after restart")
+            .wait_timeout(Duration::from_secs(30))
+            .expect("replies resume after restart");
+    }
+    // … the restarted replica rejoins execution (its decision stream grows
+    // with the post-restart commands) …
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let executed = cluster.decisions(crash_node).len();
+        if executed >= executed_before_restart + 5 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "restarted replica stuck at {executed} of {} executions",
+            executed_before_restart + 5
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // … and it serves external clients again, end to end through itself.
+    let client =
+        ReplicaClient::connect(crash_addr, crash_node, 900_000).expect("client reaches restart");
+    let write = client.put(400, 7).expect("write through the restarted replica");
+    assert_eq!(write.node, crash_node);
+    let read = client.get(400).expect("read through the restarted replica");
+    assert_eq!(read.output, Some(7), "read-your-writes at the restarted replica");
+    client.shutdown();
+    cluster.shutdown();
 }
 
 #[test]

@@ -1,0 +1,393 @@
+//! Minimal epoll readiness-polling layer for the socket runtime.
+//!
+//! The `net` crate's event loop needs exactly four things from the OS: a
+//! readiness multiplexer ([`Poller`], wrapping `epoll`), a cross-thread
+//! wakeup ([`Waker`], wrapping `eventfd`), nonblocking connection
+//! establishment ([`connect_stream`] + [`take_socket_error`]), and a
+//! rebindable listener ([`bind_reusable`]). This crate provides them over
+//! raw `extern "C"` bindings (see [`sys`](self)) — no registry dependencies,
+//! matching the offline build environment.
+//!
+//! The API follows the shape popularized by `mio`: sockets are registered
+//! with a caller-chosen [`Token`] and an [`Interest`] set, and
+//! [`Poller::wait`] fills an [`Events`] buffer with `(token, readiness)`
+//! records. Registration is level-triggered, so a socket that still has
+//! buffered bytes (or writable space) keeps reporting ready — the event loop
+//! never needs to drain within one wakeup.
+//!
+//! ```
+//! use reactor::{Events, Interest, Poller, Token, Waker};
+//!
+//! let poller = Poller::new().unwrap();
+//! let waker = Waker::new().unwrap();
+//! poller.register(waker.fd(), Token(0), Interest::READABLE).unwrap();
+//! waker.wake().unwrap();
+//! let mut events = Events::with_capacity(8);
+//! poller.wait(&mut events, Some(std::time::Duration::from_secs(1))).unwrap();
+//! assert!(events.iter().any(|e| e.token == Token(0) && e.readable));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod net;
+mod sys;
+
+pub use net::{bind_reusable, connect_stream, raise_nofile_limit, take_socket_error};
+
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Caller-chosen identifier attached to a registered file descriptor; every
+/// readiness record carries the token of the socket it describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub u64);
+
+/// The readiness classes a registration subscribes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u32);
+
+impl Interest {
+    /// Wake when the descriptor has bytes to read (or a peer hangup).
+    pub const READABLE: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP);
+    /// Wake when the descriptor can accept writes.
+    pub const WRITABLE: Interest = Interest(sys::EPOLLOUT);
+    /// Both readable and writable.
+    pub const BOTH: Interest = Interest(sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT);
+
+    /// Combines two interest sets.
+    #[must_use]
+    pub const fn and(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Whether this set includes write readiness.
+    #[must_use]
+    pub const fn is_writable(self) -> bool {
+        self.0 & sys::EPOLLOUT != 0
+    }
+}
+
+/// One readiness record produced by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the descriptor was registered with.
+    pub token: Token,
+    /// The descriptor has bytes to read (or the peer closed its write half).
+    pub readable: bool,
+    /// The descriptor can accept writes.
+    pub writable: bool,
+    /// The descriptor is in an error or hangup state; the owner should check
+    /// [`take_socket_error`] or treat the connection as dead.
+    pub error: bool,
+}
+
+/// Reusable buffer of readiness records filled by [`Poller::wait`].
+pub struct Events {
+    raw: Vec<sys::epoll_event>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer able to report up to `capacity` descriptors per wait.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { raw: vec![sys::epoll_event { events: 0, data: 0 }; capacity], len: 0 }
+    }
+
+    /// Number of records the last wait produced.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the last wait produced no records (timeout).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the records of the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = PollEvent> + '_ {
+        self.raw[..self.len].iter().map(|raw| {
+            // Copy out of the (possibly packed) kernel struct by value.
+            let bits = { raw.events };
+            let data = { raw.data };
+            PollEvent {
+                token: Token(data),
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                error: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+            }
+        })
+    }
+}
+
+/// A level-triggered `epoll` instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: c_int,
+}
+
+impl Poller {
+    /// Creates a fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        let epfd = sys::cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Self { epfd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut event = sys::epoll_event { events: interest.0, data: token.0 };
+        sys::cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Starts watching `fd` with the given token and interest.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes the token or interest of an already-registered descriptor.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Stops watching `fd`. Safe to call on descriptors that were never
+    /// registered (the `ENOENT` is swallowed) so teardown paths can be
+    /// unconditional.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut event = sys::epoll_event { events: 0, data: 0 };
+        match sys::cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut event) }) {
+            Ok(_) => Ok(()),
+            Err(err) if err.raw_os_error() == Some(2) => Ok(()), // ENOENT
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Blocks until at least one registered descriptor is ready or `timeout`
+    /// elapses (`None` blocks indefinitely); fills `events` and returns the
+    /// record count. A spurious `EINTR` retries with the same timeout.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        // Round sub-millisecond timeouts *up* so a 100 µs deadline does not
+        // busy-spin as a zero-timeout poll.
+        let millis: c_int = match timeout {
+            None => -1,
+            Some(d) => d.as_micros().div_ceil(1_000).min(c_int::MAX as u128) as c_int,
+        };
+        events.len = 0;
+        loop {
+            let got = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    events.raw.as_mut_ptr(),
+                    events.raw.len() as c_int,
+                    millis,
+                )
+            };
+            if got >= 0 {
+                events.len = got as usize;
+                return Ok(events.len);
+            }
+            let err = sys::last_error();
+            if err.raw_os_error() != Some(sys::EINTR) {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a [`Poller`], backed by an `eventfd`.
+///
+/// Register [`Waker::fd`] with a reserved token; any thread may then call
+/// [`Waker::wake`] to make the poller's wait return, and the event-loop
+/// thread calls [`Waker::drain`] when it sees that token readable.
+#[derive(Debug)]
+pub struct Waker {
+    fd: c_int,
+}
+
+impl Waker {
+    /// Creates a nonblocking eventfd.
+    pub fn new() -> io::Result<Self> {
+        let fd = sys::cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        Ok(Self { fd })
+    }
+
+    /// The descriptor to register with the poller (readable interest).
+    #[must_use]
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Makes the poller wake up. Cheap and safe from any thread; multiple
+    /// wakes before a drain coalesce into one readiness event.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let ret =
+            unsafe { sys::write(self.fd, (&raw const one).cast::<c_void>(), size_of::<u64>()) };
+        if ret == -1 {
+            let err = sys::last_error();
+            // A full counter still leaves the fd readable — the wake is
+            // already pending, which is all the caller wants.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+
+    /// Clears pending wakeups so the next [`Poller::wait`] can block again.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        unsafe { sys::read(self.fd, (&raw mut counter).cast::<c_void>(), size_of::<u64>()) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+// Waker is just an fd; writes to an eventfd are atomic.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    const LISTENER: Token = Token(1);
+    const CLIENT: Token = Token(2);
+
+    fn wait_for(
+        poller: &Poller,
+        events: &mut Events,
+        pred: impl Fn(&PollEvent) -> bool,
+    ) -> PollEvent {
+        for _ in 0..100 {
+            poller.wait(events, Some(Duration::from_millis(100))).unwrap();
+            if let Some(event) = events.iter().find(&pred) {
+                return event;
+            }
+        }
+        panic!("expected readiness event never arrived");
+    }
+
+    #[test]
+    fn listener_becomes_readable_on_connect() {
+        let poller = Poller::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "nothing connected yet");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let event = wait_for(&poller, &mut events, |e| e.token == LISTENER);
+        assert!(event.readable);
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_and_reports_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        let stream = connect_stream(addr).unwrap();
+        poller.register(stream.as_raw_fd(), CLIENT, Interest::WRITABLE).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        let event = wait_for(&poller, &mut events, |e| e.token == CLIENT);
+        assert!(event.writable);
+        take_socket_error(stream.as_raw_fd()).expect("loopback connect succeeds");
+
+        // The connection is real: bytes flow.
+        let (mut accepted, _) = listener.accept().unwrap();
+        let mut stream = stream;
+        stream.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        accepted.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn nonblocking_connect_to_dead_port_reports_the_error() {
+        // Reserve a port and close it so nothing is listening there.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let poller = Poller::new().unwrap();
+        let stream = connect_stream(addr).unwrap();
+        poller.register(stream.as_raw_fd(), CLIENT, Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        let event = wait_for(&poller, &mut events, |e| e.token == CLIENT);
+        assert!(event.error || event.writable);
+        assert!(take_socket_error(stream.as_raw_fd()).is_err(), "refused connect must surface");
+    }
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register(waker.fd(), Token(0), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(4);
+
+        waker.wake().unwrap();
+        waker.wake().unwrap(); // coalesces
+        poller.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert_eq!(events.len(), 1);
+        waker.drain();
+
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "drained waker must not stay readable");
+    }
+
+    #[test]
+    fn reregister_switches_interest() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        // A fresh connection with an empty send buffer is writable, not
+        // readable.
+        poller.register(stream.as_raw_fd(), CLIENT, Interest::BOTH).unwrap();
+        let mut events = Events::with_capacity(4);
+        let event = wait_for(&poller, &mut events, |e| e.token == CLIENT);
+        assert!(event.writable && !event.readable);
+        // Dropping write interest silences it entirely.
+        poller.reregister(stream.as_raw_fd(), CLIENT, Interest::READABLE).unwrap();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        poller.deregister(stream.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn reusable_bind_rebinds_a_just_closed_address() {
+        let first = bind_reusable("127.0.0.1:0".parse().unwrap(), 8).unwrap();
+        let addr = first.local_addr().unwrap();
+        // Leave a connection in TIME_WAIT on that port.
+        let client = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = first.accept().unwrap();
+        drop(accepted);
+        drop(client);
+        drop(first);
+        let again = bind_reusable(addr, 8).expect("SO_REUSEADDR rebind");
+        assert_eq!(again.local_addr().unwrap(), addr);
+    }
+}

@@ -1,0 +1,146 @@
+//! Socket plumbing `std::net` does not expose: nonblocking `connect`,
+//! `SO_REUSEADDR` listeners, `SO_ERROR` retrieval, and file-descriptor
+//! rlimits (a replica holding thousands of client connections outgrows the
+//! default soft limit).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::raw::{c_int, c_void};
+use std::os::unix::io::{FromRawFd, RawFd};
+
+use crate::sys;
+
+/// An open socket fd that closes itself unless explicitly released, so the
+/// error paths below never leak descriptors.
+struct Socket(c_int);
+
+impl Socket {
+    fn new(family: c_int) -> io::Result<Self> {
+        let fd = sys::cvt(unsafe {
+            sys::socket(family, sys::SOCK_STREAM | sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC, 0)
+        })?;
+        Ok(Self(fd))
+    }
+
+    fn into_raw(self) -> c_int {
+        let fd = self.0;
+        std::mem::forget(self);
+        fd
+    }
+}
+
+impl Drop for Socket {
+    fn drop(&mut self) {
+        unsafe { sys::close(self.0) };
+    }
+}
+
+/// Calls `f` with the kernel representation of `addr`.
+fn with_sockaddr<T>(addr: SocketAddr, f: impl FnOnce(*const c_void, u32) -> T) -> T {
+    match addr {
+        SocketAddr::V4(v4) => {
+            let raw = sys::sockaddr_in {
+                sin_family: sys::AF_INET as u16,
+                sin_port: v4.port().to_be(),
+                sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+                sin_zero: [0; 8],
+            };
+            f((&raw const raw).cast(), size_of::<sys::sockaddr_in>() as u32)
+        }
+        SocketAddr::V6(v6) => {
+            let raw = sys::sockaddr_in6 {
+                sin6_family: sys::AF_INET6 as u16,
+                sin6_port: v6.port().to_be(),
+                sin6_flowinfo: v6.flowinfo().to_be(),
+                sin6_addr: v6.ip().octets(),
+                sin6_scope_id: v6.scope_id(),
+            };
+            f((&raw const raw).cast(), size_of::<sys::sockaddr_in6>() as u32)
+        }
+    }
+}
+
+fn family(addr: &SocketAddr) -> c_int {
+    match addr {
+        SocketAddr::V4(_) => sys::AF_INET,
+        SocketAddr::V6(_) => sys::AF_INET6,
+    }
+}
+
+/// Starts a **nonblocking** TCP connect to `addr` and returns the stream
+/// immediately — usually before the handshake finishes.
+///
+/// Register the stream for write interest; when it reports writable (or an
+/// error), call [`take_socket_error`] to learn whether the connect
+/// succeeded. This is the reactor-friendly replacement for
+/// `TcpStream::connect`, which blocks the calling thread for up to a full
+/// connect timeout.
+pub fn connect_stream(addr: SocketAddr) -> io::Result<TcpStream> {
+    let socket = Socket::new(family(&addr))?;
+    let ret = with_sockaddr(addr, |raw, len| unsafe { sys::connect(socket.0, raw, len) });
+    if ret == -1 {
+        let err = sys::last_error();
+        match err.raw_os_error() {
+            // In progress: completion is reported through write readiness.
+            Some(sys::EINPROGRESS) | Some(sys::EINTR) => {}
+            _ => return Err(err),
+        }
+    }
+    Ok(unsafe { TcpStream::from_raw_fd(socket.into_raw()) })
+}
+
+/// Consumes and returns the pending socket error (`SO_ERROR`), the
+/// completion status of a nonblocking connect: `Ok(())` means the handshake
+/// succeeded, `Err` carries the refusal/timeout.
+pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    let mut err: c_int = 0;
+    let mut len = size_of::<c_int>() as u32;
+    sys::cvt(unsafe {
+        sys::getsockopt(
+            fd,
+            sys::SOL_SOCKET,
+            sys::SO_ERROR,
+            (&raw mut err).cast::<c_void>(),
+            &mut len,
+        )
+    })?;
+    if err == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(err))
+    }
+}
+
+/// Binds a TCP listener with `SO_REUSEADDR`, so a restarted replica can
+/// reclaim its old address even while connections from its previous life
+/// linger in `TIME_WAIT`. The listener comes back nonblocking.
+pub fn bind_reusable(addr: SocketAddr, backlog: i32) -> io::Result<TcpListener> {
+    let socket = Socket::new(family(&addr))?;
+    let reuse: c_int = 1;
+    sys::cvt(unsafe {
+        sys::setsockopt(
+            socket.0,
+            sys::SOL_SOCKET,
+            sys::SO_REUSEADDR,
+            (&raw const reuse).cast::<c_void>(),
+            size_of::<c_int>() as u32,
+        )
+    })?;
+    sys::cvt(with_sockaddr(addr, |raw, len| unsafe { sys::bind(socket.0, raw, len) }))?;
+    sys::cvt(unsafe { sys::listen(socket.0, backlog) })?;
+    Ok(unsafe { TcpListener::from_raw_fd(socket.into_raw()) })
+}
+
+/// Raises the soft open-file limit toward `want` (capped by the hard limit)
+/// and returns the resulting soft limit. A no-op when the limit is already
+/// high enough.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    let mut lim = sys::rlimit { rlim_cur: 0, rlim_max: 0 };
+    sys::cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) })?;
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    lim.rlim_cur = want.min(lim.rlim_max);
+    sys::cvt(unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &lim) })?;
+    Ok(lim.rlim_cur)
+}

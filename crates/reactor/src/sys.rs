@@ -1,0 +1,128 @@
+//! Raw `extern "C"` bindings to the handful of Linux syscalls the reactor
+//! needs: epoll, eventfd, and the socket calls `std::net` does not expose
+//! (nonblocking `connect`, `SO_REUSEADDR` binds, `SO_ERROR`, rlimits).
+//!
+//! The build environment has no route to crates.io, so there is no `libc`
+//! crate to lean on; these declarations link against the C library that is
+//! already part of every Linux Rust binary. Everything here is `pub(crate)`
+//! — the safe [`crate::Poller`]/[`crate::Waker`] API is the only public
+//! surface.
+
+#![allow(non_camel_case_types)]
+
+use std::os::raw::{c_int, c_uint, c_void};
+
+/// One epoll readiness record. On x86-64 the kernel ABI packs this struct
+/// (no padding between `events` and `data`); other architectures use natural
+/// alignment.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub(crate) struct epoll_event {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub(crate) const EPOLL_CLOEXEC: c_int = 0x80000;
+pub(crate) const EPOLL_CTL_ADD: c_int = 1;
+pub(crate) const EPOLL_CTL_DEL: c_int = 2;
+pub(crate) const EPOLL_CTL_MOD: c_int = 3;
+
+pub(crate) const EPOLLIN: u32 = 0x001;
+pub(crate) const EPOLLOUT: u32 = 0x004;
+pub(crate) const EPOLLERR: u32 = 0x008;
+pub(crate) const EPOLLHUP: u32 = 0x010;
+pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+
+pub(crate) const EFD_CLOEXEC: c_int = 0x80000;
+pub(crate) const EFD_NONBLOCK: c_int = 0x800;
+
+pub(crate) const AF_INET: c_int = 2;
+pub(crate) const AF_INET6: c_int = 10;
+pub(crate) const SOCK_STREAM: c_int = 1;
+pub(crate) const SOCK_NONBLOCK: c_int = 0x800;
+pub(crate) const SOCK_CLOEXEC: c_int = 0x80000;
+
+pub(crate) const SOL_SOCKET: c_int = 1;
+pub(crate) const SO_REUSEADDR: c_int = 2;
+pub(crate) const SO_ERROR: c_int = 4;
+
+pub(crate) const EINTR: c_int = 4;
+pub(crate) const EINPROGRESS: c_int = 115;
+
+pub(crate) const RLIMIT_NOFILE: c_int = 7;
+
+/// IPv4 socket address, network byte order where the kernel expects it.
+#[repr(C)]
+pub(crate) struct sockaddr_in {
+    pub sin_family: u16,
+    pub sin_port: u16,
+    pub sin_addr: u32,
+    pub sin_zero: [u8; 8],
+}
+
+/// IPv6 socket address, network byte order where the kernel expects it.
+#[repr(C)]
+pub(crate) struct sockaddr_in6 {
+    pub sin6_family: u16,
+    pub sin6_port: u16,
+    pub sin6_flowinfo: u32,
+    pub sin6_addr: [u8; 16],
+    pub sin6_scope_id: u32,
+}
+
+#[repr(C)]
+pub(crate) struct rlimit {
+    pub rlim_cur: u64,
+    pub rlim_max: u64,
+}
+
+extern "C" {
+    pub(crate) fn epoll_create1(flags: c_int) -> c_int;
+    pub(crate) fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub(crate) fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub(crate) fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    pub(crate) fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    pub(crate) fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    pub(crate) fn close(fd: c_int) -> c_int;
+    pub(crate) fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    pub(crate) fn connect(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    pub(crate) fn bind(fd: c_int, addr: *const c_void, len: u32) -> c_int;
+    pub(crate) fn listen(fd: c_int, backlog: c_int) -> c_int;
+    pub(crate) fn getsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *mut c_void,
+        optlen: *mut u32,
+    ) -> c_int;
+    pub(crate) fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    pub(crate) fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    pub(crate) fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+}
+
+/// The calling thread's last OS error as an [`std::io::Error`].
+pub(crate) fn last_error() -> std::io::Error {
+    std::io::Error::last_os_error()
+}
+
+/// Converts a raw return value into a result, mapping `-1` to the current OS
+/// error.
+pub(crate) fn cvt(ret: c_int) -> std::io::Result<c_int> {
+    if ret == -1 {
+        Err(last_error())
+    } else {
+        Ok(ret)
+    }
+}

@@ -13,6 +13,18 @@
 //! given number of seconds so an **external** process (see the
 //! `consensus_client` example) can connect and submit commands over TCP.
 //!
+//! `serve` still runs all replicas in one process. For the real deployment
+//! shape — one replica per OS process (or per host), linked only by an
+//! address-book file — use the `consensus_node` binary instead:
+//!
+//! ```text
+//! printf 'protocol caesar\nnode 0 127.0.0.1:7101\nnode 1 127.0.0.1:7102\nnode 2 127.0.0.1:7103\n' > book.txt
+//! cargo run --release --bin consensus_node -- book.txt 0 &
+//! cargo run --release --bin consensus_node -- book.txt 1 &
+//! cargo run --release --bin consensus_node -- book.txt 2 &
+//! cargo run --release --example consensus_client -- 127.0.0.1:7101 0
+//! ```
+//!
 //! This is the socket-runtime counterpart of `protocol_faceoff` (which runs
 //! in simulated time): every message here is bincode-framed, crosses a
 //! kernel socket, and pays the artificial WAN delay. Latencies printed are

@@ -1,0 +1,177 @@
+//! `consensus_node` — one replica as one OS process.
+//!
+//! The multi-process/multi-host entry point of the `net` runtime: every
+//! replica of a cluster runs as its own `consensus_node` process, linked by
+//! nothing but TCP and a shared **address-book file**. Launch N processes
+//! with the same book and different `--id`s (on one machine or many) and
+//! they form a cluster; external clients (`net::ReplicaClient`, the
+//! `consensus_client` example) connect to any replica's address.
+//!
+//! ```text
+//! # book.txt
+//! protocol caesar            # caesar | epaxos | multipaxos | mencius | m2paxos
+//! node 0 127.0.0.1:7101
+//! node 1 127.0.0.1:7102
+//! node 2 127.0.0.1:7103
+//!
+//! consensus_node book.txt 0 &        # terminal/host 1
+//! consensus_node book.txt 1 &        # terminal/host 2
+//! consensus_node book.txt 2 &        # terminal/host 3
+//! cargo run --release --example consensus_client -- 127.0.0.1:7101 0
+//! ```
+//!
+//! An optional third argument bounds the lifetime in seconds (the process
+//! otherwise serves until killed). The replica prints `listening pI ADDR`
+//! once it is bound and `ready` once the core loop runs, so launchers can
+//! watch stdout instead of polling the port.
+//!
+//! Peer links (re)connect through the event loop's backoff, so start order
+//! does not matter and a killed process can be relaunched with the same
+//! book: it rebinds its address (`SO_REUSEADDR`) and rejoins. CAESAR's and
+//! EPaxos's recovery timeouts are disabled here because multi-process
+//! bring-up is not time-synchronized; recovery behaviour is exercised by
+//! the in-process harness instead.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_types::NodeId;
+use epaxos::{EpaxosConfig, EpaxosReplica};
+use m2paxos::{M2PaxosConfig, M2PaxosReplica};
+use mencius::{MenciusConfig, MenciusReplica};
+use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
+use net::{NetReplica, NetReplicaConfig};
+use simnet::Process;
+
+/// A parsed address-book file: the protocol to run and every replica's
+/// listen address, indexed by node id.
+struct AddressBook {
+    protocol: String,
+    addrs: Vec<SocketAddr>,
+}
+
+fn parse_book(path: &str) -> Result<AddressBook, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read address book {path}: {err}"))?;
+    let mut protocol = "caesar".to_string();
+    let mut entries: Vec<(usize, SocketAddr)> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or_default().trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        match fields.next() {
+            Some("protocol") => {
+                protocol = fields
+                    .next()
+                    .ok_or_else(|| format!("line {}: protocol needs a name", lineno + 1))?
+                    .to_string();
+            }
+            Some("node") => {
+                let index: usize = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("line {}: node needs a numeric id", lineno + 1))?;
+                let addr: SocketAddr = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("line {}: node needs host:port", lineno + 1))?;
+                entries.push((index, addr));
+            }
+            Some(other) => return Err(format!("line {}: unknown directive {other}", lineno + 1)),
+            None => unreachable!("blank lines were skipped"),
+        }
+    }
+    entries.sort_by_key(|&(index, _)| index);
+    if entries.is_empty() {
+        return Err("address book lists no nodes".to_string());
+    }
+    for (expect, &(index, _)) in entries.iter().enumerate() {
+        if index != expect {
+            return Err(format!("node ids must be dense from 0; missing or duplicate {expect}"));
+        }
+    }
+    Ok(AddressBook { protocol, addrs: entries.into_iter().map(|(_, addr)| addr).collect() })
+}
+
+/// Binds, links, and serves one replica until `lifetime` elapses (forever
+/// when `None`).
+fn serve<P>(book: &AddressBook, id: NodeId, process: P, lifetime: Option<u64>)
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+{
+    // A deployment replica holds two fds per client connection; lift the
+    // soft open-file limit toward the hard one before accepting any.
+    let _ = reactor::raise_nofile_limit(65_536);
+    let mut config = NetReplicaConfig::loopback(id, book.addrs.len());
+    config.bind = book.addrs[id.index()];
+    let mut replica = NetReplica::spawn(config, process).unwrap_or_else(|err| {
+        eprintln!("failed to bind {}: {err}", book.addrs[id.index()]);
+        std::process::exit(1);
+    });
+    println!("listening {id} {}", replica.local_addr());
+    replica.start(book.addrs.clone());
+    println!("ready");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match lifetime {
+        Some(seconds) => std::thread::sleep(Duration::from_secs(seconds)),
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    replica.shutdown();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (book_path, id) = match (args.get(1), args.get(2).and_then(|s| s.parse::<usize>().ok())) {
+        (Some(path), Some(id)) => (path.clone(), id),
+        _ => {
+            eprintln!("usage: consensus_node <address-book> <node-id> [lifetime-seconds]");
+            std::process::exit(2);
+        }
+    };
+    let lifetime: Option<u64> = args.get(3).and_then(|s| s.parse().ok());
+    let book = parse_book(&book_path).unwrap_or_else(|err| {
+        eprintln!("bad address book: {err}");
+        std::process::exit(2);
+    });
+    if id >= book.addrs.len() {
+        eprintln!("node id {id} out of range: the book lists {} nodes", book.addrs.len());
+        std::process::exit(2);
+    }
+    let nodes = book.addrs.len();
+    let me = NodeId::from_index(id);
+    match book.protocol.as_str() {
+        "caesar" => {
+            let config = CaesarConfig::new(nodes).with_recovery_timeout(None);
+            serve(&book, me, CaesarReplica::new(me, config), lifetime);
+        }
+        "epaxos" => {
+            let config = EpaxosConfig::new(nodes).with_recovery_timeout(None);
+            serve(&book, me, EpaxosReplica::new(me, config), lifetime);
+        }
+        "multipaxos" => {
+            let config = MultiPaxosConfig::new(nodes, NodeId(0));
+            serve(&book, me, MultiPaxosReplica::new(me, config), lifetime);
+        }
+        "mencius" => {
+            let config = MenciusConfig::new(nodes);
+            serve(&book, me, MenciusReplica::new(me, config), lifetime);
+        }
+        "m2paxos" => {
+            let config = M2PaxosConfig::new(nodes);
+            serve(&book, me, M2PaxosReplica::new(me, config), lifetime);
+        }
+        other => {
+            eprintln!(
+                "unknown protocol {other}; pick caesar, epaxos, multipaxos, mencius or m2paxos"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Multi-process smoke: a cluster of three separate `consensus_node` OS
+//! processes, linked only by an address-book file and TCP, serves an
+//! external client end to end.
+//!
+//! This is the deployment shape the paper measures — one replica per
+//! machine — scaled down to one machine: no shared memory, no shared
+//! threads, three kernels' worth of sockets (well, one kernel, three
+//! processes). The test binary path comes from Cargo, so the smoke always
+//! runs against the freshly built `consensus_node`.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use consensus_types::NodeId;
+use net::ReplicaClient;
+
+const NODES: usize = 3;
+
+/// Kills the node processes even when an assertion panics mid-test.
+struct Cluster {
+    children: Vec<Child>,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Grabs an OS-assigned loopback port and releases it for a node to bind.
+fn reserve_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    listener.local_addr().expect("reserved addr")
+}
+
+fn connect_with_retry(addr: SocketAddr, node: NodeId, timeout: Duration) -> ReplicaClient {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match ReplicaClient::connect(addr, node, 1_000) {
+            Ok(client) => return client,
+            Err(err) => {
+                assert!(Instant::now() < deadline, "node {node} never came up: {err}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[test]
+fn three_consensus_node_processes_serve_an_external_client() {
+    let addrs: Vec<SocketAddr> = (0..NODES).map(|_| reserve_addr()).collect();
+    let book_path = std::env::temp_dir().join(format!("book_{}.txt", std::process::id()));
+    {
+        let mut book = std::fs::File::create(&book_path).expect("book file");
+        writeln!(book, "protocol caesar").expect("book writes");
+        for (index, addr) in addrs.iter().enumerate() {
+            writeln!(book, "node {index} {addr}").expect("book writes");
+        }
+    }
+
+    let bin = env!("CARGO_BIN_EXE_consensus_node");
+    let cluster = Cluster {
+        children: (0..NODES)
+            .map(|index| {
+                Command::new(bin)
+                    .arg(&book_path)
+                    .arg(index.to_string())
+                    .arg("120") // lifetime bound, in case the kill never lands
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .expect("consensus_node spawns")
+            })
+            .collect(),
+    };
+
+    // An external client against process 0: the submit only commits once a
+    // quorum of the *other processes* accepted it over real TCP.
+    let client = connect_with_retry(addrs[0], NodeId(0), Duration::from_secs(30));
+    let write = client.put(7, 4242).expect("write across three processes");
+    assert_eq!(write.node, NodeId(0));
+    let read = client.get(7).expect("read across three processes");
+    assert_eq!(read.output, Some(4242), "read-your-writes across process boundaries");
+    client.shutdown();
+
+    // A second client reaches a *different* process of the same cluster.
+    let client = connect_with_retry(addrs[1], NodeId(1), Duration::from_secs(30));
+    let write = client.put(8, 99).expect("write via process 1");
+    assert_eq!(write.node, NodeId(1));
+    client.shutdown();
+
+    drop(cluster);
+    let _ = std::fs::remove_file(&book_path);
+}

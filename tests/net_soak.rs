@@ -1,0 +1,96 @@
+//! Soak test for the reactor-based `net` runtime: one replica holds 500+
+//! simultaneous external client connections and answers a submit/await
+//! round on every one of them.
+//!
+//! This is the load shape the thread-per-link seed transport could not
+//! survive cheaply — it would have spawned one reader thread per accepted
+//! connection (500+ threads on the replica for this test alone). The epoll
+//! event loop holds every connection as two file descriptors on one thread:
+//! the test pins that down by asserting the replica thread count stays at
+//! two per replica (event loop + core loop) with all clients connected.
+
+use std::time::{Duration, Instant};
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_core::session::{Op, Ticket};
+use consensus_types::NodeId;
+use net::{NetCluster, NetConfig, ReplicaClient};
+
+/// Simultaneous external connections, all to replica 0.
+const CLIENTS: usize = 500;
+const NODES: usize = 3;
+
+#[test]
+fn five_hundred_clients_share_one_replica() {
+    // Each client costs ~4 fds in this single process (its socket plus two
+    // `try_clone`s on the client side, the accepted fd on the replica
+    // side); make sure the soft rlimit is not the bottleneck, and fail
+    // with a clear message if even the hard limit cannot cover the soak.
+    let limit = reactor::raise_nofile_limit(8 * CLIENTS as u64).expect("raise nofile rlimit");
+    assert!(
+        limit >= 4 * CLIENTS as u64 + 64,
+        "fd limit {limit} too low to hold {CLIENTS} client connections in one process"
+    );
+
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let cluster =
+        NetCluster::start(NetConfig::new(NODES), move |id| CaesarReplica::new(id, caesar.clone()))
+            .expect("cluster starts");
+    let addr = cluster.addr(NodeId(0));
+    let threads_before = cluster.replica_threads();
+
+    // Phase 1 — connect everyone. Disjoint sequence bases keep command ids
+    // unique across clients.
+    let clients: Vec<ReplicaClient> = (0..CLIENTS)
+        .map(|i| {
+            ReplicaClient::connect(addr, NodeId(0), (i as u64 + 1) * 1_000_000)
+                .unwrap_or_else(|err| panic!("client {i} failed to connect: {err}"))
+        })
+        .collect();
+
+    // O(1) threads per replica: the 500 connections added exactly zero.
+    assert_eq!(
+        cluster.replica_threads(),
+        threads_before,
+        "replica thread count must not grow with connections"
+    );
+    assert_eq!(threads_before, NODES * 2, "event loop + core loop per replica");
+
+    // Phase 2 — a full submit/await round on every connection: each client
+    // writes its own key, all 500 tickets in flight together.
+    let started = Instant::now();
+    let tickets: Vec<Ticket> = clients
+        .iter()
+        .enumerate()
+        .map(|(i, client)| {
+            client
+                .submit(Op::put(10_000 + i as u64, i as u64))
+                .unwrap_or_else(|err| panic!("client {i} failed to submit: {err}"))
+        })
+        .collect();
+    for (i, ticket) in tickets.iter().enumerate() {
+        let reply = ticket
+            .wait_timeout(Duration::from_secs(120))
+            .unwrap_or_else(|err| panic!("client {i} never got its reply: {err}"));
+        assert_eq!(reply.node, NodeId(0));
+    }
+
+    // Phase 3 — read-your-writes on a sample of the same connections, so
+    // the round trip provably reached the state machine.
+    for (i, client) in clients.iter().enumerate().step_by(50) {
+        let read = client.get(10_000 + i as u64).expect("read replies");
+        assert_eq!(read.output, Some(i as u64), "client {i} must read back its write");
+    }
+
+    println!(
+        "soak: {CLIENTS} concurrent clients, submit/await round in {:.2}s, \
+         replica threads {}",
+        started.elapsed().as_secs_f64(),
+        cluster.replica_threads(),
+    );
+
+    for client in clients {
+        client.shutdown();
+    }
+    cluster.shutdown();
+}
