@@ -11,12 +11,18 @@
 //!
 //! Besides the table, the run writes `BENCH_net_clients.json` at the
 //! workspace root so the numbers are recorded alongside the figures.
+//!
+//! A second section measures **snapshot catch-up**: a replica is killed and
+//! restarted after the cluster has applied a growing number of commands,
+//! and we record the donated snapshot size against the wall-clock time from
+//! restart to the restarted replica matching the survivors' watermark.
 
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use bench::print_table;
 use caesar::{CaesarConfig, CaesarReplica};
-use consensus_core::session::Op;
+use consensus_core::session::{ClusterHandle, Op};
 use consensus_types::NodeId;
 use criterion::{criterion_group, criterion_main, Criterion};
 use harness::Table;
@@ -99,7 +105,71 @@ fn measure(client_count: usize, rounds: usize) -> ScalePoint {
     }
 }
 
-fn write_json(points: &[ScalePoint]) {
+struct CatchUpPoint {
+    prefill: usize,
+    snapshot_bytes: u64,
+    replayed: u64,
+    recovery_ms: f64,
+}
+
+/// Applies `prefill` distinct-key writes, kills replica 2, restarts it, and
+/// times restart → watermark parity with the survivors.
+fn measure_catch_up(prefill: usize) -> CatchUpPoint {
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let make = {
+        let caesar = caesar.clone();
+        move |id| CaesarReplica::new(id, caesar.clone())
+    };
+    let mut cluster = NetCluster::start(NetConfig::new(NODES).with_checkpoint_interval(256), make)
+        .expect("cluster starts");
+    let crash = NodeId(2);
+
+    // Keep a window of writes in flight so prefill does not take one RTT
+    // per command.
+    let client = cluster.client(NodeId(0));
+    let mut pending = std::collections::VecDeque::new();
+    for i in 0..prefill as u64 {
+        pending.push_back(client.submit(Op::put(10_000 + i, i)).expect("submits"));
+        if pending.len() >= 64 {
+            let ticket: consensus_core::session::Ticket =
+                pending.pop_front().expect("ticket present");
+            ticket.wait_timeout(Duration::from_secs(60)).expect("replies");
+        }
+    }
+    for ticket in pending {
+        ticket.wait_timeout(Duration::from_secs(60)).expect("replies");
+    }
+    let target = cluster.wait_for_applied(crash, prefill as u64, Duration::from_secs(60));
+    assert_eq!(target, prefill as u64, "cluster must apply the prefill before the crash");
+
+    cluster.stop_replica(crash);
+    std::thread::sleep(Duration::from_millis(50));
+    let donors_before: u64 = (0..NODES as u32)
+        .filter(|&n| NodeId(n) != crash)
+        .map(|n| cluster.replica_stats(NodeId(n)).snapshot_bytes_sent.load(Ordering::Relaxed))
+        .sum();
+
+    let restarted_at = Instant::now();
+    cluster
+        .restart_replica(crash, CaesarReplica::new(crash, caesar.clone()))
+        .expect("replica restarts");
+    let caught_up = cluster.wait_for_applied(crash, prefill as u64, Duration::from_secs(120));
+    let recovery_ms = restarted_at.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(caught_up, prefill as u64, "catch-up must reach the pre-crash watermark");
+
+    let donors_after: u64 = (0..NODES as u32)
+        .filter(|&n| NodeId(n) != crash)
+        .map(|n| cluster.replica_stats(NodeId(n)).snapshot_bytes_sent.load(Ordering::Relaxed))
+        .sum();
+    // Every live peer donates; a single transfer's size is the per-donor
+    // average of what this restart added.
+    let snapshot_bytes = (donors_after - donors_before) / (NODES as u64 - 1);
+    let replayed = cluster.replica_stats(crash).catch_up_replayed.load(Ordering::Relaxed);
+    cluster.shutdown();
+    CatchUpPoint { prefill, snapshot_bytes, replayed, recovery_ms }
+}
+
+fn write_json(points: &[ScalePoint], catch_up: &[CatchUpPoint]) {
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
@@ -110,10 +180,22 @@ fn write_json(points: &[ScalePoint]) {
             )
         })
         .collect();
+    let catch_up_rows: Vec<String> = catch_up
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"prefill_commands\": {}, \"snapshot_bytes\": {}, \
+                 \"suffix_replayed\": {}, \"recovery_ms\": {:.1}}}",
+                p.prefill, p.snapshot_bytes, p.replayed, p.recovery_ms
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"net_clients\",\n  \"runtime\": \"net (epoll reactor)\",\n  \
-         \"nodes\": {NODES},\n  \"results\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"nodes\": {NODES},\n  \"results\": [\n{}\n  ],\n  \
+         \"catch_up\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        catch_up_rows.join(",\n")
     );
     // crates/bench → workspace root.
     let path =
@@ -142,7 +224,22 @@ fn benchmark(c: &mut Criterion) {
         ]);
     }
     print_table(&table);
-    write_json(&points);
+
+    let catch_up: Vec<CatchUpPoint> = [200, 1_000, 5_000].map(measure_catch_up).into();
+    let mut table = Table::new(
+        "Snapshot catch-up: restarted replica, snapshot size vs. recovery time",
+        &["prefill cmds", "snapshot (bytes)", "suffix replayed", "recovery (ms)"],
+    );
+    for p in &catch_up {
+        table.push_row(vec![
+            p.prefill.to_string(),
+            p.snapshot_bytes.to_string(),
+            p.replayed.to_string(),
+            format!("{:.1}", p.recovery_ms),
+        ]);
+    }
+    print_table(&table);
+    write_json(&points, &catch_up);
 
     let mut group = c.benchmark_group("net_clients");
     group.sample_size(10);

@@ -42,6 +42,7 @@ use consensus_core::session::{
     ClientHandle, ClusterHandle, ParkDrive, Reply, SessionCore, SessionError, SubmitTransport,
     DEFAULT_IN_FLIGHT,
 };
+use consensus_core::state_machine::{StateMachine, StateMachineFactory};
 use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use kvstore::KvStore;
@@ -49,7 +50,7 @@ use parking_lot::Mutex;
 use simnet::{Context, LatencyMatrix, Process};
 
 /// Configuration of a real-time cluster.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClusterConfig {
     /// WAN latency matrix (same format as the simulator's).
     pub latency: LatencyMatrix,
@@ -59,13 +60,31 @@ pub struct ClusterConfig {
     /// Bound on client-session commands in flight before `submit` pushes
     /// back.
     pub max_in_flight: usize,
+    /// Builds each replica's state machine (the `kvstore` reference
+    /// implementation by default).
+    pub state_machine: StateMachineFactory,
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("latency", &self.latency)
+            .field("latency_scale", &self.latency_scale)
+            .field("max_in_flight", &self.max_in_flight)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ClusterConfig {
     /// Creates a configuration with real (unscaled) latencies.
     #[must_use]
     pub fn new(latency: LatencyMatrix) -> Self {
-        Self { latency, latency_scale: 1.0, max_in_flight: DEFAULT_IN_FLIGHT }
+        Self {
+            latency,
+            latency_scale: 1.0,
+            max_in_flight: DEFAULT_IN_FLIGHT,
+            state_machine: Arc::new(|_| Box::new(KvStore::new())),
+        }
     }
 
     /// Sets the latency scale factor.
@@ -81,6 +100,14 @@ impl ClusterConfig {
         self.max_in_flight = max;
         self
     }
+
+    /// Replaces the per-replica state-machine factory (defaults to the
+    /// `kvstore` reference implementation).
+    #[must_use]
+    pub fn with_state_machine(mut self, factory: StateMachineFactory) -> Self {
+        self.state_machine = factory;
+        self
+    }
 }
 
 enum Envelope<M> {
@@ -94,6 +121,9 @@ pub struct Cluster<P: Process> {
     senders: Arc<Vec<Sender<Envelope<P::Message>>>>,
     handles: Vec<JoinHandle<()>>,
     decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
+    /// One state machine per replica, shared with its replica thread (which
+    /// applies executions) so callers can inspect fingerprints/watermarks.
+    machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>>,
     session: Arc<SessionCore>,
     started_at: Instant,
 }
@@ -111,6 +141,9 @@ where
         let decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let session = SessionCore::new(config.max_in_flight);
+        let machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>> = Arc::new(
+            (0..nodes).map(|i| Mutex::new((config.state_machine)(NodeId::from_index(i)))).collect(),
+        );
         let mut senders = Vec::with_capacity(nodes);
         let mut receivers: Vec<Receiver<Envelope<P::Message>>> = Vec::with_capacity(nodes);
         for _ in 0..nodes {
@@ -128,6 +161,7 @@ where
             let scale = config.latency_scale;
             let decisions = Arc::clone(&decisions);
             let session = Arc::clone(&session);
+            let machines = Arc::clone(&machines);
             let started = started_at;
             handles.push(std::thread::spawn(move || {
                 let mut replica = ReplicaLoop {
@@ -140,13 +174,13 @@ where
                     decisions,
                     session,
                     started,
-                    store: KvStore::new(),
+                    machines,
                     timers: Vec::new(),
                 };
                 replica.run(&mut process);
             }));
         }
-        Self { senders, handles, decisions, session, started_at }
+        Self { senders, handles, decisions, machines, session, started_at }
     }
 
     /// Submits a client command to `node` without waiting for a reply.
@@ -179,6 +213,19 @@ where
             }
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    /// The state-machine digest of `node` (see
+    /// [`consensus_core::StateMachine::fingerprint`]).
+    #[must_use]
+    pub fn state_fingerprint(&self, node: NodeId) -> u64 {
+        self.machines[node.index()].lock().fingerprint()
+    }
+
+    /// Number of commands `node`'s state machine has applied so far.
+    #[must_use]
+    pub fn applied_through(&self, node: NodeId) -> u64 {
+        self.machines[node.index()].lock().applied_through()
     }
 
     /// Wall-clock time since the cluster started.
@@ -244,7 +291,7 @@ struct ReplicaLoop<M> {
     decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
     session: Arc<SessionCore>,
     started: Instant,
-    store: KvStore,
+    machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>>,
     timers: Vec<(Instant, M)>,
 }
 
@@ -368,8 +415,9 @@ impl<M: Send> ReplicaLoop<M> {
             return;
         }
         let mut batch = Vec::with_capacity(executions.len());
+        let mut machine = self.machines[self.id.index()].lock();
         for execution in executions.drain(..) {
-            let output = self.store.apply(&execution.command);
+            let output = machine.apply(&execution.command);
             if execution.command.id().origin() == self.id {
                 self.session.complete(Reply {
                     command: execution.command.id(),
@@ -380,6 +428,7 @@ impl<M: Send> ReplicaLoop<M> {
             }
             batch.push(execution.decision);
         }
+        drop(machine);
         self.decisions.lock().entry(self.id).or_default().extend(batch);
     }
 }

@@ -140,6 +140,20 @@ impl DeliveryEngine {
         }
     }
 
+    /// Marks `id` as executed **without** running it locally — its effect
+    /// arrived through a state-machine snapshot (state transfer into a
+    /// restarted replica). Stable commands that were waiting on `id` may
+    /// become deliverable; they are returned (in execution order) and are
+    /// already marked executed, exactly like [`DeliveryEngine::on_stable`]'s
+    /// return value.
+    pub fn mark_executed(&mut self, id: CommandId) -> Vec<CommandId> {
+        let mut out = Vec::new();
+        self.execute(id, &mut out);
+        // `id` itself was not locally run — only the cascade is returned.
+        out.retain(|&c| c != id);
+        out
+    }
+
     /// The ids of stable commands still blocked, with the predecessors they
     /// are waiting for. Useful for debugging stuck deliveries in tests.
     #[must_use]

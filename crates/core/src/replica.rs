@@ -968,6 +968,19 @@ impl Process for CaesarReplica {
         }
     }
 
+    fn on_state_transfer(&mut self, applied: &[CommandId], ctx: &mut Context<'_, CaesarMessage>) {
+        // Commands covered by an installed snapshot count as executed:
+        // without this, any later command whose predecessor set names one
+        // of them would wait forever on this fresh replica. Stable commands
+        // that were blocked only on transferred predecessors become
+        // deliverable here.
+        let mut ready = Vec::new();
+        for &id in applied {
+            ready.extend(self.delivery.mark_executed(id));
+        }
+        self.apply_executions(ready, ctx);
+    }
+
     fn processing_cost(&self, msg: &CaesarMessage) -> SimTime {
         let base = self.config.message_cost_us;
         match msg {

@@ -42,6 +42,14 @@ impl ExecutionGraph {
         self.executed.contains(&id)
     }
 
+    /// Marks `id` as executed without running it locally (its effect arrived
+    /// through a state-machine snapshot); dependency closures no longer wait
+    /// for it. The caller re-tries its pending roots afterwards.
+    pub fn mark_executed(&mut self, id: CommandId) {
+        self.executed.insert(id);
+        self.committed.remove(&id);
+    }
+
     /// Number of commands executed so far.
     #[must_use]
     pub fn executed_count(&self) -> usize {

@@ -659,6 +659,31 @@ impl Process for EpaxosReplica {
         }
     }
 
+    fn on_state_transfer(&mut self, applied: &[CommandId], ctx: &mut Context<'_, EpaxosMessage>) {
+        // Commands covered by an installed snapshot count as executed, so
+        // dependency closures stop waiting for them; committed instances
+        // blocked only on transferred dependencies execute now.
+        for &id in applied {
+            if let Some(instance) = self.instances.get_mut(&id) {
+                instance.status = InstanceStatus::Executed;
+            }
+            self.exec.mark_executed(id);
+        }
+        let pending: Vec<CommandId> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.status == InstanceStatus::Committed)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in pending {
+            if !self.exec.is_executed(id) {
+                let executed = self.exec.try_execute(id);
+                self.metrics.graph_nodes_visited += self.exec.last_visited() as u64;
+                self.apply_executions(executed, ctx);
+            }
+        }
+    }
+
     fn processing_cost(&self, msg: &EpaxosMessage) -> SimTime {
         let base = self.config.message_cost_us;
         match msg {

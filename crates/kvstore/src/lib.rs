@@ -4,8 +4,10 @@
 //! fully replicated key-value store; two commands conflict when they access
 //! the same key. This crate provides:
 //!
-//! * [`KvStore`] — the deterministic state machine every replica applies
-//!   decided commands to,
+//! * [`KvStore`] — the **reference [`consensus_core::StateMachine`]
+//!   implementation**: the deterministic store replicas apply decided
+//!   commands to unless a custom state-machine factory is plugged into the
+//!   runtime (see `consensus_core::state_machine`),
 //! * [`KeySpace`] — the paper's key layout: a shared pool of 100 "hot" keys
 //!   (conflicting accesses) plus per-client private keys (non-conflicting
 //!   accesses),

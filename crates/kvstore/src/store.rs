@@ -1,7 +1,9 @@
-//! The deterministic key-value state machine.
+//! The deterministic key-value state machine: the reference
+//! [`StateMachine`] implementation.
 
 use std::collections::HashMap;
 
+use consensus_core::state_machine::{RestoreError, StateMachine};
 use consensus_types::{Command, Operation};
 use serde::{Deserialize, Serialize};
 
@@ -9,13 +11,17 @@ use serde::{Deserialize, Serialize};
 ///
 /// Replicas apply decided commands in their execution order; two replicas
 /// that applied compatible command sequences end up with identical stores,
-/// which is what the integration tests assert.
+/// which is what the integration tests assert. This is the reference
+/// implementation of [`consensus_core::StateMachine`] — the one every
+/// runtime constructs unless a custom factory is plugged in.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KvStore {
     data: HashMap<u64, u64>,
     /// Number of write commands applied, used as a cheap state-machine
     /// fingerprint alongside the data itself.
     applied_writes: u64,
+    /// Total number of commands applied (the snapshot watermark).
+    applied: u64,
 }
 
 impl KvStore {
@@ -29,6 +35,7 @@ impl KvStore {
     /// operations, the previous value for `Put` operations, and `None` for
     /// no-ops or reads of missing keys.
     pub fn apply(&mut self, cmd: &Command) -> Option<u64> {
+        self.applied += 1;
         match (cmd.operation(), cmd.key()) {
             (Operation::Put, Some(key)) => {
                 self.applied_writes += 1;
@@ -63,6 +70,12 @@ impl KvStore {
         self.applied_writes
     }
 
+    /// Total number of commands applied so far (writes, reads and no-ops).
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
     /// A deterministic fingerprint of the store contents, independent of
     /// insertion order. Two replicas with equal fingerprints hold the same
     /// data.
@@ -74,6 +87,33 @@ impl KvStore {
             acc ^= mix(k, v);
         }
         acc
+    }
+}
+
+impl StateMachine for KvStore {
+    fn apply(&mut self, cmd: &Command) -> Option<u64> {
+        KvStore::apply(self, cmd)
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        bincode::serialize(self).expect("kv store serializes")
+    }
+
+    fn restore(&mut self, snapshot: &[u8]) -> Result<(), RestoreError> {
+        *self = bincode::deserialize(snapshot).map_err(RestoreError::new)?;
+        Ok(())
+    }
+
+    fn applied_through(&self) -> u64 {
+        self.applied
+    }
+
+    fn fingerprint(&self) -> u64 {
+        KvStore::fingerprint(self)
+    }
+
+    fn kind(&self) -> &'static str {
+        "kv-store"
     }
 }
 
@@ -156,5 +196,30 @@ mod tests {
     fn len_counts_distinct_keys() {
         let s = apply_all([&put(1, 1, 1), &put(2, 2, 2), &put(3, 1, 3)]);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_data_and_watermark() {
+        let mut original = apply_all([&put(1, 1, 10), &put(2, 2, 20)]);
+        let get =
+            Command::new(CommandId::new(NodeId(1), 1), consensus_types::Operation::Get, Some(1), 0);
+        original.apply(&get);
+        assert_eq!(StateMachine::applied_through(&original), 3);
+
+        let snapshot = StateMachine::snapshot(&original);
+        let mut restored = KvStore::new();
+        StateMachine::restore(&mut restored, &snapshot).expect("snapshot restores");
+        assert_eq!(restored, original);
+        assert_eq!(StateMachine::fingerprint(&restored), StateMachine::fingerprint(&original));
+        assert_eq!(StateMachine::applied_through(&restored), 3);
+        // A restored store keeps applying where the original left off.
+        assert_eq!(restored.apply(&put(3, 1, 30)), Some(10));
+        assert_eq!(restored.applied(), 4);
+    }
+
+    #[test]
+    fn restore_rejects_garbage() {
+        let mut store = KvStore::new();
+        assert!(StateMachine::restore(&mut store, &[0xAB; 2]).is_err());
     }
 }

@@ -25,14 +25,16 @@ use consensus_core::session::{
     ClientHandle, ClusterHandle, ParkDrive, Reply, SessionCore, SessionError, SubmitTransport,
     DEFAULT_IN_FLIGHT,
 };
+use consensus_core::state_machine::StateMachineFactory;
 use consensus_types::{Command, Decision, NodeId};
+use kvstore::KvStore;
 use simnet::Process;
 
-use crate::replica::{DelayShim, NetReplica, NetReplicaConfig};
+use crate::replica::{DelayShim, NetReplica, NetReplicaConfig, NetReplicaStats};
 use crate::wire::{send_msg, Event, FrameReader, WireMessage};
 
 /// Configuration of a socket-backed cluster.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NetConfig {
     /// Number of replicas to spawn.
     pub nodes: usize,
@@ -44,13 +46,44 @@ pub struct NetConfig {
     /// Bound on client-session commands in flight before `submit` pushes
     /// back.
     pub max_in_flight: usize,
+    /// Builds each replica's state machine (the `kvstore` reference
+    /// implementation by default). A restarted replica gets a **fresh**
+    /// machine from this factory and fills it through snapshot catch-up.
+    pub state_machine: StateMachineFactory,
+    /// Per-replica checkpoint cadence (applied commands between snapshot
+    /// cuts); see `NetReplicaConfig::checkpoint_interval`.
+    pub checkpoint_interval: u64,
+    /// How long a restarted replica waits for a complete snapshot transfer
+    /// before serving with empty state.
+    pub catch_up_timeout: Duration,
+}
+
+impl std::fmt::Debug for NetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetConfig")
+            .field("nodes", &self.nodes)
+            .field("delay", &self.delay)
+            .field("timer_scale", &self.timer_scale)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("catch_up_timeout", &self.catch_up_timeout)
+            .finish_non_exhaustive()
+    }
 }
 
 impl NetConfig {
     /// A loopback cluster with no artificial delay and real-time timers.
     #[must_use]
     pub fn new(nodes: usize) -> Self {
-        Self { nodes, delay: None, timer_scale: 1.0, max_in_flight: DEFAULT_IN_FLIGHT }
+        Self {
+            nodes,
+            delay: None,
+            timer_scale: 1.0,
+            max_in_flight: DEFAULT_IN_FLIGHT,
+            state_machine: Arc::new(|_| Box::new(KvStore::new())),
+            checkpoint_interval: 64,
+            catch_up_timeout: Duration::from_secs(10),
+        }
     }
 
     /// Installs an artificial-delay shim.
@@ -73,6 +106,21 @@ impl NetConfig {
         self.max_in_flight = max;
         self
     }
+
+    /// Replaces the per-replica state-machine factory (defaults to the
+    /// `kvstore` reference implementation).
+    #[must_use]
+    pub fn with_state_machine(mut self, factory: StateMachineFactory) -> Self {
+        self.state_machine = factory;
+        self
+    }
+
+    /// Sets the checkpoint cadence (applied commands between snapshot cuts).
+    #[must_use]
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
 }
 
 /// A per-replica client connection: the write half submits commands, a
@@ -91,9 +139,13 @@ pub struct NetCluster<P: Process> {
     /// restart, after the previous incarnation's reader was joined).
     readers: Vec<Option<JoinHandle<()>>>,
     reader_stop: Arc<AtomicBool>,
+    /// Per-replica down markers: set by [`NetCluster::stop_replica`],
+    /// cleared by [`NetCluster::restart_replica`]. Session submissions to a
+    /// marked replica fail immediately instead of writing into a dead
+    /// socket's buffer and hanging until the ticket timeout.
+    down: Arc<Vec<AtomicBool>>,
     started_at: Instant,
-    delay: Option<DelayShim>,
-    timer_scale: f64,
+    config: NetConfig,
 }
 
 impl<P> NetCluster<P>
@@ -113,6 +165,9 @@ where
             replica_config.delay = config.delay.clone();
             replica_config.timer_scale = config.timer_scale;
             replica_config.epoch = epoch;
+            replica_config.state_machine = Arc::clone(&config.state_machine);
+            replica_config.checkpoint_interval = config.checkpoint_interval;
+            replica_config.catch_up_timeout = config.catch_up_timeout;
             replicas.push(NetReplica::spawn(replica_config, make(id))?);
         }
         let addrs: Vec<SocketAddr> = replicas.iter().map(NetReplica::local_addr).collect();
@@ -126,6 +181,7 @@ where
             Arc::new(Mutex::new(HashMap::new()));
         let session = SessionCore::new(config.max_in_flight);
         let reader_stop = Arc::new(AtomicBool::new(false));
+        let down = Arc::new((0..config.nodes).map(|_| AtomicBool::new(false)).collect::<Vec<_>>());
         let mut links = Vec::with_capacity(config.nodes);
         let mut readers = Vec::with_capacity(config.nodes);
         for (index, &addr) in addrs.iter().enumerate() {
@@ -149,9 +205,9 @@ where
             session,
             readers,
             reader_stop,
+            down,
             started_at: epoch,
-            delay: config.delay,
-            timer_scale: config.timer_scale,
+            config,
         })
     }
 
@@ -222,6 +278,7 @@ where
     /// for tests that take a node down mid-run. The replica aborts its
     /// pending client requests as it exits.
     pub fn stop_replica(&self, node: NodeId) {
+        self.down[node.index()].store(true, Ordering::SeqCst);
         self.replicas[node.index()].request_shutdown();
     }
 
@@ -250,9 +307,16 @@ where
 
         let mut replica_config = NetReplicaConfig::loopback(node, self.replicas.len());
         replica_config.bind = addrs[index];
-        replica_config.delay = self.delay.clone();
-        replica_config.timer_scale = self.timer_scale;
+        replica_config.delay = self.config.delay.clone();
+        replica_config.timer_scale = self.config.timer_scale;
         replica_config.epoch = self.started_at;
+        replica_config.state_machine = Arc::clone(&self.config.state_machine);
+        replica_config.checkpoint_interval = self.config.checkpoint_interval;
+        replica_config.catch_up_timeout = self.config.catch_up_timeout;
+        // The fresh incarnation starts empty and catches up by snapshot
+        // transfer from a live peer (restoring + decided-suffix replay), so
+        // reads served after the restart reflect pre-crash writes.
+        replica_config.catch_up = true;
         let mut replica = NetReplica::spawn(replica_config, process)?;
         replica.start(addrs.clone());
         self.replicas[index] = replica;
@@ -270,6 +334,7 @@ where
             client_reader(read_half, node, &sink, &session, &stop);
         }));
         *self.links[index].writer.lock().expect("client writer lock") = writer;
+        self.down[index].store(false, Ordering::SeqCst);
         Ok(())
     }
 
@@ -305,6 +370,50 @@ where
             .sum()
     }
 
+    /// The live transport counters of `node`'s current incarnation (reset
+    /// on restart).
+    #[must_use]
+    pub fn replica_stats(&self, node: NodeId) -> &Arc<NetReplicaStats> {
+        self.replicas[node.index()].stats()
+    }
+
+    /// Total `writev` scatter-gather flushes (two or more frames leaving in
+    /// one syscall) across all replicas.
+    #[must_use]
+    pub fn writev_flushes(&self) -> u64 {
+        self.replicas
+            .iter()
+            .map(|replica| replica.stats().writev_flushes.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The state-machine digest of `node` (see
+    /// [`consensus_core::StateMachine::fingerprint`]).
+    #[must_use]
+    pub fn state_fingerprint(&self, node: NodeId) -> u64 {
+        self.replicas[node.index()].state_fingerprint()
+    }
+
+    /// Number of commands `node`'s state machine has applied so far
+    /// (including commands replayed through snapshot catch-up).
+    #[must_use]
+    pub fn applied_through(&self, node: NodeId) -> u64 {
+        self.replicas[node.index()].applied_through()
+    }
+
+    /// Blocks until `node`'s state machine has applied at least `target`
+    /// commands or the timeout elapses; returns the watermark reached.
+    pub fn wait_for_applied(&self, node: NodeId, target: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let applied = self.applied_through(node);
+            if applied >= target || Instant::now() >= deadline {
+                return applied;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
     /// Wall-clock time since the cluster started.
     #[must_use]
     pub fn elapsed(&self) -> Duration {
@@ -334,6 +443,7 @@ where
 /// per-replica client connection, exactly like an external TCP client.
 struct NetTransport<M> {
     links: Arc<Vec<ClientLink>>,
+    down: Arc<Vec<AtomicBool>>,
     _marker: std::marker::PhantomData<fn() -> M>,
 }
 
@@ -346,6 +456,14 @@ where
             .links
             .get(node.index())
             .ok_or_else(|| SessionError::Rejected(format!("no replica {node}")))?;
+        // Fail fast on a replica the orchestrator took down: a write into
+        // the dead connection's kernel buffer would "succeed" and leave the
+        // ticket hanging until its timeout.
+        if self.down.get(node.index()).is_some_and(|flag| flag.load(Ordering::SeqCst)) {
+            return Err(SessionError::Disconnected(format!(
+                "replica {node} is down (stopped by the orchestrator)"
+            )));
+        }
         let mut writer = link.writer.lock().expect("client writer lock");
         send_msg(&mut *writer, &WireMessage::<M>::ClientRequest { cmd })
             .map_err(|err| SessionError::Disconnected(format!("submit to {node} failed: {err}")))
@@ -367,6 +485,7 @@ where
             Arc::clone(&self.session),
             Arc::new(NetTransport::<P::Message> {
                 links: Arc::clone(&self.links),
+                down: Arc::clone(&self.down),
                 _marker: std::marker::PhantomData,
             }),
             Arc::new(ParkDrive),

@@ -16,11 +16,13 @@
 //!   the next readability), and forwarded to the core loop's mailbox;
 //! * **outbound frames** arrive pre-serialized from the core loop through
 //!   the [`IoQueue`] (an [`reactor::Waker`]-signalled command queue), are
-//!   appended to per-connection write buffers, and are flushed
-//!   interest-driven: a buffer that does not drain in one `write` registers
-//!   write interest and finishes when epoll reports writability. All frames
-//!   queued for one wakeup leave in a single `write` call (the outbox
-//!   batcher now batches on writability);
+//!   appended to per-connection write buffers **as whole frames** — no
+//!   copy into a contiguous staging buffer — and are flushed
+//!   interest-driven with `writev` scatter-gather (`write_vectored`): all
+//!   frames queued for one wakeup leave in a single syscall, each gathered
+//!   straight from its own allocation (`writev_flushes` counts the
+//!   multi-frame gathers). A buffer that does not drain in one call
+//!   registers write interest and finishes when epoll reports writability;
 //! * **artificial WAN delays** (the [`crate::DelayShim`]) become epoll-wait
 //!   deadlines: a delayed frame sits in its peer link's queue and the loop's
 //!   `epoll_wait` timeout is the earliest pending deadline — no thread ever
@@ -34,7 +36,7 @@
 //! corrupted byte stream is not possible, reconnecting is.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -58,6 +60,10 @@ const FIRST_CONN: u64 = 2;
 /// Hard cap on one connection's buffered outbound bytes; a sink that stalls
 /// past this is torn down instead of growing the buffer forever.
 const MAX_WRITE_BUFFER: usize = 64 * 1024 * 1024;
+
+/// Most frames gathered into one `writev` call (Linux caps an iovec array at
+/// `IOV_MAX` = 1024; staying far below it keeps the stack allocation small).
+const MAX_IOV: usize = 64;
 
 /// Cap on frames queued for a peer whose link is down. The protocols
 /// tolerate message loss (their timeouts re-drive agreement), so beyond this
@@ -96,7 +102,9 @@ pub(crate) enum IoCmd {
         /// The framed reply event.
         frame: Vec<u8>,
     },
-    /// A framed [`Event::Decisions`] batch for every subscriber.
+    /// A framed [`Event::Decisions`] batch for every subscriber (the frame
+    /// is reference-counted onto each subscriber's write buffer, not
+    /// copied).
     Publish {
         /// The framed decision event.
         frame: Vec<u8>,
@@ -152,44 +160,64 @@ enum ConnKind {
     Peer(NodeId),
 }
 
-/// Pending outbound bytes of one connection, tracking frame boundaries so
-/// the `frames_sent` / `frames_dropped` stats stay exact across partial
-/// writes: a frame counts as *sent* the moment its last byte reaches the
-/// socket, and only frames never fully written count as dropped on
-/// teardown.
+/// Pending outbound frames of one connection. Frames are queued **whole**,
+/// by reference count — never copied into a contiguous staging buffer — and
+/// flushed with scatter-gather `writev` ([`Write::write_vectored`]), so a
+/// frame produced once by the core loop travels zero-copy to every socket
+/// it goes to (a decision batch shared by N subscribers is one allocation,
+/// not N). Frame boundaries keep the `frames_sent` / `frames_dropped` stats
+/// exact across partial writes: a frame counts as *sent* the moment its
+/// last byte reaches the socket, and only frames never fully written count
+/// as dropped on teardown.
 #[derive(Default)]
 struct WriteBuf {
-    /// Bytes not yet written to the socket (the written prefix is drained
-    /// immediately, so the buffer cannot grow with total traffic).
-    bytes: Vec<u8>,
-    /// Length of each frame spanning `bytes`, oldest first.
-    lens: VecDeque<usize>,
-    /// Bytes of the oldest frame already written in an earlier call.
+    /// Queued frames, oldest first. The front frame may be partially
+    /// written ([`WriteBuf::front_written`] bytes of it already left).
+    frames: VecDeque<Arc<Vec<u8>>>,
+    /// Bytes of the front frame already written in an earlier call.
     front_written: usize,
+    /// Total unwritten bytes across all queued frames.
+    queued_bytes: usize,
 }
 
 impl WriteBuf {
     fn is_empty(&self) -> bool {
-        self.bytes.is_empty()
+        self.frames.is_empty()
     }
 
-    fn push_frame(&mut self, frame: &[u8]) {
-        self.bytes.extend_from_slice(frame);
-        self.lens.push_back(frame.len());
+    fn push_frame(&mut self, frame: Arc<Vec<u8>>) {
+        self.queued_bytes += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    /// Unwritten bytes queued (the back-pressure measure capped by
+    /// [`MAX_WRITE_BUFFER`]).
+    fn pending_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Fills `slices` with the unwritten tail of every queued frame (at
+    /// most [`MAX_IOV`]), ready for one `writev`.
+    fn gather<'a>(&'a self, slices: &mut Vec<IoSlice<'a>>) {
+        slices.clear();
+        for (index, frame) in self.frames.iter().take(MAX_IOV).enumerate() {
+            let bytes = if index == 0 { &frame[self.front_written..] } else { &frame[..] };
+            slices.push(IoSlice::new(bytes));
+        }
     }
 
     /// Accounts `written` bytes accepted by the socket; returns how many
     /// frames that completed.
     fn consume(&mut self, written: usize) -> u64 {
-        self.bytes.drain(..written);
+        self.queued_bytes -= written;
         let mut acc = self.front_written + written;
         let mut completed = 0;
-        while let Some(&len) = self.lens.front() {
-            if acc < len {
+        while let Some(front) = self.frames.front() {
+            if acc < front.len() {
                 break;
             }
-            acc -= len;
-            self.lens.pop_front();
+            acc -= front.len();
+            self.frames.pop_front();
             completed += 1;
         }
         self.front_written = acc;
@@ -199,7 +227,7 @@ impl WriteBuf {
     /// Frames with at least one byte still unwritten (lost if the
     /// connection dies now).
     fn unsent_frames(&self) -> u64 {
-        self.lens.len() as u64
+        self.frames.len() as u64
     }
 }
 
@@ -232,7 +260,7 @@ struct PeerLink {
     connect_deadline: Option<Instant>,
     /// Frames waiting for their delivery deadline or for the link to come
     /// up. Deadlines are monotone per link, so this is a FIFO.
-    queued: VecDeque<(Instant, Vec<u8>)>,
+    queued: VecDeque<(Instant, Arc<Vec<u8>>)>,
 }
 
 pub(crate) struct EventLoop<M> {
@@ -387,12 +415,12 @@ where
                             link.queued.pop_front();
                             self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
                         }
-                        link.queued.push_back((deliver_at, frame));
+                        link.queued.push_back((deliver_at, Arc::new(frame)));
                     }
                 }
                 IoCmd::ClientReply { command, frame } => {
                     if let Some(&token) = self.routes.get(&command) {
-                        self.append_frame(token, &frame);
+                        self.append_frame(token, Arc::new(frame));
                     }
                     self.routes.remove(&command);
                 }
@@ -403,8 +431,9 @@ where
                         .filter(|(_, conn)| conn.subscribed)
                         .map(|(&token, _)| token)
                         .collect();
+                    let frame = Arc::new(frame);
                     for token in subscribed {
-                        self.append_frame(token, &frame);
+                        self.append_frame(token, Arc::clone(&frame));
                     }
                 }
                 IoCmd::Shutdown => self.stop = true,
@@ -626,7 +655,7 @@ where
         // Announce ourselves, then let any frames that queued while the link
         // was down flow in the next flush pass.
         match frame_bytes(&WireMessage::<M>::Hello { from: self.id }) {
-            Ok(hello) => self.append_frame(token, &hello),
+            Ok(hello) => self.append_frame(token, Arc::new(hello)),
             Err(_) => self.teardown(token),
         }
     }
@@ -645,7 +674,7 @@ where
             if self.conns.get(&token).is_none_or(|conn| conn.connecting) {
                 continue;
             }
-            let mut due: Vec<Vec<u8>> = Vec::new();
+            let mut due: Vec<Arc<Vec<u8>>> = Vec::new();
             while let Some(&(at, _)) = link.queued.front() {
                 if at > now {
                     break;
@@ -653,7 +682,7 @@ where
                 due.push(link.queued.pop_front().expect("frame present").1);
             }
             for frame in due {
-                self.append_frame(token, &frame);
+                self.append_frame(token, frame);
             }
         }
     }
@@ -661,10 +690,12 @@ where
     // ---- writes ----------------------------------------------------------
 
     /// Appends a frame to `token`'s write buffer (flushed by
-    /// [`EventLoop::flush_dirty`] or on writability).
-    fn append_frame(&mut self, token: u64, frame: &[u8]) {
+    /// [`EventLoop::flush_dirty`] or on writability). The frame is queued by
+    /// reference — shared frames (decision batches) are not copied per
+    /// connection.
+    fn append_frame(&mut self, token: u64, frame: Arc<Vec<u8>>) {
         let Some(conn) = self.conns.get_mut(&token) else { return };
-        if conn.write.bytes.len() + frame.len() > MAX_WRITE_BUFFER {
+        if conn.write.pending_bytes() + frame.len() > MAX_WRITE_BUFFER {
             self.teardown(token);
             return;
         }
@@ -684,21 +715,37 @@ where
         }
     }
 
-    /// Writes as much buffered output as the socket accepts. Registers
-    /// write interest on a partial write, drops it once the buffer drains.
+    /// Writes as much buffered output as the socket accepts, gathering every
+    /// queued frame into one `writev` (scatter-gather) call per pass — the
+    /// frames go from their own allocations straight to the kernel, with no
+    /// intermediate copy. Registers write interest on a partial write,
+    /// drops it once the buffer drains.
     fn write_ready(&mut self, token: u64) {
-        let conn = match self.conns.get_mut(&token) {
-            Some(conn) => conn,
-            None => return,
-        };
         let mut completed: u64 = 0;
-        while !conn.write.is_empty() {
-            match conn.stream.write(&conn.write.bytes) {
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(conn) => conn,
+                None => return,
+            };
+            if conn.write.is_empty() {
+                break;
+            }
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(conn.write.frames.len().min(MAX_IOV));
+            conn.write.gather(&mut slices);
+            let gathered = slices.len();
+            let result = conn.stream.write_vectored(&slices);
+            match result {
                 Ok(0) => {
                     self.teardown(token);
                     return;
                 }
-                Ok(n) => completed += conn.write.consume(n),
+                Ok(n) => {
+                    completed += conn.write.consume(n);
+                    if gathered > 1 {
+                        self.stats.writev_flushes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
                 Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
                 Err(_) => {
@@ -707,6 +754,10 @@ where
                 }
             }
         }
+        let conn = match self.conns.get_mut(&token) {
+            Some(conn) => conn,
+            None => return,
+        };
         if completed > 0 {
             self.stats.frames_sent.fetch_add(completed, Ordering::Relaxed);
             self.stats.batches_flushed.fetch_add(1, Ordering::Relaxed);
@@ -767,7 +818,7 @@ where
                 reason: "replica shut down before the command executed".to_string(),
             };
             if let Ok(frame) = frame_bytes(&abort) {
-                self.append_frame(token, &frame);
+                self.append_frame(token, Arc::new(frame));
             }
         }
         self.flush_dirty();
@@ -775,5 +826,78 @@ where
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(len: usize, fill: u8) -> Arc<Vec<u8>> {
+        Arc::new(vec![fill; len])
+    }
+
+    #[test]
+    fn write_buf_tracks_frame_boundaries_across_partial_writes() {
+        let mut buf = WriteBuf::default();
+        buf.push_frame(frame(10, 1));
+        buf.push_frame(frame(5, 2));
+        buf.push_frame(frame(8, 3));
+        assert_eq!(buf.pending_bytes(), 23);
+        assert_eq!(buf.unsent_frames(), 3);
+
+        // A partial write through the first frame completes nothing.
+        assert_eq!(buf.consume(7), 0);
+        assert_eq!(buf.pending_bytes(), 16);
+        // Finishing frame 1 and all of frame 2 completes two frames.
+        assert_eq!(buf.consume(8), 2);
+        assert_eq!(buf.unsent_frames(), 1);
+        // The rest of frame 3.
+        assert_eq!(buf.consume(8), 1);
+        assert!(buf.is_empty());
+        assert_eq!(buf.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn gather_offsets_the_partially_written_front_frame() {
+        let mut buf = WriteBuf::default();
+        buf.push_frame(frame(10, 1));
+        buf.push_frame(frame(4, 2));
+        assert_eq!(buf.consume(6), 0); // 6 of the first frame already left
+
+        let mut slices: Vec<IoSlice<'_>> = Vec::new();
+        buf.gather(&mut slices);
+        assert_eq!(slices.len(), 2, "both frames gather into one writev");
+        assert_eq!(slices[0].len(), 4, "front frame offset by the written prefix");
+        assert_eq!(slices[1].len(), 4);
+        assert_eq!(slices.iter().map(|s| s.len()).sum::<usize>(), buf.pending_bytes());
+    }
+
+    #[test]
+    fn gather_caps_the_iovec_count() {
+        let mut buf = WriteBuf::default();
+        for _ in 0..(MAX_IOV + 10) {
+            buf.push_frame(frame(3, 9));
+        }
+        let mut slices: Vec<IoSlice<'_>> = Vec::new();
+        buf.gather(&mut slices);
+        assert_eq!(slices.len(), MAX_IOV);
+        // Consuming everything the capped gather covered leaves the rest.
+        let covered: usize = slices.iter().map(|s| s.len()).sum();
+        assert_eq!(buf.consume(covered), MAX_IOV as u64);
+        assert_eq!(buf.unsent_frames(), 10);
+    }
+
+    #[test]
+    fn shared_frames_are_not_copied_per_connection() {
+        let shared = frame(64, 7);
+        let mut a = WriteBuf::default();
+        let mut b = WriteBuf::default();
+        a.push_frame(Arc::clone(&shared));
+        b.push_frame(Arc::clone(&shared));
+        // One allocation, three handles: the two buffers queue the same bytes.
+        assert_eq!(Arc::strong_count(&shared), 3);
+        assert_eq!(a.pending_bytes(), 64);
+        assert_eq!(b.pending_bytes(), 64);
     }
 }

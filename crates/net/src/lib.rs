@@ -29,6 +29,20 @@
 //!   replicas, and can emulate the paper's EC2 latency matrix on loopback
 //!   via the [`DelayShim`].
 //!
+//! Each replica executes decided commands against a pluggable
+//! [`consensus_core::StateMachine`] (the `kvstore` reference implementation
+//! unless [`NetConfig::with_state_machine`] installs another), checkpoints
+//! it every `checkpoint_interval` commands, and retains the decided suffix
+//! since. That powers **snapshot-based state transfer**: a replica
+//! restarted via [`NetCluster::restart_replica`] comes back empty,
+//! broadcasts [`WireMessage::SnapshotRequest`], installs the first complete
+//! [`WireMessage::SnapshotChunk`] transfer (checkpoint + suffix replay +
+//! the donor's dedup window), tells its protocol which commands are covered
+//! (`Process::on_state_transfer`), and then serves reads that reflect
+//! pre-crash writes. While restoring it fails client requests fast with an
+//! abort; submissions to a replica the orchestrator stopped fail at submit
+//! time.
+//!
 //! The event-loop internals replaced the seed's thread-per-link blocking
 //! I/O precisely because the paper's headline result is throughput at scale:
 //! hundreds of concurrent clients per replica are two file descriptors per

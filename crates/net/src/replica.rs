@@ -11,10 +11,12 @@
 //!   inbound frames into the replica's mailbox and flushes per-connection
 //!   write buffers interest-driven;
 //! * a **core-loop thread** drains the mailbox, invokes the process
-//!   callbacks, applies executions to the replica's key-value store, and
-//!   maps the process's `SimTime` timers onto wall-clock deadlines in a
-//!   local timer wheel (its mailbox wait *is* the timer sleep — it blocks
-//!   until the earliest deadline, not on a polling interval).
+//!   callbacks, applies executions to the replica's pluggable
+//!   [`StateMachine`] (the `kvstore` reference implementation unless the
+//!   config carries a custom factory), and maps the process's `SimTime`
+//!   timers onto wall-clock deadlines in a local timer wheel (its mailbox
+//!   wait *is* the timer sleep — it blocks until the earliest deadline,
+//!   not on a polling interval).
 //!
 //! Outbound frames are serialized on the core loop and handed to the event
 //! loop pre-framed; the optional [`DelayShim`] attaches an artificial
@@ -23,26 +25,52 @@
 //!
 //! Client connections submit [`WireMessage::ClientRequest`] frames; when the
 //! command executes at this replica, the core loop emits an
-//! [`Event::ClientReply`] carrying the store output and the event loop
-//! routes it to the submitting connection. A replica that shuts down with
-//! requests still pending answers them with [`Event::ClientAbort`] so no
-//! client waits forever.
+//! [`Event::ClientReply`] carrying the state-machine output and the event
+//! loop routes it to the submitting connection. A replica that shuts down
+//! with requests still pending answers them with [`Event::ClientAbort`] so
+//! no client waits forever.
+//!
+//! # Snapshot-based state transfer
+//!
+//! The core loop checkpoints its state machine every
+//! [`NetReplicaConfig::checkpoint_interval`] applied commands (snapshot
+//! bytes + watermark) and retains the commands applied since in a suffix
+//! log. A replica started with [`NetReplicaConfig::catch_up`] — which is
+//! how `NetCluster::restart_replica` brings a crashed node back — begins in
+//! a *restoring* state: it broadcasts [`WireMessage::SnapshotRequest`] to
+//! its peers, and each live peer answers with
+//! [`WireMessage::SnapshotChunk`] frames carrying its latest checkpoint
+//! plus the decided suffix. The first complete transfer wins: the replica
+//! `restore`s the snapshot, replays the suffix, seeds its applied-id set
+//! and the protocol's dependency tracking from the transfer, and only then
+//! starts applying the executions its own process produced (buffered while
+//! restoring; commands already covered are deduplicated by id). While restoring, client requests are refused with an immediate
+//! [`Event::ClientAbort`] — fail fast, never hang — and if no transfer
+//! completes within [`NetReplicaConfig::catch_up_timeout`] the replica
+//! gives up and serves with whatever it has (the pre-transfer behaviour).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use consensus_types::{CommandId, Execution, NodeId, SimTime};
+use consensus_core::state_machine::{StateMachine, StateMachineFactory};
+use consensus_types::{Command, CommandId, Execution, NodeId, SimTime};
 use kvstore::KvStore;
 use simnet::{Context, LatencyMatrix, Process};
 
 use crate::event_loop::{EventLoop, IoCmd, IoQueue};
 use crate::wire::{frame_bytes, Event, WireMessage};
+
+/// Bytes of transfer payload per [`WireMessage::SnapshotChunk`] frame.
+/// Bounded so a large state machine never produces one giant frame that
+/// monopolizes the donor's write buffer (and so transfers interleave with
+/// protocol traffic).
+const SNAPSHOT_CHUNK: usize = 256 * 1024;
 
 /// Emulates a WAN latency matrix on a fast local network by delaying each
 /// outbound frame until `one_way(src, dst) × scale` has elapsed since it was
@@ -70,7 +98,7 @@ impl DelayShim {
 }
 
 /// Configuration of one socket-backed replica.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct NetReplicaConfig {
     /// This replica's identity.
     pub id: NodeId,
@@ -91,6 +119,36 @@ pub struct NetReplicaConfig {
     /// Epoch used for `Context::now`; share one across the cluster so
     /// timestamps are comparable.
     pub epoch: Instant,
+    /// Builds this replica's state machine (the `kvstore` reference
+    /// implementation by default).
+    pub state_machine: StateMachineFactory,
+    /// Cut a state-machine checkpoint (snapshot + watermark) every this
+    /// many applied commands; the commands since the checkpoint form the
+    /// replayable suffix served to catching-up peers.
+    pub checkpoint_interval: u64,
+    /// Start in the *restoring* state: request a snapshot from the peers
+    /// and only serve once restored (or once `catch_up_timeout` passes).
+    /// `NetCluster::restart_replica` sets this.
+    pub catch_up: bool,
+    /// How long a catching-up replica waits for a complete snapshot
+    /// transfer before giving up and serving with empty state.
+    pub catch_up_timeout: Duration,
+}
+
+impl std::fmt::Debug for NetReplicaConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetReplicaConfig")
+            .field("id", &self.id)
+            .field("nodes", &self.nodes)
+            .field("bind", &self.bind)
+            .field("delay", &self.delay)
+            .field("timer_scale", &self.timer_scale)
+            .field("reconnect_backoff", &self.reconnect_backoff)
+            .field("checkpoint_interval", &self.checkpoint_interval)
+            .field("catch_up", &self.catch_up)
+            .field("catch_up_timeout", &self.catch_up_timeout)
+            .finish_non_exhaustive()
+    }
 }
 
 impl NetReplicaConfig {
@@ -105,6 +163,10 @@ impl NetReplicaConfig {
             timer_scale: 1.0,
             reconnect_backoff: Duration::from_millis(10),
             epoch: Instant::now(),
+            state_machine: Arc::new(|_| Box::new(KvStore::new())),
+            checkpoint_interval: 64,
+            catch_up: false,
+            catch_up_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -129,6 +191,18 @@ pub struct NetReplicaStats {
     /// Frames whose CRC-32 check failed on decode; each one also tears its
     /// connection down (a corrupted stream cannot be resynchronized).
     pub corrupt_frames: AtomicU64,
+    /// Flush passes that gathered two or more frames into one `writev`
+    /// scatter-gather syscall (single-frame flushes are ordinary writes).
+    pub writev_flushes: AtomicU64,
+    /// Snapshot transfers this replica donated to catching-up peers.
+    pub snapshots_served: AtomicU64,
+    /// Snapshot payload bytes chunked out across all donations.
+    pub snapshot_bytes_sent: AtomicU64,
+    /// Catch-up transfers this replica completed (snapshot restored and
+    /// suffix replayed).
+    pub catch_ups_completed: AtomicU64,
+    /// Commands replayed from donors' decided suffixes during catch-up.
+    pub catch_up_replayed: AtomicU64,
 }
 
 /// A consensus replica served over TCP.
@@ -144,6 +218,7 @@ pub struct NetReplica<P: Process> {
     local_addr: SocketAddr,
     config: NetReplicaConfig,
     process: Option<P>,
+    machine: Arc<Mutex<Box<dyn StateMachine>>>,
     mailbox_tx: Sender<WireMessage<P::Message>>,
     mailbox_rx: Option<Receiver<WireMessage<P::Message>>>,
     io: Arc<IoQueue>,
@@ -169,6 +244,7 @@ where
         let stats = Arc::new(NetReplicaStats::default());
         let subscriber_count = Arc::new(AtomicUsize::new(0));
         let io = Arc::new(IoQueue::new()?);
+        let machine = Arc::new(Mutex::new((config.state_machine)(config.id)));
 
         let event_loop = EventLoop::new(
             config.id,
@@ -187,6 +263,7 @@ where
             local_addr,
             config,
             process: Some(process),
+            machine,
             mailbox_tx,
             mailbox_rx: Some(mailbox_rx),
             io,
@@ -213,6 +290,22 @@ where
     #[must_use]
     pub fn stats(&self) -> &Arc<NetReplicaStats> {
         &self.stats
+    }
+
+    /// The state-machine digest of this replica (see
+    /// [`consensus_core::StateMachine::fingerprint`]); equal histories give
+    /// equal fingerprints, which is how the catch-up tests compare a
+    /// restarted replica against a never-crashed peer.
+    #[must_use]
+    pub fn state_fingerprint(&self) -> u64 {
+        self.machine.lock().expect("state machine lock").fingerprint()
+    }
+
+    /// Number of commands this replica's state machine has applied
+    /// (including commands replayed through snapshot catch-up).
+    #[must_use]
+    pub fn applied_through(&self) -> u64 {
+        self.machine.lock().expect("state machine lock").applied_through()
     }
 
     /// Number of OS threads this replica runs. Constant — event loop plus
@@ -263,7 +356,21 @@ where
             timer_scale: self.config.timer_scale,
             epoch: self.config.epoch,
             shutdown: Arc::clone(&self.shutdown),
-            store: KvStore::new(),
+            machine: Arc::clone(&self.machine),
+            checkpoint: None,
+            checkpoint_interval: self.config.checkpoint_interval.max(1),
+            suffix_log: Vec::new(),
+            restore: if self.config.catch_up && self.config.nodes > 1 {
+                Some(RestoreState {
+                    deadline: Instant::now() + self.config.catch_up_timeout,
+                    donors: HashMap::new(),
+                    pending: Vec::new(),
+                })
+            } else {
+                None
+            },
+            applied: AppliedIds::default(),
+            stats: Arc::clone(&self.stats),
             reply_wanted: HashSet::new(),
             subscribers: Arc::clone(&self.subscriber_count),
         };
@@ -335,6 +442,69 @@ impl<M> TimerWheel<M> {
     }
 }
 
+/// The ids of every command this replica has applied, in apply order.
+/// Applying a command twice forks a replica's state machine away from its
+/// peers, and after a crash/restart duplicates are real: the snapshot a
+/// restarted replica installs covers commands that surviving peers *also*
+/// redeliver as queued protocol traffic once their links reconnect. Every
+/// apply goes through this set, and a checkpoint serializes it alongside
+/// the snapshot so the receiver inherits the complete dedup (and
+/// dependency-satisfaction) knowledge with the state — a transfer that
+/// shipped only a recent window would leave the receiver's protocol layer
+/// waiting forever on any dependency older than the window.
+///
+/// The set is O(history), like the protocols' own executed-id tracking;
+/// compacting both to per-origin floors is a ROADMAP item.
+#[derive(Default)]
+struct AppliedIds {
+    set: HashSet<CommandId>,
+    order: Vec<CommandId>,
+}
+
+impl AppliedIds {
+    fn contains(&self, id: CommandId) -> bool {
+        self.set.contains(&id)
+    }
+
+    fn insert(&mut self, id: CommandId) {
+        if self.set.insert(id) {
+            self.order.push(id);
+        }
+    }
+
+    /// Every applied id, oldest first (what a checkpoint serializes).
+    fn ids(&self) -> &[CommandId] {
+        &self.order
+    }
+}
+
+/// The latest checkpoint: the serialized transfer payload — state-machine
+/// snapshot bytes paired with the ids it covers — plus the watermark.
+/// `payload` is reference-counted so donating never copies it.
+#[derive(Clone)]
+struct Checkpoint {
+    applied_through: u64,
+    payload: Arc<Vec<u8>>,
+}
+
+/// One donor's in-flight snapshot transfer, assembled chunk by chunk.
+struct DonorTransfer {
+    applied_through: u64,
+    total: u32,
+    received: u32,
+    chunks: Vec<Option<Vec<u8>>>,
+    suffix: Vec<Command>,
+}
+
+/// The catching-up phase of a restarted replica: requests are out, chunks
+/// are being assembled per donor, and executions produced by the local
+/// process meanwhile are buffered until the restore resolves.
+struct RestoreState {
+    deadline: Instant,
+    donors: HashMap<NodeId, DonorTransfer>,
+    pending: Vec<Execution>,
+}
+
 struct CoreLoop<P: Process> {
     id: NodeId,
     nodes: usize,
@@ -346,9 +516,26 @@ struct CoreLoop<P: Process> {
     timer_scale: f64,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
-    /// The replica's deterministic state machine; every execution is applied
-    /// here, and its output answers `ClientRequest` submissions.
-    store: KvStore,
+    /// The replica's pluggable state machine; every execution is applied
+    /// here, and its output answers `ClientRequest` submissions. Shared
+    /// (behind a mutex) with the `NetReplica` handle so orchestrators can
+    /// read fingerprints and watermarks.
+    machine: Arc<Mutex<Box<dyn StateMachine>>>,
+    /// The latest snapshot cut, served to catching-up peers.
+    checkpoint: Option<Checkpoint>,
+    /// Cut a new checkpoint every this many applied commands.
+    checkpoint_interval: u64,
+    /// Commands applied since the checkpoint, in execution order — the
+    /// replayable suffix a donor sends alongside its snapshot. Cleared on
+    /// every checkpoint cut, so its length is bounded by the interval.
+    suffix_log: Vec<Command>,
+    /// `Some` while this replica is catching up from a peer snapshot.
+    restore: Option<RestoreState>,
+    /// Every id this replica has applied; consulted and fed on every apply
+    /// so a redelivered decision (reconnect replay after a crash) cannot be
+    /// applied twice.
+    applied: AppliedIds,
+    stats: Arc<NetReplicaStats>,
     /// Commands submitted to **this** replica as `ClientRequest`s, i.e. the
     /// only ones a connection here may be waiting on. Every replica executes
     /// every command, so without this filter (N−1)/N of the reply frames
@@ -386,16 +573,23 @@ where
             self.process.on_start(&mut ctx);
         }
         self.flush(&mut outbox, &mut new_timers, &mut executions);
+        if self.restore.is_some() {
+            self.request_snapshots();
+        }
 
         loop {
             // Block until the earliest timer deadline (the mailbox wait *is*
             // the timer sleep); a long backstop covers the no-timer case —
-            // shutdown arrives as a mailbox message, not a poll.
-            let timeout = self
+            // shutdown arrives as a mailbox message, not a poll. A pending
+            // restore's give-up deadline also bounds the wait.
+            let mut timeout = self
                 .timers
                 .next_deadline()
                 .map(|at| at.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_secs(1));
+            if let Some(restore) = &self.restore {
+                timeout = timeout.min(restore.deadline.saturating_duration_since(Instant::now()));
+            }
             match self.mailbox.recv_timeout(timeout) {
                 Ok(envelope) => {
                     if !self.dispatch(envelope, &mut outbox, &mut new_timers, &mut executions) {
@@ -409,6 +603,7 @@ where
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
+            self.check_restore_deadline();
             // Fire due timers and self-deliveries through the same envelope
             // path the mailbox uses.
             for msg in self.timers.pop_due(Instant::now()) {
@@ -451,11 +646,43 @@ where
                 self.process.on_message(from, msg, &mut ctx);
             }
             WireMessage::ClientRequest { cmd } => {
+                if self.restore.is_some() {
+                    // Fail fast: a restoring replica's state machine is not
+                    // serving yet, and a queued command would hang the
+                    // client's ticket until its timeout. The abort frame
+                    // travels the reply route the event loop just
+                    // registered, resolving the ticket with an error now.
+                    let id = cmd.id();
+                    let abort = Event::ClientAbort {
+                        from: self.id,
+                        command: id,
+                        reason: "replica is restoring from a peer snapshot; retry shortly"
+                            .to_string(),
+                    };
+                    if let Ok(frame) = frame_bytes(&abort) {
+                        self.io.push(IoCmd::ClientReply { command: id, frame });
+                    }
+                    return true;
+                }
                 self.reply_wanted.insert(cmd.id());
                 let now = self.now_us();
                 let mut ctx =
                     Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
                 self.process.on_client_command(cmd, &mut ctx);
+            }
+            WireMessage::SnapshotRequest { from } => self.serve_snapshot(from),
+            WireMessage::SnapshotChunk { from, applied_through, seq, total, bytes, suffix } => {
+                self.accept_chunk(
+                    from,
+                    applied_through,
+                    seq,
+                    total,
+                    bytes,
+                    suffix,
+                    outbox,
+                    new_timers,
+                    executions,
+                );
             }
             WireMessage::Client { cmd } => {
                 let now = self.now_us();
@@ -506,33 +733,61 @@ where
         self.publish(executions);
     }
 
-    /// Applies fresh executions to the store and hands the event loop the
+    /// Routes fresh executions: buffered while a restore is pending (they
+    /// are applied after the snapshot resolves, minus what the replay
+    /// already covered), applied immediately otherwise.
+    fn publish(&mut self, executions: &mut Vec<Execution>) {
+        if executions.is_empty() {
+            return;
+        }
+        if let Some(restore) = &mut self.restore {
+            restore.pending.append(executions);
+            return;
+        }
+        self.apply_executions(executions);
+    }
+
+    /// Applies executions to the state machine and hands the event loop the
     /// reply and decision-stream frames: one [`Event::ClientReply`] per
     /// execution (routed to whichever connection submitted the command, or
     /// dropped if none did) and one [`Event::Decisions`] batch for the
     /// subscribers. Serialization happens here; the I/O thread never blocks
     /// on a stalled sink — slow connections buffer and flush on writability.
-    fn publish(&mut self, executions: &mut Vec<Execution>) {
+    fn apply_executions(&mut self, executions: &mut Vec<Execution>) {
         if executions.is_empty() {
             return;
         }
         let mut cmds: Vec<IoCmd> = Vec::with_capacity(executions.len() + 1);
         let mut batch = Vec::with_capacity(executions.len());
-        for execution in executions.drain(..) {
-            let output = self.store.apply(&execution.command);
-            let id = execution.command.id();
-            if self.reply_wanted.remove(&id) {
-                let reply = Event::ClientReply {
-                    from: self.id,
-                    command: id,
-                    output,
-                    decision: execution.decision.clone(),
-                };
-                if let Ok(frame) = frame_bytes(&reply) {
-                    cmds.push(IoCmd::ClientReply { command: id, frame });
+        {
+            let mut machine = self.machine.lock().expect("state machine lock");
+            for execution in executions.drain(..) {
+                let id = execution.command.id();
+                if self.applied.contains(id) {
+                    // Already applied — through catch-up replay, or as a
+                    // redelivered decision after a reconnect. Applying it
+                    // again would fork this replica's state machine. The
+                    // decision still counts: the command did execute here.
+                    self.reply_wanted.remove(&id);
+                    batch.push(execution.decision);
+                    continue;
                 }
+                let output = machine.apply(&execution.command);
+                self.applied.insert(id);
+                self.suffix_log.push(execution.command);
+                if self.reply_wanted.remove(&id) {
+                    let reply = Event::ClientReply {
+                        from: self.id,
+                        command: id,
+                        output,
+                        decision: execution.decision.clone(),
+                    };
+                    if let Ok(frame) = frame_bytes(&reply) {
+                        cmds.push(IoCmd::ClientReply { command: id, frame });
+                    }
+                }
+                batch.push(execution.decision);
             }
-            batch.push(execution.decision);
         }
         if self.subscribers.load(Ordering::Relaxed) > 0 {
             let event = Event::Decisions { from: self.id, batch };
@@ -541,5 +796,210 @@ where
             }
         }
         self.io.push_many(cmds);
+        if self.suffix_log.len() as u64 >= self.checkpoint_interval {
+            self.cut_checkpoint();
+        }
+    }
+
+    // ---- snapshot-based state transfer ----------------------------------
+
+    /// Snapshots the state machine (plus the applied-id set it covers) as
+    /// the new checkpoint payload and resets the suffix log — the pair must
+    /// stay consistent: the log holds exactly the commands applied after
+    /// the checkpoint watermark.
+    fn cut_checkpoint(&mut self) {
+        let machine = self.machine.lock().expect("state machine lock");
+        let snapshot = machine.snapshot();
+        let applied_through = machine.applied_through();
+        drop(machine);
+        let payload = bincode::serialize(&(snapshot, self.applied.ids()))
+            .expect("checkpoint payload serializes");
+        self.checkpoint = Some(Checkpoint { applied_through, payload: Arc::new(payload) });
+        self.suffix_log.clear();
+    }
+
+    /// Broadcasts a [`WireMessage::SnapshotRequest`] to every peer. The
+    /// frames queue on the (re)connecting peer links and flow as soon as
+    /// each link comes up.
+    fn request_snapshots(&mut self) {
+        let now = Instant::now();
+        let mut cmds: Vec<IoCmd> = Vec::with_capacity(self.nodes.saturating_sub(1));
+        for index in 0..self.nodes {
+            let to = NodeId::from_index(index);
+            if to == self.id {
+                continue;
+            }
+            let deliver_at = match &self.delay {
+                Some(shim) => now + shim.one_way(self.id, to),
+                None => now,
+            };
+            let request = WireMessage::<P::Message>::SnapshotRequest { from: self.id };
+            if let Ok(frame) = frame_bytes(&request) {
+                cmds.push(IoCmd::SendPeer { to, deliver_at, frame });
+            }
+        }
+        self.io.push_many(cmds);
+    }
+
+    /// Donates this replica's state to a catching-up peer: the latest
+    /// checkpoint (cut fresh if none exists yet), chunked, with the decided
+    /// suffix riding on the last chunk.
+    fn serve_snapshot(&mut self, to: NodeId) {
+        if to == self.id || self.restore.is_some() {
+            return; // a replica that is itself restoring cannot donate
+        }
+        if self.checkpoint.is_none() {
+            self.cut_checkpoint();
+        }
+        let checkpoint = self.checkpoint.clone().expect("checkpoint just cut");
+        let suffix = self.suffix_log.clone();
+        let bytes = &checkpoint.payload;
+        let total = (bytes.len().div_ceil(SNAPSHOT_CHUNK)).max(1) as u32;
+        let now = Instant::now();
+        let deliver_at = match &self.delay {
+            Some(shim) => now + shim.one_way(self.id, to),
+            None => now,
+        };
+        let mut cmds: Vec<IoCmd> = Vec::with_capacity(total as usize);
+        for seq in 0..total {
+            let start = seq as usize * SNAPSHOT_CHUNK;
+            let end = (start + SNAPSHOT_CHUNK).min(bytes.len());
+            let last = seq + 1 == total;
+            let chunk = WireMessage::<P::Message>::SnapshotChunk {
+                from: self.id,
+                applied_through: checkpoint.applied_through,
+                seq,
+                total,
+                bytes: bytes[start..end].to_vec(),
+                suffix: if last { suffix.clone() } else { Vec::new() },
+            };
+            if let Ok(frame) = frame_bytes(&chunk) {
+                self.stats.snapshot_bytes_sent.fetch_add((end - start) as u64, Ordering::Relaxed);
+                cmds.push(IoCmd::SendPeer { to, deliver_at, frame });
+            }
+        }
+        self.stats.snapshots_served.fetch_add(1, Ordering::Relaxed);
+        self.io.push_many(cmds);
+    }
+
+    /// Assembles one donor's transfer; the first donor to complete wins.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire frame's fields
+    fn accept_chunk(
+        &mut self,
+        from: NodeId,
+        applied_through: u64,
+        seq: u32,
+        total: u32,
+        bytes: Vec<u8>,
+        suffix: Vec<Command>,
+        outbox: &mut Vec<(NodeId, P::Message)>,
+        new_timers: &mut Vec<(SimTime, P::Message)>,
+        executions: &mut Vec<Execution>,
+    ) {
+        let Some(restore) = &mut self.restore else {
+            return; // not restoring (late or duplicate transfer): ignore
+        };
+        if total == 0 || seq >= total {
+            return;
+        }
+        let donor = restore.donors.entry(from).or_insert_with(|| DonorTransfer {
+            applied_through,
+            total,
+            received: 0,
+            chunks: vec![None; total as usize],
+            suffix: Vec::new(),
+        });
+        if donor.total != total || donor.applied_through != applied_through {
+            return; // frames from two different transfers of one donor
+        }
+        if donor.chunks[seq as usize].is_none() {
+            donor.received += 1;
+        }
+        donor.chunks[seq as usize] = Some(bytes);
+        if seq + 1 == total {
+            donor.suffix = suffix;
+        }
+        if donor.received == donor.total {
+            self.finish_restore(from, outbox, new_timers, executions);
+        }
+    }
+
+    /// Installs a completed donor transfer: restore the snapshot, replay the
+    /// decided suffix, tell the process which commands are covered (so its
+    /// dependency tracking stops waiting for them), then apply whatever the
+    /// local process executed while the transfer was in flight (minus the
+    /// commands the replay covered).
+    fn finish_restore(
+        &mut self,
+        donor_id: NodeId,
+        outbox: &mut Vec<(NodeId, P::Message)>,
+        new_timers: &mut Vec<(SimTime, P::Message)>,
+        executions: &mut Vec<Execution>,
+    ) {
+        let Some(mut restore) = self.restore.take() else { return };
+        let Some(donor) = restore.donors.remove(&donor_id) else {
+            self.restore = Some(restore);
+            return;
+        };
+        let mut payload = Vec::new();
+        for chunk in donor.chunks {
+            payload.extend_from_slice(&chunk.expect("transfer complete"));
+        }
+        let Ok((snapshot, covered_ids)) =
+            bincode::deserialize::<(Vec<u8>, Vec<CommandId>)>(&payload)
+        else {
+            // Broken donor: stay in the restoring state and wait for
+            // another transfer (or the deadline).
+            self.restore = Some(restore);
+            return;
+        };
+        {
+            let mut machine = self.machine.lock().expect("state machine lock");
+            if machine.restore(&snapshot).is_err() {
+                drop(machine);
+                self.restore = Some(restore);
+                return;
+            }
+            for cmd in &donor.suffix {
+                machine.apply(cmd);
+            }
+        }
+        // Inherit the donor's dedup knowledge: everything its snapshot and
+        // suffix cover counts as applied here, so redelivered crash-time
+        // decisions (reconnecting peers drain their down-queues into this
+        // replica) are skipped, not applied twice.
+        let mut transferred = covered_ids;
+        transferred.extend(donor.suffix.iter().map(Command::id));
+        for &id in &transferred {
+            self.applied.insert(id);
+        }
+        // The protocol layer needs the same knowledge: a later command whose
+        // dependency set names a transferred command must not wait for a
+        // local execution that will never happen.
+        {
+            let now = self.now_us();
+            let mut ctx =
+                Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
+            self.process.on_state_transfer(&transferred, &mut ctx);
+        }
+        self.stats.catch_up_replayed.fetch_add(donor.suffix.len() as u64, Ordering::Relaxed);
+        self.stats.catch_ups_completed.fetch_add(1, Ordering::Relaxed);
+        // The restored state is this replica's new baseline: checkpoint it
+        // so it can donate in turn, then catch up on local executions.
+        self.suffix_log.clear();
+        self.cut_checkpoint();
+        let mut pending = std::mem::take(&mut restore.pending);
+        self.apply_executions(&mut pending);
+    }
+
+    /// Gives up on a restore whose deadline passed: serve with whatever
+    /// state we have, starting with the buffered local executions.
+    fn check_restore_deadline(&mut self) {
+        let expired = self.restore.as_ref().is_some_and(|rs| Instant::now() >= rs.deadline);
+        if expired {
+            let mut restore = self.restore.take().expect("restore present");
+            let mut pending = std::mem::take(&mut restore.pending);
+            self.apply_executions(&mut pending);
+        }
     }
 }

@@ -11,8 +11,10 @@
 //! * [`WireMessage`] — everything a replica *receives*: peer protocol
 //!   messages, client command submissions (fire-and-forget
 //!   [`WireMessage::Client`] or reply-expecting
-//!   [`WireMessage::ClientRequest`]), decision-stream subscriptions, timer
-//!   wakeups (local mailbox only) and shutdown requests;
+//!   [`WireMessage::ClientRequest`]), decision-stream subscriptions,
+//!   snapshot-based state transfer ([`WireMessage::SnapshotRequest`] /
+//!   [`WireMessage::SnapshotChunk`], used by restarted replicas to catch
+//!   up), timer wakeups (local mailbox only) and shutdown requests;
 //! * [`Event`] — everything a replica *publishes* to client connections:
 //!   batches of executed [`Decision`]s, plus per-command
 //!   [`Event::ClientReply`] / [`Event::ClientAbort`] frames answering
@@ -118,6 +120,42 @@ pub enum WireMessage<M> {
         /// The timeout payload the process scheduled.
         msg: M,
     },
+    /// A restarted replica asking a live peer for its state: the peer
+    /// answers with a stream of [`WireMessage::SnapshotChunk`] frames
+    /// carrying its latest checkpoint plus the decided suffix applied since
+    /// (snapshot-based state transfer; see the `net` module docs).
+    SnapshotRequest {
+        /// The replica requesting catch-up.
+        from: NodeId,
+    },
+    /// One chunk of a state-transfer payload, answering a
+    /// [`WireMessage::SnapshotRequest`]. The payload is the donor's
+    /// checkpoint — its state-machine snapshot bytes *plus* the full set of
+    /// command ids that snapshot covers, serialized together — and chunks
+    /// `0..total` carry it in order, each bounded in size. The **last**
+    /// chunk additionally carries the suffix of commands the donor applied
+    /// after the snapshot watermark, which the receiver replays after
+    /// restoring. The id set is what makes recovery exact: the receiver
+    /// seeds its dedup knowledge (and its protocol's dependency tracking)
+    /// from it, so redelivered crash-time decisions are never
+    /// double-applied and later commands never wait on dependencies the
+    /// snapshot already covers.
+    SnapshotChunk {
+        /// The donating replica.
+        from: NodeId,
+        /// Commands covered by the snapshot (the watermark where the suffix
+        /// starts).
+        applied_through: u64,
+        /// Index of this chunk, `0..total`.
+        seq: u32,
+        /// Total number of chunks in this transfer.
+        total: u32,
+        /// This chunk's slice of the transfer payload.
+        bytes: Vec<u8>,
+        /// On the last chunk only: commands applied after the snapshot, in
+        /// execution order.
+        suffix: Vec<Command>,
+    },
     /// Orderly shutdown request.
     Shutdown,
 }
@@ -183,6 +221,19 @@ impl<M: serde::Serialize> serde::Serialize for WireMessage<M> {
                 serde::write_variant_tag(out, 6);
                 cmd.serialize(out);
             }
+            WireMessage::SnapshotRequest { from } => {
+                serde::write_variant_tag(out, 7);
+                from.serialize(out);
+            }
+            WireMessage::SnapshotChunk { from, applied_through, seq, total, bytes, suffix } => {
+                serde::write_variant_tag(out, 8);
+                from.serialize(out);
+                applied_through.serialize(out);
+                seq.serialize(out);
+                total.serialize(out);
+                bytes.serialize(out);
+                suffix.serialize(out);
+            }
         }
     }
 }
@@ -200,6 +251,15 @@ impl<M: serde::Deserialize> serde::Deserialize for WireMessage<M> {
             4 => Ok(WireMessage::Timer { msg: M::deserialize(input)? }),
             5 => Ok(WireMessage::Shutdown),
             6 => Ok(WireMessage::ClientRequest { cmd: Command::deserialize(input)? }),
+            7 => Ok(WireMessage::SnapshotRequest { from: NodeId::deserialize(input)? }),
+            8 => Ok(WireMessage::SnapshotChunk {
+                from: NodeId::deserialize(input)?,
+                applied_through: u64::deserialize(input)?,
+                seq: u32::deserialize(input)?,
+                total: u32::deserialize(input)?,
+                bytes: Vec::deserialize(input)?,
+                suffix: Vec::deserialize(input)?,
+            }),
             other => Err(serde::Error::unknown_variant("WireMessage", other)),
         }
     }
@@ -483,7 +543,16 @@ mod tests {
             WireMessage::Subscribe,
             WireMessage::Timer { msg: 5 },
             WireMessage::Shutdown,
-            WireMessage::ClientRequest { cmd },
+            WireMessage::ClientRequest { cmd: cmd.clone() },
+            WireMessage::SnapshotRequest { from: NodeId(2) },
+            WireMessage::SnapshotChunk {
+                from: NodeId(1),
+                applied_through: 640,
+                seq: 2,
+                total: 3,
+                bytes: vec![1, 2, 3, 250, 0],
+                suffix: vec![cmd],
+            },
         ];
         for msg in &messages {
             assert_eq!(&round_trip(msg), msg);

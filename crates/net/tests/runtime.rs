@@ -313,6 +313,40 @@ fn killed_replica_restarts_on_its_address_and_rejoins() {
 }
 
 #[test]
+fn requests_during_restore_fail_fast_with_an_abort() {
+    // A replica started in catch-up mode whose peers are all unreachable
+    // stays in the *restoring* state until its catch-up timeout. Client
+    // requests submitted meanwhile must be answered with an immediate
+    // Reply-level error — not parked until the 60 s session timeout.
+    let dead_peer_a = reserve_addr();
+    let dead_peer_b = reserve_addr();
+    let mut config = NetReplicaConfig::loopback(NodeId(0), 3);
+    config.catch_up = true;
+    config.catch_up_timeout = Duration::from_secs(30);
+    let seen = Arc::new(Mutex::new(Vec::new()));
+    let mut replica =
+        NetReplica::spawn(config, Relay { seen: Arc::clone(&seen) }).expect("replica binds");
+    let addr = replica.local_addr();
+    replica.start(vec![addr, dead_peer_a, dead_peer_b]);
+
+    let client = ReplicaClient::connect(addr, NodeId(0), 0).expect("client connects");
+    let started = Instant::now();
+    match client.put(1, 1) {
+        Err(SessionError::Disconnected(reason)) => {
+            assert!(reason.contains("restoring"), "unexpected abort reason: {reason}");
+        }
+        other => panic!("expected a restoring abort, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the abort took {:?} — restoring replicas must fail requests immediately",
+        started.elapsed()
+    );
+    client.shutdown();
+    replica.shutdown();
+}
+
+#[test]
 fn peer_writers_batch_bursts_into_fewer_flushes() {
     let caesar = CaesarConfig::new(3).with_recovery_timeout(None);
     let cluster =
@@ -335,5 +369,10 @@ fn peer_writers_batch_bursts_into_fewer_flushes() {
     assert_eq!(dropped, 0);
     assert!(batches > 0, "writers must account their flushes");
     assert!(batches <= sent, "a flush writes at least one frame (sent {sent}, batches {batches})");
+    assert!(
+        cluster.writev_flushes() > 0,
+        "a burst of {sent} frames across {batches} flushes must have gathered \
+         at least one multi-frame writev"
+    );
     cluster.shutdown();
 }

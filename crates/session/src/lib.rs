@@ -22,13 +22,23 @@
 //! table with bounded in-flight backpressure; replicas that disconnect fail
 //! their outstanding tickets with [`session::SessionError::Disconnected`]
 //! instead of leaving waiters hanging.
+//!
+//! The *application* side of the contract lives in [`state_machine`]: every
+//! runtime owns one [`state_machine::StateMachine`] per replica (built by a
+//! [`state_machine::StateMachineFactory`], defaulting to the `kvstore`
+//! reference implementation) and the output of each apply is what a
+//! [`session::Reply`] carries. State machines snapshot and restore
+//! themselves, which is what snapshot-based state transfer for restarted
+//! replicas is built on.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod session;
+pub mod state_machine;
 
 pub use session::{
     ClientHandle, ClusterHandle, Drive, Op, ParkDrive, Reply, SessionCore, SessionError,
     SubmitTransport, Ticket, Waiter, DEFAULT_IN_FLIGHT,
 };
+pub use state_machine::{EventLog, RestoreError, StateMachine, StateMachineFactory};

@@ -1,7 +1,7 @@
 //! The [`Process`] trait implemented by every replica, and the [`Context`]
 //! handle it uses to interact with the simulated network.
 
-use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
+use consensus_types::{Command, CommandId, Decision, Execution, NodeId, SimTime};
 
 /// Actions a process can take while handling an event. The simulator hands a
 /// fresh `Context` to every callback and turns the buffered actions into
@@ -127,6 +127,26 @@ pub trait Process {
         msg: Self::Message,
         ctx: &mut Context<'_, Self::Message>,
     );
+
+    /// Called after the runtime installed a state-machine snapshot (state
+    /// transfer into a restarted replica): `applied` are the ids of
+    /// commands whose effects the snapshot already covers. Protocols that
+    /// gate execution on per-command dependencies (CAESAR's predecessor
+    /// sets, EPaxos's dependency graph) must mark these as executed, or
+    /// later commands that list them as dependencies wait forever.
+    /// Commands that become deliverable as a result flow through
+    /// [`Context::deliver`] like any other execution (the runtime
+    /// deduplicates anything the snapshot already covered).
+    ///
+    /// Slot-based protocols (Multi-Paxos, Mencius, M²Paxos) cannot recover
+    /// through this id-based hook: their execution cursor is a slot index,
+    /// which a fresh replica would need transferred alongside the snapshot
+    /// (a ROADMAP item). They keep the default no-op, and restart +
+    /// catch-up is currently supported for the dependency-tracked
+    /// protocols.
+    fn on_state_transfer(&mut self, applied: &[CommandId], ctx: &mut Context<'_, Self::Message>) {
+        let _ = (applied, ctx);
+    }
 
     /// Simulated CPU cost, in microseconds, of handling `msg`. The simulator
     /// serializes message handling per node using this cost, which is what

@@ -1,14 +1,16 @@
 //! [`SimSession`]: the simulator behind the runtime-agnostic client session
 //! API.
 //!
-//! A `SimSession` wraps a [`Simulator`], owns one deterministic [`KvStore`]
-//! per replica, and implements [`ClusterHandle`] so the same submit/await
-//! client code drives the discrete-event simulator, the threaded runtime and
-//! the TCP runtime. Submissions are scheduled at the current simulated time;
+//! A `SimSession` wraps a [`Simulator`], owns one
+//! [`consensus_core::StateMachine`] per replica (the `kvstore` reference
+//! implementation unless a custom factory is supplied), and implements
+//! [`ClusterHandle`] so the same submit/await client code drives the
+//! discrete-event simulator, the threaded runtime and the TCP runtime.
+//! Submissions are scheduled at the current simulated time;
 //! [`consensus_core::session::Ticket::wait`] advances simulated time until
 //! the command executes at the submitting replica and then returns the
-//! [`Reply`] (including the store output, so reads observe the submitting
-//! replica's state).
+//! [`Reply`] (including the state-machine output, so reads observe the
+//! submitting replica's state).
 
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
@@ -17,6 +19,7 @@ use consensus_core::session::{
     ClientHandle, ClusterHandle, Drive, Reply, SessionCore, SessionError, SubmitTransport, Waiter,
     DEFAULT_IN_FLIGHT,
 };
+use consensus_core::state_machine::{StateMachine, StateMachineFactory};
 use consensus_types::{Command, CommandId, Decision, NodeId, SimTime};
 use kvstore::KvStore;
 
@@ -25,7 +28,7 @@ use crate::sim::{SimStats, Simulator};
 
 struct SimInner<P: Process> {
     sim: Simulator<P>,
-    stores: Vec<KvStore>,
+    machines: Vec<Box<dyn StateMachine>>,
     /// Replies produced at each command's submitting replica, in routing
     /// order. Drained by [`SimSession::take_replies`] (closed-loop drivers).
     replies: Vec<Reply>,
@@ -55,7 +58,8 @@ where
     P: Process + Send + 'static,
     P::Message: Send,
 {
-    /// Wraps `sim` with the default in-flight bound.
+    /// Wraps `sim` with the default in-flight bound and the `kvstore`
+    /// reference state machine on every replica.
     #[must_use]
     pub fn new(sim: Simulator<P>) -> Self {
         Self::with_capacity(sim, DEFAULT_IN_FLIGHT)
@@ -64,12 +68,24 @@ where
     /// Wraps `sim`, allowing at most `capacity` commands in flight.
     #[must_use]
     pub fn with_capacity(sim: Simulator<P>, capacity: usize) -> Self {
+        Self::with_state_machines(sim, capacity, Arc::new(|_| Box::new(KvStore::new())))
+    }
+
+    /// Wraps `sim` with a custom per-replica state machine: `factory` is
+    /// called once per node. Replies carry whatever output that machine's
+    /// `apply` produces.
+    #[must_use]
+    pub fn with_state_machines(
+        sim: Simulator<P>,
+        capacity: usize,
+        factory: StateMachineFactory,
+    ) -> Self {
         let nodes = sim.node_count();
         Self {
             shared: Arc::new(Shared {
                 inner: Mutex::new(SimInner {
                     sim,
-                    stores: vec![KvStore::new(); nodes],
+                    machines: (0..nodes).map(|i| factory(NodeId::from_index(i))).collect(),
                     replies: Vec::new(),
                 }),
                 core: SessionCore::new(capacity),
@@ -138,10 +154,25 @@ where
         self.lock().sim.decisions(node).to_vec()
     }
 
-    /// A snapshot of `node`'s key-value store.
+    /// The state-machine digest of `node` (see
+    /// [`consensus_core::StateMachine::fingerprint`]); replicas that applied
+    /// the same command history report equal fingerprints.
     #[must_use]
-    pub fn store(&self, node: NodeId) -> KvStore {
-        self.lock().stores[node.index()].clone()
+    pub fn state_fingerprint(&self, node: NodeId) -> u64 {
+        self.lock().machines[node.index()].fingerprint()
+    }
+
+    /// Number of commands `node`'s state machine has applied so far.
+    #[must_use]
+    pub fn applied_through(&self, node: NodeId) -> u64 {
+        self.lock().machines[node.index()].applied_through()
+    }
+
+    /// A serialized snapshot of `node`'s state machine (see
+    /// [`consensus_core::StateMachine::snapshot`]).
+    #[must_use]
+    pub fn state_snapshot(&self, node: NodeId) -> Vec<u8> {
+        self.lock().machines[node.index()].snapshot()
     }
 
     /// Runs `f` against the wrapped simulator (metrics inspection, crash
@@ -157,7 +188,7 @@ fn route<P: Process>(inner: &mut SimInner<P>, core: &SessionCore) {
     for index in 0..inner.sim.node_count() {
         let node = NodeId::from_index(index);
         for execution in inner.sim.take_executions(node) {
-            let output = inner.stores[index].apply(&execution.command);
+            let output = inner.machines[index].apply(&execution.command);
             if execution.command.id().origin() == node {
                 let reply = Reply {
                     command: execution.command.id(),
@@ -333,9 +364,29 @@ mod tests {
             client.submit(Op::put(i, i * 10)).expect("submits").wait().expect("replies");
         }
         session.run();
-        let reference = session.store(NodeId(0)).fingerprint();
+        let reference = session.state_fingerprint(NodeId(0));
         for node in NodeId::all(3) {
-            assert_eq!(session.store(node).fingerprint(), reference);
+            assert_eq!(session.state_fingerprint(node), reference);
+            assert_eq!(session.applied_through(node), 5);
         }
+    }
+
+    #[test]
+    fn custom_state_machines_plug_into_the_session() {
+        use consensus_core::state_machine::EventLog;
+        let config = SimConfig::new(LatencyMatrix::uniform(3, 10.0));
+        let session = SimSession::with_state_machines(
+            Simulator::new(config, |_| Echo),
+            DEFAULT_IN_FLIGHT,
+            Arc::new(|_| Box::new(EventLog::new())),
+        );
+        let client = session.client(NodeId(0));
+        // The event log answers every command with its 1-based log position,
+        // not the key-value semantics — proof the runtime is generic.
+        for expected in 1..=3u64 {
+            let reply = client.submit(Op::put(7, expected)).expect("submits").wait().expect("ok");
+            assert_eq!(reply.output, Some(expected));
+        }
+        assert_eq!(session.applied_through(NodeId(0)), 3);
     }
 }

@@ -3,15 +3,29 @@
 //! print a side-by-side comparison.
 //!
 //! ```text
-//! cargo run --release --example tcp_cluster             # default: 10% scale, 200 cmds
-//! cargo run --release --example tcp_cluster -- 50 400   # 50% of EC2 latency, 400 cmds
-//! cargo run --release --example tcp_cluster -- serve 30 # serve a cluster for 30 s
+//! cargo run --release --example tcp_cluster                 # default: 10% scale, 200 cmds
+//! cargo run --release --example tcp_cluster -- 50 400       # 50% of EC2 latency, 400 cmds
+//! cargo run --release --example tcp_cluster -- serve 30     # serve a cluster for 30 s
+//! cargo run --release --example tcp_cluster -- serve 30 log # …executing an event log
 //! ```
 //!
 //! The `serve` mode starts a 3-node CAESAR cluster on loopback, prints one
 //! `listening pI ADDR` line per replica, and keeps the cluster up for the
 //! given number of seconds so an **external** process (see the
 //! `consensus_client` example) can connect and submit commands over TCP.
+//!
+//! ## Plugging in a state machine
+//!
+//! What the served cluster *executes* is pluggable: the optional third
+//! `serve` argument picks the `consensus_core::StateMachine` every replica
+//! runs — `kv` (default, the `kvstore` reference implementation: replies
+//! carry key-value results) or `log` (the `consensus_core::EventLog`:
+//! replies carry 1-based log positions). Any custom implementation plugs in
+//! the same way in code, via `NetConfig::with_state_machine` — see the
+//! `custom_state_machine` example, which defines one from scratch. Snapshot
+//! catch-up for crashed-and-restarted replicas works for every
+//! implementation, since it only uses the trait's `snapshot`/`restore`
+//! surface.
 //!
 //! `serve` still runs all replicas in one process. For the real deployment
 //! shape — one replica per OS process (or per host), linked only by an
@@ -116,19 +130,32 @@ where
 }
 
 /// Serves a 3-node loopback cluster for external clients, printing the
-/// address book on stdout.
-fn serve(seconds: u64) {
+/// address book on stdout. `machine` selects the state machine every
+/// replica executes: `kv` (reference key-value store) or `log` (append-only
+/// event log).
+fn serve(seconds: u64, machine: &str) {
     const SERVE_NODES: usize = 3;
     let caesar = CaesarConfig::new(SERVE_NODES).with_recovery_timeout(None);
-    let cluster = NetCluster::start(NetConfig::new(SERVE_NODES), move |id| {
-        CaesarReplica::new(id, caesar.clone())
-    })
-    .expect("socket cluster starts");
+    let mut config = NetConfig::new(SERVE_NODES);
+    match machine {
+        "kv" => {} // the default factory
+        "log" => {
+            config = config.with_state_machine(std::sync::Arc::new(|_| {
+                Box::new(consensus_core::EventLog::new())
+            }));
+        }
+        other => {
+            eprintln!("unknown state machine {other:?} — use \"kv\" or \"log\"");
+            std::process::exit(2);
+        }
+    }
+    let cluster = NetCluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()))
+        .expect("socket cluster starts");
     for index in 0..SERVE_NODES {
         let node = NodeId::from_index(index);
         println!("listening {node} {}", cluster.addr(node));
     }
-    println!("serving for {seconds} s — connect with the consensus_client example");
+    println!("serving for {seconds} s ({machine} state machine) — connect with consensus_client");
     use std::io::Write as _;
     std::io::stdout().flush().expect("stdout flushes");
     std::thread::sleep(Duration::from_secs(seconds));
@@ -139,7 +166,8 @@ fn serve(seconds: u64) {
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("serve") {
         let seconds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(30);
-        serve(seconds);
+        let machine = std::env::args().nth(3).unwrap_or_else(|| "kv".to_string());
+        serve(seconds, &machine);
         return;
     }
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0) / 100.0;

@@ -8,7 +8,7 @@
 //! the experiments, and the `examples/quickstart.rs` binary for a guided
 //! tour.
 //!
-//! # Three runtimes, one client API
+//! # Three runtimes, one client API, one pluggable state machine
 //!
 //! Every protocol implements the single [`simnet::Process`] trait once —
 //! pushing executed commands through `Context::deliver` — and then runs,
@@ -18,7 +18,20 @@
 //! |---|---|---|---|
 //! | [`simnet`] | discrete-event simulator | simulated | reproducing the paper's figures exactly (seeded, deterministic, crash injection, CPU-saturation model) |
 //! | [`cluster`] | one OS thread per replica, channel links | wall clock | exercising the protocols under real concurrency and scheduler interleavings in one process |
-//! | [`net`] | epoll event loop over real TCP sockets, CRC-checked bincode frames | wall clock | deployment-shaped runs: hundreds of concurrent clients per replica, kernel buffers, reconnects, crash/restart, external clients and processes |
+//! | [`net`] | epoll event loop over real TCP sockets, CRC-checked bincode frames | wall clock | deployment-shaped runs: hundreds of concurrent clients per replica, kernel buffers, reconnects, crash/restart + snapshot catch-up, external clients and processes |
+//!
+//! What the decided order *drives* is equally pluggable: every runtime owns
+//! one [`consensus_core::StateMachine`] per replica — `apply` one decided
+//! command at a time, `snapshot`/`restore` the whole state as bytes, report
+//! an `applied_through` watermark and a cross-replica `fingerprint`. The
+//! [`kvstore`] crate's `KvStore` is the reference implementation (and the
+//! default factory everywhere); `consensus_core::EventLog` is a second,
+//! entirely different one (replies carry log positions), and any custom
+//! implementation plugs in through `with_state_machine` on the runtime
+//! configs / `SimSession::with_state_machines` (see the
+//! `custom_state_machine` example and `tests/state_machines.rs`). The
+//! session [`consensus_core::session::Reply`] carries whatever output the
+//! machine's `apply` produced.
 //!
 //! The `net` runtime's internals are a **reactor**: each replica runs one
 //! event-loop thread that owns every socket — listener, peer links,
@@ -26,13 +39,26 @@
 //! with an epoll poller (the [`reactor`] crate's `Poller`/`Token`/`Interest`
 //! layer, raw Linux bindings with no external deps), plus one core-loop
 //! thread driving the protocol. Inbound bytes decode incrementally through
-//! per-connection frame buffers; outbound frames batch in per-connection
-//! write buffers flushed on writability; WAN-emulation delays and reconnect
-//! backoffs are epoll-wait deadlines. Thread count per replica is O(1) in
-//! connections — the `tests/net_soak.rs` soak holds 500 simultaneous
-//! clients on one replica to pin that down — and a cluster can run as N
-//! separate OS processes via the `consensus_node` binary (see
-//! `tests/multi_process.rs` and the `tcp_cluster` example docs).
+//! per-connection frame buffers; outbound frames queue whole (no staging
+//! copy) and leave in `writev` scatter-gather batches on writability;
+//! WAN-emulation delays and reconnect backoffs are epoll-wait deadlines.
+//! Thread count per replica is O(1) in connections — the
+//! `tests/net_soak.rs` soak holds 500 simultaneous clients on one replica
+//! to pin that down — and a cluster can run as N separate OS processes via
+//! the `consensus_node` binary (see `tests/multi_process.rs` and the
+//! `tcp_cluster` example docs).
+//!
+//! A crashed `net` replica restarts on its old address with a fresh process
+//! and an **empty state machine**, then catches up by snapshot-based state
+//! transfer: it asks its peers (`SnapshotRequest`), a live peer donates its
+//! latest checkpoint plus the decided suffix (`SnapshotChunk` frames over
+//! the same event loop), and the restarted replica restores, replays, and
+//! serves reads that reflect pre-crash writes (`tests/restart_catch_up.rs`
+//! pins this end to end). While restoring, client requests fail fast with
+//! an abort instead of hanging; the `Process::on_state_transfer` hook tells
+//! the protocol layer which commands the snapshot covered so
+//! dependency-gated execution (CAESAR predecessors, EPaxos graphs) does not
+//! wait for them.
 //!
 //! All three serve clients through the same session API
 //! ([`consensus_core::session`]): `ClusterHandle::client(node)` hands out a
