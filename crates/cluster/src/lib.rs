@@ -83,7 +83,7 @@ impl ClusterConfig {
             latency,
             latency_scale: 1.0,
             max_in_flight: DEFAULT_IN_FLIGHT,
-            state_machine: Arc::new(|_| Box::new(KvStore::new())),
+            state_machine: KvStore::factory(),
         }
     }
 

@@ -9,13 +9,17 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use consensus_types::{CommandId, Timestamp};
+use consensus_types::{AppliedSummary, CommandId, Timestamp};
 
 /// Tracks stable-but-not-yet-executed commands and decides when they can run.
 #[derive(Debug, Default)]
 pub struct DeliveryEngine {
     /// Commands already executed locally.
     executed: HashSet<CommandId>,
+    /// Commands whose effects arrived through snapshot-based state transfer
+    /// (floor-compacted): they count as executed for every predecessor
+    /// check, without being enumerable one id at a time.
+    baseline: AppliedSummary,
     /// Stable commands waiting for predecessors: remaining predecessor ids.
     waiting: HashMap<CommandId, HashSet<CommandId>>,
     /// Timestamps of stable commands (needed for loop breaking).
@@ -31,10 +35,11 @@ impl DeliveryEngine {
         Self::default()
     }
 
-    /// Whether `id` has been executed locally.
+    /// Whether `id` has been executed locally (or its effect arrived
+    /// through a state transfer).
     #[must_use]
     pub fn is_executed(&self, id: CommandId) -> bool {
-        self.executed.contains(&id)
+        self.executed.contains(&id) || self.baseline.contains(id)
     }
 
     /// Number of commands executed so far.
@@ -63,7 +68,7 @@ impl DeliveryEngine {
         ts: Timestamp,
         pred: &BTreeSet<CommandId>,
     ) -> Vec<CommandId> {
-        if self.executed.contains(&id) || self.waiting.contains_key(&id) {
+        if self.is_executed(id) || self.waiting.contains_key(&id) {
             // Duplicate STABLE (e.g. re-sent by a recovery leader): ignore.
             return Vec::new();
         }
@@ -91,7 +96,7 @@ impl DeliveryEngine {
             .iter()
             .copied()
             .filter(|p| {
-                if self.executed.contains(p) {
+                if self.executed.contains(p) || self.baseline.contains(*p) {
                     return false;
                 }
                 match self.stable_ts.get(p) {
@@ -140,17 +145,33 @@ impl DeliveryEngine {
         }
     }
 
-    /// Marks `id` as executed **without** running it locally — its effect
-    /// arrived through a state-machine snapshot (state transfer into a
-    /// restarted replica). Stable commands that were waiting on `id` may
-    /// become deliverable; they are returned (in execution order) and are
-    /// already marked executed, exactly like [`DeliveryEngine::on_stable`]'s
-    /// return value.
-    pub fn mark_executed(&mut self, id: CommandId) -> Vec<CommandId> {
+    /// Absorbs a snapshot-based state transfer: every id in `applied`
+    /// counts as executed from now on — consulted through the
+    /// floor-compacted summary rather than enumerated one id at a time —
+    /// and stable commands that were blocked only on transferred
+    /// predecessors become deliverable. Like [`DeliveryEngine::on_stable`],
+    /// the returned commands are already marked executed and the caller
+    /// applies them (the runtime deduplicates any the transfer itself
+    /// covered).
+    pub fn absorb_transfer(&mut self, applied: &AppliedSummary) -> Vec<CommandId> {
+        self.baseline.merge(applied);
+        let baseline = &self.baseline;
+        let mut newly_ready: Vec<CommandId> = Vec::new();
+        for (&id, remaining) in self.waiting.iter_mut() {
+            remaining.retain(|p| !baseline.contains(*p));
+            if remaining.is_empty() {
+                newly_ready.push(id);
+            }
+        }
+        // Covered predecessors will never pass through `execute`, so their
+        // reverse-index entries would otherwise linger forever.
+        self.waiters.retain(|p, _| !baseline.contains(*p));
+        // Deterministic delivery order for commands released in one batch.
+        newly_ready.sort_by_key(|id| (self.stable_ts.get(id).copied(), *id));
         let mut out = Vec::new();
-        self.execute(id, &mut out);
-        // `id` itself was not locally run — only the cascade is returned.
-        out.retain(|&c| c != id);
+        for id in newly_ready {
+            self.execute(id, &mut out);
+        }
         out
     }
 

@@ -30,6 +30,24 @@
 //!   over with a higher ballot and finish the decision while preserving any
 //!   fast decision possibly taken (whitelist reconstruction).
 //!
+//! # Quorums, conflicts and recovery
+//!
+//! * **Quorums.** Fast path: one round over a fast quorum of `⌈3N/4⌉`
+//!   replicas (4 of 5), two communication delays. Slow path: one extra
+//!   round over a classic quorum of `⌊N/2⌋+1` (3 of 5), four delays.
+//! * **Conflict condition.** Two commands conflict when they access the
+//!   same key and at least one writes; only conflicting commands are
+//!   timestamp-ordered relative to each other (Generalized Consensus).
+//! * **Recovery semantics (restart catch-up).** Execution is gated on
+//!   predecessor sets, so the resume point of a restarted replica is the
+//!   *set of applied command ids*: `Process::on_state_transfer` feeds the
+//!   transferred, floor-compacted `consensus_types::AppliedSummary` to the
+//!   delivery engine as a baseline — every covered id counts as executed
+//!   for all future predecessor checks without the O(history) set ever
+//!   being materialized — and stable commands blocked only on covered
+//!   predecessors deliver immediately. No slot cursor is needed
+//!   (`Process::execution_cursor` stays `Ids`).
+//!
 //! # Example
 //!
 //! ```

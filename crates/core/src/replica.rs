@@ -4,7 +4,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use consensus_types::{
     Ballot, Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, SimTime,
-    Timestamp,
+    StateTransfer, Timestamp,
 };
 use simnet::{Context, Process};
 
@@ -968,16 +968,18 @@ impl Process for CaesarReplica {
         }
     }
 
-    fn on_state_transfer(&mut self, applied: &[CommandId], ctx: &mut Context<'_, CaesarMessage>) {
+    fn on_state_transfer(
+        &mut self,
+        transfer: &StateTransfer,
+        ctx: &mut Context<'_, CaesarMessage>,
+    ) {
         // Commands covered by an installed snapshot count as executed:
         // without this, any later command whose predecessor set names one
-        // of them would wait forever on this fresh replica. Stable commands
-        // that were blocked only on transferred predecessors become
-        // deliverable here.
-        let mut ready = Vec::new();
-        for &id in applied {
-            ready.extend(self.delivery.mark_executed(id));
-        }
+        // of them would wait forever on this fresh replica. The delivery
+        // engine absorbs the floor-compacted summary as a baseline (so it
+        // never materializes the O(history) id set) and releases any stable
+        // commands that were blocked only on transferred predecessors.
+        let ready = self.delivery.absorb_transfer(&transfer.applied);
         self.apply_executions(ready, ctx);
     }
 

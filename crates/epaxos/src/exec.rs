@@ -3,7 +3,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use consensus_types::CommandId;
+use consensus_types::{AppliedSummary, CommandId};
 
 /// A committed instance waiting to execute.
 #[derive(Debug, Clone)]
@@ -24,6 +24,10 @@ struct Node {
 pub struct ExecutionGraph {
     committed: HashMap<CommandId, Node>,
     executed: HashSet<CommandId>,
+    /// Commands whose effects arrived through snapshot-based state transfer
+    /// (floor-compacted): dependency closures treat them as executed
+    /// without the graph ever materializing their ids.
+    baseline: AppliedSummary,
     /// Number of graph nodes visited by the last `try_execute` call — the
     /// harness uses it to model the CPU cost of dependency analysis.
     last_visited: usize,
@@ -36,18 +40,22 @@ impl ExecutionGraph {
         Self::default()
     }
 
-    /// Whether `id` has already been executed.
+    /// Whether `id` has already been executed (locally, or through a
+    /// transferred snapshot that covers it).
     #[must_use]
     pub fn is_executed(&self, id: CommandId) -> bool {
-        self.executed.contains(&id)
+        self.executed.contains(&id) || self.baseline.contains(id)
     }
 
-    /// Marks `id` as executed without running it locally (its effect arrived
-    /// through a state-machine snapshot); dependency closures no longer wait
-    /// for it. The caller re-tries its pending roots afterwards.
-    pub fn mark_executed(&mut self, id: CommandId) {
-        self.executed.insert(id);
-        self.committed.remove(&id);
+    /// Absorbs a snapshot-based state transfer: every id in `applied`
+    /// counts as executed for all future dependency analysis, consulted
+    /// through the floor-compacted summary instead of being enumerated.
+    /// Committed instances the transfer covers are dropped from the graph.
+    /// The caller re-tries its pending roots afterwards.
+    pub fn absorb_transfer(&mut self, applied: &AppliedSummary) {
+        self.baseline.merge(applied);
+        let baseline = &self.baseline;
+        self.committed.retain(|id, _| !baseline.contains(*id));
     }
 
     /// Number of commands executed so far.
@@ -70,7 +78,7 @@ impl ExecutionGraph {
 
     /// Registers a committed instance.
     pub fn commit(&mut self, id: CommandId, seq: u64, deps: BTreeSet<CommandId>) {
-        if self.executed.contains(&id) {
+        if self.is_executed(id) {
             return;
         }
         self.committed.entry(id).or_insert(Node { seq, deps });
@@ -81,7 +89,7 @@ impl ExecutionGraph {
     /// returns an empty vector if some dependency is not yet committed.
     pub fn try_execute(&mut self, root: CommandId) -> Vec<CommandId> {
         self.last_visited = 0;
-        if self.executed.contains(&root) || !self.committed.contains_key(&root) {
+        if self.is_executed(root) || !self.committed.contains_key(&root) {
             return Vec::new();
         }
         // Check that the dependency closure is fully committed.
@@ -95,7 +103,7 @@ impl ExecutionGraph {
                 return Vec::new();
             };
             for &d in &node.deps {
-                if !self.executed.contains(&d) && seen.insert(d) {
+                if !self.executed.contains(&d) && !self.baseline.contains(d) && seen.insert(d) {
                     stack.push(d);
                 }
             }
@@ -106,6 +114,7 @@ impl ExecutionGraph {
         let mut state = Tarjan {
             graph: &self.committed,
             executed: &self.executed,
+            baseline: &self.baseline,
             index: 0,
             indices: HashMap::new(),
             lowlink: HashMap::new(),
@@ -134,6 +143,7 @@ impl ExecutionGraph {
 struct Tarjan<'a> {
     graph: &'a HashMap<CommandId, Node>,
     executed: &'a HashSet<CommandId>,
+    baseline: &'a AppliedSummary,
     index: u64,
     indices: HashMap<CommandId, u64>,
     lowlink: HashMap<CommandId, u64>,
@@ -153,7 +163,10 @@ impl Tarjan<'_> {
         let deps: Vec<CommandId> =
             self.graph.get(&v).map(|n| n.deps.iter().copied().collect()).unwrap_or_default();
         for w in deps {
-            if self.executed.contains(&w) || !self.graph.contains_key(&w) {
+            if self.executed.contains(&w)
+                || self.baseline.contains(w)
+                || !self.graph.contains_key(&w)
+            {
                 continue;
             }
             if !self.indices.contains_key(&w) {

@@ -13,6 +13,26 @@
 //! The implementation mirrors the structure used for the CAESAR crate so the
 //! harness can swap protocols behind the same [`simnet::Process`] interface.
 //!
+//! # Quorums, conflicts and recovery
+//!
+//! * **Quorums.** Fast path: one `PreAccept` round over the optimized
+//!   egalitarian fast quorum of `F + ⌊(F+1)/2⌋` replicas *including the
+//!   leader* (3 of 5), two delays — but only if every reply carries
+//!   identical dependencies and sequence number. Slow path: a Paxos-Accept
+//!   round over a classic quorum of `⌊N/2⌋+1` (3 of 5), four delays.
+//! * **Conflict condition.** Two commands interfere when they access the
+//!   same key and at least one writes; only interfering commands appear in
+//!   each other's dependency sets.
+//! * **Recovery semantics (restart catch-up).** Execution is gated on the
+//!   dependency graph, so the resume point is the *set of applied command
+//!   ids*: `Process::on_state_transfer` absorbs the transferred,
+//!   floor-compacted `consensus_types::AppliedSummary` into the execution
+//!   graph as a baseline — dependency closures treat covered ids as
+//!   executed without materializing them — marks covered instances
+//!   `Executed`, and re-tries the committed roots that were blocked on
+//!   them. No slot cursor is needed (`Process::execution_cursor` stays
+//!   `Ids`).
+//!
 //! # Example
 //!
 //! ```

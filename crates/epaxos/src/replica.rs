@@ -5,7 +5,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 use consensus_types::{
     Ballot, Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec,
-    SimTime, Timestamp,
+    SimTime, StateTransfer, Timestamp,
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
@@ -659,16 +659,22 @@ impl Process for EpaxosReplica {
         }
     }
 
-    fn on_state_transfer(&mut self, applied: &[CommandId], ctx: &mut Context<'_, EpaxosMessage>) {
+    fn on_state_transfer(
+        &mut self,
+        transfer: &StateTransfer,
+        ctx: &mut Context<'_, EpaxosMessage>,
+    ) {
         // Commands covered by an installed snapshot count as executed, so
         // dependency closures stop waiting for them; committed instances
-        // blocked only on transferred dependencies execute now.
-        for &id in applied {
-            if let Some(instance) = self.instances.get_mut(&id) {
+        // blocked only on transferred dependencies execute now. The graph
+        // absorbs the floor-compacted summary as a baseline, so the
+        // O(history) id set is never materialized here.
+        for (id, instance) in self.instances.iter_mut() {
+            if transfer.contains(*id) {
                 instance.status = InstanceStatus::Executed;
             }
-            self.exec.mark_executed(id);
         }
+        self.exec.absorb_transfer(&transfer.applied);
         let pending: Vec<CommandId> = self
             .instances
             .iter()

@@ -31,6 +31,15 @@ impl KvStore {
         Self::default()
     }
 
+    /// The default [`consensus_core::state_machine::StateMachineFactory`]
+    /// every runtime config starts with: one fresh `KvStore` per replica.
+    /// Defined once here so the runtimes cannot drift onto different
+    /// defaults.
+    #[must_use]
+    pub fn factory() -> consensus_core::state_machine::StateMachineFactory {
+        std::sync::Arc::new(|_| Box::new(KvStore::new()))
+    }
+
     /// Applies a decided command. Returns the value read for `Get`
     /// operations, the previous value for `Put` operations, and `None` for
     /// no-ops or reads of missing keys.

@@ -9,6 +9,27 @@
 //! Unowned keys are acquired by the first proposer as part of the accept
 //! round.
 //!
+//! # Quorums, conflicts and recovery
+//!
+//! * **Quorums.** The key's owner commits through one Accept round over a
+//!   classic quorum of `⌊N/2⌋+1` replicas (3 of 5); acquiring an unowned
+//!   key rides the same round. There is no fast path.
+//! * **Conflict condition.** Two commands conflict when they touch the same
+//!   key; each key's commands are totally ordered by its owner's per-key
+//!   sequence numbers, while different keys proceed independently.
+//! * **Recovery semantics.** The execution gate is a per-object slot
+//!   vector: for every key, the next per-key sequence to execute.
+//!   [`simnet::Process::execution_cursor`] reports
+//!   [`consensus_types::ExecutionCursor::PerObject`] — one
+//!   [`consensus_types::ObjectCursor`] per key carrying the ownership
+//!   `(owner, epoch)`, the next-execute sequence, a `next_assign` lower
+//!   bound (so a restarted *owner* never reuses a sequence number its
+//!   previous incarnation assigned), and the decided-but-unexecuted
+//!   backlog. `on_state_transfer` restores the ownership table (a restarted
+//!   replica must know which keys it still owns, and who owns the rest, or
+//!   it would re-acquire keys and fork per-key orders), fast-forwards every
+//!   per-key cursor, installs backlogs and drains what became executable.
+//!
 //! # Example
 //!
 //! ```
@@ -31,8 +52,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use consensus_types::{
-    Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
-    Timestamp,
+    Command, CommandId, Decision, DecisionPath, ExecutionCursor, LatencyBreakdown, NodeId,
+    ObjectCursor, QuorumSpec, SimTime, StateTransfer, Timestamp,
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
@@ -289,6 +310,80 @@ impl Process for M2PaxosReplica {
             M2PaxosMessage::Commit { cmd, seq } => {
                 self.commit(cmd, seq, ctx);
             }
+        }
+    }
+
+    fn execution_cursor(&self) -> ExecutionCursor {
+        // One cursor per key this replica knows anything about: ownership,
+        // per-key sequence counters, or a decided backlog.
+        let mut keys: std::collections::BTreeSet<u64> = self.owners.keys().copied().collect();
+        keys.extend(self.next_exec.keys().copied());
+        keys.extend(self.next_seq.keys().copied());
+        keys.extend(self.committed.keys().copied());
+        let objects = keys
+            .into_iter()
+            .map(|key| {
+                let (owner, epoch) = self.owners.get(&key).copied().unwrap_or((self.id, 0));
+                let next_execute = self.next_exec.get(&key).copied().unwrap_or(0);
+                let decided_past = self
+                    .committed
+                    .get(&key)
+                    .and_then(|per_key| per_key.keys().next_back())
+                    .map_or(0, |seq| seq + 1);
+                let next_assign = self
+                    .next_seq
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(0)
+                    .max(next_execute)
+                    .max(decided_past);
+                let backlog = self
+                    .committed
+                    .get(&key)
+                    .map(|per_key| {
+                        per_key.range(next_execute..).map(|(s, c)| (*s, c.clone())).collect()
+                    })
+                    .unwrap_or_default();
+                ObjectCursor { key, owner, epoch, next_execute, next_assign, backlog }
+            })
+            .collect();
+        ExecutionCursor::PerObject { objects }
+    }
+
+    fn on_state_transfer(
+        &mut self,
+        transfer: &StateTransfer,
+        ctx: &mut Context<'_, M2PaxosMessage>,
+    ) {
+        let ExecutionCursor::PerObject { objects } = &transfer.cursor else { return };
+        for object in objects {
+            // Restore ownership (epoch 0 means the donor had no claim): a
+            // restarted replica must know which keys it still owns — and
+            // who owns the rest — or it would re-acquire keys and fork the
+            // per-key orders.
+            if object.epoch > 0 {
+                let entry = self.owners.entry(object.key).or_insert((object.owner, object.epoch));
+                if object.epoch >= entry.1 {
+                    *entry = (object.owner, object.epoch);
+                }
+            }
+            let next = self.next_exec.entry(object.key).or_insert(0);
+            *next = (*next).max(object.next_execute);
+            let cursor = *next;
+            let per_key = self.committed.entry(object.key).or_default();
+            for (seq, cmd) in &object.backlog {
+                per_key.entry(*seq).or_insert_with(|| cmd.clone());
+            }
+            // Sequences below the cursor are covered by the snapshot.
+            *per_key = per_key.split_off(&cursor);
+            if object.epoch > 0 && object.owner == self.id {
+                let seq = self.next_seq.entry(object.key).or_insert(0);
+                *seq = (*seq).max(object.next_assign);
+            }
+        }
+        let keys: Vec<u64> = objects.iter().map(|object| object.key).collect();
+        for key in keys {
+            self.execute_ready(key, ctx);
         }
     }
 

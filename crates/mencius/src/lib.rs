@@ -8,6 +8,35 @@
 //! the slowest node" (Section II of the CAESAR paper), which is the behaviour
 //! Figure 7 shows.
 //!
+//! # Quorums, conflicts and recovery
+//!
+//! * **Quorums.** A slot owner commits through a classic quorum of
+//!   `⌊N/2⌋+1` acknowledgements (3 of 5); *delivery* additionally needs
+//!   every earlier slot — including every other node's — resolved as a
+//!   command or a skip, which is what couples latency to the slowest peer.
+//! * **Conflict condition.** None. Slots interleave all proposers into one
+//!   total order regardless of what the commands touch.
+//! * **Recovery semantics.** The execution gate is the global slot cursor
+//!   plus per-leader skip frontiers. [`simnet::Process::execution_cursor`]
+//!   reports [`consensus_types::ExecutionCursor::RoundRobin`]: the
+//!   next-execute slot, the announced per-leader skip frontiers, per-leader
+//!   `next_own` reuse guards (the first slot each leader could safely use
+//!   next — a restarted replica resumes proposing there, past its previous
+//!   incarnation's slots), and the committed-but-unexecuted backlog.
+//!   `on_state_transfer` fast-forwards the cursor, installs frontiers and
+//!   backlog, and **broadcasts a fresh skip announcement** covering the
+//!   restarted node's own unused (and crashed in-flight) slots — that
+//!   announcement is what releases every peer stalled on the crashed
+//!   node's slot gap. There is no revocation: while a node is down, peers
+//!   keep committing but cannot execute past its first unused slot until
+//!   it returns (a ROADMAP follow-up). Caveat of this ballot-less
+//!   baseline: the post-restore skip unilaterally declares the crashed
+//!   incarnation's in-flight slots empty — a commit known to the donor
+//!   always rides the transfer backlog and beats the skip, but a commit
+//!   that reached only non-donating survivors resolves divergently (the
+//!   same scenario was a permanent stall before; real Mencius revokes
+//!   slots through a ballot, see `docs/RECOVERY.md`).
+//!
 //! # Example
 //!
 //! ```
@@ -30,8 +59,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use consensus_types::{
-    Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
-    Timestamp,
+    Command, CommandId, Decision, DecisionPath, ExecutionCursor, LatencyBreakdown, NodeId,
+    QuorumSpec, SimTime, StateTransfer, Timestamp,
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
@@ -273,6 +302,79 @@ impl Process for MenciusReplica {
         }
     }
 
+    fn execution_cursor(&self) -> ExecutionCursor {
+        let n = self.config.quorums.nodes() as u64;
+        // Reuse guards: for each leader, the first slot it owns strictly
+        // past everything this replica has seen proposed, committed or
+        // executed anywhere. A restarted replica resumes proposing at its
+        // own guard, so it can never collide with a slot its previous
+        // incarnation used (over-shooting only produces extra skips).
+        let seen_past = self
+            .max_seen_slot
+            .max(self.next_execute)
+            .max(self.next_own_slot)
+            .max(self.slots.keys().next_back().map_or(0, |slot| slot + 1))
+            + 1;
+        let next_own = (0..n)
+            .map(|leader| {
+                let start = seen_past.max(self.skip_frontier[leader as usize]);
+                first_owned_at_or_after(start, leader, n)
+            })
+            .collect();
+        ExecutionCursor::RoundRobin {
+            next_execute: self.next_execute,
+            skip_frontier: self.skip_frontier.clone(),
+            next_own,
+            backlog: self
+                .slots
+                .range(self.next_execute..)
+                .filter_map(|(slot, value)| match value {
+                    SlotValue::Command(cmd) => Some((*slot, cmd.clone())),
+                    SlotValue::Skip => None,
+                })
+                .collect(),
+        }
+    }
+
+    fn on_state_transfer(
+        &mut self,
+        transfer: &StateTransfer,
+        ctx: &mut Context<'_, MenciusMessage>,
+    ) {
+        let ExecutionCursor::RoundRobin { next_execute, skip_frontier, next_own, backlog } =
+            &transfer.cursor
+        else {
+            return;
+        };
+        let me = self.id.index();
+        // Learn the donor's committed-but-unexecuted slots and announced
+        // frontiers, then jump the cursor past what the snapshot covers.
+        for (slot, cmd) in backlog {
+            self.slots.entry(*slot).or_insert_with(|| SlotValue::Command(cmd.clone()));
+        }
+        self.next_execute = self.next_execute.max(*next_execute);
+        for (leader, &frontier) in skip_frontier.iter().enumerate().take(self.skip_frontier.len()) {
+            self.skip_frontier[leader] = self.skip_frontier[leader].max(frontier);
+        }
+        if let Some(&own) = next_own.get(me) {
+            self.next_own_slot = self.next_own_slot.max(own);
+        }
+        let horizon = next_own.iter().copied().max().unwrap_or(0);
+        self.max_seen_slot = self.max_seen_slot.max(self.next_execute).max(horizon);
+        // Our previous incarnation's unused (and crashed in-flight) slots
+        // below the reuse guard become skips; announcing them is what
+        // releases every peer stalled on our slot gap. Committed slots
+        // always beat a skip claim (the slots map wins in `resolved`).
+        if self.next_own_slot > self.skip_frontier[me] {
+            self.skip_frontier[me] = self.next_own_slot;
+            self.metrics.skips_sent += 1;
+            ctx.broadcast_others(MenciusMessage::Skip { below: self.next_own_slot });
+        }
+        // Slots below the cursor are covered by the restored snapshot.
+        self.slots = self.slots.split_off(&self.next_execute);
+        self.execute_ready(ctx);
+    }
+
     fn processing_cost(&self, msg: &MenciusMessage) -> SimTime {
         let base = self.config.message_cost_us;
         match msg {
@@ -284,6 +386,16 @@ impl Process for MenciusReplica {
 
     fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
         self.config.message_cost_us
+    }
+}
+
+/// The smallest slot `s >= start` with `s % n == leader`.
+fn first_owned_at_or_after(start: u64, leader: u64, n: u64) -> u64 {
+    let rem = start % n;
+    if rem <= leader {
+        start - rem + leader
+    } else {
+        start - rem + n + leader
     }
 }
 

@@ -9,6 +9,28 @@
 //! deploys it twice, with the leader in Ireland (close to a quorum) and in
 //! Mumbai (far from every quorum).
 //!
+//! # Quorums, conflicts and recovery
+//!
+//! * **Quorums.** Every slot commits through one Accept round over a classic
+//!   quorum of `⌊N/2⌋+1` replicas (3 of 5); there is no fast path — the
+//!   single leader already serializes everything.
+//! * **Conflict condition.** None. The leader assigns every command a slot
+//!   in one total order, so commuting commands pay the same latency as
+//!   conflicting ones.
+//! * **Recovery semantics.** The execution gate is a single slot cursor
+//!   (`next_execute` over the committed log).
+//!   [`simnet::Process::execution_cursor`] reports it as
+//!   [`consensus_types::ExecutionCursor::Log`] — the next-execute slot, a
+//!   `next_free` lower bound on slot assignment (so a restarted *leader*
+//!   can never reuse a slot its previous incarnation handed out), and the
+//!   committed-but-unexecuted backlog. `on_state_transfer` fast-forwards
+//!   `next_execute` past everything the snapshot covers, installs the
+//!   backlog, and drains whatever became executable; without it a restarted
+//!   replica would wait forever at the slot gap between its fresh log and
+//!   the cluster's. Leader *election* is out of scope (the evaluation keeps
+//!   the leader stable), so a crashed leader halts new commits until it
+//!   returns — but its restart recovers through the same cursor transfer.
+//!
 //! # Example
 //!
 //! ```
@@ -32,8 +54,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use consensus_types::{
-    Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec, SimTime,
-    Timestamp,
+    Command, CommandId, Decision, DecisionPath, ExecutionCursor, LatencyBreakdown, NodeId,
+    QuorumSpec, SimTime, StateTransfer, Timestamp,
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
@@ -243,6 +265,46 @@ impl Process for MultiPaxosReplica {
                 self.execute_ready(ctx);
             }
         }
+    }
+
+    fn execution_cursor(&self) -> ExecutionCursor {
+        // `next_free` must clear every slot this replica has seen used —
+        // assigned by it as leader, committed in its log, or executed — so
+        // a restarted leader resumes assignment past its previous life.
+        let next_free = self
+            .next_slot
+            .max(self.next_execute)
+            .max(self.log.keys().next_back().map_or(0, |slot| slot + 1));
+        ExecutionCursor::Log {
+            next_execute: self.next_execute,
+            next_free,
+            backlog: self
+                .log
+                .range(self.next_execute..)
+                .map(|(slot, cmd)| (*slot, cmd.clone()))
+                .collect(),
+        }
+    }
+
+    fn on_state_transfer(
+        &mut self,
+        transfer: &StateTransfer,
+        ctx: &mut Context<'_, MultiPaxosMessage>,
+    ) {
+        let ExecutionCursor::Log { next_execute, next_free, backlog } = &transfer.cursor else {
+            return;
+        };
+        // Learn the donor's committed-but-unexecuted suffix first, then jump
+        // the execution cursor past everything the snapshot already covers.
+        for (slot, cmd) in backlog {
+            self.log.entry(*slot).or_insert_with(|| cmd.clone());
+        }
+        self.next_execute = self.next_execute.max(*next_execute);
+        self.next_slot = self.next_slot.max(*next_free);
+        // Slots below the cursor are covered by the restored snapshot; keep
+        // the log bounded by dropping them.
+        self.log = self.log.split_off(&self.next_execute);
+        self.execute_ready(ctx);
     }
 
     fn processing_cost(&self, msg: &MultiPaxosMessage) -> SimTime {

@@ -80,7 +80,7 @@ impl NetConfig {
             delay: None,
             timer_scale: 1.0,
             max_in_flight: DEFAULT_IN_FLIGHT,
-            state_machine: Arc::new(|_| Box::new(KvStore::new())),
+            state_machine: KvStore::factory(),
             checkpoint_interval: 64,
             catch_up_timeout: Duration::from_secs(10),
         }
@@ -303,6 +303,12 @@ where
         if let Some(reader) = self.readers[index].take() {
             let _ = reader.join();
         }
+        // The new incarnation re-reports everything its snapshot transfer
+        // covers on the decision stream (restore completion publishes a
+        // synthesized batch); reset this node's sink so the stream shows
+        // the new incarnation's history exactly once instead of appending
+        // duplicates of the decisions the previous life already streamed.
+        self.decisions.lock().expect("decision map lock").insert(node, Vec::new());
         let addrs: Vec<SocketAddr> = self.replicas.iter().map(NetReplica::local_addr).collect();
 
         let mut replica_config = NetReplicaConfig::loopback(node, self.replicas.len());
@@ -318,14 +324,20 @@ where
         // reads served after the restart reflect pre-crash writes.
         replica_config.catch_up = true;
         let mut replica = NetReplica::spawn(replica_config, process)?;
-        replica.start(addrs.clone());
-        self.replicas[index] = replica;
 
-        // Fresh client connection + subscription; a new reader resumes the
-        // decision stream into the same per-node sink.
+        // Fresh client connection + subscription, established **before** the
+        // core loop starts: the restore's synthesized decision batch is
+        // published the moment a snapshot transfer completes, and the
+        // subscription must already be registered by then (the event loop
+        // has been accepting since `spawn`; the transfer cannot finish
+        // before the core loop even begins requesting it).
         let mut writer = connect_with_retry(addrs[index], Duration::from_secs(5))?;
         writer.set_nodelay(true)?;
         send_msg(&mut writer, &WireMessage::<P::Message>::Subscribe)?;
+        replica.start(addrs.clone());
+        self.replicas[index] = replica;
+
+        // A new reader resumes the decision stream into this node's sink.
         let read_half = writer.try_clone()?;
         let sink = Arc::clone(&self.decisions);
         let stop = Arc::clone(&self.reader_stop);

@@ -37,11 +37,17 @@
 //! restarted via [`NetCluster::restart_replica`] comes back empty,
 //! broadcasts [`WireMessage::SnapshotRequest`], installs the first complete
 //! [`WireMessage::SnapshotChunk`] transfer (checkpoint + suffix replay +
-//! the donor's dedup window), tells its protocol which commands are covered
-//! (`Process::on_state_transfer`), and then serves reads that reflect
-//! pre-crash writes. While restoring it fails client requests fast with an
-//! abort; submissions to a replica the orchestrator stopped fail at submit
-//! time.
+//! the donor's dedup window), and hands its protocol a
+//! `consensus_types::StateTransfer` (`Process::on_state_transfer`): the
+//! floor-compacted applied-id summary plus the donor's execution cursor, so
+//! dependency-tracked protocols (CAESAR, EPaxos) stop waiting on covered
+//! ids and slot-based ones (Multi-Paxos, Mencius, M²Paxos) fast-forward
+//! their next-execute slot / per-leader slots / per-object slot vectors
+//! instead of stalling at their slot gap. All five protocols then serve
+//! reads that reflect pre-crash writes (`tests/restart_catch_up.rs` runs
+//! the matrix). While restoring a replica fails client requests fast with
+//! an abort; submissions to a replica the orchestrator stopped fail at
+//! submit time. The full lifecycle is documented in `docs/RECOVERY.md`.
 //!
 //! The event-loop internals replaced the seed's thread-per-link blocking
 //! I/O precisely because the paper's headline result is throughput at scale:

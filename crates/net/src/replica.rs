@@ -33,21 +33,28 @@
 //! # Snapshot-based state transfer
 //!
 //! The core loop checkpoints its state machine every
-//! [`NetReplicaConfig::checkpoint_interval`] applied commands (snapshot
-//! bytes + watermark) and retains the commands applied since in a suffix
-//! log. A replica started with [`NetReplicaConfig::catch_up`] — which is
-//! how `NetCluster::restart_replica` brings a crashed node back — begins in
+//! [`NetReplicaConfig::checkpoint_interval`] applied commands — snapshot
+//! bytes, the floor-compacted `AppliedSummary` of the ids it covers, and
+//! the protocol's `ExecutionCursor` at cut time — and retains the commands
+//! applied since in a suffix log. A replica started with
+//! [`NetReplicaConfig::catch_up`] — which is how
+//! `NetCluster::restart_replica` brings a crashed node back — begins in
 //! a *restoring* state: it broadcasts [`WireMessage::SnapshotRequest`] to
 //! its peers, and each live peer answers with
 //! [`WireMessage::SnapshotChunk`] frames carrying its latest checkpoint
-//! plus the decided suffix. The first complete transfer wins: the replica
-//! `restore`s the snapshot, replays the suffix, seeds its applied-id set
-//! and the protocol's dependency tracking from the transfer, and only then
-//! starts applying the executions its own process produced (buffered while
-//! restoring; commands already covered are deduplicated by id). While restoring, client requests are refused with an immediate
-//! [`Event::ClientAbort`] — fail fast, never hang — and if no transfer
-//! completes within [`NetReplicaConfig::catch_up_timeout`] the replica
-//! gives up and serves with whatever it has (the pre-transfer behaviour).
+//! plus the decided suffix and a donation-time cursor. The first complete
+//! transfer wins: the replica `restore`s the snapshot, replays the suffix,
+//! seeds its applied-id summary from the transfer, hands the protocol a
+//! `StateTransfer` through `Process::on_state_transfer` (dependency
+//! tracking learns what is covered; slot cursors fast-forward past the
+//! restored state), and only then starts applying the executions its own
+//! process produced (buffered while restoring; commands already covered
+//! are deduplicated by id). While restoring, client requests are refused
+//! with an immediate [`Event::ClientAbort`] — fail fast, never hang — and
+//! if no transfer completes within [`NetReplicaConfig::catch_up_timeout`]
+//! the replica gives up and serves with whatever it has (the pre-transfer
+//! behaviour). A full walk-through of the lifecycle lives in
+//! `docs/RECOVERY.md` at the repository root.
 
 use std::collections::{HashMap, HashSet};
 use std::io;
@@ -59,7 +66,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use consensus_core::state_machine::{StateMachine, StateMachineFactory};
-use consensus_types::{Command, CommandId, Execution, NodeId, SimTime};
+use consensus_types::{
+    AppliedSummary, Command, CommandId, Decision, DecisionPath, Execution, ExecutionCursor,
+    LatencyBreakdown, NodeId, SimTime, StateTransfer, Timestamp,
+};
 use kvstore::KvStore;
 use simnet::{Context, LatencyMatrix, Process};
 
@@ -163,7 +173,7 @@ impl NetReplicaConfig {
             timer_scale: 1.0,
             reconnect_backoff: Duration::from_millis(10),
             epoch: Instant::now(),
-            state_machine: Arc::new(|_| Box::new(KvStore::new())),
+            state_machine: KvStore::factory(),
             checkpoint_interval: 64,
             catch_up: false,
             catch_up_timeout: Duration::from_secs(10),
@@ -369,7 +379,8 @@ where
             } else {
                 None
             },
-            applied: AppliedIds::default(),
+            applied: AppliedSummary::default(),
+            watermark: 0,
             stats: Arc::clone(&self.stats),
             reply_wanted: HashSet::new(),
             subscribers: Arc::clone(&self.subscriber_count),
@@ -442,45 +453,22 @@ impl<M> TimerWheel<M> {
     }
 }
 
-/// The ids of every command this replica has applied, in apply order.
-/// Applying a command twice forks a replica's state machine away from its
-/// peers, and after a crash/restart duplicates are real: the snapshot a
-/// restarted replica installs covers commands that surviving peers *also*
-/// redeliver as queued protocol traffic once their links reconnect. Every
-/// apply goes through this set, and a checkpoint serializes it alongside
-/// the snapshot so the receiver inherits the complete dedup (and
-/// dependency-satisfaction) knowledge with the state — a transfer that
-/// shipped only a recent window would leave the receiver's protocol layer
-/// waiting forever on any dependency older than the window.
-///
-/// The set is O(history), like the protocols' own executed-id tracking;
-/// compacting both to per-origin floors is a ROADMAP item.
-#[derive(Default)]
-struct AppliedIds {
-    set: HashSet<CommandId>,
-    order: Vec<CommandId>,
-}
-
-impl AppliedIds {
-    fn contains(&self, id: CommandId) -> bool {
-        self.set.contains(&id)
-    }
-
-    fn insert(&mut self, id: CommandId) {
-        if self.set.insert(id) {
-            self.order.push(id);
-        }
-    }
-
-    /// Every applied id, oldest first (what a checkpoint serializes).
-    fn ids(&self) -> &[CommandId] {
-        &self.order
-    }
-}
-
 /// The latest checkpoint: the serialized transfer payload — state-machine
-/// snapshot bytes paired with the ids it covers — plus the watermark.
-/// `payload` is reference-counted so donating never copies it.
+/// snapshot bytes paired with the floor-compacted [`AppliedSummary`] of the
+/// ids it covers and the protocol's [`ExecutionCursor`] at cut time — plus
+/// the watermark. `payload` is reference-counted so donating never copies
+/// it.
+///
+/// The applied-id summary exists because applying a command twice forks a
+/// replica's state machine away from its peers, and after a crash/restart
+/// duplicates are real: the snapshot a restarted replica installs covers
+/// commands that surviving peers *also* redeliver as queued protocol
+/// traffic once their links reconnect. Every apply consults the summary,
+/// and shipping it with the snapshot hands the receiver the complete dedup
+/// (and dependency-satisfaction) knowledge — a transfer that shipped only a
+/// recent window would leave the receiver's protocol layer waiting forever
+/// on any dependency older than the window. Thanks to per-origin run
+/// compaction the payload is O(replicas + clients), not O(history).
 #[derive(Clone)]
 struct Checkpoint {
     applied_through: u64,
@@ -494,6 +482,21 @@ struct DonorTransfer {
     received: u32,
     chunks: Vec<Option<Vec<u8>>>,
     suffix: Vec<Command>,
+    /// The donor's execution cursor at donation time (last chunk only;
+    /// consistent with snapshot + suffix).
+    cursor: ExecutionCursor,
+}
+
+/// The fields of one [`WireMessage::SnapshotChunk`], regrouped so the core
+/// loop can pass them around as a unit.
+struct ChunkFields {
+    from: NodeId,
+    applied_through: u64,
+    seq: u32,
+    total: u32,
+    bytes: Vec<u8>,
+    suffix: Vec<Command>,
+    cursor: ExecutionCursor,
 }
 
 /// The catching-up phase of a restarted replica: requests are out, chunks
@@ -531,10 +534,16 @@ struct CoreLoop<P: Process> {
     suffix_log: Vec<Command>,
     /// `Some` while this replica is catching up from a peer snapshot.
     restore: Option<RestoreState>,
-    /// Every id this replica has applied; consulted and fed on every apply
-    /// so a redelivered decision (reconnect replay after a crash) cannot be
-    /// applied twice.
-    applied: AppliedIds,
+    /// Every id this replica has applied, floor-compacted; consulted and
+    /// fed on every apply so a redelivered decision (reconnect replay after
+    /// a crash) cannot be applied twice.
+    applied: AppliedSummary,
+    /// The highest state-machine watermark this loop has observed. The
+    /// machine only ever moves forward — a regression means a restore or a
+    /// replay mis-ordered against live applies, which would let a client
+    /// reply observe a cursor ahead of `applied_through` — so the core loop
+    /// asserts monotonicity at every step that touches the machine.
+    watermark: u64,
     stats: Arc<NetReplicaStats>,
     /// Commands submitted to **this** replica as `ClientRequest`s, i.e. the
     /// only ones a connection here may be waiting on. Every replica executes
@@ -671,14 +680,17 @@ where
                 self.process.on_client_command(cmd, &mut ctx);
             }
             WireMessage::SnapshotRequest { from } => self.serve_snapshot(from),
-            WireMessage::SnapshotChunk { from, applied_through, seq, total, bytes, suffix } => {
+            WireMessage::SnapshotChunk {
+                from,
+                applied_through,
+                seq,
+                total,
+                bytes,
+                suffix,
+                cursor,
+            } => {
                 self.accept_chunk(
-                    from,
-                    applied_through,
-                    seq,
-                    total,
-                    bytes,
-                    suffix,
+                    ChunkFields { from, applied_through, seq, total, bytes, suffix, cursor },
                     outbox,
                     new_timers,
                     executions,
@@ -759,17 +771,35 @@ where
         }
         let mut cmds: Vec<IoCmd> = Vec::with_capacity(executions.len() + 1);
         let mut batch = Vec::with_capacity(executions.len());
-        {
+        let watermark = {
             let mut machine = self.machine.lock().expect("state machine lock");
             for execution in executions.drain(..) {
                 let id = execution.command.id();
                 if self.applied.contains(id) {
                     // Already applied — through catch-up replay, or as a
                     // redelivered decision after a reconnect. Applying it
-                    // again would fork this replica's state machine. The
-                    // decision still counts: the command did execute here.
-                    self.reply_wanted.remove(&id);
-                    batch.push(execution.decision);
+                    // again would fork this replica's state machine, and
+                    // its decision was already published (on first apply,
+                    // or in the restore's synthesized transfer batch), so
+                    // re-pushing it would duplicate the stream. A
+                    // connection waiting on it (a client that reused an
+                    // id, e.g. reconnecting with a stale sequence base)
+                    // gets an explicit abort — the output its submission
+                    // would have produced is unknowable now, and silence
+                    // would hang its ticket until the session timeout.
+                    if self.reply_wanted.remove(&id) {
+                        let abort = Event::ClientAbort {
+                            from: self.id,
+                            command: id,
+                            reason: "command id was already applied here (duplicate \
+                                     submission or reused sequence); resubmit with a \
+                                     fresh id"
+                                .to_string(),
+                        };
+                        if let Ok(frame) = frame_bytes(&abort) {
+                            cmds.push(IoCmd::ClientReply { command: id, frame });
+                        }
+                    }
                     continue;
                 }
                 let output = machine.apply(&execution.command);
@@ -788,7 +818,9 @@ where
                 }
                 batch.push(execution.decision);
             }
-        }
+            machine.applied_through()
+        };
+        self.observe_watermark(watermark);
         if self.subscribers.load(Ordering::Relaxed) > 0 {
             let event = Event::Decisions { from: self.id, batch };
             if let Ok(frame) = frame_bytes(&event) {
@@ -803,16 +835,35 @@ where
 
     // ---- snapshot-based state transfer ----------------------------------
 
-    /// Snapshots the state machine (plus the applied-id set it covers) as
-    /// the new checkpoint payload and resets the suffix log — the pair must
-    /// stay consistent: the log holds exactly the commands applied after
-    /// the checkpoint watermark.
+    /// Asserts that the state machine's watermark never moves backwards as
+    /// observed by this loop — the regression guard behind the
+    /// "replies must never observe a cursor ahead of `applied_through`"
+    /// invariant of restart catch-up.
+    fn observe_watermark(&mut self, watermark: u64) {
+        assert!(
+            watermark >= self.watermark,
+            "replica {} state-machine watermark regressed: {} -> {}",
+            self.id,
+            self.watermark,
+            watermark
+        );
+        self.watermark = watermark;
+    }
+
+    /// Snapshots the state machine (plus the floor-compacted applied-id
+    /// summary it covers and the protocol's execution cursor) as the new
+    /// checkpoint payload and resets the suffix log — the triple must stay
+    /// consistent: the log holds exactly the commands applied after the
+    /// checkpoint watermark, and the cursor is the protocol's resume point
+    /// for precisely that state.
     fn cut_checkpoint(&mut self) {
         let machine = self.machine.lock().expect("state machine lock");
         let snapshot = machine.snapshot();
         let applied_through = machine.applied_through();
         drop(machine);
-        let payload = bincode::serialize(&(snapshot, self.applied.ids()))
+        self.observe_watermark(applied_through);
+        let cursor = self.process.execution_cursor();
+        let payload = bincode::serialize(&(snapshot, &self.applied, cursor))
             .expect("checkpoint payload serializes");
         self.checkpoint = Some(Checkpoint { applied_through, payload: Arc::new(payload) });
         self.suffix_log.clear();
@@ -853,6 +904,9 @@ where
         }
         let checkpoint = self.checkpoint.clone().expect("checkpoint just cut");
         let suffix = self.suffix_log.clone();
+        // Donation-time cursor: consistent with snapshot *plus* suffix, so
+        // the receiver's protocol resumes past everything it replays.
+        let cursor = self.process.execution_cursor();
         let bytes = &checkpoint.payload;
         let total = (bytes.len().div_ceil(SNAPSHOT_CHUNK)).max(1) as u32;
         let now = Instant::now();
@@ -865,15 +919,41 @@ where
             let start = seq as usize * SNAPSHOT_CHUNK;
             let end = (start + SNAPSHOT_CHUNK).min(bytes.len());
             let last = seq + 1 == total;
-            let chunk = WireMessage::<P::Message>::SnapshotChunk {
-                from: self.id,
-                applied_through: checkpoint.applied_through,
-                seq,
-                total,
-                bytes: bytes[start..end].to_vec(),
-                suffix: if last { suffix.clone() } else { Vec::new() },
+            // The last chunk's suffix is bounded by the checkpoint interval,
+            // but the cursor's decided backlog is not (a Mencius donor
+            // stalled on the crashed node's slot gap accumulates one entry
+            // per downtime commit). If the frame would exceed the wire's
+            // cap, shed backlog from the tail until it fits — the receiver
+            // executes in slot order, so a truncated tail degrades to the
+            // down-queue redelivery path instead of an invisible, silently
+            // dropped transfer that stalls the whole restore.
+            let mut send_cursor = if last { cursor.clone() } else { ExecutionCursor::Ids };
+            let frame = loop {
+                let chunk = WireMessage::<P::Message>::SnapshotChunk {
+                    from: self.id,
+                    applied_through: checkpoint.applied_through,
+                    seq,
+                    total,
+                    bytes: bytes[start..end].to_vec(),
+                    suffix: if last { suffix.clone() } else { Vec::new() },
+                    cursor: send_cursor.clone(),
+                };
+                match frame_bytes(&chunk) {
+                    Ok(frame) => break Some(frame),
+                    Err(_) => {
+                        let backlog = send_cursor.backlog_len();
+                        if backlog == 0 {
+                            // Even the backlog-free frame is oversized
+                            // (enormous commands?): surface it as a drop
+                            // instead of vanishing silently.
+                            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                            break None;
+                        }
+                        send_cursor.truncate_backlog(backlog / 2);
+                    }
+                }
             };
-            if let Ok(frame) = frame_bytes(&chunk) {
+            if let Some(frame) = frame {
                 self.stats.snapshot_bytes_sent.fetch_add((end - start) as u64, Ordering::Relaxed);
                 cmds.push(IoCmd::SendPeer { to, deliver_at, frame });
             }
@@ -883,19 +963,14 @@ where
     }
 
     /// Assembles one donor's transfer; the first donor to complete wins.
-    #[allow(clippy::too_many_arguments)] // mirrors the wire frame's fields
     fn accept_chunk(
         &mut self,
-        from: NodeId,
-        applied_through: u64,
-        seq: u32,
-        total: u32,
-        bytes: Vec<u8>,
-        suffix: Vec<Command>,
+        chunk: ChunkFields,
         outbox: &mut Vec<(NodeId, P::Message)>,
         new_timers: &mut Vec<(SimTime, P::Message)>,
         executions: &mut Vec<Execution>,
     ) {
+        let ChunkFields { from, applied_through, seq, total, bytes, suffix, cursor } = chunk;
         let Some(restore) = &mut self.restore else {
             return; // not restoring (late or duplicate transfer): ignore
         };
@@ -908,6 +983,7 @@ where
             received: 0,
             chunks: vec![None; total as usize],
             suffix: Vec::new(),
+            cursor: ExecutionCursor::Ids,
         });
         if donor.total != total || donor.applied_through != applied_through {
             return; // frames from two different transfers of one donor
@@ -918,6 +994,7 @@ where
         donor.chunks[seq as usize] = Some(bytes);
         if seq + 1 == total {
             donor.suffix = suffix;
+            donor.cursor = cursor;
         }
         if donor.received == donor.total {
             self.finish_restore(from, outbox, new_timers, executions);
@@ -945,15 +1022,15 @@ where
         for chunk in donor.chunks {
             payload.extend_from_slice(&chunk.expect("transfer complete"));
         }
-        let Ok((snapshot, covered_ids)) =
-            bincode::deserialize::<(Vec<u8>, Vec<CommandId>)>(&payload)
+        let Ok((snapshot, covered, checkpoint_cursor)) =
+            bincode::deserialize::<(Vec<u8>, AppliedSummary, ExecutionCursor)>(&payload)
         else {
             // Broken donor: stay in the restoring state and wait for
             // another transfer (or the deadline).
             self.restore = Some(restore);
             return;
         };
-        {
+        let watermark = {
             let mut machine = self.machine.lock().expect("state machine lock");
             if machine.restore(&snapshot).is_err() {
                 drop(machine);
@@ -963,24 +1040,72 @@ where
             for cmd in &donor.suffix {
                 machine.apply(cmd);
             }
-        }
+            machine.applied_through()
+        };
+        // The restored watermark must land exactly where the transfer
+        // claims (snapshot coverage + replayed suffix) — and, like every
+        // other step, never behind anything this loop already observed.
+        self.observe_watermark(watermark);
+        assert!(
+            watermark >= donor.applied_through,
+            "replica {} restored watermark {watermark} behind the donated checkpoint {}",
+            self.id,
+            donor.applied_through
+        );
         // Inherit the donor's dedup knowledge: everything its snapshot and
         // suffix cover counts as applied here, so redelivered crash-time
         // decisions (reconnecting peers drain their down-queues into this
-        // replica) are skipped, not applied twice.
-        let mut transferred = covered_ids;
-        transferred.extend(donor.suffix.iter().map(Command::id));
-        for &id in &transferred {
-            self.applied.insert(id);
-        }
+        // replica) are skipped, not applied twice. The donation-time cursor
+        // covers the suffix the checkpoint-time cursor predates; merging
+        // keeps whichever claim is further along.
+        let mut transfer =
+            StateTransfer { applied: covered, cursor: checkpoint_cursor.merge(donor.cursor) };
+        transfer.applied.extend(donor.suffix.iter().map(Command::id));
+        self.applied.merge(&transfer.applied);
         // The protocol layer needs the same knowledge: a later command whose
         // dependency set names a transferred command must not wait for a
-        // local execution that will never happen.
+        // local execution that will never happen, and a slot-based
+        // protocol's execution cursor must fast-forward past the restored
+        // state instead of stalling at its slot gap.
         {
             let now = self.now_us();
             let mut ctx =
                 Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
-            self.process.on_state_transfer(&transferred, &mut ctx);
+            self.process.on_state_transfer(&transfer, &mut ctx);
+        }
+        // Report the transferred executions on the decision stream. The
+        // protocol layer will never re-deliver a command the transfer
+        // covers (its dependency tracking / slot cursor now counts it as
+        // executed), so without this a subscriber that counts on the
+        // stream being gap-free waits forever for executions that already
+        // happened — a real race pre-fix: a command decided *during* the
+        // transfer landed in the donated snapshot and then never appeared
+        // on the restarted replica's stream. The synthesized records carry
+        // the transfer-completion time and no protocol timestamps. The
+        // enumeration is O(history) but runs once per restore; emitting
+        // bounded frames keeps any single one far from MAX_FRAME_LEN (one
+        // giant frame would be silently unsendable).
+        if self.subscribers.load(Ordering::Relaxed) > 0 {
+            let now = self.now_us();
+            let mut cmds: Vec<IoCmd> = Vec::new();
+            for window in transfer.applied.ids().chunks(4096) {
+                let batch: Vec<Decision> = window
+                    .iter()
+                    .map(|&id| Decision {
+                        command: id,
+                        timestamp: Timestamp::ZERO,
+                        path: DecisionPath::Ordered,
+                        proposed_at: now,
+                        executed_at: now,
+                        breakdown: LatencyBreakdown::default(),
+                    })
+                    .collect();
+                let event = Event::Decisions { from: self.id, batch };
+                if let Ok(frame) = frame_bytes(&event) {
+                    cmds.push(IoCmd::Publish { frame });
+                }
+            }
+            self.io.push_many(cmds);
         }
         self.stats.catch_up_replayed.fetch_add(donor.suffix.len() as u64, Ordering::Relaxed);
         self.stats.catch_ups_completed.fetch_add(1, Ordering::Relaxed);

@@ -30,7 +30,7 @@
 
 use std::io::{self, Read, Write};
 
-use consensus_types::{Command, CommandId, Decision, NodeId};
+use consensus_types::{Command, CommandId, Decision, ExecutionCursor, NodeId};
 
 /// Upper bound on a frame payload, guarding against corrupt length prefixes.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
@@ -130,16 +130,21 @@ pub enum WireMessage<M> {
     },
     /// One chunk of a state-transfer payload, answering a
     /// [`WireMessage::SnapshotRequest`]. The payload is the donor's
-    /// checkpoint — its state-machine snapshot bytes *plus* the full set of
-    /// command ids that snapshot covers, serialized together — and chunks
-    /// `0..total` carry it in order, each bounded in size. The **last**
-    /// chunk additionally carries the suffix of commands the donor applied
-    /// after the snapshot watermark, which the receiver replays after
-    /// restoring. The id set is what makes recovery exact: the receiver
-    /// seeds its dedup knowledge (and its protocol's dependency tracking)
-    /// from it, so redelivered crash-time decisions are never
-    /// double-applied and later commands never wait on dependencies the
-    /// snapshot already covers.
+    /// checkpoint — its state-machine snapshot bytes *plus* the
+    /// floor-compacted summary of command ids that snapshot covers *plus*
+    /// the protocol execution cursor captured when the checkpoint was cut,
+    /// serialized together — and chunks `0..total` carry it in order, each
+    /// bounded in size. The **last** chunk additionally carries the suffix
+    /// of commands the donor applied after the snapshot watermark (which
+    /// the receiver replays after restoring) and a fresh execution cursor
+    /// captured at donation time, covering that suffix. The id summary is
+    /// what makes recovery exact: the receiver seeds its dedup knowledge
+    /// (and its protocol's dependency tracking) from it, so redelivered
+    /// crash-time decisions are never double-applied and later commands
+    /// never wait on dependencies the snapshot already covers. The cursor
+    /// is what lets slot-based protocols resume: the receiver's process
+    /// fast-forwards its execution gate past the transferred state instead
+    /// of stalling at its slot gap (see `Process::on_state_transfer`).
     SnapshotChunk {
         /// The donating replica.
         from: NodeId,
@@ -155,6 +160,10 @@ pub enum WireMessage<M> {
         /// On the last chunk only: commands applied after the snapshot, in
         /// execution order.
         suffix: Vec<Command>,
+        /// On the last chunk only: the donor's execution cursor as of
+        /// donation time (consistent with snapshot + suffix). Earlier
+        /// chunks carry the empty [`ExecutionCursor::Ids`].
+        cursor: ExecutionCursor,
     },
     /// Orderly shutdown request.
     Shutdown,
@@ -225,7 +234,15 @@ impl<M: serde::Serialize> serde::Serialize for WireMessage<M> {
                 serde::write_variant_tag(out, 7);
                 from.serialize(out);
             }
-            WireMessage::SnapshotChunk { from, applied_through, seq, total, bytes, suffix } => {
+            WireMessage::SnapshotChunk {
+                from,
+                applied_through,
+                seq,
+                total,
+                bytes,
+                suffix,
+                cursor,
+            } => {
                 serde::write_variant_tag(out, 8);
                 from.serialize(out);
                 applied_through.serialize(out);
@@ -233,6 +250,7 @@ impl<M: serde::Serialize> serde::Serialize for WireMessage<M> {
                 total.serialize(out);
                 bytes.serialize(out);
                 suffix.serialize(out);
+                cursor.serialize(out);
             }
         }
     }
@@ -259,6 +277,7 @@ impl<M: serde::Deserialize> serde::Deserialize for WireMessage<M> {
                 total: u32::deserialize(input)?,
                 bytes: Vec::deserialize(input)?,
                 suffix: Vec::deserialize(input)?,
+                cursor: ExecutionCursor::deserialize(input)?,
             }),
             other => Err(serde::Error::unknown_variant("WireMessage", other)),
         }
@@ -552,6 +571,11 @@ mod tests {
                 total: 3,
                 bytes: vec![1, 2, 3, 250, 0],
                 suffix: vec![cmd],
+                cursor: ExecutionCursor::Log {
+                    next_execute: 640,
+                    next_free: 650,
+                    backlog: Vec::new(),
+                },
             },
         ];
         for msg in &messages {

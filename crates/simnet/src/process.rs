@@ -1,7 +1,9 @@
 //! The [`Process`] trait implemented by every replica, and the [`Context`]
 //! handle it uses to interact with the simulated network.
 
-use consensus_types::{Command, CommandId, Decision, Execution, NodeId, SimTime};
+use consensus_types::{
+    Command, Decision, Execution, ExecutionCursor, NodeId, SimTime, StateTransfer,
+};
 
 /// Actions a process can take while handling an event. The simulator hands a
 /// fresh `Context` to every callback and turns the buffered actions into
@@ -128,24 +130,39 @@ pub trait Process {
         ctx: &mut Context<'_, Self::Message>,
     );
 
+    /// The protocol's execution resume point, captured by the runtime when
+    /// it cuts a checkpoint (and again when it donates one): everything a
+    /// restarted peer needs to fast-forward its execution gate past the
+    /// state the snapshot covers. Dependency-tracked protocols (CAESAR,
+    /// EPaxos) keep the default — their applied-id summary is the whole
+    /// resume point — while slot-based protocols (Multi-Paxos, Mencius,
+    /// M²Paxos) return their slot cursors plus the decided-but-unexecuted
+    /// backlog.
+    fn execution_cursor(&self) -> ExecutionCursor {
+        ExecutionCursor::Ids
+    }
+
     /// Called after the runtime installed a state-machine snapshot (state
-    /// transfer into a restarted replica): `applied` are the ids of
-    /// commands whose effects the snapshot already covers. Protocols that
-    /// gate execution on per-command dependencies (CAESAR's predecessor
-    /// sets, EPaxos's dependency graph) must mark these as executed, or
-    /// later commands that list them as dependencies wait forever.
-    /// Commands that become deliverable as a result flow through
-    /// [`Context::deliver`] like any other execution (the runtime
-    /// deduplicates anything the snapshot already covered).
+    /// transfer into a restarted replica). `transfer.applied` is the
+    /// (floor-compacted) set of command ids whose effects the restored
+    /// state already covers, and `transfer.cursor` is the donor's
+    /// [`Process::execution_cursor`].
     ///
-    /// Slot-based protocols (Multi-Paxos, Mencius, M²Paxos) cannot recover
-    /// through this id-based hook: their execution cursor is a slot index,
-    /// which a fresh replica would need transferred alongside the snapshot
-    /// (a ROADMAP item). They keep the default no-op, and restart +
-    /// catch-up is currently supported for the dependency-tracked
-    /// protocols.
-    fn on_state_transfer(&mut self, applied: &[CommandId], ctx: &mut Context<'_, Self::Message>) {
-        let _ = (applied, ctx);
+    /// Protocols that gate execution on per-command dependencies (CAESAR's
+    /// predecessor sets, EPaxos's dependency graph) must count the covered
+    /// ids as executed, or later commands that list them as dependencies
+    /// wait forever. Slot-based protocols (Multi-Paxos, Mencius, M²Paxos)
+    /// must fast-forward their execution cursor to the transferred one and
+    /// install the decided backlog, or they stall at their slot gap
+    /// forever. Commands that become deliverable as a result flow through
+    /// [`Context::deliver`] like any other execution (the runtime
+    /// deduplicates anything the transfer already covered).
+    fn on_state_transfer(
+        &mut self,
+        transfer: &StateTransfer,
+        ctx: &mut Context<'_, Self::Message>,
+    ) {
+        let _ = (transfer, ctx);
     }
 
     /// Simulated CPU cost, in microseconds, of handling `msg`. The simulator

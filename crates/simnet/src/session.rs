@@ -68,7 +68,7 @@ where
     /// Wraps `sim`, allowing at most `capacity` commands in flight.
     #[must_use]
     pub fn with_capacity(sim: Simulator<P>, capacity: usize) -> Self {
-        Self::with_state_machines(sim, capacity, Arc::new(|_| Box::new(KvStore::new())))
+        Self::with_state_machines(sim, capacity, KvStore::factory())
     }
 
     /// Wraps `sim` with a custom per-replica state machine: `factory` is

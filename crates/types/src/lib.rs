@@ -14,6 +14,9 @@
 //!   the test-suite to check the Consistency property.
 //! * [`Decision`], [`DecisionPath`] — what a replica reports when a command
 //!   becomes stable and executes.
+//! * [`StateTransfer`] / [`AppliedSummary`] / [`ExecutionCursor`] — the
+//!   resume point snapshot-based state transfer hands a restarted replica's
+//!   protocol layer (compact applied-id set plus a per-protocol slot cursor).
 //!
 //! # Example
 //!
@@ -40,6 +43,7 @@ mod error;
 mod id;
 mod quorum;
 mod timestamp;
+mod transfer;
 
 pub use ballot::Ballot;
 pub use command::{Command, CommandId, ConflictKey, Operation};
@@ -49,6 +53,7 @@ pub use error::{ConsensusError, Result};
 pub use id::NodeId;
 pub use quorum::QuorumSpec;
 pub use timestamp::Timestamp;
+pub use transfer::{AppliedSummary, ExecutionCursor, ObjectCursor, StateTransfer};
 
 /// Simulated time in microseconds since the start of an experiment.
 ///

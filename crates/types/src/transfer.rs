@@ -1,0 +1,595 @@
+//! State-transfer summaries: the resume point a restarted replica installs.
+//!
+//! Snapshot-based catch-up (the `net` runtime's `SnapshotRequest` /
+//! `SnapshotChunk` flow, see `docs/RECOVERY.md`) has to tell the restarted
+//! replica's **protocol layer** what the transferred state already covers.
+//! Two different kinds of protocol need two different answers:
+//!
+//! * dependency-tracked protocols (CAESAR, EPaxos) gate execution on *sets of
+//!   command ids* — they need to know which ids are applied so dependency
+//!   closures stop waiting for them;
+//! * slot-based protocols (Multi-Paxos, Mencius, M²Paxos) gate execution on a
+//!   *cursor* — the next log slot (or per-leader / per-object slot vector) to
+//!   execute — and must fast-forward it past everything the snapshot covers,
+//!   or they stall at their slot gap forever.
+//!
+//! [`StateTransfer`] carries both: an [`AppliedSummary`] (the applied-id set,
+//! compacted to per-origin runs of contiguous sequences — the 1-anchored
+//! leading run is the classic *floor*, later runs are the run-length-encoded
+//! residue — so a checkpoint ships O(replicas + runs) data instead of
+//! O(history)) and a protocol-defined [`ExecutionCursor`] captured by the
+//! donor's core loop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Command, CommandId, NodeId};
+
+/// A compact, **exact** representation of a set of applied [`CommandId`]s.
+///
+/// Command ids are `(origin, sequence)` pairs allocated in dense ascending
+/// blocks: client sessions count from 1 (see `consensus_core::session`),
+/// external `ReplicaClient`s from a caller-chosen base (500 000, …). The
+/// summary therefore stores, per origin, a sorted list of disjoint
+/// inclusive **runs** `(start, end)` of applied sequences. The 1-anchored
+/// leading run is the classic per-origin *floor* ([`AppliedSummary::floor`]);
+/// any later runs are the residue — out-of-order tails and
+/// disjoint-base clients — kept run-length-encoded so even a client that
+/// numbers from 500 000 costs one run, not one entry per command.
+/// Membership, insertion and serialization are all O(runs), not
+/// O(history).
+///
+/// The representation is exact: [`AppliedSummary::contains`] is true for
+/// precisely the ids inserted, never a superset — over-claiming an id as
+/// applied would make a replica silently skip a future execution and fork
+/// its state machine.
+///
+/// # Example
+///
+/// ```
+/// use consensus_types::{AppliedSummary, CommandId, NodeId};
+///
+/// let mut s = AppliedSummary::new();
+/// for seq in [2, 1, 3, 7] {
+///     s.insert(CommandId::new(NodeId(0), seq));
+/// }
+/// assert_eq!(s.floor(NodeId(0)), 3); // 1..=3 are contiguous
+/// assert_eq!(s.run_count(), 2); // the floor run and {7}
+/// assert!(s.contains(CommandId::new(NodeId(0), 2)));
+/// assert!(!s.contains(CommandId::new(NodeId(0), 4)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppliedSummary {
+    /// `runs[origin]`: disjoint inclusive `(start, end)` runs of applied
+    /// sequences, sorted by `start`.
+    runs: Vec<Vec<(u64, u64)>>,
+}
+
+impl AppliedSummary {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `id` is in the represented set.
+    #[must_use]
+    pub fn contains(&self, id: CommandId) -> bool {
+        let Some(list) = self.runs.get(id.origin().index()) else {
+            return false;
+        };
+        let seq = id.sequence();
+        let pos = list.partition_point(|&(start, _)| start <= seq);
+        pos > 0 && list[pos - 1].1 >= seq
+    }
+
+    /// Inserts `id`; returns `false` if it was already present. Sequences
+    /// adjacent to an existing run extend it (and bridge two runs into
+    /// one), so dense histories stay at one run per origin.
+    pub fn insert(&mut self, id: CommandId) -> bool {
+        if self.contains(id) {
+            return false;
+        }
+        self.insert_run(id.origin().index(), id.sequence(), id.sequence());
+        true
+    }
+
+    /// Unions `other` into `self`, run by run (never id by id — a merged
+    /// floor of a million commands is still one run).
+    pub fn merge(&mut self, other: &AppliedSummary) {
+        for (index, list) in other.runs.iter().enumerate() {
+            for &(start, end) in list {
+                self.insert_run(index, start, end);
+            }
+        }
+    }
+
+    /// Inserts the inclusive run `[start, end]` for `origin`, coalescing
+    /// every existing run it overlaps or adjoins.
+    fn insert_run(&mut self, origin: usize, start: u64, end: u64) {
+        if self.runs.len() <= origin {
+            self.runs.resize(origin + 1, Vec::new());
+        }
+        let list = &mut self.runs[origin];
+        // First run that could coalesce: its end reaches start - 1.
+        let mut lo = list.partition_point(|&(s, _)| s < start);
+        if lo > 0 && list[lo - 1].1.saturating_add(1) >= start {
+            lo -= 1;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut hi = lo;
+        while hi < list.len() && list[hi].0 <= new_end.saturating_add(1) {
+            new_start = new_start.min(list[hi].0);
+            new_end = new_end.max(list[hi].1);
+            hi += 1;
+        }
+        list.splice(lo..hi, [(new_start, new_end)]);
+    }
+
+    /// The contiguous-prefix floor of `origin`: every sequence `1..=floor`
+    /// from it is applied (0 when its first run is not anchored at the
+    /// session allocator's base).
+    #[must_use]
+    pub fn floor(&self, origin: NodeId) -> u64 {
+        match self.runs.get(origin.index()).and_then(|list| list.first()) {
+            Some(&(start, end)) if start <= 1 => end,
+            _ => 0,
+        }
+    }
+
+    /// Total number of runs across all origins — the size driver of a
+    /// serialized summary. Dense histories keep it at one run per
+    /// (origin, client-base) pair; it never exceeds the id count.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.runs.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of ids in the represented set.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.runs.iter().flatten().map(|&(start, end)| end - start + 1).sum()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.iter().all(Vec::is_empty)
+    }
+
+    /// Enumerates every represented id, sorted by `(origin, sequence)`.
+    /// O(history) — meant for tests, offline tooling and once-per-restore
+    /// work, not hot paths.
+    #[must_use]
+    pub fn ids(&self) -> Vec<CommandId> {
+        let mut out: Vec<CommandId> = Vec::new();
+        for (index, list) in self.runs.iter().enumerate() {
+            let origin = NodeId::from_index(index);
+            for &(start, end) in list {
+                out.extend((start..=end).map(|seq| CommandId::new(origin, seq)));
+            }
+        }
+        out
+    }
+}
+
+impl Extend<CommandId> for AppliedSummary {
+    fn extend<T: IntoIterator<Item = CommandId>>(&mut self, iter: T) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl FromIterator<CommandId> for AppliedSummary {
+    fn from_iter<T: IntoIterator<Item = CommandId>>(iter: T) -> Self {
+        let mut summary = Self::new();
+        summary.extend(iter);
+        summary
+    }
+}
+
+/// Per-object resume state of M²Paxos: ownership plus the object's log
+/// cursor (see [`ExecutionCursor::PerObject`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectCursor {
+    /// The object (conflict key) this cursor describes.
+    pub key: u64,
+    /// The replica that owns the key's log.
+    pub owner: NodeId,
+    /// Ownership epoch (bumped on acquisition).
+    pub epoch: u64,
+    /// Next per-key sequence number to execute.
+    pub next_execute: u64,
+    /// Lower bound on the next per-key sequence number the owner may assign
+    /// (past everything the donor has seen decided or in flight).
+    pub next_assign: u64,
+    /// Decided-but-not-yet-executed commands on this key, by sequence.
+    pub backlog: Vec<(u64, Command)>,
+}
+
+/// A protocol-defined execution resume point, captured by the donor's core
+/// loop when it cuts a checkpoint (and refreshed when it donates) and
+/// installed by the receiver's `Process::on_state_transfer`.
+///
+/// Each variant matches one protocol family's execution gate; the `backlog`
+/// fields carry what the donor has *decided but not yet executed* — without
+/// them a receiver whose peers already dropped those frames would stall.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionCursor {
+    /// Dependency-tracked protocols (CAESAR, EPaxos): the
+    /// [`AppliedSummary`] *is* the resume point; there is no slot cursor.
+    #[default]
+    Ids,
+    /// A single totally ordered log (Multi-Paxos).
+    Log {
+        /// Next slot to execute.
+        next_execute: u64,
+        /// Lower bound on the next free slot a (restarted) leader may
+        /// assign: past every slot the donor has seen used.
+        next_free: u64,
+        /// Committed slots at or above `next_execute` the donor knows.
+        backlog: Vec<(u64, Command)>,
+    },
+    /// A round-robin log with slot ownership `slot % N` (Mencius).
+    RoundRobin {
+        /// Next slot to execute.
+        next_execute: u64,
+        /// Per-leader announced skip frontiers: leader `i`'s slots strictly
+        /// below `skip_frontier[i]` carry no command unless committed.
+        skip_frontier: Vec<u64>,
+        /// Per-leader reuse guards: the first slot owned by `i` past
+        /// everything the donor has seen proposed anywhere. A restarted
+        /// replica resumes proposing at `next_own[me]` so it can never
+        /// collide with its previous incarnation's slots.
+        next_own: Vec<u64>,
+        /// Committed slots at or above `next_execute` the donor knows.
+        backlog: Vec<(u64, Command)>,
+    },
+    /// Per-object logs with per-key ownership (M²Paxos).
+    PerObject {
+        /// One cursor per object the donor has state for.
+        objects: Vec<ObjectCursor>,
+    },
+}
+
+impl ExecutionCursor {
+    /// Total number of decided-but-unexecuted backlog entries the cursor
+    /// carries (0 for [`ExecutionCursor::Ids`]).
+    #[must_use]
+    pub fn backlog_len(&self) -> usize {
+        match self {
+            ExecutionCursor::Ids => 0,
+            ExecutionCursor::Log { backlog, .. } | ExecutionCursor::RoundRobin { backlog, .. } => {
+                backlog.len()
+            }
+            ExecutionCursor::PerObject { objects } => {
+                objects.iter().map(|object| object.backlog.len()).sum()
+            }
+        }
+    }
+
+    /// Truncates the decided backlog to at most `max` entries, keeping the
+    /// lowest slots (receivers execute in slot order, so dropping the tail
+    /// degrades gracefully to live redelivery while dropping the middle
+    /// would open a hole). Donors use this when a transfer frame would
+    /// otherwise exceed the wire's frame cap.
+    pub fn truncate_backlog(&mut self, max: usize) {
+        match self {
+            ExecutionCursor::Ids => {}
+            ExecutionCursor::Log { backlog, .. } | ExecutionCursor::RoundRobin { backlog, .. } => {
+                backlog.truncate(max)
+            }
+            ExecutionCursor::PerObject { objects } => {
+                let mut budget = max;
+                for object in objects.iter_mut() {
+                    object.backlog.truncate(budget);
+                    budget -= object.backlog.len();
+                }
+            }
+        }
+    }
+
+    /// Combines a checkpoint-time cursor with the (never older) cursor the
+    /// donor captured when it served the transfer: per-field maxima, unioned
+    /// backlogs (the newer entry wins a slot collision). Mismatched variants
+    /// keep whichever side carries slot information.
+    #[must_use]
+    pub fn merge(self, newer: ExecutionCursor) -> ExecutionCursor {
+        use ExecutionCursor::{Ids, Log, PerObject, RoundRobin};
+        match (self, newer) {
+            (
+                Log { next_execute: a_exec, next_free: a_free, backlog: a_log },
+                Log { next_execute: b_exec, next_free: b_free, backlog: b_log },
+            ) => Log {
+                next_execute: a_exec.max(b_exec),
+                next_free: a_free.max(b_free),
+                backlog: merge_backlogs(a_log, b_log),
+            },
+            (
+                RoundRobin {
+                    next_execute: a_exec,
+                    skip_frontier: a_skips,
+                    next_own: a_own,
+                    backlog: a_log,
+                },
+                RoundRobin {
+                    next_execute: b_exec,
+                    skip_frontier: b_skips,
+                    next_own: b_own,
+                    backlog: b_log,
+                },
+            ) => RoundRobin {
+                next_execute: a_exec.max(b_exec),
+                skip_frontier: merge_elementwise_max(a_skips, b_skips),
+                next_own: merge_elementwise_max(a_own, b_own),
+                backlog: merge_backlogs(a_log, b_log),
+            },
+            (PerObject { objects: a }, PerObject { objects: b }) => {
+                let mut merged: Vec<ObjectCursor> = a;
+                for cursor in b {
+                    match merged.iter_mut().find(|c| c.key == cursor.key) {
+                        None => merged.push(cursor),
+                        Some(existing) => {
+                            if cursor.epoch >= existing.epoch {
+                                existing.owner = cursor.owner;
+                                existing.epoch = cursor.epoch;
+                            }
+                            existing.next_execute = existing.next_execute.max(cursor.next_execute);
+                            existing.next_assign = existing.next_assign.max(cursor.next_assign);
+                            let backlog = std::mem::take(&mut existing.backlog);
+                            existing.backlog = merge_backlogs(backlog, cursor.backlog);
+                        }
+                    }
+                }
+                PerObject { objects: merged }
+            }
+            (Ids, other) => other,
+            (other, Ids) => other,
+            // Two different slot-cursor families cannot describe one
+            // protocol; trust the newer capture.
+            (_, other) => other,
+        }
+    }
+}
+
+fn merge_elementwise_max(mut a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (index, value) in b.into_iter().enumerate() {
+        a[index] = a[index].max(value);
+    }
+    a
+}
+
+fn merge_backlogs(a: Vec<(u64, Command)>, b: Vec<(u64, Command)>) -> Vec<(u64, Command)> {
+    let mut merged: std::collections::BTreeMap<u64, Command> = a.into_iter().collect();
+    merged.extend(b);
+    merged.into_iter().collect()
+}
+
+/// Everything a completed snapshot transfer tells the receiving protocol:
+/// the applied-id set the transferred state covers (snapshot + replayed
+/// suffix) and the donor's execution cursor. Passed to
+/// `Process::on_state_transfer` by the runtime after it has restored the
+/// state machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateTransfer {
+    /// Ids whose effects the restored state machine already includes.
+    pub applied: AppliedSummary,
+    /// The donor's execution resume point.
+    pub cursor: ExecutionCursor,
+}
+
+impl StateTransfer {
+    /// Whether the transferred state already covers `id`.
+    #[must_use]
+    pub fn contains(&self, id: CommandId) -> bool {
+        self.applied.contains(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(node: u32, seq: u64) -> CommandId {
+        CommandId::new(NodeId(node), seq)
+    }
+
+    #[test]
+    fn dense_histories_compact_to_pure_floors() {
+        let mut summary = AppliedSummary::new();
+        // Insert out of order within each origin; the prefix still compacts.
+        for seq in (1..=1000u64).rev() {
+            summary.insert(id(0, seq));
+        }
+        for seq in 1..=500u64 {
+            summary.insert(id(3, seq));
+        }
+        // All but the newest id per origin drained into the floor.
+        assert_eq!(summary.floor(NodeId(0)), 1000);
+        assert_eq!(summary.floor(NodeId(3)), 500);
+        assert_eq!(summary.run_count(), 2, "dense sets must be O(replicas)");
+        assert_eq!(summary.len(), 1500);
+    }
+
+    #[test]
+    fn disjoint_client_bases_stay_run_compact() {
+        // An external `ReplicaClient` numbers from a high base (500_000…)
+        // while the in-process session numbers from 1. Both blocks are
+        // dense, so each costs exactly one run — never one entry per
+        // command.
+        let mut summary = AppliedSummary::new();
+        for seq in 1..=300u64 {
+            summary.insert(id(0, seq));
+        }
+        for seq in 500_001..=500_200u64 {
+            summary.insert(id(0, seq));
+        }
+        assert_eq!(summary.floor(NodeId(0)), 300);
+        assert_eq!(summary.run_count(), 2, "two dense blocks must be two runs");
+        assert_eq!(summary.len(), 500);
+        assert!(summary.contains(id(0, 500_100)));
+        assert!(!summary.contains(id(0, 400_000)));
+    }
+
+    #[test]
+    fn floor_compaction_round_trips_the_applied_set_exactly() {
+        // Dense prefixes, gaps, out-of-order tails and a zero sequence — the
+        // summary must represent precisely this set, nothing more.
+        let mut original: Vec<CommandId> = Vec::new();
+        original.extend((1..=40).map(|s| id(0, s)));
+        original.extend([id(1, 1), id(1, 2), id(1, 7), id(1, 9)]); // gap at 3..=6
+        original.extend([id(2, 0), id(2, 2)]); // sequence 0 never joins a floor
+        original.extend((1..=5).map(|s| id(4, s)));
+        // Shuffle deterministically (reverse + interleave) before inserting.
+        let mut shuffled = original.clone();
+        shuffled.reverse();
+        let summary: AppliedSummary = shuffled.iter().copied().collect();
+
+        let mut expected = original.clone();
+        expected.sort();
+        assert_eq!(summary.ids(), expected, "round trip must be exact");
+        assert_eq!(summary.len(), expected.len() as u64);
+        for &applied in &expected {
+            assert!(summary.contains(applied));
+        }
+        // Exactness: near misses are NOT claimed.
+        for absent in [id(0, 41), id(1, 3), id(1, 8), id(2, 1), id(3, 1), id(4, 6)] {
+            assert!(!summary.contains(absent), "{absent} must not be claimed applied");
+        }
+    }
+
+    #[test]
+    fn inserting_the_missing_gap_drains_the_residue() {
+        let mut summary: AppliedSummary =
+            [id(1, 1), id(1, 2), id(1, 7), id(1, 9)].into_iter().collect();
+        assert_eq!(summary.floor(NodeId(1)), 2);
+        assert_eq!(summary.run_count(), 3);
+        for seq in [4, 3, 5, 6] {
+            summary.insert(id(1, seq));
+        }
+        // 3..=6 reconnect the prefix and pull 7 in; 9 still waits for 8.
+        assert_eq!(summary.floor(NodeId(1)), 7);
+        assert_eq!(summary.run_count(), 2);
+        assert!(!summary.insert(id(1, 7)), "already represented by the floor");
+    }
+
+    #[test]
+    fn merge_unions_and_recompacts() {
+        let a: AppliedSummary = (1..=10).map(|s| id(0, s)).collect();
+        let mut b: AppliedSummary = (11..=20).map(|s| id(0, s)).collect();
+        assert_eq!(b.floor(NodeId(0)), 0, "11..=20 is all residue without the prefix");
+        b.merge(&a);
+        assert_eq!(b.floor(NodeId(0)), 20, "merge reconnects the prefix");
+        assert_eq!(b.run_count(), 1);
+        assert_eq!(b.len(), 20);
+    }
+
+    #[test]
+    fn summary_serializes_and_round_trips() {
+        let summary: AppliedSummary =
+            [(0, 1), (0, 2), (0, 3), (1, 5), (2, 1)].into_iter().map(|(n, s)| id(n, s)).collect();
+        let bytes = bincode::serialize(&summary).expect("serializes");
+        let back: AppliedSummary = bincode::deserialize(&bytes).expect("deserializes");
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn cursor_merge_takes_the_later_resume_point() {
+        let cmd = Command::put(id(0, 1), 7, 1);
+        let old =
+            ExecutionCursor::Log { next_execute: 5, next_free: 9, backlog: vec![(5, cmd.clone())] };
+        let new = ExecutionCursor::Log { next_execute: 8, next_free: 8, backlog: vec![] };
+        match old.clone().merge(new) {
+            ExecutionCursor::Log { next_execute, next_free, backlog } => {
+                assert_eq!(next_execute, 8);
+                assert_eq!(next_free, 9);
+                assert_eq!(backlog, vec![(5, cmd)]);
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+        // `Ids` never wins over a slot cursor.
+        assert_eq!(old.clone().merge(ExecutionCursor::Ids), old);
+    }
+
+    #[test]
+    fn round_robin_merge_is_elementwise() {
+        let a = ExecutionCursor::RoundRobin {
+            next_execute: 10,
+            skip_frontier: vec![10, 4, 12],
+            next_own: vec![15, 11, 12],
+            backlog: vec![],
+        };
+        let b = ExecutionCursor::RoundRobin {
+            next_execute: 8,
+            skip_frontier: vec![3, 9, 12, 7],
+            next_own: vec![10, 16, 12, 13],
+            backlog: vec![],
+        };
+        match a.merge(b) {
+            ExecutionCursor::RoundRobin { next_execute, skip_frontier, next_own, .. } => {
+                assert_eq!(next_execute, 10);
+                assert_eq!(skip_frontier, vec![10, 9, 12, 7]);
+                assert_eq!(next_own, vec![15, 16, 12, 13]);
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_object_merge_respects_epochs() {
+        let a = ExecutionCursor::PerObject {
+            objects: vec![ObjectCursor {
+                key: 7,
+                owner: NodeId(0),
+                epoch: 1,
+                next_execute: 3,
+                next_assign: 4,
+                backlog: vec![],
+            }],
+        };
+        let b = ExecutionCursor::PerObject {
+            objects: vec![
+                ObjectCursor {
+                    key: 7,
+                    owner: NodeId(2),
+                    epoch: 2,
+                    next_execute: 2,
+                    next_assign: 6,
+                    backlog: vec![],
+                },
+                ObjectCursor {
+                    key: 9,
+                    owner: NodeId(1),
+                    epoch: 1,
+                    next_execute: 0,
+                    next_assign: 0,
+                    backlog: vec![],
+                },
+            ],
+        };
+        match a.merge(b) {
+            ExecutionCursor::PerObject { objects } => {
+                assert_eq!(objects.len(), 2);
+                let seven = objects.iter().find(|o| o.key == 7).expect("key 7 present");
+                assert_eq!((seven.owner, seven.epoch), (NodeId(2), 2), "newer epoch wins");
+                assert_eq!(seven.next_execute, 3);
+                assert_eq!(seven.next_assign, 6);
+            }
+            other => panic!("variant changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn state_transfer_contains_consults_the_summary() {
+        let transfer = StateTransfer {
+            applied: (1..=3).map(|s| id(0, s)).collect(),
+            cursor: ExecutionCursor::Ids,
+        };
+        assert!(transfer.contains(id(0, 2)));
+        assert!(!transfer.contains(id(0, 4)));
+    }
+}

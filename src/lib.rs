@@ -53,12 +53,18 @@
 //! transfer: it asks its peers (`SnapshotRequest`), a live peer donates its
 //! latest checkpoint plus the decided suffix (`SnapshotChunk` frames over
 //! the same event loop), and the restarted replica restores, replays, and
-//! serves reads that reflect pre-crash writes (`tests/restart_catch_up.rs`
-//! pins this end to end). While restoring, client requests fail fast with
-//! an abort instead of hanging; the `Process::on_state_transfer` hook tells
-//! the protocol layer which commands the snapshot covered so
-//! dependency-gated execution (CAESAR predecessors, EPaxos graphs) does not
-//! wait for them.
+//! serves reads that reflect pre-crash writes — for **all five protocols**
+//! (`tests/restart_catch_up.rs` runs the crash → restart → read matrix).
+//! While restoring, client requests fail fast with an abort instead of
+//! hanging; the `Process::on_state_transfer` hook hands the protocol layer
+//! a [`consensus_types::StateTransfer`] — the floor-compacted applied-id
+//! summary plus the donor's [`consensus_types::ExecutionCursor`] — so
+//! dependency-gated execution (CAESAR predecessors, EPaxos graphs) stops
+//! waiting on covered commands and slot-gated execution (Multi-Paxos,
+//! Mencius, M²Paxos) fast-forwards its cursor past the restored state. The
+//! whole lifecycle — checkpoint cadence, wire flow, cursor vs. id
+//! transfer, dedup window, fail-fast aborts — is documented in the
+//! [`recovery`] chapter (rendered from `docs/RECOVERY.md`).
 //!
 //! All three serve clients through the same session API
 //! ([`consensus_core::session`]): `ClusterHandle::client(node)` hands out a
@@ -150,6 +156,9 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+#[doc = include_str!("../docs/RECOVERY.md")]
+pub mod recovery {}
 
 pub use caesar;
 pub use cluster;

@@ -1,27 +1,50 @@
-//! Crash → restart → catch-up: a killed `net` replica comes back with a
-//! **fresh, empty state machine** and fills it by snapshot-based state
-//! transfer — it requests `SnapshotRequest`/`SnapshotChunk` frames from a
-//! live peer, restores the donated snapshot, replays the decided suffix,
-//! and then serves reads that reflect **pre-crash** writes.
+//! Crash → restart → catch-up, for **every** protocol: a killed `net`
+//! replica comes back with a fresh, empty state machine and a fresh process,
+//! and fills both by snapshot-based state transfer — it requests
+//! `SnapshotRequest`/`SnapshotChunk` frames from a live peer, restores the
+//! donated snapshot, replays the decided suffix, installs the transferred
+//! `StateTransfer` (applied-id floors for the dependency-tracked protocols,
+//! slot cursors for the slot-based ones), and then serves reads that
+//! reflect **pre-crash** writes.
 //!
-//! The pinning assertion is a state-machine *fingerprint* comparison (see
-//! `consensus_core::StateMachine::fingerprint`): after the same workload,
-//! the restarted replica's digest must equal a never-crashed peer's — and
-//! both must equal the digest the discrete-event simulator produces for the
-//! identical command history, tying the recovery path back to the other
-//! runtimes.
+//! The matrix runs the identical lifecycle over CAESAR, EPaxos, Multi-Paxos,
+//! Mencius and M²Paxos. The pinning assertions per protocol:
+//!
+//! * the restarted replica's `applied_through` watermark reaches the full
+//!   workload, and every sample observed while it caught up is monotone
+//!   (the core loop asserts the same internally — a reply must never
+//!   observe an execution cursor ahead of the state machine);
+//! * its state-machine *fingerprint* equals a never-crashed peer's;
+//! * an external `ReplicaClient` connected to the restarted replica itself
+//!   reads a pre-crash write back.
+//!
+//! Protocol quirks the matrix encodes: Mencius has no revocation, so while
+//! the crashed node is down the survivors keep *committing* but cannot
+//! *execute* past its first unused slot — downtime traffic is submitted
+//! fire-and-forget there, and the restarted node's post-transfer skip
+//! announcement is what drains the whole cluster's backlog. Multi-Paxos
+//! keeps its (stable) leader on a surviving node; leader election is out of
+//! scope.
 
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use caesar::{CaesarConfig, CaesarReplica};
 use consensus_core::session::{ClusterHandle, Op, SessionError};
 use consensus_types::{Command, CommandId, NodeId};
+use epaxos::{EpaxosConfig, EpaxosReplica};
 use kvstore::KvStore;
+use m2paxos::{M2PaxosConfig, M2PaxosReplica};
+use mencius::{MenciusConfig, MenciusReplica};
+use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
 use net::{NetCluster, NetConfig, ReplicaClient};
+use simnet::Process;
 
 const NODES: usize = 5;
 const CRASH: NodeId = NodeId(4);
 const SURVIVOR: NodeId = NodeId(0);
+/// The replica downtime traffic is submitted to.
+const DOWNTIME_AT: NodeId = NodeId(1);
 
 /// Commands submitted before the crash: distinct keys, values offset so a
 /// read can never confuse "missing" with "value 0".
@@ -34,6 +57,211 @@ fn downtime_commands() -> Vec<(u64, u64)> {
     (0..12u64).map(|i| (200 + i, 2_000 + i)).collect()
 }
 
+/// How downtime traffic is driven.
+enum Downtime {
+    /// Submit through the session API and await each execution — for
+    /// protocols that keep executing with one replica down.
+    Awaited,
+    /// Submit fire-and-forget — for Mencius, where execution stalls at the
+    /// crashed node's slot gap until it returns (commits still happen; the
+    /// restarted node's skip announcement drains the backlog).
+    FireAndForget,
+}
+
+/// Polls the restarted replica's watermark until it reaches `target` (or
+/// the deadline passes), asserting every observed sample is monotone —
+/// catch-up must never make `applied_through` move backwards.
+fn wait_monotone_applied<P>(
+    cluster: &NetCluster<P>,
+    node: NodeId,
+    target: u64,
+    timeout: Duration,
+) -> u64
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+{
+    let deadline = Instant::now() + timeout;
+    let mut last = 0u64;
+    let mut samples = 0u64;
+    loop {
+        let applied = cluster.applied_through(node);
+        assert!(
+            applied >= last,
+            "watermark regressed during catch-up: {last} -> {applied} after {samples} samples"
+        );
+        last = applied;
+        samples += 1;
+        if applied >= target || Instant::now() >= deadline {
+            return applied;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The full lifecycle, identical for every protocol: pre-crash writes →
+/// crash → downtime traffic → restart with a fresh process and empty state
+/// machine → snapshot catch-up → parity checks → a pre-crash read served by
+/// the restarted replica itself.
+fn run_restart_matrix<P, F>(label: &str, mut make: F, downtime: Downtime)
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    // A small checkpoint interval forces the donor to serve checkpoint
+    // bytes *plus* a non-empty decided suffix, so the replay path is
+    // exercised, not just the snapshot restore.
+    let mut cluster =
+        NetCluster::start(NetConfig::new(NODES).with_checkpoint_interval(8), &mut make)
+            .unwrap_or_else(|err| panic!("[{label}] cluster starts: {err}"));
+    let crash_addr = cluster.addr(CRASH);
+
+    // Pre-crash writes, each awaited so all are committed before the kill.
+    for (key, value) in pre_crash_commands() {
+        cluster
+            .client(SURVIVOR)
+            .submit(Op::put(key, value))
+            .expect("submits")
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|err| panic!("[{label}] pre-crash write: {err:?}"));
+    }
+
+    cluster.stop_replica(CRASH);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Traffic the downed replica never sees — it must come back through the
+    // snapshot transfer, not through post-restart execution.
+    let total = (pre_crash_commands().len() + downtime_commands().len()) as u64;
+    match downtime {
+        Downtime::Awaited => {
+            for (key, value) in downtime_commands() {
+                cluster
+                    .client(DOWNTIME_AT)
+                    .submit(Op::put(key, value))
+                    .expect("submits during downtime")
+                    .wait_timeout(Duration::from_secs(30))
+                    .unwrap_or_else(|err| panic!("[{label}] downtime write: {err:?}"));
+            }
+            let survivor_applied =
+                cluster.wait_for_applied(SURVIVOR, total, Duration::from_secs(30));
+            assert_eq!(survivor_applied, total, "[{label}] survivor applies the whole workload");
+        }
+        Downtime::FireAndForget => {
+            // Execution is stalled cluster-wide at the crashed node's slot
+            // gap; submit without awaiting and give the commits a moment to
+            // replicate. Manual ids stay disjoint from the session's
+            // (sequences 1..) and the external client's (500_000..).
+            for (i, (key, value)) in downtime_commands().into_iter().enumerate() {
+                let id = CommandId::new(DOWNTIME_AT, 10_000 + i as u64);
+                cluster
+                    .submit(DOWNTIME_AT, Command::put(id, key, value))
+                    .unwrap_or_else(|err| panic!("[{label}] fire-and-forget write: {err}"));
+            }
+            std::thread::sleep(Duration::from_millis(300));
+        }
+    }
+
+    // Restart with a fresh process *and* a fresh (empty) state machine; the
+    // only way it can reach the survivors' watermark without new commands
+    // is the snapshot transfer + suffix replay + cursor fast-forward.
+    cluster
+        .restart_replica(CRASH, make(CRASH))
+        .unwrap_or_else(|err| panic!("[{label}] replica restarts on its old address: {err}"));
+    let caught_up = wait_monotone_applied(&cluster, CRASH, total, Duration::from_secs(30));
+    assert_eq!(caught_up, total, "[{label}] restarted replica catches up to the full history");
+
+    // Every replica drains the whole workload (for Mencius this is
+    // unblocked *by* the restarted node's skip announcement).
+    for index in 0..NODES {
+        let node = NodeId::from_index(index);
+        let applied = cluster.wait_for_applied(node, total, Duration::from_secs(30));
+        assert_eq!(applied, total, "[{label}] {node} applies the whole workload");
+    }
+    assert_eq!(
+        cluster.state_fingerprint(CRASH),
+        cluster.state_fingerprint(SURVIVOR),
+        "[{label}] restarted replica's state-machine digest equals a never-crashed peer's"
+    );
+    let stats = cluster.replica_stats(CRASH);
+    assert_eq!(
+        stats.catch_ups_completed.load(Ordering::Relaxed),
+        1,
+        "[{label}] the restart completes exactly one snapshot catch-up"
+    );
+
+    // The acceptance criterion: an external client reads a PRE-crash write
+    // through the restarted replica itself.
+    let client = ReplicaClient::connect(crash_addr, CRASH, 500_000)
+        .unwrap_or_else(|err| panic!("[{label}] client connects to the restarted replica: {err}"));
+    let (key, value) = pre_crash_commands()[3];
+    let read = client
+        .get(key)
+        .unwrap_or_else(|err| panic!("[{label}] read through the restarted replica: {err:?}"));
+    assert_eq!(
+        read.output,
+        Some(value),
+        "[{label}] a read at the restarted replica reflects the pre-crash write"
+    );
+    client.shutdown();
+    cluster.shutdown();
+}
+
+#[test]
+fn caesar_restart_catches_up() {
+    let config = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    run_restart_matrix(
+        "caesar",
+        move |id| CaesarReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
+}
+
+#[test]
+fn epaxos_restart_catches_up() {
+    let config = EpaxosConfig::new(NODES).with_recovery_timeout(None);
+    run_restart_matrix(
+        "epaxos",
+        move |id| EpaxosReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
+}
+
+#[test]
+fn multipaxos_restart_catches_up() {
+    // The stable leader sits on a surviving node; electing a new one is out
+    // of scope (the crashed follower still recovers its slot cursor).
+    let config = MultiPaxosConfig::new(NODES, SURVIVOR);
+    run_restart_matrix(
+        "multipaxos",
+        move |id| MultiPaxosReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
+}
+
+#[test]
+fn mencius_restart_catches_up() {
+    let config = MenciusConfig::new(NODES);
+    run_restart_matrix(
+        "mencius",
+        move |id| MenciusReplica::new(id, config.clone()),
+        Downtime::FireAndForget,
+    );
+}
+
+#[test]
+fn m2paxos_restart_catches_up() {
+    let config = M2PaxosConfig::new(NODES);
+    run_restart_matrix(
+        "m2paxos",
+        move |id| M2PaxosReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
+}
+
+/// The CAESAR-specific deep checks kept from the original single-protocol
+/// test: transfer statistics and an offline replay of the identical command
+/// history landing on the identical digest.
 #[test]
 fn restarted_replica_serves_pre_crash_reads_via_snapshot_transfer() {
     let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
@@ -41,14 +269,10 @@ fn restarted_replica_serves_pre_crash_reads_via_snapshot_transfer() {
         let caesar = caesar.clone();
         move |id| CaesarReplica::new(id, caesar.clone())
     };
-    // A small checkpoint interval forces the donor to serve checkpoint
-    // bytes *plus* a non-empty decided suffix, so the replay path is
-    // exercised, not just the snapshot restore.
     let mut cluster = NetCluster::start(NetConfig::new(NODES).with_checkpoint_interval(8), make)
         .expect("cluster starts");
     let crash_addr = cluster.addr(CRASH);
 
-    // Pre-crash writes, each awaited so all are committed before the kill.
     for (key, value) in pre_crash_commands() {
         cluster
             .client(SURVIVOR)
@@ -61,11 +285,9 @@ fn restarted_replica_serves_pre_crash_reads_via_snapshot_transfer() {
     cluster.stop_replica(CRASH);
     std::thread::sleep(Duration::from_millis(100));
 
-    // Traffic the downed replica never sees — it must come back through the
-    // snapshot, not through post-restart execution.
     for (key, value) in downtime_commands() {
         cluster
-            .client(NodeId(1))
+            .client(DOWNTIME_AT)
             .submit(Op::put(key, value))
             .expect("submits during downtime")
             .wait_timeout(Duration::from_secs(30))
@@ -75,9 +297,6 @@ fn restarted_replica_serves_pre_crash_reads_via_snapshot_transfer() {
     let survivor_applied = cluster.wait_for_applied(SURVIVOR, total, Duration::from_secs(30));
     assert_eq!(survivor_applied, total, "survivor must have applied the whole workload");
 
-    // Restart with a fresh process *and* a fresh (empty) state machine; the
-    // only way it can reach the survivor's watermark without new commands
-    // is the snapshot transfer + suffix replay.
     cluster
         .restart_replica(CRASH, CaesarReplica::new(CRASH, caesar.clone()))
         .expect("replica restarts on its old address");
@@ -90,13 +309,11 @@ fn restarted_replica_serves_pre_crash_reads_via_snapshot_transfer() {
     );
     let stats = cluster.replica_stats(CRASH);
     assert_eq!(
-        stats.catch_ups_completed.load(std::sync::atomic::Ordering::Relaxed),
+        stats.catch_ups_completed.load(Ordering::Relaxed),
         1,
         "the restart must have completed exactly one snapshot catch-up"
     );
 
-    // The acceptance criterion: an external client reads a PRE-crash write
-    // through the restarted replica itself.
     let client = ReplicaClient::connect(crash_addr, CRASH, 500_000).expect("client connects");
     let (key, value) = pre_crash_commands()[3];
     let read = client.get(key).expect("read through the restarted replica");
