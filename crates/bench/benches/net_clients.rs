@@ -17,7 +17,6 @@
 //! and we record the donated snapshot size against the wall-clock time from
 //! restart to the restarted replica matching the survivors' watermark.
 
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use bench::print_table;
@@ -146,7 +145,7 @@ fn measure_catch_up(prefill: usize) -> CatchUpPoint {
     std::thread::sleep(Duration::from_millis(50));
     let donors_before: u64 = (0..NODES as u32)
         .filter(|&n| NodeId(n) != crash)
-        .map(|n| cluster.replica_stats(NodeId(n)).snapshot_bytes_sent.load(Ordering::Relaxed))
+        .map(|n| cluster.replica_stats(NodeId(n)).snapshot_bytes_sent.get())
         .sum();
 
     let restarted_at = Instant::now();
@@ -159,12 +158,12 @@ fn measure_catch_up(prefill: usize) -> CatchUpPoint {
 
     let donors_after: u64 = (0..NODES as u32)
         .filter(|&n| NodeId(n) != crash)
-        .map(|n| cluster.replica_stats(NodeId(n)).snapshot_bytes_sent.load(Ordering::Relaxed))
+        .map(|n| cluster.replica_stats(NodeId(n)).snapshot_bytes_sent.get())
         .sum();
     // Every live peer donates; a single transfer's size is the per-donor
     // average of what this restart added.
     let snapshot_bytes = (donors_after - donors_before) / (NODES as u64 - 1);
-    let replayed = cluster.replica_stats(crash).catch_up_replayed.load(Ordering::Relaxed);
+    let replayed = cluster.replica_stats(crash).catch_up_replayed.get();
     cluster.shutdown();
     CatchUpPoint { prefill, snapshot_bytes, replayed, recovery_ms }
 }
@@ -207,9 +206,27 @@ fn write_json(points: &[ScalePoint], catch_up: &[CatchUpPoint]) {
     }
 }
 
+/// 64-client throughput recorded in `BENCH_net_clients.json` before the
+/// telemetry layer existed (pre-telemetry seed of this bench).
+const SEED_64_CLIENT_THROUGHPUT: f64 = 19_495.7;
+
 fn benchmark(c: &mut Criterion) {
     let points: Vec<ScalePoint> =
         [(1, 100), (64, 4), (512, 2)].map(|(clients, rounds)| measure(clients, rounds)).into();
+
+    // Telemetry overhead tripwire: every command now records six-plus span
+    // events and a handful of counter increments, and that must stay in the
+    // measurement noise. Loopback runs on shared CI hardware jitter a lot,
+    // so the bound is deliberately loose — halving throughput means the
+    // telemetry layer (or something else) broke, not that the machine was
+    // busy.
+    let mid = points.iter().find(|p| p.clients == 64).expect("64-client point measured");
+    assert!(
+        mid.throughput >= SEED_64_CLIENT_THROUGHPUT * 0.5,
+        "64-client throughput {:.1} op/s fell below half the pre-telemetry seed ({:.1} op/s)",
+        mid.throughput,
+        SEED_64_CLIENT_THROUGHPUT
+    );
     let mut table = Table::new(
         "Reactor net runtime: concurrent external clients on one replica",
         &["clients", "ops", "throughput (op/s)", "avg (ms)", "p99 (ms)"],

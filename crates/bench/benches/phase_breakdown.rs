@@ -1,0 +1,302 @@
+//! Live command-lifecycle phase breakdown on the socket runtime — the
+//! telemetry-layer counterpart of the simulator's Fig. 11.
+//!
+//! For each protocol and client count, a 3-node loopback cluster serves a
+//! closed-loop workload of external `ReplicaClient` connections, then every
+//! replica is scraped **over the wire** (`WireMessage::StatsRequest` →
+//! `Event::StatsReply`). The per-replica span rings are joined into
+//! end-to-end traces and reduced to per-phase latency percentiles:
+//!
+//! | phase | interval |
+//! |---|---|
+//! | `propose` | submit → propose |
+//! | `quorum` | propose → fast/classic quorum assembled |
+//! | `commit` | quorum → commit |
+//! | `execute` | commit → execution at the origin |
+//! | `reply` | execute → reply frame queued |
+//!
+//! The run also cross-checks the scraped fast/slow decision counters
+//! against each replica's in-process registry — the wire path must neither
+//! add nor lose a decision — and writes `BENCH_phase_breakdown.json` at the
+//! workspace root, including a note naming the phase whose p99 grows most
+//! between 64 and 512 clients (the `BENCH_net_clients.json` p99 cliff).
+
+use std::time::{Duration, Instant};
+
+use bench::print_table;
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_core::session::Op;
+use consensus_types::NodeId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use epaxos::{EpaxosConfig, EpaxosReplica};
+use harness::Table;
+use m2paxos::{M2PaxosConfig, M2PaxosReplica};
+use mencius::{MenciusConfig, MenciusReplica};
+use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
+use net::{scrape_stats, NetCluster, NetConfig, ReplicaClient};
+use simnet::Process;
+use telemetry::trace::{assemble, phase_breakdown};
+
+const NODES: usize = 3;
+
+/// `(clients, closed-loop rounds)` — one op in flight per client per round.
+const LOAD_POINTS: [(usize, usize); 3] = [(1, 50), (64, 2), (512, 1)];
+
+struct PhasePoint {
+    name: &'static str,
+    count: u64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+}
+
+struct RunPoint {
+    protocol: &'static str,
+    clients: usize,
+    ops: usize,
+    throughput: f64,
+    complete_traces: usize,
+    incomplete_traces: usize,
+    fast_decisions: u64,
+    slow_decisions: u64,
+    phases: Vec<PhasePoint>,
+}
+
+/// Serves `rounds` closed-loop rounds of one op per client, scrapes every
+/// replica over TCP, and reduces the joined traces to phase percentiles.
+fn measure<P, F>(protocol: &'static str, make: F, clients: usize, rounds: usize) -> RunPoint
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+    F: FnMut(NodeId) -> P + Send + Sync + 'static,
+{
+    let cluster = NetCluster::start(NetConfig::new(NODES), make).expect("cluster starts");
+    let addr = cluster.addr(NodeId(0));
+    let handles: Vec<ReplicaClient> = (0..clients)
+        .map(|i| {
+            ReplicaClient::connect(addr, NodeId(0), (i as u64 + 1) * 1_000_000)
+                .expect("client connects")
+        })
+        .collect();
+
+    let started = Instant::now();
+    let mut ops = 0usize;
+    for round in 0..rounds {
+        let mut pending: Vec<consensus_core::session::Ticket> = handles
+            .iter()
+            .enumerate()
+            .map(|(i, client)| {
+                let key = 1_000 + (i * rounds + round) as u64;
+                client.submit(Op::put(key, round as u64)).expect("submits")
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        while !pending.is_empty() {
+            pending.retain(|ticket| match ticket.try_wait() {
+                Some(result) => {
+                    result.expect("reply");
+                    ops += 1;
+                    false
+                }
+                None => true,
+            });
+            assert!(Instant::now() < deadline, "replies stalled");
+            if !pending.is_empty() {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+    let wall = started.elapsed();
+    for client in handles {
+        client.shutdown();
+    }
+
+    // Scrape all replicas over the wire, then verify against the
+    // in-process registries: traffic has stopped, so the decision counters
+    // are quiescent and the two access paths must agree exactly.
+    let scrapes: Vec<net::StatsScrape> = (0..NODES as u32)
+        .map(|n| scrape_stats(cluster.addr(NodeId(n))).expect("scrape answers"))
+        .collect();
+    let (mut fast, mut slow) = (0u64, 0u64);
+    for scrape in &scrapes {
+        let offline = cluster.replica_registry(scrape.from).snapshot();
+        for key in ["decisions.fast", "decisions.slow"] {
+            assert_eq!(
+                scrape.snapshot.counter(key),
+                offline.counter(key),
+                "{protocol}: scraped {key} of {} diverges from its registry",
+                scrape.from
+            );
+        }
+        fast += scrape.snapshot.counter("decisions.fast");
+        slow += scrape.snapshot.counter("decisions.slow");
+    }
+    cluster.shutdown();
+
+    let rings: Vec<telemetry::SpanRingSnapshot> =
+        scrapes.into_iter().map(|scrape| scrape.spans).collect();
+    let set = assemble(&rings);
+    let complete = set.traces.len() - set.incomplete;
+    let phases = phase_breakdown(&set)
+        .into_iter()
+        .map(|p| PhasePoint {
+            name: p.name,
+            count: p.count,
+            p50_us: p.latency.percentile(0.5),
+            p90_us: p.latency.percentile(0.9),
+            p99_us: p.latency.percentile(0.99),
+        })
+        .collect();
+    RunPoint {
+        protocol,
+        clients,
+        ops,
+        throughput: ops as f64 / wall.as_secs_f64(),
+        complete_traces: complete,
+        incomplete_traces: set.incomplete,
+        fast_decisions: fast,
+        slow_decisions: slow,
+        phases,
+    }
+}
+
+fn run_all() -> Vec<RunPoint> {
+    let mut points = Vec::new();
+    for (clients, rounds) in LOAD_POINTS {
+        points.push(measure(
+            "caesar",
+            move |id| CaesarReplica::new(id, CaesarConfig::new(NODES).with_recovery_timeout(None)),
+            clients,
+            rounds,
+        ));
+        points.push(measure(
+            "epaxos",
+            move |id| EpaxosReplica::new(id, EpaxosConfig::new(NODES).with_recovery_timeout(None)),
+            clients,
+            rounds,
+        ));
+        points.push(measure(
+            "multipaxos",
+            move |id| MultiPaxosReplica::new(id, MultiPaxosConfig::new(NODES, NodeId(0))),
+            clients,
+            rounds,
+        ));
+        points.push(measure(
+            "mencius",
+            move |id| MenciusReplica::new(id, MenciusConfig::new(NODES)),
+            clients,
+            rounds,
+        ));
+        points.push(measure(
+            "m2paxos",
+            move |id| M2PaxosReplica::new(id, M2PaxosConfig::new(NODES)),
+            clients,
+            rounds,
+        ));
+    }
+    points
+}
+
+/// Names the phase whose p99 grows most for CAESAR between 64 and 512
+/// clients — where the `BENCH_net_clients.json` p99 cliff lives.
+fn cliff_note(points: &[RunPoint]) -> String {
+    let at =
+        |clients: usize| points.iter().find(|p| p.protocol == "caesar" && p.clients == clients);
+    let (Some(mid), Some(high)) = (at(64), at(512)) else {
+        return "insufficient data".to_string();
+    };
+    let mut worst = ("none", 0u64, 0u64);
+    for (a, b) in mid.phases.iter().zip(&high.phases) {
+        let growth = b.p99_us.saturating_sub(a.p99_us);
+        if growth > worst.1 {
+            worst = (b.name, growth, b.p99_us);
+        }
+    }
+    format!(
+        "caesar 64->512 clients: p99 grows most in the `{}` phase (+{} us, to {} us) — \
+         the client-count p99 cliff is queueing there, not in the consensus rounds",
+        worst.0, worst.1, worst.2
+    )
+}
+
+fn write_json(points: &[RunPoint]) {
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            let phases: Vec<String> = p
+                .phases
+                .iter()
+                .map(|ph| {
+                    format!(
+                        "        {{\"phase\": \"{}\", \"count\": {}, \"p50_us\": {}, \
+                         \"p90_us\": {}, \"p99_us\": {}}}",
+                        ph.name, ph.count, ph.p50_us, ph.p90_us, ph.p99_us
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\"protocol\": \"{}\", \"clients\": {}, \"ops\": {}, \
+                 \"throughput_ops_per_s\": {:.1}, \"complete_traces\": {}, \
+                 \"incomplete_traces\": {}, \"fast_decisions\": {}, \
+                 \"slow_decisions\": {}, \"phases\": [\n{}\n      ]}}",
+                p.protocol,
+                p.clients,
+                p.ops,
+                p.throughput,
+                p.complete_traces,
+                p.incomplete_traces,
+                p.fast_decisions,
+                p.slow_decisions,
+                phases.join(",\n")
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"phase_breakdown\",\n  \"runtime\": \"net (epoll reactor)\",\n  \
+         \"nodes\": {NODES},\n  \"note\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        cliff_note(points),
+        rows.join(",\n")
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_phase_breakdown.json");
+    if let Err(err) = std::fs::write(&path, json) {
+        eprintln!("could not write {}: {err}", path.display());
+    } else {
+        println!("recorded {}", path.display());
+    }
+}
+
+fn benchmark(c: &mut Criterion) {
+    let _ = reactor::raise_nofile_limit(65_536);
+    let points = run_all();
+    let mut table = Table::new(
+        "Lifecycle phase p99 (us) from live wire scrapes, 3-node net runtime",
+        &["protocol", "clients", "ops", "propose", "quorum", "commit", "execute", "reply"],
+    );
+    for p in &points {
+        let mut row = vec![p.protocol.to_string(), p.clients.to_string(), p.ops.to_string()];
+        row.extend(p.phases.iter().map(|ph| ph.p99_us.to_string()));
+        table.push_row(row);
+    }
+    print_table(&table);
+    write_json(&points);
+
+    let mut group = c.benchmark_group("phase_breakdown");
+    group.sample_size(10);
+    group.bench_function("caesar_64_clients_scrape", |b| {
+        b.iter(|| {
+            measure(
+                "caesar",
+                move |id| {
+                    CaesarReplica::new(id, CaesarConfig::new(NODES).with_recovery_timeout(None))
+                },
+                64,
+                1,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, benchmark);
+criterion_main!(benches);

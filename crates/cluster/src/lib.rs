@@ -48,6 +48,7 @@ use crossbeam_channel::{unbounded, Receiver, Sender};
 use kvstore::KvStore;
 use parking_lot::Mutex;
 use simnet::{Context, LatencyMatrix, Process};
+use telemetry::{Registry, SpanEvent, TracePhase};
 
 /// Configuration of a real-time cluster.
 #[derive(Clone)]
@@ -124,6 +125,9 @@ pub struct Cluster<P: Process> {
     /// One state machine per replica, shared with its replica thread (which
     /// applies executions) so callers can inspect fingerprints/watermarks.
     machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>>,
+    /// Each replica's telemetry registry (`None` for processes that do not
+    /// expose one), captured before the process moved into its thread.
+    registries: Vec<Option<Arc<Registry>>>,
     session: Arc<SessionCore>,
     started_at: Instant,
 }
@@ -153,9 +157,16 @@ where
         }
         let senders = Arc::new(senders);
         let mut handles = Vec::with_capacity(nodes);
+        let mut registries = Vec::with_capacity(nodes);
+        // Span timestamps are recorded against `started_at`; this offset
+        // rebases them onto the wall clock when they are drained.
+        let wall0 =
+            telemetry::wall_clock_us().saturating_sub(started_at.elapsed().as_micros() as u64);
         for (index, rx) in receivers.into_iter().enumerate() {
             let id = NodeId::from_index(index);
             let mut process = make(id);
+            let registry = process.telemetry();
+            registries.push(registry.clone());
             let peers = Arc::clone(&senders);
             let latency = config.latency.clone();
             let scale = config.latency_scale;
@@ -176,11 +187,13 @@ where
                     started,
                     machines,
                     timers: Vec::new(),
+                    registry,
+                    wall0,
                 };
                 replica.run(&mut process);
             }));
         }
-        Self { senders, handles, decisions, machines, session, started_at }
+        Self { senders, handles, decisions, machines, registries, session, started_at }
     }
 
     /// Submits a client command to `node` without waiting for a reply.
@@ -226,6 +239,14 @@ where
     #[must_use]
     pub fn applied_through(&self, node: NodeId) -> u64 {
         self.machines[node.index()].lock().applied_through()
+    }
+
+    /// The telemetry registry of `node`'s process, if it exposes one
+    /// (see [`simnet::Process::telemetry`]). Live — counters advance while
+    /// the replica thread runs.
+    #[must_use]
+    pub fn registry(&self, node: NodeId) -> Option<&Arc<Registry>> {
+        self.registries[node.index()].as_ref()
     }
 
     /// Wall-clock time since the cluster started.
@@ -293,6 +314,12 @@ struct ReplicaLoop<M> {
     started: Instant,
     machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>>,
     timers: Vec<(Instant, M)>,
+    /// Where drained lifecycle spans land; `None` when the process exposes
+    /// no registry (tracing is then skipped entirely).
+    registry: Option<Arc<Registry>>,
+    /// Wall-clock µs at `started`: rebases span timestamps onto the wall
+    /// clock (see [`telemetry::wall_clock_us`]).
+    wall0: u64,
 }
 
 impl<M: Send> ReplicaLoop<M> {
@@ -304,6 +331,7 @@ impl<M: Send> ReplicaLoop<M> {
         let mut outbox: Vec<(NodeId, M)> = Vec::new();
         let mut new_timers: Vec<(SimTime, M)> = Vec::new();
         let mut executions: Vec<Execution> = Vec::new();
+        let mut spans: Vec<SpanEvent> = Vec::new();
 
         {
             let mut ctx = Context::for_runtime(
@@ -313,10 +341,11 @@ impl<M: Send> ReplicaLoop<M> {
                 &mut outbox,
                 &mut new_timers,
                 &mut executions,
-            );
+            )
+            .with_spans(&mut spans);
             process.on_start(&mut ctx);
         }
-        self.flush(process, &mut outbox, &mut new_timers, &mut executions);
+        self.flush(process, &mut outbox, &mut new_timers, &mut executions, &mut spans);
 
         loop {
             let envelope = self.rx.recv_timeout(Duration::from_millis(1));
@@ -334,10 +363,12 @@ impl<M: Send> ReplicaLoop<M> {
                         &mut outbox,
                         &mut new_timers,
                         &mut executions,
-                    );
+                    )
+                    .with_spans(&mut spans);
                     process.on_message(from, msg, &mut ctx);
                 }
                 Ok(Envelope::Client { cmd }) => {
+                    let id = cmd.id();
                     let mut ctx = Context::for_runtime(
                         self.id,
                         self.nodes,
@@ -345,12 +376,14 @@ impl<M: Send> ReplicaLoop<M> {
                         &mut outbox,
                         &mut new_timers,
                         &mut executions,
-                    );
+                    )
+                    .with_spans(&mut spans);
+                    ctx.trace(TracePhase::Submit, id);
                     process.on_client_command(cmd, &mut ctx);
                 }
                 Err(_) => {}
             }
-            self.flush(process, &mut outbox, &mut new_timers, &mut executions);
+            self.flush(process, &mut outbox, &mut new_timers, &mut executions, &mut spans);
         }
     }
 
@@ -362,6 +395,7 @@ impl<M: Send> ReplicaLoop<M> {
         outbox: &mut Vec<(NodeId, M)>,
         new_timers: &mut Vec<(SimTime, M)>,
         executions: &mut Vec<Execution>,
+        spans: &mut Vec<SpanEvent>,
     ) {
         for (to, msg) in outbox.drain(..) {
             let delay_us = (self.latency.one_way(self.id, to) as f64 * self.scale) as u64;
@@ -388,7 +422,8 @@ impl<M: Send> ReplicaLoop<M> {
                     &mut outbox2,
                     &mut new_timers2,
                     executions,
-                );
+                )
+                .with_spans(spans);
                 process.on_message(self.id, msg, &mut ctx);
             }
             for (to, msg) in outbox2 {
@@ -405,6 +440,15 @@ impl<M: Send> ReplicaLoop<M> {
                 self.timers.push((Instant::now() + scaled, msg));
             }
         }
+        match &self.registry {
+            Some(registry) => {
+                for span in spans.iter_mut() {
+                    span.at += self.wall0;
+                }
+                registry.record_spans(spans);
+            }
+            None => spans.clear(),
+        }
         self.publish(executions);
     }
 
@@ -415,12 +459,31 @@ impl<M: Send> ReplicaLoop<M> {
             return;
         }
         let mut batch = Vec::with_capacity(executions.len());
+        let mut runtime_spans: Vec<SpanEvent> = Vec::new();
+        let wall_now = telemetry::wall_clock_us();
         let mut machine = self.machines[self.id.index()].lock();
         for execution in executions.drain(..) {
+            let id = execution.command.id();
             let output = machine.apply(&execution.command);
-            if execution.command.id().origin() == self.id {
+            if self.registry.is_some() {
+                runtime_spans.push(SpanEvent {
+                    command: id,
+                    phase: TracePhase::Execute,
+                    at: wall_now,
+                    node: self.id,
+                });
+            }
+            if id.origin() == self.id {
+                if self.registry.is_some() {
+                    runtime_spans.push(SpanEvent {
+                        command: id,
+                        phase: TracePhase::Reply,
+                        at: wall_now,
+                        node: self.id,
+                    });
+                }
                 self.session.complete(Reply {
-                    command: execution.command.id(),
+                    command: id,
                     node: self.id,
                     output,
                     decision: execution.decision.clone(),
@@ -429,6 +492,9 @@ impl<M: Send> ReplicaLoop<M> {
             batch.push(execution.decision);
         }
         drop(machine);
+        if let Some(registry) = &self.registry {
+            registry.record_spans(&mut runtime_spans);
+        }
         self.decisions.lock().entry(self.id).or_default().extend(batch);
     }
 }

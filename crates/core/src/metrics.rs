@@ -1,8 +1,18 @@
 //! Per-replica protocol counters used by the evaluation harness.
+//!
+//! The live values are [`telemetry::Counter`] handles registered in the
+//! replica's [`telemetry::Registry`] (shared names `decisions.*`,
+//! `commands.executed`, `recoveries.started`; CAESAR-specific ones under
+//! `caesar.*`), so any scraper can read them by name;
+//! [`CaesarMetrics`] is the plain snapshot
+//! [`CaesarReplica::metrics`](crate::CaesarReplica::metrics) builds from
+//! them.
 
 use consensus_types::SimTime;
+use telemetry::{Counter, Registry};
 
-/// Counters a [`CaesarReplica`](crate::CaesarReplica) maintains while running.
+/// A point-in-time copy of the counters a
+/// [`CaesarReplica`](crate::CaesarReplica) maintains while running.
 ///
 /// The harness aggregates these across replicas to regenerate Figure 10
 /// (slow-path percentage), Figure 11a (phase breakdown) and Figure 11b
@@ -71,9 +81,100 @@ impl CaesarMetrics {
     }
 }
 
+/// The registry handles behind [`CaesarMetrics`].
+#[derive(Debug)]
+pub(crate) struct CaesarCounters {
+    /// `decisions.fast` — led commands decided on the fast path.
+    pub fast_decisions: Counter,
+    /// `decisions.slow` — led commands decided on any slow path (retry,
+    /// slow proposal, or recovery); kept alongside the split counters so
+    /// generic scrapers can read fast/slow without protocol knowledge.
+    pub slow_decisions: Counter,
+    /// `caesar.decisions.slow_retry`.
+    pub slow_decisions_retry: Counter,
+    /// `caesar.decisions.slow_proposal`.
+    pub slow_decisions_proposal: Counter,
+    /// `caesar.decisions.recovered`.
+    pub recovered_decisions: Counter,
+    /// `recoveries.started`.
+    pub recoveries_started: Counter,
+    /// `caesar.nacks_sent`.
+    pub nacks_sent: Counter,
+    /// `caesar.wait_events`.
+    pub wait_events: Counter,
+    /// `caesar.wait_time_us`.
+    pub wait_time_total: Counter,
+    /// `commands.executed`.
+    pub commands_executed: Counter,
+    /// `caesar.propose_time_us`.
+    pub propose_time_total: Counter,
+    /// `caesar.retry_time_us`.
+    pub retry_time_total: Counter,
+    /// `caesar.deliver_time_us`.
+    pub deliver_time_total: Counter,
+}
+
+impl CaesarCounters {
+    pub(crate) fn register(registry: &Registry) -> Self {
+        Self {
+            fast_decisions: registry.counter("decisions.fast"),
+            slow_decisions: registry.counter("decisions.slow"),
+            slow_decisions_retry: registry.counter("caesar.decisions.slow_retry"),
+            slow_decisions_proposal: registry.counter("caesar.decisions.slow_proposal"),
+            recovered_decisions: registry.counter("caesar.decisions.recovered"),
+            recoveries_started: registry.counter("recoveries.started"),
+            nacks_sent: registry.counter("caesar.nacks_sent"),
+            wait_events: registry.counter("caesar.wait_events"),
+            wait_time_total: registry.counter("caesar.wait_time_us"),
+            commands_executed: registry.counter("commands.executed"),
+            propose_time_total: registry.counter("caesar.propose_time_us"),
+            retry_time_total: registry.counter("caesar.retry_time_us"),
+            deliver_time_total: registry.counter("caesar.deliver_time_us"),
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> CaesarMetrics {
+        CaesarMetrics {
+            fast_decisions: self.fast_decisions.get(),
+            slow_decisions_retry: self.slow_decisions_retry.get(),
+            slow_decisions_proposal: self.slow_decisions_proposal.get(),
+            recovered_decisions: self.recovered_decisions.get(),
+            recoveries_started: self.recoveries_started.get(),
+            nacks_sent: self.nacks_sent.get(),
+            wait_events: self.wait_events.get(),
+            wait_time_total: self.wait_time_total.get(),
+            commands_executed: self.commands_executed.get(),
+            propose_time_total: self.propose_time_total.get(),
+            retry_time_total: self.retry_time_total.get(),
+            deliver_time_total: self.deliver_time_total.get(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn registered_counters_snapshot_into_metrics() {
+        let registry = Registry::new();
+        let counters = CaesarCounters::register(&registry);
+        counters.fast_decisions.add(3);
+        counters.slow_decisions.inc();
+        counters.slow_decisions_retry.inc();
+        counters.wait_events.add(2);
+        counters.wait_time_total.add(1_000);
+        let m = counters.snapshot();
+        assert_eq!(m.fast_decisions, 3);
+        assert_eq!(m.slow_decisions_retry, 1);
+        assert_eq!(m.led_decisions(), 4);
+        assert!((m.avg_wait_time() - 500.0).abs() < 1e-12);
+        // The same values are visible under their registry names.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("decisions.fast"), 3);
+        assert_eq!(snap.counter("decisions.slow"), 1);
+        assert_eq!(snap.counter("caesar.wait_time_us"), 1_000);
+    }
 
     #[test]
     fn slow_path_ratio_counts_all_non_fast_paths() {

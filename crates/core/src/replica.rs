@@ -1,19 +1,21 @@
 //! The CAESAR replica: command leader, acceptor and recovery logic.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use consensus_types::{
     Ballot, Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, SimTime,
     StateTransfer, Timestamp,
 };
 use simnet::{Context, Process};
+use telemetry::{Registry, TracePhase};
 
 use crate::clock::LogicalClock;
 use crate::config::CaesarConfig;
 use crate::delivery::DeliveryEngine;
 use crate::history::{CmdStatus, History};
 use crate::messages::{CaesarMessage, ProposalKind, RecoveryInfo};
-use crate::metrics::CaesarMetrics;
+use crate::metrics::{CaesarCounters, CaesarMetrics};
 
 type Pred = BTreeSet<CommandId>;
 
@@ -92,7 +94,8 @@ pub struct CaesarReplica {
     recovery_attempts: HashMap<CommandId, u32>,
     recovering: HashMap<CommandId, RecoveryState>,
     stable_seen_at: HashMap<CommandId, SimTime>,
-    metrics: CaesarMetrics,
+    registry: Arc<Registry>,
+    metrics: CaesarCounters,
 }
 
 impl std::fmt::Debug for CaesarReplica {
@@ -111,6 +114,8 @@ impl CaesarReplica {
     /// Creates a replica with the given node id and configuration.
     #[must_use]
     pub fn new(id: NodeId, config: CaesarConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let metrics = CaesarCounters::register(&registry);
         Self {
             id,
             clock: LogicalClock::new(id),
@@ -125,7 +130,8 @@ impl CaesarReplica {
             recovery_attempts: HashMap::new(),
             recovering: HashMap::new(),
             stable_seen_at: HashMap::new(),
-            metrics: CaesarMetrics::default(),
+            registry,
+            metrics,
             config,
         }
     }
@@ -136,10 +142,12 @@ impl CaesarReplica {
         self.id
     }
 
-    /// Protocol counters collected so far.
+    /// A snapshot of the protocol counters collected so far. The live
+    /// values are registry metrics, reachable by name through
+    /// [`Process::telemetry`].
     #[must_use]
-    pub fn metrics(&self) -> &CaesarMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> CaesarMetrics {
+        self.metrics.snapshot()
     }
 
     /// The replica's history `H_i` (for tests and debugging).
@@ -235,6 +243,7 @@ impl CaesarReplica {
                 from_recovery,
             },
         );
+        ctx.trace(TracePhase::Propose, cmd_id);
         ctx.broadcast(CaesarMessage::FastPropose { ballot, cmd, time, whitelist });
         ctx.schedule_self(
             self.config.fast_quorum_timeout,
@@ -246,7 +255,7 @@ impl CaesarReplica {
         let Some(state) = self.leading.get_mut(&cmd_id) else { return };
         state.phase = LeaderPhase::SlowProposal;
         state.replies.clear();
-        self.metrics.slow_decisions_proposal += 0; // counted at stability
+        // Slow proposals are counted at stability (decisions.slow).
         let msg = CaesarMessage::SlowPropose {
             ballot: state.ballot,
             cmd: state.cmd.clone(),
@@ -263,6 +272,7 @@ impl CaesarReplica {
         state.phase_started_at = now;
         state.phase = LeaderPhase::Retry;
         state.replies.clear();
+        ctx.trace(TracePhase::Retry, cmd_id);
         self.clock.observe(state.time);
         let msg = CaesarMessage::Retry {
             ballot: state.ballot,
@@ -281,6 +291,7 @@ impl CaesarReplica {
     ) {
         let now = ctx.now();
         let Some(state) = self.leading.get_mut(&cmd_id) else { return };
+        ctx.trace(TracePhase::QuorumReached, cmd_id);
         match state.phase {
             LeaderPhase::Retry => state.retry_time += now.saturating_sub(state.phase_started_at),
             _ => state.propose_time += now.saturating_sub(state.phase_started_at),
@@ -288,14 +299,23 @@ impl CaesarReplica {
         state.phase = LeaderPhase::Done;
         let path = if state.from_recovery { DecisionPath::Recovery } else { path };
         match path {
-            DecisionPath::Fast => self.metrics.fast_decisions += 1,
-            DecisionPath::SlowRetry => self.metrics.slow_decisions_retry += 1,
-            DecisionPath::SlowProposal => self.metrics.slow_decisions_proposal += 1,
-            DecisionPath::Recovery => self.metrics.recovered_decisions += 1,
+            DecisionPath::Fast => self.metrics.fast_decisions.inc(),
+            DecisionPath::SlowRetry => {
+                self.metrics.slow_decisions.inc();
+                self.metrics.slow_decisions_retry.inc();
+            }
+            DecisionPath::SlowProposal => {
+                self.metrics.slow_decisions.inc();
+                self.metrics.slow_decisions_proposal.inc();
+            }
+            DecisionPath::Recovery => {
+                self.metrics.slow_decisions.inc();
+                self.metrics.recovered_decisions.inc();
+            }
             DecisionPath::Ordered => {}
         }
-        self.metrics.propose_time_total += state.propose_time;
-        self.metrics.retry_time_total += state.retry_time;
+        self.metrics.propose_time_total.add(state.propose_time);
+        self.metrics.retry_time_total.add(state.retry_time);
         self.led.insert(
             cmd_id,
             LedRecord {
@@ -518,7 +538,7 @@ impl CaesarReplica {
                 whitelist.is_some(),
             );
             self.notify_history_change(cmd_id, ctx);
-            self.metrics.nacks_sent += 1;
+            self.metrics.nacks_sent.inc();
             let reply = match kind {
                 ProposalKind::Fast => CaesarMessage::FastProposeReply {
                     ballot,
@@ -603,7 +623,11 @@ impl CaesarReplica {
         let mut pred = pred;
         pred.remove(&cmd_id);
         self.history.update(&cmd, time, pred.clone(), CmdStatus::Stable, ballot, false);
-        self.stable_seen_at.entry(cmd_id).or_insert_with(|| ctx.now());
+        if let std::collections::hash_map::Entry::Vacant(entry) = self.stable_seen_at.entry(cmd_id)
+        {
+            entry.insert(ctx.now());
+            ctx.trace(TracePhase::Commit, cmd_id);
+        }
         self.notify_history_change(cmd_id, ctx);
         let executed = self.delivery.on_stable(cmd_id, time, &pred);
         self.apply_executions(executed, ctx);
@@ -613,13 +637,13 @@ impl CaesarReplica {
         let now = ctx.now();
         for id in executed {
             self.history.mark_executed(id);
-            self.metrics.commands_executed += 1;
+            self.metrics.commands_executed.inc();
             let info = self.history.get(id).expect("executed command is in the history");
             let stable_at = self.stable_seen_at.get(&id).copied().unwrap_or(now);
             let (proposed_at, path, breakdown) = match self.led.get(&id) {
                 Some(led) => {
                     let deliver = now.saturating_sub(stable_at);
-                    self.metrics.deliver_time_total += deliver;
+                    self.metrics.deliver_time_total.add(deliver);
                     (
                         led.proposed_at,
                         led.path,
@@ -651,7 +675,7 @@ impl CaesarReplica {
 
     fn park(&mut self, parked: ParkedProposal, blockers: &[CommandId]) {
         let cmd_id = parked.cmd.id();
-        self.metrics.wait_events += 1;
+        self.metrics.wait_events.inc();
         for b in blockers {
             self.parked_by_blocker.entry(*b).or_default().insert(cmd_id);
         }
@@ -666,7 +690,7 @@ impl CaesarReplica {
             let blockers = self.history.wait_blockers(&parked.cmd, parked.time);
             if blockers.is_empty() {
                 let parked = self.parked.remove(&cmd_id).expect("present");
-                self.metrics.wait_time_total += ctx.now().saturating_sub(parked.parked_at);
+                self.metrics.wait_time_total.add(ctx.now().saturating_sub(parked.parked_at));
                 self.reply_to_proposal(
                     parked.cmd,
                     parked.ballot,
@@ -697,7 +721,8 @@ impl CaesarReplica {
             return;
         }
         // The command is still not stable: suspect its leader and take over.
-        self.metrics.recoveries_started += 1;
+        self.metrics.recoveries_started.inc();
+        ctx.trace(TracePhase::Recovery, cmd_id);
         let ballot = self.current_ballot(cmd_id).next_for(self.id);
         self.ballots.insert(cmd_id, ballot);
         self.recovering.insert(cmd_id, RecoveryState { ballot, replies: HashMap::new() });
@@ -782,7 +807,7 @@ impl CaesarReplica {
 
         if let Some(stable) = recovery_set.iter().find(|i| i.status == CmdStatus::Stable) {
             // (i) Someone already knows the decision: just re-broadcast it.
-            self.metrics.recovered_decisions += 1;
+            self.metrics.recovered_decisions.inc();
             ctx.broadcast(CaesarMessage::Stable {
                 ballot,
                 cmd,
@@ -1003,6 +1028,10 @@ impl Process for CaesarReplica {
 
     fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
         self.config.message_cost_us
+    }
+
+    fn telemetry(&self) -> Option<Arc<Registry>> {
+        Some(self.registry.clone())
     }
 }
 

@@ -2,6 +2,7 @@
 //! recovery.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use consensus_types::{
     Ballot, Command, CommandId, Decision, DecisionPath, LatencyBreakdown, NodeId, QuorumSpec,
@@ -9,6 +10,7 @@ use consensus_types::{
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
+use telemetry::{Counter, Registry, TracePhase};
 
 use crate::exec::ExecutionGraph;
 
@@ -157,7 +159,12 @@ pub enum EpaxosMessage {
     },
 }
 
-/// Counters kept by an EPaxos replica.
+/// A point-in-time copy of the counters kept by an EPaxos replica.
+///
+/// The live values are registry metrics (`decisions.fast`,
+/// `decisions.slow`, `commands.executed`, `recoveries.started`,
+/// `epaxos.graph_nodes_visited`), reachable through
+/// [`simnet::Process::telemetry`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EpaxosMetrics {
     /// Commands this replica led that committed on the fast path.
@@ -181,6 +188,38 @@ impl EpaxosMetrics {
             0.0
         } else {
             self.slow_path as f64 / total as f64
+        }
+    }
+}
+
+/// The registry handles behind [`EpaxosMetrics`].
+#[derive(Debug)]
+struct EpaxosCounters {
+    fast_path: Counter,
+    slow_path: Counter,
+    recoveries_started: Counter,
+    commands_executed: Counter,
+    graph_nodes_visited: Counter,
+}
+
+impl EpaxosCounters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            fast_path: registry.counter("decisions.fast"),
+            slow_path: registry.counter("decisions.slow"),
+            recoveries_started: registry.counter("recoveries.started"),
+            commands_executed: registry.counter("commands.executed"),
+            graph_nodes_visited: registry.counter("epaxos.graph_nodes_visited"),
+        }
+    }
+
+    fn snapshot(&self) -> EpaxosMetrics {
+        EpaxosMetrics {
+            fast_path: self.fast_path.get(),
+            slow_path: self.slow_path.get(),
+            recoveries_started: self.recoveries_started.get(),
+            commands_executed: self.commands_executed.get(),
+            graph_nodes_visited: self.graph_nodes_visited.get(),
         }
     }
 }
@@ -229,13 +268,16 @@ pub struct EpaxosReplica {
     ballots: HashMap<CommandId, Ballot>,
     recovering: HashMap<CommandId, (Ballot, Vec<Option<PrepareInfo>>)>,
     recovery_timer_set: HashSet<CommandId>,
-    metrics: EpaxosMetrics,
+    registry: Arc<Registry>,
+    metrics: EpaxosCounters,
 }
 
 impl EpaxosReplica {
     /// Creates a replica with the given id and configuration.
     #[must_use]
     pub fn new(id: NodeId, config: EpaxosConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let metrics = EpaxosCounters::register(&registry);
         Self {
             id,
             config,
@@ -247,7 +289,8 @@ impl EpaxosReplica {
             ballots: HashMap::new(),
             recovering: HashMap::new(),
             recovery_timer_set: HashSet::new(),
-            metrics: EpaxosMetrics::default(),
+            registry,
+            metrics,
         }
     }
 
@@ -257,10 +300,10 @@ impl EpaxosReplica {
         self.id
     }
 
-    /// Protocol counters.
+    /// A snapshot of the protocol counters.
     #[must_use]
-    pub fn metrics(&self) -> &EpaxosMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> EpaxosMetrics {
+        self.metrics.snapshot()
     }
 
     /// Number of commands executed locally.
@@ -322,6 +365,13 @@ impl EpaxosReplica {
 
     fn commit(&mut self, cmd: Command, seq: u64, deps: Deps, ctx: &mut Context<'_, EpaxosMessage>) {
         let cmd_id = cmd.id();
+        let already_committed = matches!(
+            self.instances.get(&cmd_id).map(|i| i.status),
+            Some(InstanceStatus::Committed | InstanceStatus::Executed)
+        );
+        if !already_committed {
+            ctx.trace(TracePhase::Commit, cmd_id);
+        }
         self.record_conflict(&cmd, seq);
         self.instances.insert(
             cmd_id,
@@ -334,7 +384,7 @@ impl EpaxosReplica {
         );
         self.exec.commit(cmd_id, seq, deps);
         let executed = self.exec.try_execute(cmd_id);
-        self.metrics.graph_nodes_visited += self.exec.last_visited() as u64;
+        self.metrics.graph_nodes_visited.add(self.exec.last_visited() as u64);
         self.apply_executions(executed, ctx);
         // Committing one instance may unblock others whose closure now
         // resolves; try the still-pending ones that depend on it.
@@ -347,7 +397,7 @@ impl EpaxosReplica {
         for id in pending {
             if !self.exec.is_executed(id) {
                 let executed = self.exec.try_execute(id);
-                self.metrics.graph_nodes_visited += self.exec.last_visited() as u64;
+                self.metrics.graph_nodes_visited.add(self.exec.last_visited() as u64);
                 self.apply_executions(executed, ctx);
             }
         }
@@ -363,7 +413,7 @@ impl EpaxosReplica {
                 }
                 None => continue,
             };
-            self.metrics.commands_executed += 1;
+            self.metrics.commands_executed.inc();
             let (proposed_at, path) =
                 self.led.get(&id).copied().unwrap_or((now, DecisionPath::Ordered));
             let decision = Decision {
@@ -413,6 +463,7 @@ impl Process for EpaxosReplica {
                 from_recovery: false,
             },
         );
+        ctx.trace(TracePhase::Propose, cmd_id);
         ctx.broadcast_others(EpaxosMessage::PreAccept { ballot, cmd, seq, deps });
     }
 
@@ -486,7 +537,8 @@ impl Process for EpaxosReplica {
                     } else {
                         DecisionPath::Fast
                     };
-                    self.metrics.fast_path += 1;
+                    self.metrics.fast_path.inc();
+                    ctx.trace(TracePhase::QuorumReached, cmd_id);
                     self.led.insert(cmd_id, (proposed_at, path));
                     ctx.broadcast_others(EpaxosMessage::Commit {
                         cmd: cmd.clone(),
@@ -545,7 +597,8 @@ impl Process for EpaxosReplica {
                     } else {
                         DecisionPath::SlowRetry
                     };
-                    self.metrics.slow_path += 1;
+                    self.metrics.slow_path.inc();
+                    ctx.trace(TracePhase::QuorumReached, cmd_id);
                     self.led.insert(cmd_id, (proposed_at, path));
                     ctx.broadcast_others(EpaxosMessage::Commit {
                         cmd: cmd.clone(),
@@ -615,7 +668,6 @@ impl Process for EpaxosReplica {
                     }
                     _ => {
                         // Re-run the Accept phase with the best attributes seen.
-                        self.metrics.recoveries_started += 0;
                         self.leading.insert(
                             cmd_id,
                             LeaderState {
@@ -644,7 +696,8 @@ impl Process for EpaxosReplica {
                 ) {
                     return;
                 }
-                self.metrics.recoveries_started += 1;
+                self.metrics.recoveries_started.inc();
+                ctx.trace(TracePhase::Recovery, cmd_id);
                 let ballot = self
                     .ballots
                     .get(&cmd_id)
@@ -684,7 +737,7 @@ impl Process for EpaxosReplica {
         for id in pending {
             if !self.exec.is_executed(id) {
                 let executed = self.exec.try_execute(id);
-                self.metrics.graph_nodes_visited += self.exec.last_visited() as u64;
+                self.metrics.graph_nodes_visited.add(self.exec.last_visited() as u64);
                 self.apply_executions(executed, ctx);
             }
         }
@@ -707,6 +760,10 @@ impl Process for EpaxosReplica {
 
     fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
         self.config.message_cost_us
+    }
+
+    fn telemetry(&self) -> Option<Arc<Registry>> {
+        Some(self.registry.clone())
     }
 }
 

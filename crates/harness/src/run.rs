@@ -273,13 +273,29 @@ fn run_caesar(config: &RunConfig) -> RunResult {
             let mut deliver = 0u64;
             let mut wait_ms = Vec::new();
             for node in NodeId::all(sim.node_count()) {
-                let m = sim.process(node).metrics();
-                fast += m.fast_decisions;
-                total += m.led_decisions();
-                propose += m.propose_time_total;
-                retry += m.retry_time_total;
-                deliver += m.deliver_time_total;
-                wait_ms.push(m.avg_wait_time() / 1_000.0);
+                // Read the telemetry registry — the same named counters a
+                // live `StatsRequest` scrape of a `net` replica returns, so
+                // offline and wire-scraped numbers can never disagree.
+                let snap = sim
+                    .process(node)
+                    .telemetry()
+                    .expect("CAESAR exposes a telemetry registry")
+                    .snapshot();
+                fast += snap.counter("decisions.fast");
+                total += snap.counter("decisions.fast")
+                    + snap.counter("caesar.decisions.slow_retry")
+                    + snap.counter("caesar.decisions.slow_proposal")
+                    + snap.counter("caesar.decisions.recovered");
+                propose += snap.counter("caesar.propose_time_us");
+                retry += snap.counter("caesar.retry_time_us");
+                deliver += snap.counter("caesar.deliver_time_us");
+                let events = snap.counter("caesar.wait_events");
+                let wait_us = snap.counter("caesar.wait_time_us");
+                wait_ms.push(if events == 0 {
+                    0.0
+                } else {
+                    wait_us as f64 / events as f64 / 1_000.0
+                });
             }
             let slow_pct =
                 if total == 0 { None } else { Some(100.0 * (total - fast) as f64 / total as f64) };
@@ -304,9 +320,13 @@ fn run_epaxos(config: &RunConfig) -> RunResult {
             let mut fast = 0u64;
             let mut slow = 0u64;
             for node in NodeId::all(sim.node_count()) {
-                let m = sim.process(node).metrics();
-                fast += m.fast_path;
-                slow += m.slow_path;
+                let snap = sim
+                    .process(node)
+                    .telemetry()
+                    .expect("EPaxos exposes a telemetry registry")
+                    .snapshot();
+                fast += snap.counter("decisions.fast");
+                slow += snap.counter("decisions.slow");
             }
             let total = fast + slow;
             let slow_pct = if total == 0 { None } else { Some(100.0 * slow as f64 / total as f64) };

@@ -50,6 +50,7 @@
 #![warn(rust_2018_idioms)]
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use consensus_types::{
     Command, CommandId, Decision, DecisionPath, ExecutionCursor, LatencyBreakdown, NodeId,
@@ -57,6 +58,7 @@ use consensus_types::{
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
+use telemetry::{Counter, Registry, TracePhase};
 
 /// Configuration of an M²Paxos replica.
 #[derive(Debug, Clone)]
@@ -107,7 +109,11 @@ pub enum M2PaxosMessage {
     },
 }
 
-/// Counters kept by an M²Paxos replica.
+/// A point-in-time copy of the counters kept by an M²Paxos replica.
+///
+/// The live values are registry metrics (`m2paxos.owned_decisions`,
+/// `m2paxos.forwarded`, `m2paxos.acquisitions`, `commands.executed`),
+/// reachable through [`simnet::Process::telemetry`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct M2PaxosMetrics {
     /// Commands ordered locally (this replica owned the key).
@@ -118,6 +124,35 @@ pub struct M2PaxosMetrics {
     pub acquisitions: u64,
     /// Commands executed locally.
     pub commands_executed: u64,
+}
+
+/// The registry handles behind [`M2PaxosMetrics`].
+#[derive(Debug)]
+struct M2PaxosCounters {
+    owned_decisions: Counter,
+    forwarded: Counter,
+    acquisitions: Counter,
+    commands_executed: Counter,
+}
+
+impl M2PaxosCounters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            owned_decisions: registry.counter("m2paxos.owned_decisions"),
+            forwarded: registry.counter("m2paxos.forwarded"),
+            acquisitions: registry.counter("m2paxos.acquisitions"),
+            commands_executed: registry.counter("commands.executed"),
+        }
+    }
+
+    fn snapshot(&self) -> M2PaxosMetrics {
+        M2PaxosMetrics {
+            owned_decisions: self.owned_decisions.get(),
+            forwarded: self.forwarded.get(),
+            acquisitions: self.acquisitions.get(),
+            commands_executed: self.commands_executed.get(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -144,13 +179,16 @@ pub struct M2PaxosReplica {
     next_exec: HashMap<u64, u64>,
     /// Locally submitted commands → submission time.
     pending_local: HashMap<CommandId, SimTime>,
-    metrics: M2PaxosMetrics,
+    registry: Arc<Registry>,
+    metrics: M2PaxosCounters,
 }
 
 impl M2PaxosReplica {
     /// Creates a replica.
     #[must_use]
     pub fn new(id: NodeId, config: M2PaxosConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let metrics = M2PaxosCounters::register(&registry);
         Self {
             id,
             config,
@@ -160,7 +198,8 @@ impl M2PaxosReplica {
             committed: HashMap::new(),
             next_exec: HashMap::new(),
             pending_local: HashMap::new(),
-            metrics: M2PaxosMetrics::default(),
+            registry,
+            metrics,
         }
     }
 
@@ -170,16 +209,16 @@ impl M2PaxosReplica {
         self.id
     }
 
-    /// Protocol counters.
+    /// A snapshot of the protocol counters.
     #[must_use]
-    pub fn metrics(&self) -> &M2PaxosMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> M2PaxosMetrics {
+        self.metrics.snapshot()
     }
 
     /// Number of commands executed locally.
     #[must_use]
     pub fn executed_count(&self) -> usize {
-        self.metrics.commands_executed as usize
+        self.metrics.commands_executed.get() as usize
     }
 
     /// The current owner of `key`, if any.
@@ -200,13 +239,13 @@ impl M2PaxosReplica {
                 // We are taking over ownership (the evaluation only reaches
                 // this through explicit acquisition scenarios).
                 let epoch = epoch + 1;
-                self.metrics.acquisitions += 1;
+                self.metrics.acquisitions.inc();
                 self.owners.insert(key, (self.id, epoch));
                 epoch
             }
             None => {
                 // Unowned key: acquire it as part of the accept round.
-                self.metrics.acquisitions += 1;
+                self.metrics.acquisitions.inc();
                 self.owners.insert(key, (self.id, 1));
                 1
             }
@@ -214,17 +253,24 @@ impl M2PaxosReplica {
         let seq = self.next_seq.entry(key).or_insert(0);
         let my_seq = *seq;
         *seq += 1;
-        self.metrics.owned_decisions += 1;
+        self.metrics.owned_decisions.inc();
         self.pending.insert(cmd.id(), PendingAccept { cmd: cmd.clone(), seq: my_seq, acks: 1 });
+        ctx.trace(TracePhase::Propose, cmd.id());
         ctx.broadcast_others(M2PaxosMessage::Accept { cmd, seq: my_seq, epoch });
     }
 
     fn commit(&mut self, cmd: Command, seq: u64, ctx: &mut Context<'_, M2PaxosMessage>) {
         let Some(key) = cmd.key() else {
+            ctx.trace(TracePhase::Commit, cmd.id());
             self.execute(cmd, ctx);
             return;
         };
-        self.committed.entry(key).or_default().insert(seq, cmd);
+        let already_executed = self.next_exec.get(&key).copied().unwrap_or(0) > seq;
+        let per_key = self.committed.entry(key).or_default();
+        if !already_executed && !per_key.contains_key(&seq) {
+            ctx.trace(TracePhase::Commit, cmd.id());
+        }
+        per_key.insert(seq, cmd);
         self.execute_ready(key, ctx);
     }
 
@@ -240,7 +286,7 @@ impl M2PaxosReplica {
 
     fn execute(&mut self, cmd: Command, ctx: &mut Context<'_, M2PaxosMessage>) {
         let now = ctx.now();
-        self.metrics.commands_executed += 1;
+        self.metrics.commands_executed.inc();
         let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
         let decision = Decision {
             command: cmd.id(),
@@ -263,7 +309,7 @@ impl Process for M2PaxosReplica {
             Some(owner) if owner != self.id => {
                 // Forward to the key's owner: the extra hop the paper blames
                 // for M²Paxos's degradation under conflicts.
-                self.metrics.forwarded += 1;
+                self.metrics.forwarded.inc();
                 ctx.send(owner, M2PaxosMessage::Forward { cmd });
             }
             _ => self.lead(cmd, ctx),
@@ -303,6 +349,7 @@ impl Process for M2PaxosReplica {
                 if pending.acks == classic {
                     let PendingAccept { cmd, seq, .. } =
                         self.pending.remove(&cmd_id).expect("present");
+                    ctx.trace(TracePhase::QuorumReached, cmd_id);
                     ctx.broadcast_others(M2PaxosMessage::Commit { cmd: cmd.clone(), seq });
                     self.commit(cmd, seq, ctx);
                 }
@@ -397,6 +444,10 @@ impl Process for M2PaxosReplica {
 
     fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
         self.config.message_cost_us
+    }
+
+    fn telemetry(&self) -> Option<Arc<Registry>> {
+        Some(self.registry.clone())
     }
 }
 

@@ -57,6 +57,7 @@
 #![warn(rust_2018_idioms)]
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use consensus_types::{
     Command, CommandId, Decision, DecisionPath, ExecutionCursor, LatencyBreakdown, NodeId,
@@ -64,6 +65,7 @@ use consensus_types::{
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
+use telemetry::{Counter, Registry, TracePhase};
 
 /// Configuration of a Mencius replica.
 #[derive(Debug, Clone)]
@@ -120,7 +122,11 @@ pub enum MenciusMessage {
     },
 }
 
-/// Counters kept by a Mencius replica.
+/// A point-in-time copy of the counters kept by a Mencius replica.
+///
+/// The live values are registry metrics (`mencius.proposed`,
+/// `mencius.skips_sent`, `commands.executed`), reachable through
+/// [`simnet::Process::telemetry`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MenciusMetrics {
     /// Commands proposed by this replica.
@@ -129,6 +135,32 @@ pub struct MenciusMetrics {
     pub skips_sent: u64,
     /// Commands executed locally.
     pub commands_executed: u64,
+}
+
+/// The registry handles behind [`MenciusMetrics`].
+#[derive(Debug)]
+struct MenciusCounters {
+    proposed: Counter,
+    skips_sent: Counter,
+    commands_executed: Counter,
+}
+
+impl MenciusCounters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            proposed: registry.counter("mencius.proposed"),
+            skips_sent: registry.counter("mencius.skips_sent"),
+            commands_executed: registry.counter("commands.executed"),
+        }
+    }
+
+    fn snapshot(&self) -> MenciusMetrics {
+        MenciusMetrics {
+            proposed: self.proposed.get(),
+            skips_sent: self.skips_sent.get(),
+            commands_executed: self.commands_executed.get(),
+        }
+    }
 }
 
 /// A Mencius replica implementing [`simnet::Process`].
@@ -153,7 +185,8 @@ pub struct MenciusReplica {
     next_execute: u64,
     /// Locally proposed commands → proposal time.
     pending_local: HashMap<CommandId, SimTime>,
-    metrics: MenciusMetrics,
+    registry: Arc<Registry>,
+    metrics: MenciusCounters,
 }
 
 impl MenciusReplica {
@@ -161,6 +194,8 @@ impl MenciusReplica {
     #[must_use]
     pub fn new(id: NodeId, config: MenciusConfig) -> Self {
         let n = config.quorums.nodes();
+        let registry = Arc::new(Registry::new());
+        let metrics = MenciusCounters::register(&registry);
         Self {
             next_own_slot: id.index() as u64,
             max_seen_slot: 0,
@@ -170,7 +205,8 @@ impl MenciusReplica {
             in_flight: HashMap::new(),
             next_execute: 0,
             pending_local: HashMap::new(),
-            metrics: MenciusMetrics::default(),
+            registry,
+            metrics,
             id,
             config,
         }
@@ -182,16 +218,16 @@ impl MenciusReplica {
         self.id
     }
 
-    /// Protocol counters.
+    /// A snapshot of the protocol counters.
     #[must_use]
-    pub fn metrics(&self) -> &MenciusMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> MenciusMetrics {
+        self.metrics.snapshot()
     }
 
     /// Number of commands executed locally.
     #[must_use]
     pub fn executed_count(&self) -> usize {
-        self.metrics.commands_executed as usize
+        self.metrics.commands_executed.get() as usize
     }
 
     fn owner(&self, slot: u64) -> NodeId {
@@ -217,7 +253,7 @@ impl MenciusReplica {
             self.next_execute += 1;
             let value = self.slots.get(&slot).cloned().unwrap_or(SlotValue::Skip);
             if let SlotValue::Command(cmd) = value {
-                self.metrics.commands_executed += 1;
+                self.metrics.commands_executed.inc();
                 let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
                 let decision = Decision {
                     command: cmd.id(),
@@ -241,7 +277,7 @@ impl MenciusReplica {
             while self.next_own_slot < self.max_seen_slot {
                 self.next_own_slot += n;
             }
-            self.metrics.skips_sent += 1;
+            self.metrics.skips_sent.inc();
             let below = self.next_own_slot;
             self.skip_frontier[self.id.index()] = below;
             ctx.broadcast_others(MenciusMessage::Skip { below });
@@ -256,11 +292,12 @@ impl Process for MenciusReplica {
     fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, MenciusMessage>) {
         let slot = self.next_own_slot;
         self.next_own_slot += self.config.quorums.nodes() as u64;
-        self.metrics.proposed += 1;
+        self.metrics.proposed.inc();
         self.pending_local.insert(cmd.id(), ctx.now());
         self.acks.insert(slot, 1);
         self.in_flight.insert(slot, cmd.clone());
         self.max_seen_slot = self.max_seen_slot.max(slot);
+        ctx.trace(TracePhase::Propose, cmd.id());
         ctx.broadcast_others(MenciusMessage::Propose { slot, cmd });
     }
 
@@ -284,12 +321,17 @@ impl Process for MenciusReplica {
                 if *count == self.config.quorums.classic() {
                     let Some(cmd) = self.in_flight.remove(&slot) else { return };
                     self.acks.remove(&slot);
+                    ctx.trace(TracePhase::QuorumReached, cmd.id());
+                    ctx.trace(TracePhase::Commit, cmd.id());
                     self.slots.insert(slot, SlotValue::Command(cmd.clone()));
                     ctx.broadcast_others(MenciusMessage::Commit { slot, cmd });
                     self.execute_ready(ctx);
                 }
             }
             MenciusMessage::Commit { slot, cmd } => {
+                if !self.slots.contains_key(&slot) {
+                    ctx.trace(TracePhase::Commit, cmd.id());
+                }
                 self.slots.insert(slot, SlotValue::Command(cmd));
                 self.advance_skips(slot, ctx);
                 self.execute_ready(ctx);
@@ -367,7 +409,7 @@ impl Process for MenciusReplica {
         // always beat a skip claim (the slots map wins in `resolved`).
         if self.next_own_slot > self.skip_frontier[me] {
             self.skip_frontier[me] = self.next_own_slot;
-            self.metrics.skips_sent += 1;
+            self.metrics.skips_sent.inc();
             ctx.broadcast_others(MenciusMessage::Skip { below: self.next_own_slot });
         }
         // Slots below the cursor are covered by the restored snapshot.
@@ -386,6 +428,10 @@ impl Process for MenciusReplica {
 
     fn client_processing_cost(&self, _cmd: &Command) -> SimTime {
         self.config.message_cost_us
+    }
+
+    fn telemetry(&self) -> Option<Arc<Registry>> {
+        Some(self.registry.clone())
     }
 }
 

@@ -52,6 +52,7 @@
 #![warn(rust_2018_idioms)]
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use consensus_types::{
     Command, CommandId, Decision, DecisionPath, ExecutionCursor, LatencyBreakdown, NodeId,
@@ -59,6 +60,7 @@ use consensus_types::{
 };
 use serde::{Deserialize, Serialize};
 use simnet::{Context, Process};
+use telemetry::{Counter, Registry, TracePhase};
 
 /// Configuration of a Multi-Paxos replica.
 #[derive(Debug, Clone)]
@@ -116,7 +118,11 @@ pub enum MultiPaxosMessage {
     },
 }
 
-/// Counters kept by a Multi-Paxos replica.
+/// A point-in-time copy of the counters kept by a Multi-Paxos replica.
+///
+/// The live values are registry metrics (`multipaxos.forwarded`,
+/// `multipaxos.committed_slots`, `commands.executed`), reachable through
+/// [`simnet::Process::telemetry`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MultiPaxosMetrics {
     /// Commands this replica forwarded to the leader.
@@ -125,6 +131,32 @@ pub struct MultiPaxosMetrics {
     pub committed_slots: u64,
     /// Commands executed locally.
     pub commands_executed: u64,
+}
+
+/// The registry handles behind [`MultiPaxosMetrics`].
+#[derive(Debug)]
+struct MultiPaxosCounters {
+    forwarded: Counter,
+    committed_slots: Counter,
+    commands_executed: Counter,
+}
+
+impl MultiPaxosCounters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            forwarded: registry.counter("multipaxos.forwarded"),
+            committed_slots: registry.counter("multipaxos.committed_slots"),
+            commands_executed: registry.counter("commands.executed"),
+        }
+    }
+
+    fn snapshot(&self) -> MultiPaxosMetrics {
+        MultiPaxosMetrics {
+            forwarded: self.forwarded.get(),
+            committed_slots: self.committed_slots.get(),
+            commands_executed: self.commands_executed.get(),
+        }
+    }
 }
 
 /// A Multi-Paxos replica implementing [`simnet::Process`].
@@ -143,13 +175,16 @@ pub struct MultiPaxosReplica {
     /// Commands proposed locally (origin replica) → proposal time, so the
     /// co-located client's latency can be reported when the command executes.
     pending_local: HashMap<CommandId, SimTime>,
-    metrics: MultiPaxosMetrics,
+    registry: Arc<Registry>,
+    metrics: MultiPaxosCounters,
 }
 
 impl MultiPaxosReplica {
     /// Creates a replica.
     #[must_use]
     pub fn new(id: NodeId, config: MultiPaxosConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+        let metrics = MultiPaxosCounters::register(&registry);
         Self {
             id,
             config,
@@ -159,7 +194,8 @@ impl MultiPaxosReplica {
             log: BTreeMap::new(),
             next_execute: 0,
             pending_local: HashMap::new(),
-            metrics: MultiPaxosMetrics::default(),
+            registry,
+            metrics,
         }
     }
 
@@ -175,10 +211,10 @@ impl MultiPaxosReplica {
         self.id == self.config.leader
     }
 
-    /// Protocol counters.
+    /// A snapshot of the protocol counters.
     #[must_use]
-    pub fn metrics(&self) -> &MultiPaxosMetrics {
-        &self.metrics
+    pub fn metrics(&self) -> MultiPaxosMetrics {
+        self.metrics.snapshot()
     }
 
     /// Number of commands executed locally.
@@ -192,6 +228,7 @@ impl MultiPaxosReplica {
         self.next_slot += 1;
         self.acks.insert(slot, 1); // the leader accepts its own slot
         self.in_flight.insert(slot, cmd.clone());
+        ctx.trace(TracePhase::Propose, cmd.id());
         ctx.broadcast_others(MultiPaxosMessage::Accept { slot, cmd });
     }
 
@@ -199,7 +236,7 @@ impl MultiPaxosReplica {
         let now = ctx.now();
         while let Some(cmd) = self.log.get(&self.next_execute).cloned() {
             self.next_execute += 1;
-            self.metrics.commands_executed += 1;
+            self.metrics.commands_executed.inc();
             let proposed_at = self.pending_local.remove(&cmd.id()).unwrap_or(now);
             let decision = Decision {
                 command: cmd.id(),
@@ -222,7 +259,7 @@ impl Process for MultiPaxosReplica {
         if self.is_leader() {
             self.lead(cmd, ctx);
         } else {
-            self.metrics.forwarded += 1;
+            self.metrics.forwarded.inc();
             ctx.send(self.config.leader, MultiPaxosMessage::Forward { cmd });
         }
     }
@@ -254,13 +291,18 @@ impl Process for MultiPaxosReplica {
                 if *count == self.config.quorums.classic() {
                     let Some(cmd) = self.in_flight.remove(&slot) else { return };
                     self.acks.remove(&slot);
-                    self.metrics.committed_slots += 1;
+                    self.metrics.committed_slots.inc();
+                    ctx.trace(TracePhase::QuorumReached, cmd.id());
+                    ctx.trace(TracePhase::Commit, cmd.id());
                     ctx.broadcast_others(MultiPaxosMessage::Commit { slot, cmd: cmd.clone() });
                     self.log.insert(slot, cmd);
                     self.execute_ready(ctx);
                 }
             }
             MultiPaxosMessage::Commit { slot, cmd } => {
+                if !self.log.contains_key(&slot) {
+                    ctx.trace(TracePhase::Commit, cmd.id());
+                }
                 self.log.insert(slot, cmd);
                 self.execute_ready(ctx);
             }
@@ -314,6 +356,10 @@ impl Process for MultiPaxosReplica {
             MultiPaxosMessage::AcceptReply { .. } => base / 2 + 1,
             MultiPaxosMessage::Commit { .. } => base / 2 + 1,
         }
+    }
+
+    fn telemetry(&self) -> Option<Arc<Registry>> {
+        Some(self.registry.clone())
     }
 
     fn client_processing_cost(&self, _cmd: &Command) -> SimTime {

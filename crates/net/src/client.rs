@@ -17,12 +17,13 @@ use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use consensus_core::session::{
     ClientHandle, Op, ParkDrive, Reply, SessionCore, SessionError, SubmitTransport, Ticket,
 };
 use consensus_types::{Command, NodeId};
+use telemetry::{RegistrySnapshot, SpanRingSnapshot};
 
 use crate::wire::{send_msg, Event, FrameReader, WireMessage};
 
@@ -79,7 +80,9 @@ impl ReplicaClient {
                         Ok(Some(Event::ClientAbort { command, reason, .. })) => {
                             core.fail(command, SessionError::Disconnected(reason));
                         }
-                        Ok(Some(Event::Decisions { .. })) => {}
+                        // Stats replies are only solicited by scrape
+                        // connections; one arriving here is stray noise.
+                        Ok(Some(Event::Decisions { .. } | Event::StatsReply { .. })) => {}
                         Ok(None) => {
                             if stop.load(Ordering::SeqCst) {
                                 return;
@@ -128,6 +131,12 @@ impl ReplicaClient {
         self.submit(Op::get(key))?.wait()
     }
 
+    /// Scrapes the connected replica's telemetry over a fresh connection:
+    /// its full metric registry plus the command-lifecycle span ring.
+    pub fn fetch_stats(&self) -> io::Result<StatsScrape> {
+        scrape_stats(self.stream.peer_addr()?)
+    }
+
     /// Closes the connection and joins the reader thread. Pending tickets
     /// fail with [`SessionError::Disconnected`].
     pub fn shutdown(mut self) {
@@ -148,6 +157,56 @@ impl Drop for ReplicaClient {
     fn drop(&mut self) {
         if self.reader.is_some() {
             self.teardown();
+        }
+    }
+}
+
+/// One replica's telemetry as returned by a live stats scrape.
+#[derive(Debug, Clone)]
+pub struct StatsScrape {
+    /// The replica that answered.
+    pub from: NodeId,
+    /// Its metric registry: protocol counters (`decisions.fast`, …) plus
+    /// transport counters (`net.frames_sent`, …) and histograms.
+    pub snapshot: RegistrySnapshot,
+    /// Its command-lifecycle span ring, timestamps in wall-clock
+    /// microseconds since the UNIX epoch.
+    pub spans: SpanRingSnapshot,
+}
+
+/// Scrapes the replica listening at `addr` with a 5-second deadline.
+///
+/// Opens a fresh connection, sends one [`WireMessage::StatsRequest`] and
+/// waits for the [`Event::StatsReply`] the event loop answers with. The
+/// request never touches the replica's consensus core loop, so scraping is
+/// safe against a wedged protocol — only a dead event loop times out.
+pub fn scrape_stats(addr: SocketAddr) -> io::Result<StatsScrape> {
+    scrape_stats_deadline(addr, Duration::from_secs(5))
+}
+
+/// [`scrape_stats`] with a caller-chosen overall deadline.
+pub fn scrape_stats_deadline(addr: SocketAddr, timeout: Duration) -> io::Result<StatsScrape> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    send_msg(&mut stream, &WireMessage::<()>::StatsRequest)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let deadline = Instant::now() + timeout;
+    let mut decoder = FrameReader::new();
+    loop {
+        match decoder.read_msg::<_, Event>(&mut stream) {
+            Ok(Some(Event::StatsReply { from, snapshot, spans })) => {
+                return Ok(StatsScrape { from, snapshot, spans });
+            }
+            Ok(Some(_)) => {} // unsolicited frames on a scrape connection
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "replica did not answer the stats scrape in time",
+                    ));
+                }
+            }
+            Err(err) => return Err(err),
         }
     }
 }

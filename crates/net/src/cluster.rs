@@ -365,9 +365,9 @@ where
         let mut dropped = 0;
         for replica in &self.replicas {
             let stats = replica.stats();
-            sent += stats.frames_sent.load(Ordering::Relaxed);
-            received += stats.frames_received.load(Ordering::Relaxed);
-            dropped += stats.frames_dropped.load(Ordering::Relaxed);
+            sent += stats.frames_sent.get();
+            received += stats.frames_received.get();
+            dropped += stats.frames_dropped.get();
         }
         (sent, received, dropped)
     }
@@ -376,10 +376,7 @@ where
     /// frame due at one writer wakeup with a single write call).
     #[must_use]
     pub fn batches_flushed(&self) -> u64 {
-        self.replicas
-            .iter()
-            .map(|replica| replica.stats().batches_flushed.load(Ordering::Relaxed))
-            .sum()
+        self.replicas.iter().map(|replica| replica.stats().batches_flushed.get()).sum()
     }
 
     /// The live transport counters of `node`'s current incarnation (reset
@@ -389,14 +386,19 @@ where
         self.replicas[node.index()].stats()
     }
 
+    /// The telemetry registry of `node`'s current incarnation: protocol
+    /// counters, `net.*` transport counters, and the span ring — the same
+    /// data a live [`crate::scrape_stats`] of that replica returns.
+    #[must_use]
+    pub fn replica_registry(&self, node: NodeId) -> &Arc<telemetry::Registry> {
+        self.replicas[node.index()].registry()
+    }
+
     /// Total `writev` scatter-gather flushes (two or more frames leaving in
     /// one syscall) across all replicas.
     #[must_use]
     pub fn writev_flushes(&self) -> u64 {
-        self.replicas
-            .iter()
-            .map(|replica| replica.stats().writev_flushes.load(Ordering::Relaxed))
-            .sum()
+        self.replicas.iter().map(|replica| replica.stats().writev_flushes.get()).sum()
     }
 
     /// The state-machine digest of `node` (see
@@ -541,6 +543,9 @@ fn client_reader(
             Ok(Some(Event::ClientAbort { command, reason, .. })) => {
                 session.fail(command, SessionError::Disconnected(reason));
             }
+            // Stats scrapes run over their own connections; a reply here
+            // is unsolicited and carries nothing this reader needs.
+            Ok(Some(Event::StatsReply { .. })) => {}
             Ok(None) => {
                 if stop.load(Ordering::SeqCst) {
                     return;

@@ -49,6 +49,7 @@ use reactor::{Events, Interest, PollEvent, Poller, Token, Waker};
 
 use crate::replica::NetReplicaStats;
 use crate::wire::{frame_bytes, is_checksum_error, Event, FrameBuffer, WireMessage};
+use telemetry::Registry;
 
 /// Token of the [`IoQueue`] waker.
 const WAKER: Token = Token(0);
@@ -275,6 +276,9 @@ pub(crate) struct EventLoop<M> {
     routes: HashMap<CommandId, u64>,
     next_token: u64,
     reconnect_backoff: Duration,
+    /// The replica's telemetry registry, snapshotted to answer
+    /// [`WireMessage::StatsRequest`] frames without a core-loop round trip.
+    registry: Arc<Registry>,
     stats: Arc<NetReplicaStats>,
     /// Live decision-stream subscribers, shared with the core loop so it
     /// can skip serializing `Event::Decisions` batches nobody will read.
@@ -300,6 +304,7 @@ where
         queue: Arc<IoQueue>,
         mailbox: Sender<WireMessage<M>>,
         reconnect_backoff: Duration,
+        registry: Arc<Registry>,
         stats: Arc<NetReplicaStats>,
         subscriber_count: Arc<AtomicUsize>,
         shutdown: Arc<AtomicBool>,
@@ -318,6 +323,7 @@ where
             routes: HashMap::new(),
             next_token: FIRST_CONN,
             reconnect_backoff,
+            registry,
             stats,
             subscriber_count,
             shutdown,
@@ -413,7 +419,7 @@ where
                     if let Some(link) = self.peers.get_mut(&to) {
                         if link.queued.len() >= MAX_DOWN_QUEUE {
                             link.queued.pop_front();
-                            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                            self.stats.frames_dropped.inc();
                         }
                         link.queued.push_back((deliver_at, Arc::new(frame)));
                     }
@@ -549,7 +555,7 @@ where
                 Ok(None) => return true,
                 Err(err) => {
                     if is_checksum_error(&err) {
-                        self.stats.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        self.stats.corrupt_frames.inc();
                     }
                     self.teardown(token);
                     return false;
@@ -566,14 +572,28 @@ where
                     let id = cmd.id();
                     conn.registered.push(id);
                     self.routes.insert(id, token);
-                    self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                    self.stats.frames_received.inc();
                     if self.mailbox.send(WireMessage::ClientRequest { cmd }).is_err() {
                         self.stop = true; // core loop is gone
                         return false;
                     }
                 }
+                WireMessage::StatsRequest => {
+                    // Answered right here on the requesting connection: the
+                    // registry is lock-free to snapshot, so a scrape never
+                    // queues behind — or perturbs — the consensus core loop.
+                    self.stats.frames_received.inc();
+                    let reply = Event::StatsReply {
+                        from: self.id,
+                        snapshot: self.registry.snapshot(),
+                        spans: self.registry.spans(),
+                    };
+                    if let Ok(frame) = frame_bytes(&reply) {
+                        self.append_frame(token, Arc::new(frame));
+                    }
+                }
                 message => {
-                    self.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+                    self.stats.frames_received.inc();
                     if self.mailbox.send(message).is_err() {
                         self.stop = true; // core loop is gone
                         return false;
@@ -646,7 +666,7 @@ where
         conn.connecting = false;
         conn.wants_write = false;
         let _ = self.poller.reregister(conn.stream.as_raw_fd(), Token(token), Interest::READABLE);
-        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        self.stats.connects.inc();
         if let ConnKind::Peer(to) = conn.kind {
             if let Some(link) = self.peers.get_mut(&to) {
                 link.connect_deadline = None;
@@ -743,7 +763,7 @@ where
                 Ok(n) => {
                     completed += conn.write.consume(n);
                     if gathered > 1 {
-                        self.stats.writev_flushes.fetch_add(1, Ordering::Relaxed);
+                        self.stats.writev_flushes.inc();
                     }
                 }
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => break,
@@ -759,8 +779,8 @@ where
             None => return,
         };
         if completed > 0 {
-            self.stats.frames_sent.fetch_add(completed, Ordering::Relaxed);
-            self.stats.batches_flushed.fetch_add(1, Ordering::Relaxed);
+            self.stats.frames_sent.add(completed);
+            self.stats.batches_flushed.inc();
         }
         if conn.write.is_empty() {
             if conn.wants_write {
@@ -785,7 +805,7 @@ where
         let Some(conn) = self.conns.remove(&token) else { return };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
         if conn.write.unsent_frames() > 0 {
-            self.stats.frames_dropped.fetch_add(conn.write.unsent_frames(), Ordering::Relaxed);
+            self.stats.frames_dropped.add(conn.write.unsent_frames());
         }
         if conn.subscribed {
             self.subscriber_count.fetch_sub(1, Ordering::Relaxed);

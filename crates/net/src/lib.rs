@@ -84,7 +84,7 @@ mod event_loop;
 mod replica;
 pub mod wire;
 
-pub use client::ReplicaClient;
+pub use client::{scrape_stats, scrape_stats_deadline, ReplicaClient, StatsScrape};
 pub use cluster::{NetCluster, NetConfig};
 pub use replica::{DelayShim, NetReplica, NetReplicaConfig, NetReplicaStats};
 pub use wire::{Event, WireMessage};

@@ -59,7 +59,7 @@
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -72,6 +72,7 @@ use consensus_types::{
 };
 use kvstore::KvStore;
 use simnet::{Context, LatencyMatrix, Process};
+use telemetry::{Counter, Registry, SpanEvent, TracePhase};
 
 use crate::event_loop::{EventLoop, IoCmd, IoQueue};
 use crate::wire::{frame_bytes, Event, WireMessage};
@@ -182,37 +183,61 @@ impl NetReplicaConfig {
 }
 
 /// Counters exposed by a running replica (all monotone).
-#[derive(Debug, Default)]
+///
+/// The handles live in the replica's [`telemetry::Registry`] under `net.*`
+/// names (e.g. `net.frames_sent`), so a [`WireMessage::StatsRequest`] scrape
+/// reads the same values as the in-process accessors.
+#[derive(Debug)]
 pub struct NetReplicaStats {
     /// Frames flushed to peer/client sockets (counted when their write
     /// buffer drains).
-    pub frames_sent: AtomicU64,
+    pub frames_sent: Counter,
     /// Frames received and enqueued from any connection.
-    pub frames_received: AtomicU64,
+    pub frames_received: Counter,
     /// Outbound frames abandoned: buffered on a connection that died, or
     /// displaced from an over-full down-link queue.
-    pub frames_dropped: AtomicU64,
+    pub frames_dropped: Counter,
     /// Successful outbound connection establishments (first + re-connects).
-    pub connects: AtomicU64,
+    pub connects: Counter,
     /// Write-buffer flush passes that put at least one complete frame on
     /// the wire; all frames buffered on a connection leave in one such pass
     /// ([`Self::frames_sent`] ÷ this is the average batch size).
-    pub batches_flushed: AtomicU64,
+    pub batches_flushed: Counter,
     /// Frames whose CRC-32 check failed on decode; each one also tears its
     /// connection down (a corrupted stream cannot be resynchronized).
-    pub corrupt_frames: AtomicU64,
+    pub corrupt_frames: Counter,
     /// Flush passes that gathered two or more frames into one `writev`
     /// scatter-gather syscall (single-frame flushes are ordinary writes).
-    pub writev_flushes: AtomicU64,
+    pub writev_flushes: Counter,
     /// Snapshot transfers this replica donated to catching-up peers.
-    pub snapshots_served: AtomicU64,
+    pub snapshots_served: Counter,
     /// Snapshot payload bytes chunked out across all donations.
-    pub snapshot_bytes_sent: AtomicU64,
+    pub snapshot_bytes_sent: Counter,
     /// Catch-up transfers this replica completed (snapshot restored and
     /// suffix replayed).
-    pub catch_ups_completed: AtomicU64,
+    pub catch_ups_completed: Counter,
     /// Commands replayed from donors' decided suffixes during catch-up.
-    pub catch_up_replayed: AtomicU64,
+    pub catch_up_replayed: Counter,
+}
+
+impl NetReplicaStats {
+    /// Registers (or re-attaches to) the transport counters in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            frames_sent: registry.counter("net.frames_sent"),
+            frames_received: registry.counter("net.frames_received"),
+            frames_dropped: registry.counter("net.frames_dropped"),
+            connects: registry.counter("net.connects"),
+            batches_flushed: registry.counter("net.batches_flushed"),
+            corrupt_frames: registry.counter("net.corrupt_frames"),
+            writev_flushes: registry.counter("net.writev_flushes"),
+            snapshots_served: registry.counter("net.snapshots_served"),
+            snapshot_bytes_sent: registry.counter("net.snapshot_bytes_sent"),
+            catch_ups_completed: registry.counter("net.catch_ups_completed"),
+            catch_up_replayed: registry.counter("net.catch_up_replayed"),
+        }
+    }
 }
 
 /// A consensus replica served over TCP.
@@ -233,6 +258,7 @@ pub struct NetReplica<P: Process> {
     mailbox_rx: Option<Receiver<WireMessage<P::Message>>>,
     io: Arc<IoQueue>,
     shutdown: Arc<AtomicBool>,
+    registry: Arc<Registry>,
     stats: Arc<NetReplicaStats>,
     subscriber_count: Arc<AtomicUsize>,
     threads: Vec<JoinHandle<()>>,
@@ -251,7 +277,11 @@ where
         let local_addr = listener.local_addr()?;
         let (mailbox_tx, mailbox_rx) = mpsc::channel();
         let shutdown = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(NetReplicaStats::default());
+        // One registry per replica: the process's own (so protocol counters
+        // and transport counters scrape together), or a fresh one when the
+        // process does not expose telemetry.
+        let registry = process.telemetry().unwrap_or_else(|| Arc::new(Registry::new()));
+        let stats = Arc::new(NetReplicaStats::register(&registry));
         let subscriber_count = Arc::new(AtomicUsize::new(0));
         let io = Arc::new(IoQueue::new()?);
         let machine = Arc::new(Mutex::new((config.state_machine)(config.id)));
@@ -262,6 +292,7 @@ where
             Arc::clone(&io),
             mailbox_tx.clone(),
             config.reconnect_backoff,
+            Arc::clone(&registry),
             Arc::clone(&stats),
             Arc::clone(&subscriber_count),
             Arc::clone(&shutdown),
@@ -278,6 +309,7 @@ where
             mailbox_rx: Some(mailbox_rx),
             io,
             shutdown,
+            registry,
             stats,
             subscriber_count,
             threads: vec![io_thread],
@@ -300,6 +332,15 @@ where
     #[must_use]
     pub fn stats(&self) -> &Arc<NetReplicaStats> {
         &self.stats
+    }
+
+    /// The telemetry registry this replica records into: the process's
+    /// protocol counters, the `net.*` transport counters, and the
+    /// command-lifecycle span ring. The same data a
+    /// [`WireMessage::StatsRequest`] scrape returns.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The state-machine digest of this replica (see
@@ -381,6 +422,13 @@ where
             },
             applied: AppliedSummary::default(),
             watermark: 0,
+            registry: Arc::clone(&self.registry),
+            // Maps the epoch-relative `Context::now` timestamps spans carry
+            // onto wall-clock microseconds, so traces scraped from
+            // different replicas (different processes, shared epoch or not)
+            // line up on one axis.
+            wall0: telemetry::wall_clock_us()
+                .saturating_sub(self.config.epoch.elapsed().as_micros() as u64),
             stats: Arc::clone(&self.stats),
             reply_wanted: HashSet::new(),
             subscribers: Arc::clone(&self.subscriber_count),
@@ -544,6 +592,12 @@ struct CoreLoop<P: Process> {
     /// reply observe a cursor ahead of `applied_through` — so the core loop
     /// asserts monotonicity at every step that touches the machine.
     watermark: u64,
+    /// The replica's telemetry registry: protocol spans drained from the
+    /// process contexts and runtime spans (submit/execute/reply) land here.
+    registry: Arc<Registry>,
+    /// Wall-clock microseconds (UNIX epoch) at `epoch`: added to every
+    /// span's epoch-relative timestamp before it is recorded.
+    wall0: u64,
     stats: Arc<NetReplicaStats>,
     /// Commands submitted to **this** replica as `ClientRequest`s, i.e. the
     /// only ones a connection here may be waiting on. Every replica executes
@@ -568,6 +622,7 @@ where
         let mut outbox: Vec<(NodeId, P::Message)> = Vec::new();
         let mut new_timers: Vec<(SimTime, P::Message)> = Vec::new();
         let mut executions: Vec<Execution> = Vec::new();
+        let mut spans: Vec<SpanEvent> = Vec::new();
 
         {
             let now = self.now_us();
@@ -578,10 +633,11 @@ where
                 &mut outbox,
                 &mut new_timers,
                 &mut executions,
-            );
+            )
+            .with_spans(&mut spans);
             self.process.on_start(&mut ctx);
         }
-        self.flush(&mut outbox, &mut new_timers, &mut executions);
+        self.flush(&mut outbox, &mut new_timers, &mut executions, &mut spans);
         if self.restore.is_some() {
             self.request_snapshots();
         }
@@ -601,7 +657,13 @@ where
             }
             match self.mailbox.recv_timeout(timeout) {
                 Ok(envelope) => {
-                    if !self.dispatch(envelope, &mut outbox, &mut new_timers, &mut executions) {
+                    if !self.dispatch(
+                        envelope,
+                        &mut outbox,
+                        &mut new_timers,
+                        &mut executions,
+                        &mut spans,
+                    ) {
                         break;
                     }
                 }
@@ -621,9 +683,10 @@ where
                     &mut outbox,
                     &mut new_timers,
                     &mut executions,
+                    &mut spans,
                 );
             }
-            self.flush(&mut outbox, &mut new_timers, &mut executions);
+            self.flush(&mut outbox, &mut new_timers, &mut executions, &mut spans);
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -644,14 +707,20 @@ where
         outbox: &mut Vec<(NodeId, P::Message)>,
         new_timers: &mut Vec<(SimTime, P::Message)>,
         executions: &mut Vec<Execution>,
+        spans: &mut Vec<SpanEvent>,
     ) -> bool {
         match envelope {
             WireMessage::Shutdown => return false,
             WireMessage::Hello { .. } | WireMessage::Subscribe => {}
+            // Stats scrapes are answered by the event loop on the requesting
+            // connection and never forwarded here; this arm only fires for
+            // in-process mailbox injections, which need no reply.
+            WireMessage::StatsRequest => {}
             WireMessage::Peer { from, msg } => {
                 let now = self.now_us();
                 let mut ctx =
-                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions)
+                        .with_spans(spans);
                 self.process.on_message(from, msg, &mut ctx);
             }
             WireMessage::ClientRequest { cmd } => {
@@ -673,10 +742,13 @@ where
                     }
                     return true;
                 }
-                self.reply_wanted.insert(cmd.id());
+                let id = cmd.id();
+                self.reply_wanted.insert(id);
                 let now = self.now_us();
                 let mut ctx =
-                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions)
+                        .with_spans(spans);
+                ctx.trace(TracePhase::Submit, id);
                 self.process.on_client_command(cmd, &mut ctx);
             }
             WireMessage::SnapshotRequest { from } => self.serve_snapshot(from),
@@ -694,18 +766,23 @@ where
                     outbox,
                     new_timers,
                     executions,
+                    spans,
                 );
             }
             WireMessage::Client { cmd } => {
+                let id = cmd.id();
                 let now = self.now_us();
                 let mut ctx =
-                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions)
+                        .with_spans(spans);
+                ctx.trace(TracePhase::Submit, id);
                 self.process.on_client_command(cmd, &mut ctx);
             }
             WireMessage::Timer { msg } => {
                 let now = self.now_us();
                 let mut ctx =
-                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
+                    Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions)
+                        .with_spans(spans);
                 self.process.on_message(self.id, msg, &mut ctx);
             }
         }
@@ -722,7 +799,14 @@ where
         outbox: &mut Vec<(NodeId, P::Message)>,
         new_timers: &mut Vec<(SimTime, P::Message)>,
         executions: &mut Vec<Execution>,
+        spans: &mut Vec<SpanEvent>,
     ) {
+        // Spans carry `Context::now` (epoch-relative) timestamps; rebase
+        // onto the wall clock so scraped rings line up across replicas.
+        for span in spans.iter_mut() {
+            span.at += self.wall0;
+        }
+        self.registry.record_spans(spans);
         let now = Instant::now();
         let mut cmds: Vec<IoCmd> = Vec::new();
         for (to, msg) in outbox.drain(..) {
@@ -771,6 +855,8 @@ where
         }
         let mut cmds: Vec<IoCmd> = Vec::with_capacity(executions.len() + 1);
         let mut batch = Vec::with_capacity(executions.len());
+        let mut runtime_spans: Vec<SpanEvent> = Vec::with_capacity(executions.len());
+        let wall_now = telemetry::wall_clock_us();
         let watermark = {
             let mut machine = self.machine.lock().expect("state machine lock");
             for execution in executions.drain(..) {
@@ -805,7 +891,19 @@ where
                 let output = machine.apply(&execution.command);
                 self.applied.insert(id);
                 self.suffix_log.push(execution.command);
+                runtime_spans.push(SpanEvent {
+                    command: id,
+                    phase: TracePhase::Execute,
+                    at: wall_now,
+                    node: self.id,
+                });
                 if self.reply_wanted.remove(&id) {
+                    runtime_spans.push(SpanEvent {
+                        command: id,
+                        phase: TracePhase::Reply,
+                        at: wall_now,
+                        node: self.id,
+                    });
                     let reply = Event::ClientReply {
                         from: self.id,
                         command: id,
@@ -820,6 +918,7 @@ where
             }
             machine.applied_through()
         };
+        self.registry.record_spans(&mut runtime_spans);
         self.observe_watermark(watermark);
         if self.subscribers.load(Ordering::Relaxed) > 0 {
             let event = Event::Decisions { from: self.id, batch };
@@ -946,7 +1045,7 @@ where
                             // Even the backlog-free frame is oversized
                             // (enormous commands?): surface it as a drop
                             // instead of vanishing silently.
-                            self.stats.frames_dropped.fetch_add(1, Ordering::Relaxed);
+                            self.stats.frames_dropped.inc();
                             break None;
                         }
                         send_cursor.truncate_backlog(backlog / 2);
@@ -954,11 +1053,11 @@ where
                 }
             };
             if let Some(frame) = frame {
-                self.stats.snapshot_bytes_sent.fetch_add((end - start) as u64, Ordering::Relaxed);
+                self.stats.snapshot_bytes_sent.add((end - start) as u64);
                 cmds.push(IoCmd::SendPeer { to, deliver_at, frame });
             }
         }
-        self.stats.snapshots_served.fetch_add(1, Ordering::Relaxed);
+        self.stats.snapshots_served.inc();
         self.io.push_many(cmds);
     }
 
@@ -969,6 +1068,7 @@ where
         outbox: &mut Vec<(NodeId, P::Message)>,
         new_timers: &mut Vec<(SimTime, P::Message)>,
         executions: &mut Vec<Execution>,
+        spans: &mut Vec<SpanEvent>,
     ) {
         let ChunkFields { from, applied_through, seq, total, bytes, suffix, cursor } = chunk;
         let Some(restore) = &mut self.restore else {
@@ -997,7 +1097,7 @@ where
             donor.cursor = cursor;
         }
         if donor.received == donor.total {
-            self.finish_restore(from, outbox, new_timers, executions);
+            self.finish_restore(from, outbox, new_timers, executions, spans);
         }
     }
 
@@ -1012,6 +1112,7 @@ where
         outbox: &mut Vec<(NodeId, P::Message)>,
         new_timers: &mut Vec<(SimTime, P::Message)>,
         executions: &mut Vec<Execution>,
+        spans: &mut Vec<SpanEvent>,
     ) {
         let Some(mut restore) = self.restore.take() else { return };
         let Some(donor) = restore.donors.remove(&donor_id) else {
@@ -1070,7 +1171,8 @@ where
         {
             let now = self.now_us();
             let mut ctx =
-                Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions);
+                Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions)
+                    .with_spans(spans);
             self.process.on_state_transfer(&transfer, &mut ctx);
         }
         // Report the transferred executions on the decision stream. The
@@ -1107,8 +1209,8 @@ where
             }
             self.io.push_many(cmds);
         }
-        self.stats.catch_up_replayed.fetch_add(donor.suffix.len() as u64, Ordering::Relaxed);
-        self.stats.catch_ups_completed.fetch_add(1, Ordering::Relaxed);
+        self.stats.catch_up_replayed.add(donor.suffix.len() as u64);
+        self.stats.catch_ups_completed.inc();
         // The restored state is this replica's new baseline: checkpoint it
         // so it can donate in turn, then catch up on local executions.
         self.suffix_log.clear();

@@ -31,6 +31,7 @@
 use std::io::{self, Read, Write};
 
 use consensus_types::{Command, CommandId, Decision, ExecutionCursor, NodeId};
+use telemetry::{RegistrySnapshot, SpanRingSnapshot};
 
 /// Upper bound on a frame payload, guarding against corrupt length prefixes.
 pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
@@ -165,6 +166,12 @@ pub enum WireMessage<M> {
         /// chunks carry the empty [`ExecutionCursor::Ids`].
         cursor: ExecutionCursor,
     },
+    /// Asks the replica for a snapshot of its telemetry registry (metrics
+    /// plus the command-lifecycle span ring). The replica answers the
+    /// requesting connection with one [`Event::StatsReply`] frame. Carries
+    /// no fields, so any client — including one that does not know the
+    /// protocol message type — can scrape any replica.
+    StatsRequest,
     /// Orderly shutdown request.
     Shutdown,
 }
@@ -201,6 +208,17 @@ pub enum Event {
         command: CommandId,
         /// Why the reply will never come.
         reason: String,
+    },
+    /// Answer to a [`WireMessage::StatsRequest`]: the replica's telemetry
+    /// registry at the moment the request was processed.
+    StatsReply {
+        /// The replying replica.
+        from: NodeId,
+        /// Counters, gauges and histograms by name.
+        snapshot: RegistrySnapshot,
+        /// The command-lifecycle span ring (timestamps are wall-clock
+        /// microseconds since the UNIX epoch, comparable across replicas).
+        spans: SpanRingSnapshot,
     },
 }
 
@@ -252,6 +270,7 @@ impl<M: serde::Serialize> serde::Serialize for WireMessage<M> {
                 suffix.serialize(out);
                 cursor.serialize(out);
             }
+            WireMessage::StatsRequest => serde::write_variant_tag(out, 9),
         }
     }
 }
@@ -279,6 +298,7 @@ impl<M: serde::Deserialize> serde::Deserialize for WireMessage<M> {
                 suffix: Vec::deserialize(input)?,
                 cursor: ExecutionCursor::deserialize(input)?,
             }),
+            9 => Ok(WireMessage::StatsRequest),
             other => Err(serde::Error::unknown_variant("WireMessage", other)),
         }
     }
@@ -305,6 +325,12 @@ impl serde::Serialize for Event {
                 command.serialize(out);
                 reason.serialize(out);
             }
+            Event::StatsReply { from, snapshot, spans } => {
+                serde::write_variant_tag(out, 3);
+                from.serialize(out);
+                snapshot.serialize(out);
+                spans.serialize(out);
+            }
         }
     }
 }
@@ -326,6 +352,11 @@ impl serde::Deserialize for Event {
                 from: NodeId::deserialize(input)?,
                 command: CommandId::deserialize(input)?,
                 reason: String::deserialize(input)?,
+            }),
+            3 => Ok(Event::StatsReply {
+                from: NodeId::deserialize(input)?,
+                snapshot: RegistrySnapshot::deserialize(input)?,
+                spans: SpanRingSnapshot::deserialize(input)?,
             }),
             other => Err(serde::Error::unknown_variant("Event", other)),
         }
@@ -564,6 +595,7 @@ mod tests {
             WireMessage::Shutdown,
             WireMessage::ClientRequest { cmd: cmd.clone() },
             WireMessage::SnapshotRequest { from: NodeId(2) },
+            WireMessage::StatsRequest,
             WireMessage::SnapshotChunk {
                 from: NodeId(1),
                 applied_through: 640,
@@ -623,6 +655,33 @@ mod tests {
             reason: "replica shut down".to_string(),
         };
         assert_eq!(round_trip(&abort), abort);
+    }
+
+    #[test]
+    fn stats_reply_events_round_trip() {
+        let registry = telemetry::Registry::new();
+        registry.counter("decisions.fast").add(41);
+        registry.histogram("latency_us").record(250);
+        registry.record_span(telemetry::SpanEvent {
+            command: CommandId::new(NodeId(1), 9),
+            phase: telemetry::TracePhase::Commit,
+            at: 1_234,
+            node: NodeId(1),
+        });
+        let reply = Event::StatsReply {
+            from: NodeId(1),
+            snapshot: registry.snapshot(),
+            spans: registry.spans(),
+        };
+        let back = round_trip(&reply);
+        let Event::StatsReply { from, snapshot, spans } = back else {
+            panic!("variant changed in flight");
+        };
+        assert_eq!(from, NodeId(1));
+        assert_eq!(snapshot.counter("decisions.fast"), 41);
+        assert_eq!(snapshot.histograms["latency_us"].count(), 1);
+        assert_eq!(spans.events.len(), 1);
+        assert_eq!(spans.events[0].phase, telemetry::TracePhase::Commit);
     }
 
     #[test]

@@ -5,7 +5,6 @@
 //! a live replica on its original address.
 
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -88,10 +87,7 @@ fn writer_reconnects_to_a_late_starting_peer() {
         std::thread::sleep(Duration::from_millis(5));
     }
 
-    assert!(
-        early.stats().connects.load(Ordering::Relaxed) >= 1,
-        "early replica never established the outbound link"
-    );
+    assert!(early.stats().connects.get() >= 1, "early replica never established the outbound link");
     early.shutdown();
     late.shutdown();
 }
@@ -217,7 +213,7 @@ fn corrupt_frames_tear_down_the_connection_and_are_counted() {
         Err(err) => panic!("expected clean EOF, got {err}"),
     }
     // … and account the corruption.
-    assert_eq!(replica.stats().corrupt_frames.load(Ordering::Relaxed), 1);
+    assert_eq!(replica.stats().corrupt_frames.get(), 1);
 
     // A healthy connection afterwards still works: the replica survived.
     let mut sock = std::net::TcpStream::connect(addr).expect("reconnect");
@@ -225,7 +221,7 @@ fn corrupt_frames_tear_down_the_connection_and_are_counted() {
         .expect("frame encodes");
     sock.write_all(&clean).expect("clean frame sent");
     let deadline = Instant::now() + Duration::from_secs(10);
-    while replica.stats().frames_received.load(Ordering::Relaxed) == 0 {
+    while replica.stats().frames_received.get() == 0 {
         assert!(Instant::now() < deadline, "replica never decoded the clean frame");
         std::thread::sleep(Duration::from_millis(5));
     }

@@ -1,0 +1,92 @@
+//! Live telemetry scraping over the wire.
+//!
+//! Exercises the `WireMessage::StatsRequest` → `Event::StatsReply` flow
+//! end to end: a real cluster serves real client traffic, then an external
+//! scrape connection pulls one replica's metric registry and span ring over
+//! TCP and the test checks three things —
+//!
+//! 1. the scraped counters agree with the replica's in-process registry
+//!    (the wire path adds or loses nothing),
+//! 2. the scraped span ring assembles into a complete submit→reply trace
+//!    for a known command, with the intermediate lifecycle phases present
+//!    and in causal order,
+//! 3. transport counters (`net.*`) prove the data really crossed sockets.
+
+use std::time::Duration;
+
+use caesar::{CaesarConfig, CaesarReplica};
+use consensus_core::session::{ClusterHandle, Op};
+use consensus_types::NodeId;
+use net::{scrape_stats, NetCluster, NetConfig};
+use telemetry::trace::assemble;
+use telemetry::{RegistrySnapshot, TracePhase};
+
+const NODES: usize = 3;
+const OPS: u64 = 25;
+
+/// Commands this replica led to a decision, over any path.
+fn led_decisions(snap: &RegistrySnapshot) -> u64 {
+    snap.counter("decisions.fast")
+        + snap.counter("caesar.decisions.slow_retry")
+        + snap.counter("caesar.decisions.slow_proposal")
+        + snap.counter("caesar.decisions.recovered")
+}
+
+#[test]
+fn scraped_stats_cover_submit_to_reply_and_match_the_registry() {
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let cluster =
+        NetCluster::start(NetConfig::new(NODES), move |id| CaesarReplica::new(id, caesar.clone()))
+            .expect("cluster starts");
+    let client = cluster.client(NodeId(0));
+    let mut known = None;
+    for i in 0..OPS {
+        let reply = client
+            .submit(Op::put(100 + i, i))
+            .expect("submits")
+            .wait_timeout(Duration::from_secs(30))
+            .expect("replies");
+        known = Some(reply.command);
+    }
+    let known = known.expect("at least one reply");
+
+    let scrape = scrape_stats(cluster.addr(NodeId(0))).expect("scrape answers");
+    assert_eq!(scrape.from, NodeId(0));
+
+    // Every command was submitted to (and thus led by) replica 0, and all
+    // replies are in, so its decision counters are quiescent: the wire
+    // snapshot must agree exactly with the in-process registry.
+    let offline = cluster.replica_registry(NodeId(0)).snapshot();
+    assert!(
+        led_decisions(&scrape.snapshot) >= OPS,
+        "replica 0 led every command: {:?}",
+        scrape.snapshot.counters
+    );
+    assert_eq!(
+        led_decisions(&scrape.snapshot),
+        led_decisions(&offline),
+        "wire-scraped decision counts must match the in-process registry"
+    );
+    assert!(scrape.snapshot.counter("commands.executed") >= OPS);
+    assert!(scrape.snapshot.counter("net.frames_received") > 0, "scrape went over real sockets");
+
+    // The span ring joins into an end-to-end trace for the last command.
+    let set = assemble(std::slice::from_ref(&scrape.spans));
+    let trace = set.traces.get(&known).expect("scraped ring holds the known command");
+    assert!(trace.complete(), "trace must cover submit->reply: {:?}", trace.events);
+    let submit = trace.first(TracePhase::Submit).expect("submit span").at;
+    let reply = trace.first(TracePhase::Reply).expect("reply span").at;
+    assert!(submit <= reply, "submit at {submit} must not follow reply at {reply}");
+    for phase in
+        [TracePhase::Propose, TracePhase::QuorumReached, TracePhase::Commit, TracePhase::Execute]
+    {
+        let event = trace.first(phase).unwrap_or_else(|| panic!("{phase:?} span missing"));
+        assert!(
+            (submit..=reply).contains(&event.at),
+            "{phase:?} at {} outside submit..=reply ({submit}..={reply})",
+            event.at
+        );
+    }
+
+    cluster.shutdown();
+}

@@ -1,9 +1,12 @@
 //! The [`Process`] trait implemented by every replica, and the [`Context`]
 //! handle it uses to interact with the simulated network.
 
+use std::sync::Arc;
+
 use consensus_types::{
     Command, Decision, Execution, ExecutionCursor, NodeId, SimTime, StateTransfer,
 };
+use telemetry::{Registry, SpanEvent, TracePhase};
 
 /// Actions a process can take while handling an event. The simulator hands a
 /// fresh `Context` to every callback and turns the buffered actions into
@@ -18,12 +21,16 @@ pub struct Context<'a, M> {
     pub(crate) outbox: &'a mut Vec<(NodeId, M)>,
     pub(crate) timers: &'a mut Vec<(SimTime, M)>,
     pub(crate) executions: &'a mut Vec<Execution>,
+    /// Scratch buffer for command-lifecycle span events, when the runtime
+    /// collects traces. `None` means [`Context::trace`] is a no-op.
+    pub(crate) spans: Option<&'a mut Vec<SpanEvent>>,
 }
 
 impl<'a, M> Context<'a, M> {
     /// Creates a context for an external runtime (the `cluster` and `net`
     /// runtimes use this). The simulator builds its contexts internally, so
-    /// most users never call it.
+    /// most users never call it. Tracing is off; chain
+    /// [`Context::with_spans`] to collect span events.
     pub fn for_runtime(
         me: NodeId,
         nodes: usize,
@@ -32,7 +39,16 @@ impl<'a, M> Context<'a, M> {
         timers: &'a mut Vec<(SimTime, M)>,
         executions: &'a mut Vec<Execution>,
     ) -> Self {
-        Self { me, nodes, now, outbox, timers, executions }
+        Self { me, nodes, now, outbox, timers, executions, spans: None }
+    }
+
+    /// Routes [`Context::trace`] calls into `spans`. The runtime drains the
+    /// buffer into the replica's [`telemetry::Registry`] span ring after the
+    /// callback returns (normalizing timestamps onto its cluster clock).
+    #[must_use]
+    pub fn with_spans(mut self, spans: &'a mut Vec<SpanEvent>) -> Self {
+        self.spans = Some(spans);
+        self
     }
 
     /// The id of the replica handling the current event.
@@ -99,6 +115,18 @@ impl<'a, M> Context<'a, M> {
     /// decision. This replaces the old poll-based `drain_decisions`.
     pub fn deliver(&mut self, command: Command, decision: Decision) {
         self.executions.push(Execution { command, decision });
+    }
+
+    /// Records a command-lifecycle span event at the current time.
+    ///
+    /// Protocols call this at their consensus milestones (propose, quorum,
+    /// commit, retry, recovery); it is a buffered push when the runtime is
+    /// tracing and free otherwise.
+    pub fn trace(&mut self, phase: TracePhase, command: consensus_types::CommandId) {
+        let (me, now) = (self.me, self.now);
+        if let Some(spans) = self.spans.as_deref_mut() {
+            spans.push(SpanEvent { command, phase, at: now, node: me });
+        }
     }
 }
 
@@ -178,6 +206,17 @@ pub trait Process {
         let _ = cmd;
         5
     }
+
+    /// The replica's telemetry registry, if it keeps one.
+    ///
+    /// Protocols that register their metrics in a [`telemetry::Registry`]
+    /// expose it here so the runtime hosting the replica can route span
+    /// events into its ring and serve stats scrapes (the `net` runtime's
+    /// `StatsRequest`). The default is `None`: an uninstrumented process
+    /// still runs everywhere, it just has nothing to report.
+    fn telemetry(&self) -> Option<Arc<Registry>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +236,7 @@ mod tests {
             outbox: &mut outbox,
             timers: &mut timers,
             executions: &mut executions,
+            spans: None,
         };
 
         assert_eq!(ctx.me(), NodeId(1));
@@ -228,5 +268,34 @@ mod tests {
         assert_eq!(executions.len(), 1);
         assert_eq!(executions[0].command, cmd);
         assert_eq!(executions[0].decision.executed_at, 42);
+    }
+
+    #[test]
+    fn trace_is_a_noop_without_spans_and_buffers_with_them() {
+        let mut outbox: Vec<(NodeId, u32)> = Vec::new();
+        let mut timers = Vec::new();
+        let mut executions = Vec::new();
+        let id = CommandId::new(NodeId(1), 9);
+
+        {
+            let mut quiet =
+                Context::for_runtime(NodeId(1), 3, 42, &mut outbox, &mut timers, &mut executions);
+            quiet.trace(TracePhase::Propose, id);
+        }
+
+        let mut spans = Vec::new();
+        {
+            let mut traced =
+                Context::for_runtime(NodeId(1), 3, 42, &mut outbox, &mut timers, &mut executions)
+                    .with_spans(&mut spans);
+            traced.trace(TracePhase::Propose, id);
+            traced.trace(TracePhase::Commit, id);
+        }
+        assert_eq!(spans.len(), 2);
+        assert_eq!(
+            spans[0],
+            SpanEvent { command: id, phase: TracePhase::Propose, at: 42, node: NodeId(1) }
+        );
+        assert_eq!(spans[1].phase, TracePhase::Commit);
     }
 }

@@ -2,11 +2,13 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use telemetry::{Counter, Gauge, Registry, SpanEvent, TracePhase};
 
 use crate::latency::LatencyMatrix;
 use crate::process::{Context, Process};
@@ -66,7 +68,11 @@ impl SimConfig {
     }
 }
 
-/// Counters the simulator keeps about a finished run.
+/// A point-in-time copy of the simulator's run counters.
+///
+/// The live values are [`telemetry::Registry`] metrics under `sim.*` (see
+/// [`Simulator::registry`]); this struct is the plain snapshot
+/// [`Simulator::stats`] builds from them.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total number of protocol messages delivered (excluding self-timers).
@@ -79,6 +85,38 @@ pub struct SimStats {
     pub messages_dropped: u64,
     /// Simulated time of the last processed event.
     pub end_time: SimTime,
+}
+
+/// The simulator's registry handles behind [`SimStats`].
+#[derive(Debug)]
+struct SimCounters {
+    messages_delivered: Counter,
+    timers_fired: Counter,
+    commands_injected: Counter,
+    messages_dropped: Counter,
+    end_time: Gauge,
+}
+
+impl SimCounters {
+    fn register(registry: &Registry) -> Self {
+        Self {
+            messages_delivered: registry.counter("sim.messages_delivered"),
+            timers_fired: registry.counter("sim.timers_fired"),
+            commands_injected: registry.counter("sim.commands_injected"),
+            messages_dropped: registry.counter("sim.messages_dropped"),
+            end_time: registry.gauge("sim.end_time_us"),
+        }
+    }
+
+    fn snapshot(&self) -> SimStats {
+        SimStats {
+            messages_delivered: self.messages_delivered.get(),
+            timers_fired: self.timers_fired.get(),
+            commands_injected: self.commands_injected.get(),
+            messages_dropped: self.messages_dropped.get(),
+            end_time: self.end_time.get(),
+        }
+    }
 }
 
 enum Payload<M> {
@@ -115,7 +153,8 @@ pub struct Simulator<P: Process> {
     /// Executions (command payload + decision) not yet drained by a session
     /// router via [`Simulator::take_executions`].
     executions: Vec<Vec<Execution>>,
-    stats: SimStats,
+    registry: Arc<Registry>,
+    stats: SimCounters,
     started: bool,
 }
 
@@ -125,6 +164,8 @@ impl<P: Process> Simulator<P> {
     pub fn new(config: SimConfig, mut make: impl FnMut(NodeId) -> P) -> Self {
         let n = config.latency.nodes();
         let rng = ChaCha12Rng::seed_from_u64(config.seed);
+        let registry = Arc::new(Registry::new());
+        let stats = SimCounters::register(&registry);
         Self {
             nodes: (0..n).map(|i| make(NodeId::from_index(i))).collect(),
             crashed: vec![false; n],
@@ -137,7 +178,8 @@ impl<P: Process> Simulator<P> {
             rng,
             decisions: vec![Vec::new(); n],
             executions: vec![Vec::new(); n],
-            stats: SimStats::default(),
+            registry,
+            stats,
             config,
             started: false,
         }
@@ -172,10 +214,18 @@ impl<P: Process> Simulator<P> {
         self.crashed[node.index()]
     }
 
-    /// Statistics about the run so far.
+    /// Statistics about the run so far, snapshotted from the registry.
     #[must_use]
     pub fn stats(&self) -> SimStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The simulator's own telemetry registry (`sim.*` metrics). Each
+    /// replica's protocol metrics live in its own registry, reachable
+    /// through [`Process::telemetry`] on [`Simulator::process`].
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The decisions (executed commands) recorded so far at `node`, in
@@ -233,6 +283,7 @@ impl<P: Process> Simulator<P> {
             let mut outbox = Vec::new();
             let mut timers = Vec::new();
             let mut executions = Vec::new();
+            let mut spans = Vec::new();
             {
                 let mut ctx = Context {
                     me: node,
@@ -241,12 +292,39 @@ impl<P: Process> Simulator<P> {
                     outbox: &mut outbox,
                     timers: &mut timers,
                     executions: &mut executions,
+                    spans: Some(&mut spans),
                 };
                 self.nodes[i].on_start(&mut ctx);
             }
+            self.commit_spans(node, 0, &mut spans, &executions);
             self.record_executions(node, executions);
             self.flush_actions(node, 0, outbox, timers);
         }
+    }
+
+    /// Commits a callback's span buffer — plus one `Execute` span per
+    /// delivered command — into the replica's registry ring, if it has one.
+    /// Simulated time is cluster-global, so no clock normalization applies.
+    fn commit_spans(
+        &self,
+        node: NodeId,
+        at: SimTime,
+        spans: &mut Vec<SpanEvent>,
+        executions: &[Execution],
+    ) {
+        let Some(registry) = self.nodes[node.index()].telemetry() else {
+            spans.clear();
+            return;
+        };
+        for execution in executions {
+            spans.push(SpanEvent {
+                command: execution.command.id(),
+                phase: TracePhase::Execute,
+                at,
+                node,
+            });
+        }
+        registry.record_spans(spans);
     }
 
     fn record_executions(&mut self, node: NodeId, executions: Vec<Execution>) {
@@ -277,20 +355,20 @@ impl<P: Process> Simulator<P> {
                 Payload::Crash => {
                     self.now = at;
                     self.crashed[node_idx] = true;
-                    self.stats.end_time = at;
+                    self.stats.end_time.set(at);
                     return Some(at);
                 }
                 Payload::Recover => {
                     self.now = at;
                     self.crashed[node_idx] = false;
-                    self.stats.end_time = at;
+                    self.stats.end_time.set(at);
                     return Some(at);
                 }
                 _ => {}
             }
 
             if self.crashed[node_idx] {
-                self.stats.messages_dropped += 1;
+                self.stats.messages_dropped.inc();
                 continue;
             }
 
@@ -305,12 +383,13 @@ impl<P: Process> Simulator<P> {
             }
 
             self.now = at;
-            self.stats.end_time = at;
+            self.stats.end_time.set(at);
 
             let cost;
             let mut outbox = Vec::new();
             let mut timers = Vec::new();
             let mut executions = Vec::new();
+            let mut spans = Vec::new();
             {
                 let mut ctx = Context {
                     me: event.node,
@@ -319,27 +398,30 @@ impl<P: Process> Simulator<P> {
                     outbox: &mut outbox,
                     timers: &mut timers,
                     executions: &mut executions,
+                    spans: Some(&mut spans),
                 };
                 match event.payload {
                     Payload::Message { from, msg } => {
                         cost = self.nodes[node_idx].processing_cost(&msg);
-                        self.stats.messages_delivered += 1;
+                        self.stats.messages_delivered.inc();
                         self.nodes[node_idx].on_message(from, msg, &mut ctx);
                     }
                     Payload::Timer { msg } => {
                         cost = self.nodes[node_idx].processing_cost(&msg);
-                        self.stats.timers_fired += 1;
+                        self.stats.timers_fired.inc();
                         self.nodes[node_idx].on_message(event.node, msg, &mut ctx);
                     }
                     Payload::Client { cmd } => {
                         cost = self.nodes[node_idx].client_processing_cost(&cmd);
-                        self.stats.commands_injected += 1;
+                        self.stats.commands_injected.inc();
+                        ctx.trace(TracePhase::Submit, cmd.id());
                         self.nodes[node_idx].on_client_command(cmd, &mut ctx);
                     }
                     Payload::Crash | Payload::Recover => unreachable!("handled above"),
                 }
             }
             self.busy_until[node_idx] = at + cost;
+            self.commit_spans(event.node, at, &mut spans, &executions);
             self.record_executions(event.node, executions);
             self.flush_actions(event.node, at, outbox, timers);
             return Some(at);
@@ -382,7 +464,7 @@ impl<P: Process> Simulator<P> {
     /// returns the statistics of the run.
     pub fn run(&mut self) -> SimStats {
         while self.step().is_some() {}
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Runs until simulated time reaches `until` (or the queue drains).
@@ -397,7 +479,7 @@ impl<P: Process> Simulator<P> {
             }
         }
         self.now = self.now.max(until.min(self.config.horizon.unwrap_or(until)));
-        self.stats
+        self.stats.snapshot()
     }
 }
 

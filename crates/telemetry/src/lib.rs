@@ -1,0 +1,84 @@
+//! Unified telemetry for the CAESAR workspace: a lock-free metrics registry,
+//! command-lifecycle span tracing, and mergeable snapshots.
+//!
+//! Every replica — whatever protocol it runs and whatever runtime hosts it —
+//! owns one [`Registry`]. The registry hands out cheap shared handles
+//! ([`Counter`], [`Gauge`], [`Histogram`]) that record through atomics on the
+//! hot path (no lock is taken after registration), and it embeds one
+//! fixed-capacity [`SpanRing`] of timestamped [`SpanEvent`]s keyed by
+//! [`CommandId`](consensus_types::CommandId), so a command's lifecycle
+//! (submit → propose → quorum →
+//! commit → execute → reply, plus retry/recovery detours) can be replayed
+//! after the fact.
+//!
+//! Everything observable is exported as a plain-data *snapshot*
+//! ([`RegistrySnapshot`], [`SpanRingSnapshot`]) that serializes over the
+//! workspace's bincode wire format and **merges**: snapshots from different
+//! replicas (or different moments) combine by addition, which is what lets a
+//! scraper sum a cluster's counters or join per-replica span rings into
+//! end-to-end traces (see [`trace`]).
+//!
+//! # Metric naming
+//!
+//! Names are dotted paths. Cross-protocol metrics use shared names so
+//! generic tooling (the stats scraper, the harness) can read any replica:
+//!
+//! | name | kind | meaning |
+//! |---|---|---|
+//! | `decisions.fast` | counter | commands decided on the fast path |
+//! | `decisions.slow` | counter | commands decided on a slow path |
+//! | `commands.executed` | counter | commands applied locally |
+//! | `recoveries.started` | counter | recovery procedures initiated |
+//!
+//! Protocol- or runtime-specific metrics live under their own prefix
+//! (`caesar.*`, `epaxos.*`, `net.*`, `sim.*`). The full catalogue is in
+//! `docs/OBSERVABILITY.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::{Registry, SpanEvent, TracePhase};
+//! use consensus_types::{CommandId, NodeId};
+//!
+//! let registry = Registry::new();
+//! let fast = registry.counter("decisions.fast");
+//! fast.inc();
+//! let lat = registry.histogram("latency_us");
+//! lat.record(1_250);
+//!
+//! registry.record_span(SpanEvent {
+//!     command: CommandId::new(NodeId(0), 1),
+//!     phase: TracePhase::Submit,
+//!     at: 10,
+//!     node: NodeId(0),
+//! });
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("decisions.fast"), 1);
+//! assert_eq!(snap.histograms["latency_us"].count(), 1);
+//! assert_eq!(registry.spans().events.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod metric;
+mod registry;
+mod span;
+pub mod trace;
+
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Registry, RegistrySnapshot};
+pub use span::{SpanEvent, SpanRing, SpanRingSnapshot, TracePhase};
+
+/// Microseconds since the UNIX epoch, from the system wall clock.
+///
+/// Span timestamps must be comparable **across replicas** for the trace
+/// assembler to subtract them; runtimes whose native clock is
+/// replica-relative (the `net` runtime's per-replica epoch) normalize span
+/// times onto this clock before committing them to the ring.
+#[must_use]
+pub fn wall_clock_us() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_micros() as u64)
+}

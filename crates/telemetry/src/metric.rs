@@ -1,0 +1,445 @@
+//! The three metric kinds: atomic counters, gauges, and log-linear-bucket
+//! histograms with mergeable snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing counter.
+///
+/// Cloning is cheap and every clone observes the same value; recording is a
+/// single relaxed atomic add.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, connection counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Decrements by `n` (saturating at zero).
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per power of two: values land in buckets of relative width
+/// 1/8, bounding the quantile error at 12.5%.
+const SUB_BUCKETS: u64 = 8;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 3;
+/// Values `0..8` get one exact bucket each; larger values get
+/// [`SUB_BUCKETS`] buckets per power of two up to `u64::MAX`.
+const BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// Maps a recorded value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros();
+        let sub = (v >> (exp - SUB_BITS)) & (SUB_BUCKETS - 1);
+        (u64::from(exp - SUB_BITS) * SUB_BUCKETS + SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// The inclusive `(low, high)` value range of bucket `index`.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_BUCKETS as usize {
+        (index as u64, index as u64)
+    } else {
+        let group = (index - SUB_BUCKETS as usize) as u64 / SUB_BUCKETS;
+        let sub = (index - SUB_BUCKETS as usize) as u64 % SUB_BUCKETS;
+        let exp = group as u32 + SUB_BITS;
+        let low = (SUB_BUCKETS + sub) << (exp - SUB_BITS);
+        let width = 1u64 << (exp - SUB_BITS);
+        (low, low + (width - 1))
+    }
+}
+
+/// A log-linear-bucket histogram: fixed bucket layout covering all of `u64`
+/// with ≤ 12.5% relative bucket width, recorded through relaxed atomics.
+///
+/// There is no separate length field — the count *is* the sum of the bucket
+/// counts, so a snapshot taken concurrently with recorders is internally
+/// consistent (every observed recording is in exactly one bucket).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: Box<[AtomicU64]>,
+    /// Sum of recorded values, for means. Updated after the bucket, so a
+    /// concurrent snapshot's mean can lag by in-flight recordings.
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self(Arc::new(HistogramInner {
+            buckets: buckets.into_boxed_slice(),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `v`.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Copies the current state into a plain-data snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u32, u64)> = self
+            .0
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i as u32, n))
+            })
+            .collect();
+        HistogramSnapshot { buckets, sum: self.0.sum.load(Ordering::Relaxed) }
+    }
+}
+
+/// A plain-data copy of a [`Histogram`]: sparse `(bucket, count)` pairs plus
+/// the value sum. Snapshots merge by addition and serialize over the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets as `(bucket index, count)`, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of observations in the snapshot.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Mean of the recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper bound of
+    /// the bucket holding that rank (within 12.5% of the true value).
+    /// Returns 0 for an empty snapshot.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(index, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(index as usize).1;
+            }
+        }
+        self.buckets.last().map_or(0, |&(index, _)| bucket_bounds(index as usize).1)
+    }
+
+    /// Largest recorded bucket's upper bound (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.buckets.last().map_or(0, |&(index, _)| bucket_bounds(index as usize).1)
+    }
+
+    /// Adds `other`'s observations into `self`. Merging is commutative and
+    /// associative, so per-replica snapshots fold into cluster totals in any
+    /// order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<(u32, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ai, an)), Some(&&(bi, bn))) => {
+                    if ai < bi {
+                        merged.push((ai, an));
+                        a.next();
+                    } else if bi < ai {
+                        merged.push((bi, bn));
+                        b.next();
+                    } else {
+                        merged.push((ai, an + bn));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&pair), None) => {
+                    merged.push(pair);
+                    a.next();
+                }
+                (None, Some(&&pair)) => {
+                    merged.push(pair);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+        // Atomic recording already wraps on overflow; merging matches.
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..8u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        // Every probe value must land in a bucket whose range contains it.
+        let probes = [0, 1, 7, 8, 9, 15, 16, 17, 100, 1_000, 123_456, u64::MAX / 2, u64::MAX];
+        for &v in &probes {
+            let index = bucket_index(v);
+            let (low, high) = bucket_bounds(index);
+            assert!(low <= v && v <= high, "value {v} outside bucket {index} = [{low}, {high}]");
+            // Relative bucket width stays within 1/8 for values ≥ 8.
+            if v >= 8 {
+                assert!(high - low < low / 4, "bucket {index} too wide: [{low}, {high}]");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_domain_without_gaps() {
+        let mut expected_low = 0u64;
+        for index in 0..BUCKETS {
+            let (low, high) = bucket_bounds(index);
+            assert_eq!(low, expected_low, "gap or overlap at bucket {index}");
+            if high == u64::MAX {
+                assert_eq!(index, BUCKETS - 1);
+                return;
+            }
+            expected_low = high + 1;
+        }
+        panic!("buckets never reached u64::MAX");
+    }
+
+    #[test]
+    fn percentiles_are_within_bucket_error() {
+        let hist = Histogram::new();
+        for v in 1..=10_000u64 {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 10_000);
+        // True p50 = 5000, p99 = 9900; the reported value is the holding
+        // bucket's upper bound, so it is ≥ the true value and within 12.5%.
+        for (q, truth) in [(0.50, 5_000u64), (0.90, 9_000), (0.99, 9_900)] {
+            let got = snap.percentile(q);
+            assert!(got >= truth, "p{q} reported {got} below true {truth}");
+            assert!(
+                (got - truth) as f64 <= truth as f64 * 0.125,
+                "p{q} reported {got}, more than 12.5% above true {truth}"
+            );
+        }
+        assert_eq!(snap.percentile(0.0), 1, "p0 is the first non-empty bucket");
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let hist = Histogram::new();
+        for v in [10u64, 20, 30] {
+            hist.record(v);
+        }
+        assert!((hist.snapshot().mean() - 20.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 2, 3, 100, 5_000]);
+        let b = mk(&[3, 4, 900, 900, u64::MAX]);
+        let c = mk(&[0, 0, 77, 1 << 40]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        assert_eq!(ab.count(), a.count() + b.count());
+        assert_eq!(ab.sum, a.sum.wrapping_add(b.sum));
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_snapshots_consistent() {
+        use std::sync::atomic::AtomicBool;
+
+        let hist = Histogram::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 20_000;
+
+        let recorders: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        hist.record(t as u64 * 1_000 + i % 997);
+                    }
+                })
+            })
+            .collect();
+
+        // Snapshot continuously while recorders run: the count (sum of
+        // bucket counts) must be monotonically non-decreasing — a torn or
+        // double-counted bucket would break monotonicity or the final total.
+        let observer = {
+            let hist = hist.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut last = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let count = hist.snapshot().count();
+                    assert!(count >= last, "snapshot count went backwards: {count} < {last}");
+                    last = count;
+                }
+            })
+        };
+
+        for r in recorders {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        observer.join().unwrap();
+
+        let final_snap = hist.snapshot();
+        assert_eq!(final_snap.count(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn counter_and_gauge_handles_share_state() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.sub(3);
+        g.add(1);
+        assert_eq!(g.get(), 8);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauge subtraction saturates");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_bincode() {
+        let hist = Histogram::new();
+        for v in [1u64, 50, 1_000_000] {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let bytes = bincode::serialize(&snap).unwrap();
+        let back: HistogramSnapshot = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+}

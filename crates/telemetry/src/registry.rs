@@ -1,0 +1,249 @@
+//! The per-replica metric registry: named handles, the span ring, and the
+//! mergeable snapshot of both.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::span::{SpanEvent, SpanRing, SpanRingSnapshot};
+
+/// Default capacity of the embedded span ring (~7 spans per command, so
+/// roughly the last two thousand command lifecycles).
+pub const DEFAULT_SPAN_CAPACITY: usize = 16 * 1024;
+
+/// A named-metric registry plus one span ring, shared per replica.
+///
+/// Registration takes a short mutex; the returned handles record through
+/// atomics with no further locking. Re-registering a name returns the
+/// existing handle, so independent subsystems can share a metric by name.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<SpanRing>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::with_span_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry with the default span-ring capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty registry whose span ring holds `capacity` events.
+    #[must_use]
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        Self {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(SpanRing::new(capacity)),
+        }
+    }
+
+    /// Returns the counter registered as `name`, creating it on first use.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters.lock().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge registered as `name`, creating it on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges.lock().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram registered as `name`, creating it on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms.lock().entry(name.to_string()).or_default().clone()
+    }
+
+    /// Records one span into the ring.
+    pub fn record_span(&self, event: SpanEvent) {
+        self.spans.lock().push(event);
+    }
+
+    /// Drains `buffer` into the ring, preserving order. The buffer is the
+    /// per-callback scratch the runtimes hand to `Context`; draining in one
+    /// lock acquisition keeps the hot path cheap.
+    pub fn record_spans(&self, buffer: &mut Vec<SpanEvent>) {
+        if buffer.is_empty() {
+            return;
+        }
+        let mut ring = self.spans.lock();
+        for event in buffer.drain(..) {
+            ring.push(event);
+        }
+    }
+
+    /// Copies the span ring into a plain-data snapshot.
+    #[must_use]
+    pub fn spans(&self) -> SpanRingSnapshot {
+        self.spans.lock().snapshot()
+    }
+
+    /// Copies every registered metric into a plain-data snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.lock().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A plain-data copy of a [`Registry`]'s metrics at one moment.
+///
+/// Snapshots serialize over the wire (the `net` runtime's `StatsReply`
+/// carries one) and merge by addition across replicas or moments.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The named counter's value, or 0 if it was never registered.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value, or 0 if it was never registered.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds `other` into `self`: counters and gauges sum, histograms merge.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, value) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(hist);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TracePhase;
+    use consensus_types::{CommandId, NodeId};
+    use std::sync::Arc;
+
+    #[test]
+    fn reregistration_returns_the_same_handle() {
+        let registry = Registry::new();
+        registry.counter("x").inc();
+        registry.counter("x").add(2);
+        assert_eq!(registry.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn snapshot_covers_all_three_kinds_and_round_trips() {
+        let registry = Registry::new();
+        registry.counter("c").add(7);
+        registry.gauge("g").set(11);
+        registry.histogram("h").record(42);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("c"), 7);
+        assert_eq!(snap.gauge("g"), 11);
+        assert_eq!(snap.histograms["h"].count(), 1);
+        assert_eq!(snap.counter("missing"), 0);
+
+        let bytes = bincode::serialize(&snap).unwrap();
+        let back: RegistrySnapshot = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let a_reg = Registry::new();
+        a_reg.counter("decisions.fast").add(3);
+        a_reg.histogram("lat").record(10);
+        let b_reg = Registry::new();
+        b_reg.counter("decisions.fast").add(4);
+        b_reg.counter("decisions.slow").inc();
+        b_reg.histogram("lat").record(20);
+
+        let mut total = a_reg.snapshot();
+        total.merge(&b_reg.snapshot());
+        assert_eq!(total.counter("decisions.fast"), 7);
+        assert_eq!(total.counter("decisions.slow"), 1);
+        assert_eq!(total.histograms["lat"].count(), 2);
+        assert_eq!(total.histograms["lat"].sum, 30);
+    }
+
+    #[test]
+    fn concurrent_registration_and_recording_is_consistent() {
+        let registry = Arc::new(Registry::new());
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 10_000;
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    // Every thread re-registers the same names — the handles
+                    // must alias one underlying atomic each.
+                    let counter = registry.counter("shared");
+                    let hist = registry.histogram("shared_h");
+                    for i in 0..PER_THREAD {
+                        counter.inc();
+                        hist.record(i % 100);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("shared"), THREADS as u64 * PER_THREAD);
+        assert_eq!(snap.histograms["shared_h"].count(), THREADS as u64 * PER_THREAD);
+    }
+
+    #[test]
+    fn spans_drain_in_order() {
+        let registry = Registry::with_span_capacity(4);
+        let mut scratch: Vec<SpanEvent> = (0..6u64)
+            .map(|seq| SpanEvent {
+                command: CommandId::new(NodeId(1), seq),
+                phase: TracePhase::Propose,
+                at: seq,
+                node: NodeId(1),
+            })
+            .collect();
+        registry.record_spans(&mut scratch);
+        assert!(scratch.is_empty());
+        let snap = registry.spans();
+        assert_eq!(snap.recorded, 6);
+        assert_eq!(snap.evicted, 2);
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.command.sequence()).collect();
+        assert_eq!(seqs, vec![2, 3, 4, 5]);
+    }
+}

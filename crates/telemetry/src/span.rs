@@ -1,0 +1,206 @@
+//! Command-lifecycle span events and the fixed-capacity per-replica ring
+//! that keeps the most recent of them.
+
+use std::collections::VecDeque;
+
+use consensus_types::{CommandId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One step of a command's lifecycle.
+///
+/// The protocol layer records the consensus phases through
+/// `Context::trace`; the runtime records the edges it owns (receipt of the
+/// client request, application to the state machine, the reply leaving).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TracePhase {
+    /// The client's request reached a replica (runtime-recorded).
+    Submit,
+    /// The replica proposed the command to its peers.
+    Propose,
+    /// The proposal gathered its quorum of acknowledgements.
+    QuorumReached,
+    /// The command's position became stable/committed locally.
+    Commit,
+    /// The command was applied to the state machine (runtime-recorded).
+    Execute,
+    /// The reply left for the client (runtime-recorded).
+    Reply,
+    /// The command entered a retry round (CAESAR slow path).
+    Retry,
+    /// A recovery procedure started for the command.
+    Recovery,
+}
+
+impl TracePhase {
+    /// Stable lowercase name, used in metric output and JSON.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TracePhase::Submit => "submit",
+            TracePhase::Propose => "propose",
+            TracePhase::QuorumReached => "quorum",
+            TracePhase::Commit => "commit",
+            TracePhase::Execute => "execute",
+            TracePhase::Reply => "reply",
+            TracePhase::Retry => "retry",
+            TracePhase::Recovery => "recovery",
+        }
+    }
+}
+
+/// One timestamped event in a command's lifecycle, as seen by one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// The command this event belongs to.
+    pub command: CommandId,
+    /// Which lifecycle step happened.
+    pub phase: TracePhase,
+    /// When it happened, in microseconds. Within one ring all events share
+    /// one clock; rings joined across replicas must share a cluster-wide
+    /// clock (simulated time, or [`crate::wall_clock_us`]).
+    pub at: u64,
+    /// The replica that observed the event.
+    pub node: NodeId,
+}
+
+/// A fixed-capacity ring of the most recent [`SpanEvent`]s.
+///
+/// When full, recording a new span evicts the **oldest** one; `recorded`
+/// and `evicted` keep running totals so a consumer can tell how much
+/// history it lost.
+#[derive(Debug)]
+pub struct SpanRing {
+    buf: VecDeque<SpanEvent>,
+    capacity: usize,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl SpanRing {
+    /// Creates a ring holding at most `capacity` spans.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            recorded: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Records one span, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: SpanEvent) {
+        if self.capacity == 0 {
+            self.evicted += 1;
+            self.recorded += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(event);
+        self.recorded += 1;
+    }
+
+    /// Number of spans currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total spans ever recorded (including evicted ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Total spans evicted to make room.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Copies the retained spans (oldest first) into a plain-data snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> SpanRingSnapshot {
+        SpanRingSnapshot {
+            events: self.buf.iter().copied().collect(),
+            recorded: self.recorded,
+            evicted: self.evicted,
+        }
+    }
+}
+
+/// A plain-data copy of a [`SpanRing`], serializable over the wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRingSnapshot {
+    /// Retained spans, oldest first.
+    pub events: Vec<SpanEvent>,
+    /// Total spans ever recorded at the source replica.
+    pub recorded: u64,
+    /// Spans lost to eviction at the source replica.
+    pub evicted: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(seq: u64, at: u64) -> SpanEvent {
+        SpanEvent {
+            command: CommandId::new(NodeId(0), seq),
+            phase: TracePhase::Submit,
+            at,
+            node: NodeId(0),
+        }
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_first() {
+        let mut ring = SpanRing::new(3);
+        for seq in 0..5u64 {
+            ring.push(span(seq, seq * 10));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.evicted(), 2);
+        let snap = ring.snapshot();
+        // Spans 0 and 1 were evicted; 2, 3, 4 survive in arrival order.
+        let seqs: Vec<u64> = snap.events.iter().map(|e| e.command.sequence()).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(snap.recorded, 5);
+        assert_eq!(snap.evicted, 2);
+    }
+
+    #[test]
+    fn zero_capacity_ring_counts_but_keeps_nothing() {
+        let mut ring = SpanRing::new(0);
+        ring.push(span(1, 1));
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 1);
+        assert_eq!(ring.evicted(), 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_bincode() {
+        let mut ring = SpanRing::new(8);
+        ring.push(span(1, 5));
+        ring.push(SpanEvent {
+            command: CommandId::new(NodeId(2), 9),
+            phase: TracePhase::Recovery,
+            at: 77,
+            node: NodeId(2),
+        });
+        let snap = ring.snapshot();
+        let bytes = bincode::serialize(&snap).unwrap();
+        let back: SpanRingSnapshot = bincode::deserialize(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+}

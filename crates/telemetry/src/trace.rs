@@ -1,0 +1,243 @@
+//! Joining per-replica span rings into end-to-end command traces and a
+//! per-phase latency breakdown — the live-cluster equivalent of the paper's
+//! Figure 11.
+//!
+//! Each replica only sees its own slice of a command's life: the origin
+//! records submit/propose/quorum/commit/reply, every replica records its
+//! own execute. [`assemble`] groups the events of any number of ring
+//! snapshots by [`CommandId`]; [`phase_breakdown`] turns the joined traces
+//! into one histogram per lifecycle phase:
+//!
+//! | phase | interval |
+//! |---|---|
+//! | `propose` | submit → propose |
+//! | `quorum` | propose → quorum |
+//! | `commit` | quorum → commit |
+//! | `execute` | commit → execute (at the origin replica) |
+//! | `reply` | execute → reply |
+//!
+//! Commands whose trace misses either endpoint of an interval (evicted from
+//! a ring, or still in flight at scrape time) simply don't contribute to
+//! that phase; `TraceSet::incomplete` counts them.
+
+use std::collections::BTreeMap;
+
+use consensus_types::CommandId;
+
+use crate::metric::{Histogram, HistogramSnapshot};
+use crate::span::{SpanEvent, SpanRingSnapshot, TracePhase};
+
+/// All span events observed for one command, across every scraped replica,
+/// sorted by timestamp.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The command.
+    pub command: CommandId,
+    /// Its events, ascending by `at`.
+    pub events: Vec<SpanEvent>,
+}
+
+impl Trace {
+    /// The first occurrence of `phase`, preferring the command's origin
+    /// replica (phases every replica records, like execute, happen at
+    /// different wall times per replica; the origin's is the one on the
+    /// client's critical path).
+    #[must_use]
+    pub fn first(&self, phase: TracePhase) -> Option<&SpanEvent> {
+        self.events
+            .iter()
+            .find(|e| e.phase == phase && e.node == self.command.origin())
+            .or_else(|| self.events.iter().find(|e| e.phase == phase))
+    }
+
+    /// Whether the trace covers the full client-visible lifecycle.
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        self.first(TracePhase::Submit).is_some() && self.first(TracePhase::Reply).is_some()
+    }
+}
+
+/// The result of joining ring snapshots: per-command traces plus loss
+/// accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    /// Traces keyed by command, each sorted by timestamp.
+    pub traces: BTreeMap<CommandId, Trace>,
+    /// Commands whose trace is missing submit or reply (evicted history or
+    /// still in flight).
+    pub incomplete: usize,
+    /// Total spans evicted across the source rings — nonzero means the
+    /// rings were too small for the scrape interval.
+    pub evicted: u64,
+}
+
+/// Joins any number of per-replica ring snapshots into per-command traces.
+#[must_use]
+pub fn assemble(rings: &[SpanRingSnapshot]) -> TraceSet {
+    let mut traces: BTreeMap<CommandId, Trace> = BTreeMap::new();
+    let mut evicted = 0;
+    for ring in rings {
+        evicted += ring.evicted;
+        for &event in &ring.events {
+            traces
+                .entry(event.command)
+                .or_insert_with(|| Trace { command: event.command, events: Vec::new() })
+                .events
+                .push(event);
+        }
+    }
+    let mut incomplete = 0;
+    for trace in traces.values_mut() {
+        trace.events.sort_by_key(|e| (e.at, e.phase));
+        if !trace.complete() {
+            incomplete += 1;
+        }
+    }
+    TraceSet { traces, incomplete, evicted }
+}
+
+/// Latency statistics for one lifecycle phase across many traces.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase name (`propose`, `quorum`, `commit`, `execute`, `reply`).
+    pub name: &'static str,
+    /// Traces that contributed an interval.
+    pub count: u64,
+    /// Interval distribution in microseconds.
+    pub latency: HistogramSnapshot,
+}
+
+/// The five client-visible lifecycle intervals, in order.
+const INTERVALS: [(&str, TracePhase, TracePhase); 5] = [
+    ("propose", TracePhase::Submit, TracePhase::Propose),
+    ("quorum", TracePhase::Propose, TracePhase::QuorumReached),
+    ("commit", TracePhase::QuorumReached, TracePhase::Commit),
+    ("execute", TracePhase::Commit, TracePhase::Execute),
+    ("reply", TracePhase::Execute, TracePhase::Reply),
+];
+
+/// Computes per-phase latency histograms over a set of joined traces.
+///
+/// A trace contributes to a phase only when it has both endpoints;
+/// cross-replica clock skew can make an interval slightly negative, which
+/// clamps to zero rather than poisoning the distribution.
+#[must_use]
+pub fn phase_breakdown(set: &TraceSet) -> Vec<PhaseStats> {
+    let hists: Vec<Histogram> = INTERVALS.iter().map(|_| Histogram::new()).collect();
+    for trace in set.traces.values() {
+        for ((_, from, to), hist) in INTERVALS.iter().zip(&hists) {
+            if let (Some(a), Some(b)) = (trace.first(*from), trace.first(*to)) {
+                hist.record(b.at.saturating_sub(a.at));
+            }
+        }
+    }
+    INTERVALS
+        .iter()
+        .zip(&hists)
+        .map(|((name, _, _), hist)| {
+            let latency = hist.snapshot();
+            PhaseStats { name, count: latency.count(), latency }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use consensus_types::NodeId;
+
+    fn event(seq: u64, phase: TracePhase, at: u64, node: u32) -> SpanEvent {
+        SpanEvent { command: CommandId::new(NodeId(0), seq), phase, at, node: NodeId(node) }
+    }
+
+    fn ring(events: Vec<SpanEvent>) -> SpanRingSnapshot {
+        SpanRingSnapshot { events, recorded: 0, evicted: 0 }
+    }
+
+    #[test]
+    fn assemble_joins_rings_by_command_and_sorts_by_time() {
+        // Origin (node 0) sees submit/propose/reply; node 1 sees execute.
+        let origin = ring(vec![
+            event(1, TracePhase::Reply, 50, 0),
+            event(1, TracePhase::Submit, 10, 0),
+            event(1, TracePhase::Propose, 20, 0),
+            event(1, TracePhase::QuorumReached, 30, 0),
+            event(1, TracePhase::Commit, 35, 0),
+            event(1, TracePhase::Execute, 40, 0),
+        ]);
+        let peer = ring(vec![event(1, TracePhase::Execute, 45, 1)]);
+        let set = assemble(&[origin, peer]);
+        assert_eq!(set.traces.len(), 1);
+        assert_eq!(set.incomplete, 0);
+        let trace = &set.traces[&CommandId::new(NodeId(0), 1)];
+        assert_eq!(trace.events.len(), 7);
+        assert!(trace.events.windows(2).all(|w| w[0].at <= w[1].at));
+        // Execute prefers the origin's event (at=40), not the peer's (45).
+        assert_eq!(trace.first(TracePhase::Execute).unwrap().at, 40);
+        assert!(trace.complete());
+    }
+
+    #[test]
+    fn phase_breakdown_measures_the_five_intervals() {
+        let origin = ring(vec![
+            event(1, TracePhase::Submit, 100, 0),
+            event(1, TracePhase::Propose, 110, 0),
+            event(1, TracePhase::QuorumReached, 160, 0),
+            event(1, TracePhase::Commit, 165, 0),
+            event(1, TracePhase::Execute, 185, 0),
+            event(1, TracePhase::Reply, 190, 0),
+        ]);
+        let set = assemble(&[origin]);
+        let phases = phase_breakdown(&set);
+        let by_name: BTreeMap<&str, u64> =
+            phases.iter().map(|p| (p.name, p.latency.percentile(0.5))).collect();
+        // Bucket upper bounds: all intervals here are < 64 so error ≤ 12.5%.
+        assert_eq!(phases.iter().map(|p| p.count).sum::<u64>(), 5);
+        assert!(by_name["propose"] >= 10 && by_name["propose"] <= 11);
+        assert!(by_name["quorum"] >= 50 && by_name["quorum"] <= 57);
+        assert_eq!(by_name["commit"], 5);
+        assert!(by_name["execute"] >= 20 && by_name["execute"] <= 21);
+        assert_eq!(by_name["reply"], 5);
+    }
+
+    #[test]
+    fn missing_endpoints_drop_the_interval_not_the_trace() {
+        // No quorum/commit events (e.g. evicted): propose and reply phases
+        // still measure, the middle intervals contribute nothing.
+        let origin = ring(vec![
+            event(2, TracePhase::Submit, 10, 0),
+            event(2, TracePhase::Propose, 30, 0),
+            event(2, TracePhase::Execute, 70, 0),
+            event(2, TracePhase::Reply, 75, 0),
+        ]);
+        let set = assemble(&[origin]);
+        assert_eq!(set.incomplete, 0);
+        let phases = phase_breakdown(&set);
+        let by_name: BTreeMap<&str, u64> = phases.iter().map(|p| (p.name, p.count)).collect();
+        assert_eq!(by_name["propose"], 1);
+        assert_eq!(by_name["quorum"], 0);
+        assert_eq!(by_name["commit"], 0);
+        assert_eq!(by_name["execute"], 0);
+        assert_eq!(by_name["reply"], 1);
+    }
+
+    #[test]
+    fn clock_skew_clamps_to_zero() {
+        let rings =
+            [ring(vec![event(3, TracePhase::Submit, 100, 0), event(3, TracePhase::Reply, 90, 0)])];
+        let set = assemble(&rings);
+        // submit→propose missing; the only measurable pair would be
+        // execute→reply which is absent too — but a skewed submit→reply
+        // trace still counts as complete.
+        assert_eq!(set.incomplete, 0);
+        let origin = ring(vec![
+            event(4, TracePhase::Execute, 100, 0),
+            event(4, TracePhase::Reply, 90, 0),
+            event(4, TracePhase::Submit, 0, 0),
+        ]);
+        let phases = phase_breakdown(&assemble(&[origin]));
+        let reply = phases.iter().find(|p| p.name == "reply").unwrap();
+        assert_eq!(reply.count, 1);
+        assert_eq!(reply.latency.percentile(1.0), 0, "negative interval clamps to 0");
+    }
+}

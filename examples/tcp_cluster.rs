@@ -39,6 +39,18 @@
 //! cargo run --release --example consensus_client -- 127.0.0.1:7101 0
 //! ```
 //!
+//! Any replica of a running cluster — `serve` mode or `consensus_node`
+//! processes alike — can be scraped live for its telemetry (fast/slow path
+//! counters, transport stats, command-lifecycle spans) without disturbing
+//! the consensus core:
+//!
+//! ```text
+//! cargo run --release --bin consensus_node -- --stats 127.0.0.1:7101
+//! ```
+//!
+//! See `docs/OBSERVABILITY.md` for the metric catalogue and the scrape
+//! wire flow.
+//!
 //! This is the socket-runtime counterpart of `protocol_faceoff` (which runs
 //! in simulated time): every message here is bincode-framed, crosses a
 //! kernel socket, and pays the artificial WAN delay. Latencies printed are

@@ -25,6 +25,14 @@
 //! once it is bound and `ready` once the core loop runs, so launchers can
 //! watch stdout instead of polling the port.
 //!
+//! `consensus_node --stats <host:port>` scrapes a *running* replica
+//! instead of serving one: it dials the address, sends a
+//! `WireMessage::StatsRequest`, and pretty-prints the `Event::StatsReply` —
+//! every counter and histogram of the replica's telemetry registry plus a
+//! summary of its command-lifecycle span ring. The request is answered by
+//! the replica's event-loop thread, so it works even while the consensus
+//! core is saturated (see `docs/OBSERVABILITY.md`).
+//!
 //! Peer links (re)connect through the event loop's backoff, so start order
 //! does not matter and a killed process can be relaunched with the same
 //! book: it rebinds its address (`SO_REUSEADDR`) and rejoins. CAESAR's and
@@ -126,12 +134,74 @@ where
     replica.shutdown();
 }
 
+/// Scrapes the replica at `addr_text` and pretty-prints its telemetry.
+fn print_stats(addr_text: &str) -> ! {
+    let Ok(addr) = addr_text.parse::<SocketAddr>() else {
+        eprintln!("--stats needs host:port, got {addr_text}");
+        std::process::exit(2);
+    };
+    let scrape = net::scrape_stats(addr).unwrap_or_else(|err| {
+        eprintln!("stats scrape of {addr} failed: {err}");
+        std::process::exit(1);
+    });
+    println!("replica {} at {addr}", scrape.from);
+    println!("counters:");
+    for (name, value) in &scrape.snapshot.counters {
+        println!("  {name:<32} {value}");
+    }
+    if !scrape.snapshot.gauges.is_empty() {
+        println!("gauges:");
+        for (name, value) in &scrape.snapshot.gauges {
+            println!("  {name:<32} {value}");
+        }
+    }
+    if !scrape.snapshot.histograms.is_empty() {
+        println!("histograms (us):");
+        for (name, hist) in &scrape.snapshot.histograms {
+            println!(
+                "  {name:<32} count={} mean={:.1} p50={} p99={} max={}",
+                hist.count(),
+                hist.mean(),
+                hist.percentile(0.5),
+                hist.percentile(0.99),
+                hist.percentile(1.0),
+            );
+        }
+    }
+    let spans = &scrape.spans;
+    println!(
+        "span ring: {} events held ({} recorded, {} evicted)",
+        spans.events.len(),
+        spans.recorded,
+        spans.evicted
+    );
+    let set = telemetry::trace::assemble(std::slice::from_ref(spans));
+    println!(
+        "traces: {} commands observed, {} complete submit->reply at this replica",
+        set.traces.len(),
+        set.traces.len() - set.incomplete
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|flag| flag == "--stats") {
+        match args.get(2) {
+            Some(addr) => print_stats(addr),
+            None => {
+                eprintln!("usage: consensus_node --stats <host:port>");
+                std::process::exit(2);
+            }
+        }
+    }
     let (book_path, id) = match (args.get(1), args.get(2).and_then(|s| s.parse::<usize>().ok())) {
         (Some(path), Some(id)) => (path.clone(), id),
         _ => {
-            eprintln!("usage: consensus_node <address-book> <node-id> [lifetime-seconds]");
+            eprintln!(
+                "usage: consensus_node <address-book> <node-id> [lifetime-seconds]\n       \
+                 consensus_node --stats <host:port>"
+            );
             std::process::exit(2);
         }
     };

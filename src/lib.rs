@@ -160,6 +160,9 @@
 #[doc = include_str!("../docs/RECOVERY.md")]
 pub mod recovery {}
 
+#[doc = include_str!("../docs/OBSERVABILITY.md")]
+pub mod observability {}
+
 pub use caesar;
 pub use cluster;
 pub use consensus_core;
@@ -173,4 +176,5 @@ pub use multipaxos;
 pub use net;
 pub use reactor;
 pub use simnet;
+pub use telemetry;
 pub use workload;

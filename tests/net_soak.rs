@@ -8,6 +8,12 @@
 //! event loop holds every connection as two file descriptors on one thread:
 //! the test pins that down by asserting the replica thread count stays at
 //! two per replica (event loop + core loop) with all clients connected.
+//!
+//! The soak also doubles as the telemetry overhead check under connection
+//! pressure: with every span and counter recorded for 500 concurrent
+//! commands, the replica must still answer a live `StatsRequest` scrape
+//! promptly, and the scraped registry must agree exactly with the
+//! in-process one.
 
 use std::time::{Duration, Instant};
 
@@ -87,6 +93,46 @@ fn five_hundred_clients_share_one_replica() {
          replica threads {}",
         started.elapsed().as_secs_f64(),
         cluster.replica_threads(),
+    );
+
+    // Phase 4 — scrape the loaded replica's telemetry over the wire while
+    // the 500 connections are still attached. The event loop answers the
+    // StatsRequest itself, so the scrape must come back within its own
+    // 5-second deadline even under this connection count, and — traffic
+    // being quiescent now — agree exactly with the in-process registry.
+    let scrape = net::scrape_stats(addr).expect("loaded replica answers a stats scrape");
+    assert_eq!(scrape.from, NodeId(0));
+    // Transport counters keep ticking (the scrape itself is frames), but the
+    // protocol counters are quiescent now and must agree exactly between the
+    // wire snapshot and the in-process registry.
+    let offline = cluster.replica_registry(NodeId(0)).snapshot();
+    for (name, value) in &scrape.snapshot.counters {
+        if !name.starts_with("net.") {
+            assert_eq!(
+                (name.as_str(), *value),
+                (name.as_str(), offline.counter(name)),
+                "wire-scraped counter must match the in-process registry"
+            );
+        }
+    }
+    assert!(
+        scrape.snapshot.counter("commands.executed") >= CLIENTS as u64,
+        "all {CLIENTS} soak commands must show up as executed: {:?}",
+        scrape.snapshot.counters
+    );
+    // Every command was submitted to replica 0, so it led each decision.
+    let led = scrape.snapshot.counter("decisions.fast")
+        + scrape.snapshot.counter("caesar.decisions.slow_retry")
+        + scrape.snapshot.counter("caesar.decisions.slow_proposal")
+        + scrape.snapshot.counter("caesar.decisions.recovered");
+    assert!(
+        led >= CLIENTS as u64,
+        "replica 0 led all {CLIENTS} commands, scraped decisions say {led}"
+    );
+    assert!(
+        scrape.spans.recorded >= 2 * CLIENTS as u64,
+        "span ring must have seen at least submit+reply per command, recorded {}",
+        scrape.spans.recorded
     );
 
     for client in clients {

@@ -26,7 +26,6 @@
 //! keeps its (stable) leader on a surviving node; leader election is out of
 //! scope.
 
-use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 use caesar::{CaesarConfig, CaesarReplica};
@@ -185,7 +184,7 @@ where
     );
     let stats = cluster.replica_stats(CRASH);
     assert_eq!(
-        stats.catch_ups_completed.load(Ordering::Relaxed),
+        stats.catch_ups_completed.get(),
         1,
         "[{label}] the restart completes exactly one snapshot catch-up"
     );
@@ -309,7 +308,7 @@ fn restarted_replica_serves_pre_crash_reads_via_snapshot_transfer() {
     );
     let stats = cluster.replica_stats(CRASH);
     assert_eq!(
-        stats.catch_ups_completed.load(Ordering::Relaxed),
+        stats.catch_ups_completed.get(),
         1,
         "the restart must have completed exactly one snapshot catch-up"
     );
