@@ -16,6 +16,16 @@
 //! restarted after the cluster has applied a growing number of commands,
 //! and we record the donated snapshot size against the wall-clock time from
 //! restart to the restarted replica matching the survivors' watermark.
+//!
+//! Two durability sections complete the picture. **Disk vs. network
+//! recovery** reruns the catch-up experiment with per-replica write-ahead
+//! logs: the restarted replica replays its own log instead of waiting for a
+//! donated snapshot, and we record log size, commands replayed, and the
+//! wall-clock from restart to watermark parity — directly comparable with
+//! the `catch_up` rows at the same prefill. **Fsync policy cost** reruns
+//! the 64-client closed-loop throughput run with the WAL enabled under each
+//! [`net::FsyncPolicy`], against the memory-only baseline: what durability
+//! costs per fsync discipline on this hardware.
 
 use std::time::{Duration, Instant};
 
@@ -25,10 +35,12 @@ use consensus_core::session::{ClusterHandle, Op};
 use consensus_types::NodeId;
 use criterion::{criterion_group, criterion_main, Criterion};
 use harness::Table;
-use net::{NetCluster, NetConfig, ReplicaClient};
+use net::{FsyncPolicy, NetCluster, NetConfig, ReplicaClient};
+use wal::TempDir;
 
 const NODES: usize = 3;
 
+#[derive(Clone)]
 struct ScalePoint {
     clients: usize,
     ops: usize,
@@ -38,12 +50,20 @@ struct ScalePoint {
 }
 
 /// Runs `rounds` closed-loop rounds of one op per client against a fresh
-/// cluster and returns latency/throughput stats.
-fn measure(client_count: usize, rounds: usize) -> ScalePoint {
+/// cluster and returns latency/throughput stats. With a `durable` policy the
+/// replicas write WALs (into a tempdir that lives for the run) under it;
+/// `None` is the memory-only baseline.
+fn measure_with(client_count: usize, rounds: usize, durable: Option<FsyncPolicy>) -> ScalePoint {
     let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
-    let cluster =
-        NetCluster::start(NetConfig::new(NODES), move |id| CaesarReplica::new(id, caesar.clone()))
-            .expect("cluster starts");
+    let _tmp;
+    let mut net_config = NetConfig::new(NODES);
+    if let Some(policy) = durable {
+        let tmp = TempDir::new("bench-net-clients").expect("tempdir");
+        net_config = net_config.with_data_dir(tmp.path()).with_fsync(policy);
+        _tmp = tmp;
+    }
+    let cluster = NetCluster::start(net_config, move |id| CaesarReplica::new(id, caesar.clone()))
+        .expect("cluster starts");
     let addr = cluster.addr(NodeId(0));
     let clients: Vec<ReplicaClient> = (0..client_count)
         .map(|i| {
@@ -102,6 +122,11 @@ fn measure(client_count: usize, rounds: usize) -> ScalePoint {
         avg_ms,
         p99_ms,
     }
+}
+
+/// The memory-only baseline (no WAL), as the bench always measured.
+fn measure(client_count: usize, rounds: usize) -> ScalePoint {
+    measure_with(client_count, rounds, None)
 }
 
 struct CatchUpPoint {
@@ -168,7 +193,84 @@ fn measure_catch_up(prefill: usize) -> CatchUpPoint {
     CatchUpPoint { prefill, snapshot_bytes, replayed, recovery_ms }
 }
 
-fn write_json(points: &[ScalePoint], catch_up: &[CatchUpPoint]) {
+struct DiskRecoveryPoint {
+    prefill: usize,
+    log_bytes: u64,
+    replayed: u64,
+    recovery_ms: f64,
+}
+
+/// Total size of the segment files under `dir`.
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries.filter_map(|e| e.ok()).filter_map(|e| e.metadata().ok()).map(|m| m.len()).sum()
+        })
+        .unwrap_or(0)
+}
+
+/// The catch-up experiment with a write-ahead log: same prefill, same
+/// crash/restart, but the replica recovers from its own disk — the time to
+/// watermark parity is the local-replay cost, not a network transfer.
+fn measure_disk_recovery(prefill: usize) -> DiskRecoveryPoint {
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let make = {
+        let caesar = caesar.clone();
+        move |id| CaesarReplica::new(id, caesar.clone())
+    };
+    let tmp = TempDir::new("bench-disk-recovery").expect("tempdir");
+    let net_config = NetConfig::new(NODES)
+        .with_checkpoint_interval(256)
+        .with_data_dir(tmp.path())
+        .with_fsync(FsyncPolicy::PerBatch);
+    let crash = NodeId(2);
+    let crash_dir = net_config.replica_data_dir(crash).expect("data dir configured");
+    let mut cluster = NetCluster::start(net_config, make).expect("cluster starts");
+
+    let client = cluster.client(NodeId(0));
+    let mut pending = std::collections::VecDeque::new();
+    for i in 0..prefill as u64 {
+        pending.push_back(client.submit(Op::put(10_000 + i, i)).expect("submits"));
+        if pending.len() >= 64 {
+            let ticket: consensus_core::session::Ticket =
+                pending.pop_front().expect("ticket present");
+            ticket.wait_timeout(Duration::from_secs(60)).expect("replies");
+        }
+    }
+    for ticket in pending {
+        ticket.wait_timeout(Duration::from_secs(60)).expect("replies");
+    }
+    let target = cluster.wait_for_applied(crash, prefill as u64, Duration::from_secs(60));
+    assert_eq!(target, prefill as u64, "cluster must apply the prefill before the crash");
+
+    cluster.stop_replica(crash);
+    std::thread::sleep(Duration::from_millis(50));
+    let log_bytes = dir_bytes(&crash_dir);
+
+    let restarted_at = Instant::now();
+    cluster
+        .restart_replica(crash, CaesarReplica::new(crash, caesar.clone()))
+        .expect("replica restarts");
+    let caught_up = cluster.wait_for_applied(crash, prefill as u64, Duration::from_secs(120));
+    let recovery_ms = restarted_at.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(caught_up, prefill as u64, "disk recovery must reach the pre-crash watermark");
+
+    let replayed = cluster.replica_registry(crash).snapshot().counter("wal.replayed");
+    cluster.shutdown();
+    DiskRecoveryPoint { prefill, log_bytes, replayed, recovery_ms }
+}
+
+struct FsyncPoint {
+    policy: &'static str,
+    point: ScalePoint,
+}
+
+fn write_json(
+    points: &[ScalePoint],
+    catch_up: &[CatchUpPoint],
+    disk: &[DiskRecoveryPoint],
+    fsync: &[FsyncPoint],
+) {
     let rows: Vec<String> = points
         .iter()
         .map(|p| {
@@ -189,12 +291,36 @@ fn write_json(points: &[ScalePoint], catch_up: &[CatchUpPoint]) {
             )
         })
         .collect();
+    let disk_rows: Vec<String> = disk
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"prefill_commands\": {}, \"wal_bytes\": {}, \
+                 \"wal_replayed\": {}, \"recovery_ms\": {:.1}}}",
+                p.prefill, p.log_bytes, p.replayed, p.recovery_ms
+            )
+        })
+        .collect();
+    let fsync_rows: Vec<String> = fsync
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"fsync\": \"{}\", \"clients\": {}, \"throughput_ops_per_s\": {:.1}, \
+                 \"avg_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+                f.policy, f.point.clients, f.point.throughput, f.point.avg_ms, f.point.p99_ms
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"net_clients\",\n  \"runtime\": \"net (epoll reactor)\",\n  \
          \"nodes\": {NODES},\n  \"results\": [\n{}\n  ],\n  \
-         \"catch_up\": [\n{}\n  ]\n}}\n",
+         \"catch_up\": [\n{}\n  ],\n  \
+         \"disk_recovery\": [\n{}\n  ],\n  \
+         \"fsync_throughput\": [\n{}\n  ]\n}}\n",
         rows.join(",\n"),
-        catch_up_rows.join(",\n")
+        catch_up_rows.join(",\n"),
+        disk_rows.join(",\n"),
+        fsync_rows.join(",\n")
     );
     // crates/bench → workspace root.
     let path =
@@ -256,7 +382,51 @@ fn benchmark(c: &mut Criterion) {
         ]);
     }
     print_table(&table);
-    write_json(&points, &catch_up);
+
+    // Disk-first recovery at the same prefills: recovery from the local WAL
+    // instead of a network snapshot transfer.
+    let disk: Vec<DiskRecoveryPoint> = [200, 1_000, 5_000].map(measure_disk_recovery).into();
+    let mut table = Table::new(
+        "Disk recovery: restarted replica replaying its own write-ahead log",
+        &["prefill cmds", "log (bytes)", "wal replayed", "recovery (ms)"],
+    );
+    for p in &disk {
+        table.push_row(vec![
+            p.prefill.to_string(),
+            p.log_bytes.to_string(),
+            p.replayed.to_string(),
+            format!("{:.1}", p.recovery_ms),
+        ]);
+    }
+    print_table(&table);
+
+    // What durability costs: the 64-client run under each fsync policy.
+    let fsync: Vec<FsyncPoint> = vec![
+        FsyncPoint { policy: "none (memory only)", point: mid.clone() },
+        FsyncPoint {
+            policy: "per-record",
+            point: measure_with(64, 4, Some(FsyncPolicy::PerRecord)),
+        },
+        FsyncPoint { policy: "per-batch", point: measure_with(64, 4, Some(FsyncPolicy::PerBatch)) },
+        FsyncPoint {
+            policy: "interval 5ms",
+            point: measure_with(64, 4, Some(FsyncPolicy::Interval(Duration::from_millis(5)))),
+        },
+    ];
+    let mut table = Table::new(
+        "Fsync policy cost: 64 concurrent clients, WAL enabled",
+        &["policy", "throughput (op/s)", "avg (ms)", "p99 (ms)"],
+    );
+    for f in &fsync {
+        table.push_row(vec![
+            f.policy.to_string(),
+            format!("{:.0}", f.point.throughput),
+            format!("{:.3}", f.point.avg_ms),
+            format!("{:.3}", f.point.p99_ms),
+        ]);
+    }
+    print_table(&table);
+    write_json(&points, &catch_up, &disk, &fsync);
 
     let mut group = c.benchmark_group("net_clients");
     group.sample_size(10);

@@ -16,6 +16,7 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -29,6 +30,7 @@ use consensus_core::state_machine::StateMachineFactory;
 use consensus_types::{Command, Decision, NodeId};
 use kvstore::KvStore;
 use simnet::Process;
+use wal::FsyncPolicy;
 
 use crate::replica::{DelayShim, NetReplica, NetReplicaConfig, NetReplicaStats};
 use crate::wire::{send_msg, Event, FrameReader, WireMessage};
@@ -56,6 +58,16 @@ pub struct NetConfig {
     /// How long a restarted replica waits for a complete snapshot transfer
     /// before serving with empty state.
     pub catch_up_timeout: Duration,
+    /// Root directory for per-replica write-ahead logs: replica *i* logs
+    /// into `<root>/replica-<i>`. When set, every replica appends decided
+    /// commands durably and recovers disk-first on restart — which is what
+    /// makes [`NetCluster::power_cycle`] (stop *everything*, restart from
+    /// data dirs, zero live donors) possible. `None` keeps the cluster
+    /// memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// Fsync policy for the write-ahead logs (per-record, per-batch, or
+    /// interval); only consulted when [`NetConfig::data_dir`] is set.
+    pub fsync: FsyncPolicy,
 }
 
 impl std::fmt::Debug for NetConfig {
@@ -67,6 +79,8 @@ impl std::fmt::Debug for NetConfig {
             .field("max_in_flight", &self.max_in_flight)
             .field("checkpoint_interval", &self.checkpoint_interval)
             .field("catch_up_timeout", &self.catch_up_timeout)
+            .field("data_dir", &self.data_dir)
+            .field("fsync", &self.fsync)
             .finish_non_exhaustive()
     }
 }
@@ -83,6 +97,8 @@ impl NetConfig {
             state_machine: KvStore::factory(),
             checkpoint_interval: 64,
             catch_up_timeout: Duration::from_secs(10),
+            data_dir: None,
+            fsync: FsyncPolicy::PerBatch,
         }
     }
 
@@ -120,6 +136,28 @@ impl NetConfig {
     pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
         self.checkpoint_interval = interval;
         self
+    }
+
+    /// Gives every replica a durable write-ahead log under
+    /// `<root>/replica-<i>` (see [`NetConfig::data_dir`]).
+    #[must_use]
+    pub fn with_data_dir(mut self, root: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(root.into());
+        self
+    }
+
+    /// Sets the write-ahead-log fsync policy (per-batch by default).
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// The write-ahead-log directory of replica `node`, if the cluster is
+    /// durable.
+    #[must_use]
+    pub fn replica_data_dir(&self, node: NodeId) -> Option<PathBuf> {
+        self.data_dir.as_ref().map(|root| root.join(format!("replica-{}", node.index())))
     }
 }
 
@@ -168,6 +206,9 @@ where
             replica_config.state_machine = Arc::clone(&config.state_machine);
             replica_config.checkpoint_interval = config.checkpoint_interval;
             replica_config.catch_up_timeout = config.catch_up_timeout;
+            replica_config.data_dir =
+                config.data_dir.as_ref().map(|root| root.join(format!("replica-{index}")));
+            replica_config.fsync = config.fsync.clone();
             replicas.push(NetReplica::spawn(replica_config, make(id))?);
         }
         let addrs: Vec<SocketAddr> = replicas.iter().map(NetReplica::local_addr).collect();
@@ -319,9 +360,14 @@ where
         replica_config.state_machine = Arc::clone(&self.config.state_machine);
         replica_config.checkpoint_interval = self.config.checkpoint_interval;
         replica_config.catch_up_timeout = self.config.catch_up_timeout;
-        // The fresh incarnation starts empty and catches up by snapshot
-        // transfer from a live peer (restoring + decided-suffix replay), so
-        // reads served after the restart reflect pre-crash writes.
+        // With a data dir the incarnation replays its own write-ahead log
+        // first (disk-first recovery); without one it starts empty. Either
+        // way it also requests snapshot transfer from live peers — the
+        // hybrid path: disk provides the pre-crash prefix, a donor provides
+        // whatever was decided during the downtime (a donor offering less
+        // than disk already recovered is ignored).
+        replica_config.data_dir = self.config.replica_data_dir(node);
+        replica_config.fsync = self.config.fsync.clone();
         replica_config.catch_up = true;
         let mut replica = NetReplica::spawn(replica_config, process)?;
 
@@ -347,6 +393,91 @@ where
         }));
         *self.links[index].writer.lock().expect("client writer lock") = writer;
         self.down[index].store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Stops **every** replica, then restarts the whole cluster from its
+    /// write-ahead logs — a full power cycle with zero live donors.
+    ///
+    /// Unlike [`NetCluster::restart_replica`], the fresh incarnations do
+    /// *not* request snapshot transfer: while all replicas restart together
+    /// there is nobody to donate, so each one serves straight from its own
+    /// disk-first recovery (latest durable checkpoint + logged suffix +
+    /// cursor marks). Pre-crash reads work again as soon as the protocols
+    /// re-form a quorum. The cluster should be quiesced (every replica at
+    /// the same watermark) before cycling: a command some replicas executed
+    /// and others never saw has no live donor to close the gap afterwards —
+    /// see `docs/DURABILITY.md`.
+    ///
+    /// Session sequence counters survive the cycle, so clients keep
+    /// submitting fresh command ids. Decision sinks are reset the same way
+    /// a single restart resets them: each recovered replica re-reports its
+    /// disk-covered history once, as a synthesized batch.
+    pub fn power_cycle(&mut self, mut make: impl FnMut(NodeId) -> P) -> io::Result<()> {
+        let addrs: Vec<SocketAddr> = self.replicas.iter().map(NetReplica::local_addr).collect();
+        // Take everything down: mark nodes down (fail-fast submissions),
+        // stop every replica, and join every reader so stale `fail_node`
+        // calls land before any new ticket exists.
+        for index in 0..self.replicas.len() {
+            self.down[index].store(true, Ordering::SeqCst);
+            self.replicas[index].stop();
+        }
+        for reader in self.readers.iter_mut() {
+            if let Some(handle) = reader.take() {
+                let _ = handle.join();
+            }
+        }
+        {
+            let mut sinks = self.decisions.lock().expect("decision map lock");
+            for index in 0..addrs.len() {
+                sinks.insert(NodeId::from_index(index), Vec::new());
+            }
+        }
+        // Bind every listener first (original addresses; SO_REUSEADDR
+        // clears TIME_WAIT), so the address book is valid before any core
+        // loop starts dialing.
+        let mut fresh = Vec::with_capacity(addrs.len());
+        for (index, &addr) in addrs.iter().enumerate() {
+            let node = NodeId::from_index(index);
+            let mut replica_config = NetReplicaConfig::loopback(node, addrs.len());
+            replica_config.bind = addr;
+            replica_config.delay = self.config.delay.clone();
+            replica_config.timer_scale = self.config.timer_scale;
+            replica_config.epoch = self.started_at;
+            replica_config.state_machine = Arc::clone(&self.config.state_machine);
+            replica_config.checkpoint_interval = self.config.checkpoint_interval;
+            replica_config.catch_up_timeout = self.config.catch_up_timeout;
+            replica_config.data_dir = self.config.replica_data_dir(node);
+            replica_config.fsync = self.config.fsync.clone();
+            replica_config.catch_up = false; // no live donor exists
+            fresh.push(NetReplica::spawn(replica_config, make(node))?);
+        }
+        // Subscribe before starting each core loop: disk recovery publishes
+        // its synthesized decision batch immediately, and the subscription
+        // must already be registered (the event loops accept since spawn).
+        let mut writers = Vec::with_capacity(addrs.len());
+        for &addr in &addrs {
+            let mut writer = connect_with_retry(addr, Duration::from_secs(5))?;
+            writer.set_nodelay(true)?;
+            send_msg(&mut writer, &WireMessage::<P::Message>::Subscribe)?;
+            writers.push(writer);
+        }
+        for replica in &mut fresh {
+            replica.start(addrs.clone());
+        }
+        self.replicas = fresh;
+        for (index, writer) in writers.into_iter().enumerate() {
+            let node = NodeId::from_index(index);
+            let read_half = writer.try_clone()?;
+            let sink = Arc::clone(&self.decisions);
+            let stop = Arc::clone(&self.reader_stop);
+            let session = Arc::clone(&self.session);
+            self.readers[index] = Some(std::thread::spawn(move || {
+                client_reader(read_half, node, &sink, &session, &stop);
+            }));
+            *self.links[index].writer.lock().expect("client writer lock") = writer;
+            self.down[index].store(false, Ordering::SeqCst);
+        }
         Ok(())
     }
 

@@ -49,6 +49,17 @@
 //! an abort; submissions to a replica the orchestrator stopped fail at
 //! submit time. The full lifecycle is documented in `docs/RECOVERY.md`.
 //!
+//! Snapshot transfer needs a live donor. [`NetConfig::with_data_dir`] (or
+//! [`NetReplicaConfig::data_dir`] directly) removes that dependency: each
+//! replica keeps a durable write-ahead log (the `wal` crate) in its own
+//! subdirectory, appending decided commands before execution and committing
+//! them — under the configured [`FsyncPolicy`] — before client replies go
+//! out. A restarted replica replays its own log first and uses snapshot
+//! transfer only as the fallback for whatever disk could not provide, so
+//! [`NetCluster::power_cycle`] can stop **every** replica and bring the
+//! whole cluster back from its data dirs with zero live donors. See
+//! `docs/DURABILITY.md` for the log format and recovery decision tree.
+//!
 //! The event-loop internals replaced the seed's thread-per-link blocking
 //! I/O precisely because the paper's headline result is throughput at scale:
 //! hundreds of concurrent clients per replica are two file descriptors per
@@ -87,4 +98,5 @@ pub mod wire;
 pub use client::{scrape_stats, scrape_stats_deadline, ReplicaClient, StatsScrape};
 pub use cluster::{NetCluster, NetConfig};
 pub use replica::{DelayShim, NetReplica, NetReplicaConfig, NetReplicaStats};
+pub use wal::FsyncPolicy;
 pub use wire::{Event, WireMessage};

@@ -55,10 +55,30 @@
 //! the replica gives up and serves with whatever it has (the pre-transfer
 //! behaviour). A full walk-through of the lifecycle lives in
 //! `docs/RECOVERY.md` at the repository root.
+//!
+//! # Durable write-ahead log
+//!
+//! When [`NetReplicaConfig::data_dir`] is set, the core loop opens a
+//! [`wal::Wal`] in that directory and the replica becomes durable: every
+//! decided command is appended to the log *before* it touches the state
+//! machine, the protocol's `ExecutionCursor` is marked after each apply
+//! batch, and the staged records are committed (fsynced under the
+//! configured [`FsyncPolicy`]) before the client replies leave the core
+//! loop. Cutting a checkpoint also writes it to the log, which rotates to a
+//! fresh segment and compacts everything older away. On restart the core
+//! loop replays its own log first — latest checkpoint plus the command
+//! suffix after it, a torn tail truncated at the first CRC mismatch — and
+//! only then runs the snapshot-transfer catch-up above for whatever disk
+//! could not provide (a donor whose offer is behind the disk watermark is
+//! skipped rather than allowed to regress it). With data dirs in place an
+//! entire cluster can power down and come back with zero live donors; the
+//! record format, fsync trade-offs, and the recovery decision tree are
+//! documented in `docs/DURABILITY.md`.
 
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::{mpsc, Arc, Mutex};
@@ -73,6 +93,7 @@ use consensus_types::{
 use kvstore::KvStore;
 use simnet::{Context, LatencyMatrix, Process};
 use telemetry::{Counter, Registry, SpanEvent, TracePhase};
+use wal::{FsyncPolicy, Recovery, Wal, WalConfig};
 
 use crate::event_loop::{EventLoop, IoCmd, IoQueue};
 use crate::wire::{frame_bytes, Event, WireMessage};
@@ -144,6 +165,16 @@ pub struct NetReplicaConfig {
     /// How long a catching-up replica waits for a complete snapshot
     /// transfer before giving up and serving with empty state.
     pub catch_up_timeout: Duration,
+    /// Directory for this replica's write-ahead log. When set, the core
+    /// loop appends every decided command (and per-batch execution-cursor
+    /// marks) before applying it, persists checkpoints as durable records,
+    /// and on startup replays the log *first* — disk-first recovery — using
+    /// snapshot transfer only for whatever disk could not provide. `None`
+    /// (the default) keeps the replica memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// When logged records reach the platter (see [`FsyncPolicy`]); only
+    /// consulted when [`NetReplicaConfig::data_dir`] is set.
+    pub fsync: FsyncPolicy,
 }
 
 impl std::fmt::Debug for NetReplicaConfig {
@@ -158,6 +189,8 @@ impl std::fmt::Debug for NetReplicaConfig {
             .field("checkpoint_interval", &self.checkpoint_interval)
             .field("catch_up", &self.catch_up)
             .field("catch_up_timeout", &self.catch_up_timeout)
+            .field("data_dir", &self.data_dir)
+            .field("fsync", &self.fsync)
             .finish_non_exhaustive()
     }
 }
@@ -178,6 +211,8 @@ impl NetReplicaConfig {
             checkpoint_interval: 64,
             catch_up: false,
             catch_up_timeout: Duration::from_secs(10),
+            data_dir: None,
+            fsync: FsyncPolicy::PerBatch,
         }
     }
 }
@@ -261,6 +296,12 @@ pub struct NetReplica<P: Process> {
     registry: Arc<Registry>,
     stats: Arc<NetReplicaStats>,
     subscriber_count: Arc<AtomicUsize>,
+    /// The open write-ahead log and what its startup scan recovered, held
+    /// here between [`NetReplica::spawn`] (which opens the log so disk
+    /// errors surface synchronously) and [`NetReplica::start`] (which moves
+    /// both onto the core loop: the recovery is replayed before the first
+    /// mailbox message is served).
+    wal: Option<(Wal, Recovery)>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -285,6 +326,16 @@ where
         let subscriber_count = Arc::new(AtomicUsize::new(0));
         let io = Arc::new(IoQueue::new()?);
         let machine = Arc::new(Mutex::new((config.state_machine)(config.id)));
+        // Disk-first: open (and scan) the write-ahead log before any socket
+        // traffic exists, so an unreadable data dir fails the spawn instead
+        // of a serving replica.
+        let wal = match &config.data_dir {
+            Some(dir) => {
+                let wal_config = WalConfig::new(dir.clone()).with_fsync(config.fsync.clone());
+                Some(Wal::open(wal_config, &registry)?)
+            }
+            None => None,
+        };
 
         let event_loop = EventLoop::new(
             config.id,
@@ -312,6 +363,7 @@ where
             registry,
             stats,
             subscriber_count,
+            wal,
             threads: vec![io_thread],
         })
     }
@@ -385,6 +437,10 @@ where
         assert_eq!(peers.len(), self.config.nodes, "address book size mismatch");
         let process = self.process.take().expect("NetReplica::start called twice");
         let mailbox_rx = self.mailbox_rx.take().expect("mailbox receiver present");
+        let (wal, disk_recovery) = match self.wal.take() {
+            Some((wal, recovery)) => (Some(wal), Some(recovery)),
+            None => (None, None),
+        };
 
         // Hand the event loop its address book; it dials (and keeps
         // redialing) every remote peer from its own thread.
@@ -432,6 +488,8 @@ where
             stats: Arc::clone(&self.stats),
             reply_wanted: HashSet::new(),
             subscribers: Arc::clone(&self.subscriber_count),
+            wal,
+            disk_recovery,
         };
         self.threads.push(std::thread::spawn(move || core.run()));
     }
@@ -607,6 +665,14 @@ struct CoreLoop<P: Process> {
     /// Live decision-stream subscribers (maintained by the event loop);
     /// when zero, `Event::Decisions` batches are not even serialized.
     subscribers: Arc<AtomicUsize>,
+    /// The durable write-ahead log, when [`NetReplicaConfig::data_dir`] is
+    /// set: commands are appended before they are applied, a cursor mark
+    /// closes each apply batch, and checkpoints become durable records that
+    /// rotate and compact the segment files.
+    wal: Option<Wal>,
+    /// What the log's startup scan recovered; replayed once, before the
+    /// first mailbox message, then `None` forever.
+    disk_recovery: Option<Recovery>,
 }
 
 impl<P> CoreLoop<P>
@@ -636,6 +702,18 @@ where
             )
             .with_spans(&mut spans);
             self.process.on_start(&mut ctx);
+        }
+        // Disk first: replay this replica's own log before anything else —
+        // snapshot transfer (requested below, when `catch_up` is set) then
+        // only has to cover what disk could not provide.
+        if let Some(recovery) = self.disk_recovery.take() {
+            self.recover_from_disk(
+                recovery,
+                &mut outbox,
+                &mut new_timers,
+                &mut executions,
+                &mut spans,
+            );
         }
         self.flush(&mut outbox, &mut new_timers, &mut executions, &mut spans);
         if self.restore.is_some() {
@@ -888,6 +966,15 @@ where
                     }
                     continue;
                 }
+                // Log before apply: a command is on disk (staged, at least)
+                // before its effects exist, so recovery can only ever see a
+                // logged-but-unapplied command — replayable — never an
+                // applied-but-unlogged one, which would be lost state.
+                if let Some(wal) = &mut self.wal {
+                    if let Err(err) = wal.append_command(&execution.command) {
+                        eprintln!("replica {} wal append failed: {err}", self.id);
+                    }
+                }
                 let output = machine.apply(&execution.command);
                 self.applied.insert(id);
                 self.suffix_log.push(execution.command);
@@ -920,6 +1007,25 @@ where
         };
         self.registry.record_spans(&mut runtime_spans);
         self.observe_watermark(watermark);
+        // Close the apply batch on disk *before* its reply frames reach the
+        // event loop: a cursor mark (so a slot-based protocol resumes
+        // exactly here, not at the stale checkpoint cursor) and the fsync
+        // policy's batch boundary. Under per-record/per-batch policies an
+        // acknowledged command is on the platter before the client sees the
+        // reply; under an interval policy it is at least in the page cache.
+        if let Some(wal) = &mut self.wal {
+            let cursor = self.process.execution_cursor();
+            let result = if matches!(cursor, ExecutionCursor::Ids) {
+                // Dependency-tracked protocols carry no slot cursor; the
+                // logged command ids are the whole resume point.
+                wal.commit()
+            } else {
+                wal.append_cursor(&cursor).and_then(|()| wal.commit())
+            };
+            if let Err(err) = result {
+                eprintln!("replica {} wal commit failed: {err}", self.id);
+            }
+        }
         if self.subscribers.load(Ordering::Relaxed) > 0 {
             let event = Event::Decisions { from: self.id, batch };
             if let Ok(frame) = frame_bytes(&event) {
@@ -930,6 +1036,79 @@ where
         if self.suffix_log.len() as u64 >= self.checkpoint_interval {
             self.cut_checkpoint();
         }
+    }
+
+    // ---- disk-first recovery --------------------------------------------
+
+    /// Replays what the write-ahead log recovered, before the first mailbox
+    /// message: restore the latest durable checkpoint (the same serialized
+    /// triple a snapshot donor would send), apply the logged command suffix,
+    /// then hand the protocol a [`StateTransfer`] whose cursor merges the
+    /// checkpoint's embedded cursor with the last logged cursor mark — so a
+    /// slot-based protocol resumes exactly where the previous incarnation
+    /// left off. Ends by cutting a fresh checkpoint, which also compacts the
+    /// log down to one segment.
+    fn recover_from_disk(
+        &mut self,
+        recovery: Recovery,
+        outbox: &mut Vec<(NodeId, P::Message)>,
+        new_timers: &mut Vec<(SimTime, P::Message)>,
+        executions: &mut Vec<Execution>,
+        spans: &mut Vec<SpanEvent>,
+    ) {
+        if recovery.is_empty() {
+            return;
+        }
+        let mut covered = AppliedSummary::default();
+        let mut checkpoint_cursor = ExecutionCursor::Ids;
+        let watermark = {
+            let mut machine = self.machine.lock().expect("state machine lock");
+            if let Some(image) = &recovery.checkpoint {
+                let Ok((snapshot, applied, cursor)) =
+                    bincode::deserialize::<(Vec<u8>, AppliedSummary, ExecutionCursor)>(
+                        &image.payload,
+                    )
+                else {
+                    // A CRC-valid but undecodable checkpoint means a format
+                    // change or writer bug, not disk damage; starting empty
+                    // (and falling back to snapshot transfer if catch_up is
+                    // set) beats serving half-restored state.
+                    eprintln!("replica {} wal checkpoint undecodable; starting empty", self.id);
+                    return;
+                };
+                if machine.restore(&snapshot).is_err() {
+                    eprintln!(
+                        "replica {} wal checkpoint rejected by state machine; starting empty",
+                        self.id
+                    );
+                    return;
+                }
+                covered = applied;
+                checkpoint_cursor = cursor;
+            }
+            for cmd in &recovery.suffix {
+                machine.apply(cmd);
+            }
+            machine.applied_through()
+        };
+        self.observe_watermark(watermark);
+        let mut transfer =
+            StateTransfer { applied: covered, cursor: checkpoint_cursor.merge(recovery.cursor) };
+        transfer.applied.extend(recovery.suffix.iter().map(Command::id));
+        self.applied.merge(&transfer.applied);
+        {
+            let now = self.now_us();
+            let mut ctx =
+                Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions)
+                    .with_spans(spans);
+            self.process.on_state_transfer(&transfer, &mut ctx);
+        }
+        self.publish_transfer_decisions(&transfer);
+        // The recovered state is the new baseline: cutting a checkpoint
+        // writes it as one durable record and compacts away every segment
+        // the scan just replayed.
+        self.suffix_log.clear();
+        self.cut_checkpoint();
     }
 
     // ---- snapshot-based state transfer ----------------------------------
@@ -964,6 +1143,16 @@ where
         let cursor = self.process.execution_cursor();
         let payload = bincode::serialize(&(snapshot, &self.applied, cursor))
             .expect("checkpoint payload serializes");
+        // The same serialized triple becomes the durable checkpoint record:
+        // the log rotates to a fresh segment headed by it and compacts every
+        // older segment away (they are fully covered). A cut that follows a
+        // donor restore also lands here, so the log always reflects the
+        // machine even when the bytes arrived over the wire.
+        if let Some(wal) = &mut self.wal {
+            if let Err(err) = wal.append_checkpoint(applied_through, &payload) {
+                eprintln!("replica {} wal checkpoint failed: {err}", self.id);
+            }
+        }
         self.checkpoint = Some(Checkpoint { applied_through, payload: Arc::new(payload) });
         self.suffix_log.clear();
     }
@@ -1119,6 +1308,16 @@ where
             self.restore = Some(restore);
             return;
         };
+        // Hybrid guard: a replica that already replayed its own write-ahead
+        // log may be *ahead* of this donor (e.g. the donor itself restarted
+        // or checkpointed long ago). Installing the donation would regress
+        // the state machine; skip it and keep waiting for a donor that can
+        // actually add something — the restore deadline serves from disk
+        // state if none can.
+        if donor.applied_through + (donor.suffix.len() as u64) < self.watermark {
+            self.restore = Some(restore);
+            return;
+        }
         let mut payload = Vec::new();
         for chunk in donor.chunks {
             payload.extend_from_slice(&chunk.expect("transfer complete"));
@@ -1175,40 +1374,7 @@ where
                     .with_spans(spans);
             self.process.on_state_transfer(&transfer, &mut ctx);
         }
-        // Report the transferred executions on the decision stream. The
-        // protocol layer will never re-deliver a command the transfer
-        // covers (its dependency tracking / slot cursor now counts it as
-        // executed), so without this a subscriber that counts on the
-        // stream being gap-free waits forever for executions that already
-        // happened — a real race pre-fix: a command decided *during* the
-        // transfer landed in the donated snapshot and then never appeared
-        // on the restarted replica's stream. The synthesized records carry
-        // the transfer-completion time and no protocol timestamps. The
-        // enumeration is O(history) but runs once per restore; emitting
-        // bounded frames keeps any single one far from MAX_FRAME_LEN (one
-        // giant frame would be silently unsendable).
-        if self.subscribers.load(Ordering::Relaxed) > 0 {
-            let now = self.now_us();
-            let mut cmds: Vec<IoCmd> = Vec::new();
-            for window in transfer.applied.ids().chunks(4096) {
-                let batch: Vec<Decision> = window
-                    .iter()
-                    .map(|&id| Decision {
-                        command: id,
-                        timestamp: Timestamp::ZERO,
-                        path: DecisionPath::Ordered,
-                        proposed_at: now,
-                        executed_at: now,
-                        breakdown: LatencyBreakdown::default(),
-                    })
-                    .collect();
-                let event = Event::Decisions { from: self.id, batch };
-                if let Ok(frame) = frame_bytes(&event) {
-                    cmds.push(IoCmd::Publish { frame });
-                }
-            }
-            self.io.push_many(cmds);
-        }
+        self.publish_transfer_decisions(&transfer);
         self.stats.catch_up_replayed.add(donor.suffix.len() as u64);
         self.stats.catch_ups_completed.inc();
         // The restored state is this replica's new baseline: checkpoint it
@@ -1217,6 +1383,44 @@ where
         self.cut_checkpoint();
         let mut pending = std::mem::take(&mut restore.pending);
         self.apply_executions(&mut pending);
+    }
+
+    /// Reports a transfer's executions on the decision stream. The protocol
+    /// layer will never re-deliver a command the transfer covers (its
+    /// dependency tracking / slot cursor now counts it as executed), so
+    /// without this a subscriber that counts on the stream being gap-free
+    /// waits forever for executions that already happened — a real race
+    /// pre-fix: a command decided *during* a transfer landed in the donated
+    /// snapshot and then never appeared on the restarted replica's stream.
+    /// Disk recovery synthesizes the same batch for the commands it
+    /// replayed. The records carry the completion time and no protocol
+    /// timestamps. The enumeration is O(history) but runs once per
+    /// restore; emitting bounded frames keeps any single one far from
+    /// MAX_FRAME_LEN (one giant frame would be silently unsendable).
+    fn publish_transfer_decisions(&mut self, transfer: &StateTransfer) {
+        if self.subscribers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let now = self.now_us();
+        let mut cmds: Vec<IoCmd> = Vec::new();
+        for window in transfer.applied.ids().chunks(4096) {
+            let batch: Vec<Decision> = window
+                .iter()
+                .map(|&id| Decision {
+                    command: id,
+                    timestamp: Timestamp::ZERO,
+                    path: DecisionPath::Ordered,
+                    proposed_at: now,
+                    executed_at: now,
+                    breakdown: LatencyBreakdown::default(),
+                })
+                .collect();
+            let event = Event::Decisions { from: self.id, batch };
+            if let Ok(frame) = frame_bytes(&event) {
+                cmds.push(IoCmd::Publish { frame });
+            }
+        }
+        self.io.push_many(cmds);
     }
 
     /// Gives up on a restore whose deadline passed: serve with whatever

@@ -39,33 +39,13 @@ pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
 /// Bytes of frame header preceding the payload: `u32` length + `u32` CRC-32.
 pub const FRAME_HEADER_LEN: usize = 8;
 
-/// CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial) lookup table, built at
-/// compile time.
-static CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut index = 0;
-    while index < 256 {
-        let mut crc = index as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
-            bit += 1;
-        }
-        table[index] = crc;
-        index += 1;
-    }
-    table
-};
-
 /// CRC-32 checksum (IEEE 802.3) of `bytes`, as carried in the frame header.
-#[must_use]
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
-    }
-    !crc
-}
+///
+/// The implementation lives in [`consensus_types::crc32`] so the write-ahead
+/// log (`wal`) can frame its on-disk records with the exact same checksum
+/// path without depending on this crate; re-exported here because the wire
+/// module is where frame producers and consumers look for it.
+pub use consensus_types::crc32;
 
 /// Marker put in checksum-failure errors so the transport can distinguish a
 /// corrupted frame (count it, kill the link) from ordinary decode errors.

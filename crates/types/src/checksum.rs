@@ -1,0 +1,58 @@
+//! CRC-32 (IEEE 802.3) checksum shared by the wire framing and the
+//! write-ahead log.
+//!
+//! Both durability layers frame their payloads identically — a little-endian
+//! `u32` length, a little-endian `u32` CRC-32 of the payload, then the
+//! payload — so a record written by `wal` and a frame written by `net::wire`
+//! guard their bytes with the same polynomial and the same table. Keeping the
+//! implementation here lets `wal` reuse the wire checksum path without
+//! depending on the networking crate.
+
+/// CRC-32 (IEEE 802.3, the zlib/Ethernet polynomial) lookup table, built at
+/// compile time.
+static CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut index = 0;
+    while index < 256 {
+        let mut crc = index as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[index] = crc;
+        index += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum (IEEE 802.3) of `bytes`, as carried in wire frame headers
+/// and write-ahead-log record headers.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut bytes = b"the quick brown fox".to_vec();
+        let clean = crc32(&bytes);
+        bytes[7] ^= 0x10;
+        assert_ne!(crc32(&bytes), clean);
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(rust_2018_idioms)]
 
 mod ballot;
+mod checksum;
 mod command;
 mod cstruct;
 mod decision;
@@ -46,6 +47,7 @@ mod timestamp;
 mod transfer;
 
 pub use ballot::Ballot;
+pub use checksum::crc32;
 pub use command::{Command, CommandId, ConflictKey, Operation};
 pub use cstruct::CStruct;
 pub use decision::{Decision, DecisionPath, Execution, LatencyBreakdown};

@@ -1,0 +1,68 @@
+//! Per-replica durable write-ahead log for the CAESAR reproduction.
+//!
+//! Every decided command a replica executes lives only in memory without this
+//! crate: a restarted replica can catch up solely from live donors, and a
+//! full-cluster power cycle loses everything. The WAL is the disk layer that
+//! closes that gap — an append-only store of numbered segment files whose
+//! records are framed exactly like wire frames (`u32` length, `u32` CRC-32,
+//! payload — the checksum path is shared via [`consensus_types::crc32`]):
+//!
+//! * [`WalRecord::Command`] — a decided command, appended *before* it is
+//!   applied to the state machine;
+//! * [`WalRecord::Cursor`] — the protocol's [`ExecutionCursor`] after each
+//!   apply batch, so a slot-based protocol resumes exactly where it left off;
+//! * [`WalRecord::Checkpoint`] — the serialized `(snapshot, AppliedSummary,
+//!   ExecutionCursor)` triple the replica also donates over the wire; cutting
+//!   one rotates to a fresh segment and compacts every older file away.
+//!
+//! [`FsyncPolicy`] picks the durability/throughput point: per-record,
+//! per-batch (the default — client replies never outrun the platter), or
+//! interval. On restart, [`Wal::open`] scans the segments into a
+//! [`Recovery`] — latest checkpoint, the command suffix after it, the last
+//! cursor mark — truncating a torn tail at the first CRC mismatch so a crash
+//! mid-write never poisons the log. The `net` runtime replays that recovery
+//! first and falls back to snapshot transfer from live donors only for
+//! whatever disk could not provide; see `docs/DURABILITY.md` for the full
+//! format and the recovery decision tree.
+//!
+//! Progress is observable through `wal.*` metrics ([`WalStats`]) registered
+//! in the replica's telemetry [`Registry`](telemetry::Registry): appends,
+//! fsyncs and their latency, rotations, compactions, torn-tail truncations,
+//! and commands replayed from disk.
+//!
+//! [`ExecutionCursor`]: consensus_types::ExecutionCursor
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::Registry;
+//! use wal::{TempDir, Wal, WalConfig};
+//! use consensus_types::{Command, CommandId, NodeId};
+//!
+//! let tmp = TempDir::new("wal-doc").unwrap();
+//! let registry = Registry::new();
+//! let config = WalConfig::new(tmp.path().to_path_buf());
+//! let (mut wal, recovery) = Wal::open(config.clone(), &registry).unwrap();
+//! assert!(recovery.is_empty());
+//!
+//! wal.append_command(&Command::put(CommandId::new(NodeId(0), 1), 7, 42)).unwrap();
+//! wal.commit().unwrap();
+//! drop(wal);
+//!
+//! let (_wal, recovery) = Wal::open(config, &registry).unwrap();
+//! assert_eq!(recovery.suffix.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod record;
+mod store;
+mod temp;
+
+pub use record::{
+    decode_record, encode_checkpoint, encode_command, encode_cursor, DecodeOutcome, WalRecord,
+    MAX_RECORD_LEN, RECORD_HEADER_LEN,
+};
+pub use store::{CheckpointImage, FsyncPolicy, Recovery, Wal, WalConfig, WalStats, SEGMENT_MAGIC};
+pub use temp::TempDir;

@@ -1,0 +1,619 @@
+//! The per-replica segment store: append, fsync policy, rotation,
+//! compaction, and disk-first recovery.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use consensus_types::{Command, ExecutionCursor};
+use telemetry::{Counter, Histogram, Registry};
+
+use crate::record::{
+    decode_record, encode_checkpoint, encode_command, encode_cursor, DecodeOutcome, WalRecord,
+};
+
+/// Bytes of per-segment preamble: the magic `WALSEG01`.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"WALSEG01";
+
+/// When a replica must persist its log to the disk's platter, not just the
+/// page cache.
+///
+/// Records are always *written* (visible to the OS) before client replies are
+/// flushed, so a process crash never loses acknowledged commands under any
+/// policy; the policy only chooses how much a full power loss can take back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record. Maximum durability, one disk
+    /// flush per command.
+    PerRecord,
+    /// `fsync` once per apply batch, after the batch's records are written
+    /// and before the batch's client replies go out. The default: replies
+    /// never outrun the platter, and the flush cost amortizes across the
+    /// batch.
+    PerBatch,
+    /// `fsync` at most once per interval, at the next batch boundary after
+    /// it elapses. Replies can outrun the platter by up to one interval —
+    /// a power loss inside the window can forget acknowledged commands.
+    Interval(Duration),
+}
+
+impl FsyncPolicy {
+    /// Short lowercase label used in bench output and stats displays.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsyncPolicy::PerRecord => "per-record",
+            FsyncPolicy::PerBatch => "per-batch",
+            FsyncPolicy::Interval(_) => "interval",
+        }
+    }
+}
+
+/// Configuration for opening a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding this replica's segment files; created if absent.
+    pub dir: PathBuf,
+    /// When appends reach the platter (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes, even between checkpoints. Recovery scans all segments in
+    /// order, so mid-suffix rotation is purely a file-size bound.
+    pub segment_max_bytes: u64,
+}
+
+impl WalConfig {
+    /// Config with the default per-batch fsync policy and 64 MiB segments.
+    #[must_use]
+    pub fn new(dir: PathBuf) -> Self {
+        Self { dir, fsync: FsyncPolicy::PerBatch, segment_max_bytes: 64 * 1024 * 1024 }
+    }
+
+    /// Replaces the fsync policy.
+    #[must_use]
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Replaces the segment size bound.
+    #[must_use]
+    pub fn with_segment_max_bytes(mut self, bytes: u64) -> Self {
+        self.segment_max_bytes = bytes;
+        self
+    }
+}
+
+/// `wal.*` metrics, registered in the replica's telemetry [`Registry`].
+#[derive(Debug, Clone)]
+pub struct WalStats {
+    /// Records appended (commands, cursor marks and checkpoints).
+    pub appends: Counter,
+    /// Framed bytes written to segment files.
+    pub bytes_written: Counter,
+    /// `fsync` calls issued by the active policy (and checkpoint barriers).
+    pub fsyncs: Counter,
+    /// Latency of each `fsync`, in microseconds.
+    pub fsync_us: Histogram,
+    /// Segments opened after the first (size rotations + checkpoint cuts).
+    pub rotations: Counter,
+    /// Obsolete segment files deleted after a durable checkpoint.
+    pub compactions: Counter,
+    /// Torn or corrupt tails truncated during recovery.
+    pub torn_truncations: Counter,
+    /// Checkpoint records written.
+    pub checkpoints: Counter,
+    /// Suffix commands recovered from disk and handed back for replay.
+    pub replayed: Counter,
+}
+
+impl WalStats {
+    /// Registers (or re-attaches to) the log's counters in `registry`.
+    #[must_use]
+    pub fn register(registry: &Registry) -> Self {
+        Self {
+            appends: registry.counter("wal.appends"),
+            bytes_written: registry.counter("wal.bytes_written"),
+            fsyncs: registry.counter("wal.fsyncs"),
+            fsync_us: registry.histogram("wal.fsync_us"),
+            rotations: registry.counter("wal.rotations"),
+            compactions: registry.counter("wal.compactions"),
+            torn_truncations: registry.counter("wal.torn_truncations"),
+            checkpoints: registry.counter("wal.checkpoints"),
+            replayed: registry.counter("wal.replayed"),
+        }
+    }
+}
+
+/// What a scan of the segment files found — the disk-first resume point.
+///
+/// The consumer restores the checkpoint (the same serialized triple a
+/// snapshot donor would send), replays `suffix` in order, then merges
+/// `cursor` over the checkpoint's embedded cursor to land exactly where the
+/// replica left off.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The latest durable checkpoint, if any was ever cut.
+    pub checkpoint: Option<CheckpointImage>,
+    /// Commands logged after that checkpoint (or since genesis if none), in
+    /// apply order.
+    pub suffix: Vec<Command>,
+    /// The latest cursor mark after the checkpoint; `ExecutionCursor::Ids`
+    /// when no mark was logged.
+    pub cursor: ExecutionCursor,
+    /// Whether a torn or corrupt tail was truncated away.
+    pub truncated: bool,
+    /// Valid records scanned across all surviving segments.
+    pub records: u64,
+}
+
+impl Recovery {
+    /// Whether the disk held any state at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.checkpoint.is_none() && self.suffix.is_empty()
+    }
+}
+
+/// A checkpoint as recovered from disk.
+#[derive(Debug)]
+pub struct CheckpointImage {
+    /// Commands applied when the checkpoint was cut.
+    pub applied_through: u64,
+    /// The serialized `(snapshot, AppliedSummary, ExecutionCursor)` triple.
+    pub payload: Vec<u8>,
+}
+
+struct Segment {
+    file: File,
+    seq: u64,
+    /// Bytes currently durable in the file (magic + flushed records).
+    len: u64,
+}
+
+/// An open write-ahead log: one directory of numbered segment files.
+///
+/// ```text
+/// <dir>/wal-00000001.seg   (compacted away after the next checkpoint)
+/// <dir>/wal-00000002.seg   (starts with the latest checkpoint record)
+/// ```
+pub struct Wal {
+    config: WalConfig,
+    current: Segment,
+    /// Frames staged since the last [`Wal::commit`]; written in one
+    /// `write_all` at the batch boundary (or immediately under
+    /// [`FsyncPolicy::PerRecord`]).
+    staged: Vec<u8>,
+    last_fsync: Instant,
+    /// Written-but-not-fsynced bytes exist (page cache ahead of platter).
+    dirty: bool,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Opens (creating if necessary) the log in `config.dir`, scanning
+    /// existing segments into a [`Recovery`] and truncating any torn tail.
+    pub fn open(config: WalConfig, registry: &Registry) -> io::Result<(Self, Recovery)> {
+        fs::create_dir_all(&config.dir)?;
+        let stats = WalStats::register(registry);
+        let mut segments = list_segments(&config.dir)?;
+        let recovery = scan_segments(&config.dir, &mut segments, &stats)?;
+
+        let (seq, path) = match segments.last() {
+            Some(&(seq, _)) => (seq, segment_path(&config.dir, seq)),
+            None => {
+                let path = segment_path(&config.dir, 1);
+                init_segment(&path)?;
+                sync_dir(&config.dir)?;
+                (1, path)
+            }
+        };
+        let mut file = OpenOptions::new().read(true).append(true).open(&path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        let wal = Self {
+            config,
+            current: Segment { file, seq, len },
+            staged: Vec::with_capacity(4096),
+            last_fsync: Instant::now(),
+            dirty: false,
+            stats,
+        };
+        Ok((wal, recovery))
+    }
+
+    /// The directory holding the segment files.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Number of live segment files (for tests and compaction checks).
+    pub fn segment_count(&self) -> io::Result<usize> {
+        Ok(list_segments(&self.config.dir)?.len())
+    }
+
+    /// Stages a decided command; durable per the fsync policy once
+    /// [`Wal::commit`] runs at the batch boundary.
+    pub fn append_command(&mut self, cmd: &Command) -> io::Result<()> {
+        let before = self.staged.len();
+        encode_command(&mut self.staged, cmd);
+        self.note_append(before)
+    }
+
+    /// Stages an execution-cursor mark for the current apply batch.
+    pub fn append_cursor(&mut self, cursor: &ExecutionCursor) -> io::Result<()> {
+        let before = self.staged.len();
+        encode_cursor(&mut self.staged, cursor);
+        self.note_append(before)
+    }
+
+    fn note_append(&mut self, staged_before: usize) -> io::Result<()> {
+        self.stats.appends.inc();
+        self.stats.bytes_written.add((self.staged.len() - staged_before) as u64);
+        if self.config.fsync == FsyncPolicy::PerRecord {
+            self.write_staged()?;
+            self.fsync()?;
+        }
+        Ok(())
+    }
+
+    /// Batch boundary: writes staged frames and applies the fsync policy.
+    /// Call after an apply batch and *before* flushing its client replies so
+    /// acknowledged commands are at least in the page cache.
+    pub fn commit(&mut self) -> io::Result<()> {
+        self.write_staged()?;
+        match self.config.fsync {
+            FsyncPolicy::PerRecord => {}
+            FsyncPolicy::PerBatch => self.fsync()?,
+            FsyncPolicy::Interval(interval) => {
+                if self.dirty && self.last_fsync.elapsed() >= interval {
+                    self.fsync()?;
+                }
+            }
+        }
+        if self.current.len >= self.config.segment_max_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint record into a fresh segment, fsyncs it, then
+    /// deletes every older segment: the checkpoint fully covers them.
+    ///
+    /// The ordering is crash-safe — the new segment is durable (file and
+    /// directory both synced) before any old segment is unlinked, and a crash
+    /// in between merely leaves an extra older segment whose records the next
+    /// recovery supersedes when it reaches the checkpoint.
+    pub fn append_checkpoint(&mut self, applied_through: u64, payload: &[u8]) -> io::Result<()> {
+        self.write_staged()?;
+        self.rotate()?;
+        let mut frame = Vec::with_capacity(payload.len() + 32);
+        encode_checkpoint(&mut frame, applied_through, payload);
+        self.current.file.write_all(&frame)?;
+        self.current.len += frame.len() as u64;
+        self.stats.appends.inc();
+        self.stats.checkpoints.inc();
+        self.stats.bytes_written.add(frame.len() as u64);
+        self.fsync()?;
+        self.compact()?;
+        Ok(())
+    }
+
+    /// Forces everything staged or written onto the platter.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.write_staged()?;
+        if self.dirty {
+            self.fsync()?;
+        }
+        Ok(())
+    }
+
+    fn write_staged(&mut self) -> io::Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        self.current.file.write_all(&self.staged)?;
+        self.current.len += self.staged.len() as u64;
+        self.staged.clear();
+        self.dirty = true;
+        Ok(())
+    }
+
+    fn fsync(&mut self) -> io::Result<()> {
+        let start = Instant::now();
+        self.current.file.sync_data()?;
+        self.stats.fsyncs.inc();
+        self.stats.fsync_us.record(start.elapsed().as_micros() as u64);
+        self.last_fsync = Instant::now();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Opens the next segment file and makes it current.
+    fn rotate(&mut self) -> io::Result<()> {
+        if self.dirty {
+            self.fsync()?;
+        }
+        let seq = self.current.seq + 1;
+        let path = segment_path(&self.config.dir, seq);
+        init_segment(&path)?;
+        sync_dir(&self.config.dir)?;
+        let mut file = OpenOptions::new().read(true).append(true).open(&path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        self.current = Segment { file, seq, len };
+        self.stats.rotations.inc();
+        self.last_fsync = Instant::now();
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Deletes every segment older than the current one.
+    fn compact(&mut self) -> io::Result<()> {
+        let mut removed = 0u64;
+        for (seq, path) in list_segments(&self.config.dir)? {
+            if seq < self.current.seq {
+                fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            sync_dir(&self.config.dir)?;
+            self.stats.compactions.add(removed);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Wal {
+    /// Best-effort final flush so a clean shutdown is durable under every
+    /// policy.
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08}.seg"))
+}
+
+/// Creates a segment file containing only the magic preamble.
+fn init_segment(path: &Path) -> io::Result<()> {
+    let mut file = OpenOptions::new().create_new(true).write(true).open(path)?;
+    file.write_all(SEGMENT_MAGIC)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+/// Fsyncs the directory so file creations/deletions survive power loss.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Segment files in `dir`, sorted by sequence number.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".seg"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        segments.push((seq, entry.path()));
+    }
+    segments.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(segments)
+}
+
+/// Scans `segments` in order into a [`Recovery`], truncating the log at the
+/// first torn or corrupt record: the damaged segment is cut back to its last
+/// valid byte and every later segment is deleted.
+fn scan_segments(
+    dir: &Path,
+    segments: &mut Vec<(u64, PathBuf)>,
+    stats: &WalStats,
+) -> io::Result<Recovery> {
+    let mut recovery = Recovery {
+        checkpoint: None,
+        suffix: Vec::new(),
+        cursor: ExecutionCursor::Ids,
+        truncated: false,
+        records: 0,
+    };
+    let mut cut_from: Option<usize> = None;
+    for (index, (_, path)) in segments.iter().enumerate() {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+            // A segment without a full magic preamble was torn at creation.
+            truncate_file(path, 0)?;
+            recovery.truncated = true;
+            stats.torn_truncations.inc();
+            cut_from = Some(index);
+            break;
+        }
+        let mut offset = SEGMENT_MAGIC.len();
+        loop {
+            if offset == bytes.len() {
+                break;
+            }
+            match decode_record(&bytes[offset..]) {
+                DecodeOutcome::Record(record, consumed) => {
+                    offset += consumed;
+                    recovery.records += 1;
+                    match record {
+                        WalRecord::Command(cmd) => recovery.suffix.push(cmd),
+                        WalRecord::Cursor(cursor) => recovery.cursor = cursor,
+                        WalRecord::Checkpoint { applied_through, payload } => {
+                            recovery.checkpoint =
+                                Some(CheckpointImage { applied_through, payload });
+                            recovery.suffix.clear();
+                            recovery.cursor = ExecutionCursor::Ids;
+                        }
+                    }
+                }
+                DecodeOutcome::Incomplete | DecodeOutcome::Corrupt => {
+                    truncate_file(path, offset as u64)?;
+                    recovery.truncated = true;
+                    stats.torn_truncations.inc();
+                    cut_from = Some(index);
+                    break;
+                }
+            }
+        }
+        if cut_from.is_some() {
+            break;
+        }
+    }
+    // Everything after the damaged record — including whole later segments —
+    // is discarded: recovery stops at the last contiguous valid record.
+    if let Some(index) = cut_from {
+        for (_, path) in segments.drain(index + 1..) {
+            fs::remove_file(path)?;
+        }
+        sync_dir(dir)?;
+    }
+    stats.replayed.add(recovery.suffix.len() as u64);
+    Ok(recovery)
+}
+
+fn truncate_file(path: &Path, len: u64) -> io::Result<()> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(len.max(SEGMENT_MAGIC.len() as u64).min(file.metadata()?.len()))?;
+    file.sync_data()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TempDir;
+    use consensus_types::{CommandId, NodeId};
+
+    fn cmd(seq: u64) -> Command {
+        Command::put(CommandId::new(NodeId(0), seq), seq % 16, seq * 10)
+    }
+
+    fn open(dir: &Path) -> (Wal, Recovery) {
+        let registry = Registry::new();
+        Wal::open(WalConfig::new(dir.to_path_buf()), &registry).expect("open wal")
+    }
+
+    #[test]
+    fn empty_dir_recovers_empty() {
+        let tmp = TempDir::new("wal-empty").unwrap();
+        let (_wal, recovery) = open(tmp.path());
+        assert!(recovery.is_empty());
+        assert!(!recovery.truncated);
+    }
+
+    #[test]
+    fn commands_and_cursor_round_trip_across_reopen() {
+        let tmp = TempDir::new("wal-roundtrip").unwrap();
+        {
+            let (mut wal, _) = open(tmp.path());
+            for seq in 0..10 {
+                wal.append_command(&cmd(seq)).unwrap();
+            }
+            wal.append_cursor(&ExecutionCursor::Log {
+                next_execute: 11,
+                next_free: 12,
+                backlog: Vec::new(),
+            })
+            .unwrap();
+            wal.commit().unwrap();
+        }
+        let (_wal, recovery) = open(tmp.path());
+        assert_eq!(recovery.suffix.len(), 10);
+        assert_eq!(recovery.suffix[3], cmd(3));
+        assert!(matches!(recovery.cursor, ExecutionCursor::Log { next_execute: 11, .. }));
+        assert!(!recovery.truncated);
+    }
+
+    #[test]
+    fn checkpoint_resets_suffix_and_compacts() {
+        let tmp = TempDir::new("wal-checkpoint").unwrap();
+        {
+            let (mut wal, _) = open(tmp.path());
+            for seq in 0..5 {
+                wal.append_command(&cmd(seq)).unwrap();
+            }
+            wal.commit().unwrap();
+            wal.append_checkpoint(5, b"snapshot-triple").unwrap();
+            assert_eq!(wal.segment_count().unwrap(), 1, "compaction removed the old segment");
+            wal.append_command(&cmd(5)).unwrap();
+            wal.commit().unwrap();
+        }
+        let (_wal, recovery) = open(tmp.path());
+        let image = recovery.checkpoint.expect("checkpoint recovered");
+        assert_eq!(image.applied_through, 5);
+        assert_eq!(image.payload, b"snapshot-triple");
+        assert_eq!(recovery.suffix, vec![cmd(5)]);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_log_reusable() {
+        let tmp = TempDir::new("wal-torn").unwrap();
+        {
+            let (mut wal, _) = open(tmp.path());
+            for seq in 0..8 {
+                wal.append_command(&cmd(seq)).unwrap();
+            }
+            wal.commit().unwrap();
+        }
+        // Tear the final record: chop the last 3 bytes of the segment.
+        let segment = segment_path(tmp.path(), 1);
+        let len = fs::metadata(&segment).unwrap().len();
+        OpenOptions::new().write(true).open(&segment).unwrap().set_len(len - 3).unwrap();
+
+        let registry = Registry::new();
+        let (mut wal, recovery) =
+            Wal::open(WalConfig::new(tmp.path().to_path_buf()), &registry).unwrap();
+        assert!(recovery.truncated);
+        assert_eq!(recovery.suffix.len(), 7, "torn final record dropped");
+        assert_eq!(registry.snapshot().counter("wal.torn_truncations"), 1);
+
+        // The log keeps working past the truncation point.
+        wal.append_command(&cmd(100)).unwrap();
+        wal.commit().unwrap();
+        drop(wal);
+        let (_wal, recovery) = open(tmp.path());
+        assert_eq!(recovery.suffix.len(), 8);
+        assert_eq!(recovery.suffix.last(), Some(&cmd(100)));
+        assert!(!recovery.truncated);
+    }
+
+    #[test]
+    fn size_rotation_spans_segments() {
+        let tmp = TempDir::new("wal-rotate").unwrap();
+        let registry = Registry::new();
+        let config = WalConfig::new(tmp.path().to_path_buf()).with_segment_max_bytes(256);
+        {
+            let (mut wal, _) = Wal::open(config.clone(), &registry).unwrap();
+            for seq in 0..50 {
+                wal.append_command(&cmd(seq)).unwrap();
+                wal.commit().unwrap();
+            }
+            assert!(wal.segment_count().unwrap() > 1, "size bound forced rotation");
+        }
+        let (_wal, recovery) = Wal::open(config, &registry).unwrap();
+        assert_eq!(recovery.suffix.len(), 50, "recovery stitches segments together");
+    }
+
+    #[test]
+    fn per_record_policy_fsyncs_each_append() {
+        let tmp = TempDir::new("wal-fsync").unwrap();
+        let registry = Registry::new();
+        let config = WalConfig::new(tmp.path().to_path_buf()).with_fsync(FsyncPolicy::PerRecord);
+        let (mut wal, _) = Wal::open(config, &registry).unwrap();
+        for seq in 0..4 {
+            wal.append_command(&cmd(seq)).unwrap();
+        }
+        assert!(registry.snapshot().counter("wal.fsyncs") >= 4);
+    }
+}

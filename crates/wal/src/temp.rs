@@ -1,0 +1,59 @@
+//! A minimal scoped temporary directory for tests and benches.
+//!
+//! The workspace vendors no `tempfile` crate, and durability tests must not
+//! leave stray segment files behind, so this helper creates a uniquely named
+//! directory under the system temp root and removes it recursively on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{env, fs, io};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root, deleted (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `"<tmp>/<prefix>-<pid>-<counter>-<nanos>"`.
+    pub fn new(prefix: &str) -> io::Result<Self> {
+        let nanos =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.subsec_nanos()).unwrap_or(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = env::temp_dir()
+            .join(format!("{prefix}-{pid}-{unique}-{nanos}", pid = std::process::id()));
+        fs::create_dir_all(&path)?;
+        Ok(Self { path })
+    }
+
+    /// The directory's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TempDir;
+
+    #[test]
+    fn creates_and_removes() {
+        let path = {
+            let tmp = TempDir::new("wal-tempdir-test").unwrap();
+            assert!(tmp.path().is_dir());
+            std::fs::write(tmp.path().join("file"), b"x").unwrap();
+            tmp.path().to_path_buf()
+        };
+        assert!(!path.exists(), "dropped TempDir removes its tree");
+    }
+}

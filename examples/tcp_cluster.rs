@@ -7,6 +7,7 @@
 //! cargo run --release --example tcp_cluster -- 50 400       # 50% of EC2 latency, 400 cmds
 //! cargo run --release --example tcp_cluster -- serve 30     # serve a cluster for 30 s
 //! cargo run --release --example tcp_cluster -- serve 30 log # …executing an event log
+//! cargo run --release --example tcp_cluster -- serve 30 kv /tmp/dirs  # …durably
 //! ```
 //!
 //! The `serve` mode starts a 3-node CAESAR cluster on loopback, prints one
@@ -26,6 +27,13 @@
 //! catch-up for crashed-and-restarted replicas works for every
 //! implementation, since it only uses the trait's `snapshot`/`restore`
 //! surface.
+//!
+//! An optional fourth `serve` argument names a **data directory**: each
+//! replica then keeps a durable write-ahead log in its own subdirectory
+//! (`NetConfig::with_data_dir`), and a later `serve` run pointed at the
+//! same directory replays those logs on startup — the served cluster comes
+//! back with its pre-crash state instead of empty. See `docs/DURABILITY.md`
+//! for the log format and recovery order.
 //!
 //! `serve` still runs all replicas in one process. For the real deployment
 //! shape — one replica per OS process (or per host), linked only by an
@@ -144,11 +152,15 @@ where
 /// Serves a 3-node loopback cluster for external clients, printing the
 /// address book on stdout. `machine` selects the state machine every
 /// replica executes: `kv` (reference key-value store) or `log` (append-only
-/// event log).
-fn serve(seconds: u64, machine: &str) {
+/// event log). With a `data_dir` the replicas write durable WALs under it
+/// and replay them on the next `serve` run against the same directory.
+fn serve(seconds: u64, machine: &str, data_dir: Option<&str>) {
     const SERVE_NODES: usize = 3;
     let caesar = CaesarConfig::new(SERVE_NODES).with_recovery_timeout(None);
     let mut config = NetConfig::new(SERVE_NODES);
+    if let Some(dir) = data_dir {
+        config = config.with_data_dir(dir);
+    }
     match machine {
         "kv" => {} // the default factory
         "log" => {
@@ -167,7 +179,15 @@ fn serve(seconds: u64, machine: &str) {
         let node = NodeId::from_index(index);
         println!("listening {node} {}", cluster.addr(node));
     }
-    println!("serving for {seconds} s ({machine} state machine) — connect with consensus_client");
+    match data_dir {
+        Some(dir) => println!(
+            "serving for {seconds} s ({machine} state machine, durable in {dir}) — connect \
+             with consensus_client"
+        ),
+        None => println!(
+            "serving for {seconds} s ({machine} state machine) — connect with consensus_client"
+        ),
+    }
     use std::io::Write as _;
     std::io::stdout().flush().expect("stdout flushes");
     std::thread::sleep(Duration::from_secs(seconds));
@@ -179,7 +199,8 @@ fn main() {
     if std::env::args().nth(1).as_deref() == Some("serve") {
         let seconds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(30);
         let machine = std::env::args().nth(3).unwrap_or_else(|| "kv".to_string());
-        serve(seconds, &machine);
+        let data_dir = std::env::args().nth(4);
+        serve(seconds, &machine, data_dir.as_deref());
         return;
     }
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0) / 100.0;

@@ -25,6 +25,15 @@
 //! once it is bound and `ready` once the core loop runs, so launchers can
 //! watch stdout instead of polling the port.
 //!
+//! `--data-dir DIR` makes the replica **durable**: it keeps a write-ahead
+//! log of decided commands in `DIR` (the `wal` crate — appended before
+//! execution, fsynced before client replies, compacted at every
+//! checkpoint). A killed process relaunched with the same book *and* the
+//! same `--data-dir` replays its own log before asking live peers for a
+//! snapshot, so even a whole cluster that powers down comes back serving
+//! its pre-crash state. Give each replica its **own** directory — segment
+//! files are per-replica, not shared. See `docs/DURABILITY.md`.
+//!
 //! `consensus_node --stats <host:port>` scrapes a *running* replica
 //! instead of serving one: it dials the address, sends a
 //! `WireMessage::StatsRequest`, and pretty-prints the `Event::StatsReply` —
@@ -105,9 +114,16 @@ fn parse_book(path: &str) -> Result<AddressBook, String> {
 }
 
 /// Binds, links, and serves one replica until `lifetime` elapses (forever
-/// when `None`).
-fn serve<P>(book: &AddressBook, id: NodeId, process: P, lifetime: Option<u64>)
-where
+/// when `None`). With a `data_dir`, the replica logs decided commands to a
+/// durable WAL there and replays it on startup before falling back to
+/// snapshot transfer from peers.
+fn serve<P>(
+    book: &AddressBook,
+    id: NodeId,
+    process: P,
+    lifetime: Option<u64>,
+    data_dir: Option<std::path::PathBuf>,
+) where
     P: Process + Send + 'static,
     P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
 {
@@ -116,6 +132,7 @@ where
     let _ = reactor::raise_nofile_limit(65_536);
     let mut config = NetReplicaConfig::loopback(id, book.addrs.len());
     config.bind = book.addrs[id.index()];
+    config.data_dir = data_dir;
     let mut replica = NetReplica::spawn(config, process).unwrap_or_else(|err| {
         eprintln!("failed to bind {}: {err}", book.addrs[id.index()]);
         std::process::exit(1);
@@ -185,7 +202,7 @@ fn print_stats(addr_text: &str) -> ! {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
     if args.get(1).is_some_and(|flag| flag == "--stats") {
         match args.get(2) {
             Some(addr) => print_stats(addr),
@@ -195,11 +212,24 @@ fn main() {
             }
         }
     }
+    // Pull `--data-dir DIR` out of the argument vector (it may appear before
+    // or after the positionals) so the book/id/lifetime parsing below stays
+    // positional.
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    if let Some(flag) = args.iter().position(|arg| arg == "--data-dir") {
+        if flag + 1 >= args.len() {
+            eprintln!("--data-dir needs a directory argument");
+            std::process::exit(2);
+        }
+        data_dir = Some(std::path::PathBuf::from(args.remove(flag + 1)));
+        args.remove(flag);
+    }
     let (book_path, id) = match (args.get(1), args.get(2).and_then(|s| s.parse::<usize>().ok())) {
         (Some(path), Some(id)) => (path.clone(), id),
         _ => {
             eprintln!(
-                "usage: consensus_node <address-book> <node-id> [lifetime-seconds]\n       \
+                "usage: consensus_node <address-book> <node-id> [lifetime-seconds] \
+                 [--data-dir DIR]\n       \
                  consensus_node --stats <host:port>"
             );
             std::process::exit(2);
@@ -219,23 +249,23 @@ fn main() {
     match book.protocol.as_str() {
         "caesar" => {
             let config = CaesarConfig::new(nodes).with_recovery_timeout(None);
-            serve(&book, me, CaesarReplica::new(me, config), lifetime);
+            serve(&book, me, CaesarReplica::new(me, config), lifetime, data_dir);
         }
         "epaxos" => {
             let config = EpaxosConfig::new(nodes).with_recovery_timeout(None);
-            serve(&book, me, EpaxosReplica::new(me, config), lifetime);
+            serve(&book, me, EpaxosReplica::new(me, config), lifetime, data_dir);
         }
         "multipaxos" => {
             let config = MultiPaxosConfig::new(nodes, NodeId(0));
-            serve(&book, me, MultiPaxosReplica::new(me, config), lifetime);
+            serve(&book, me, MultiPaxosReplica::new(me, config), lifetime, data_dir);
         }
         "mencius" => {
             let config = MenciusConfig::new(nodes);
-            serve(&book, me, MenciusReplica::new(me, config), lifetime);
+            serve(&book, me, MenciusReplica::new(me, config), lifetime, data_dir);
         }
         "m2paxos" => {
             let config = M2PaxosConfig::new(nodes);
-            serve(&book, me, M2PaxosReplica::new(me, config), lifetime);
+            serve(&book, me, M2PaxosReplica::new(me, config), lifetime, data_dir);
         }
         other => {
             eprintln!(

@@ -66,6 +66,20 @@
 //! transfer, dedup window, fail-fast aborts — is documented in the
 //! [`recovery`] chapter (rendered from `docs/RECOVERY.md`).
 //!
+//! With a data directory configured (`NetConfig::with_data_dir`, the
+//! `consensus_node` binary's `--data-dir`), replicas are **durable**: each
+//! keeps a write-ahead log (the [`wal`] crate — CRC-framed records in
+//! compacting segment files, fsynced under a configurable
+//! [`net::FsyncPolicy`]) and recovery becomes disk-first, with the snapshot
+//! transfer above as the fallback for whatever disk cannot provide. A whole
+//! cluster can power-cycle — every replica down, zero donors — and come
+//! back serving its pre-crash state (`NetCluster::power_cycle`; the
+//! durability matrix in `tests/restart_catch_up.rs` pins this per
+//! protocol, and `crates/wal/tests/corruption.rs` property-tests torn-tail
+//! repair). The log format, fsync trade-offs and recovery decision tree
+//! are documented in the [`durability`] chapter (rendered from
+//! `docs/DURABILITY.md`).
+//!
 //! All three serve clients through the same session API
 //! ([`consensus_core::session`]): `ClusterHandle::client(node)` hands out a
 //! `ClientHandle` bound to one replica, `ClientHandle::submit(op)` returns a
@@ -160,6 +174,9 @@
 #[doc = include_str!("../docs/RECOVERY.md")]
 pub mod recovery {}
 
+#[doc = include_str!("../docs/DURABILITY.md")]
+pub mod durability {}
+
 #[doc = include_str!("../docs/OBSERVABILITY.md")]
 pub mod observability {}
 
@@ -177,4 +194,5 @@ pub use net;
 pub use reactor;
 pub use simnet;
 pub use telemetry;
+pub use wal;
 pub use workload;

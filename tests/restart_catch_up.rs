@@ -25,6 +25,16 @@
 //! announcement is what drains the whole cluster's backlog. Multi-Paxos
 //! keeps its (stable) leader on a surviving node; leader election is out of
 //! scope.
+//!
+//! A second, **durability** matrix runs the same five protocols with data
+//! directories (`NetConfig::with_data_dir`): each replica keeps a durable
+//! write-ahead log, and recovery becomes disk-first with snapshot transfer
+//! as the fallback. Per protocol it drives one lifecycle through three
+//! recovery shapes — hybrid (own log prefix + donor delta for the downtime
+//! traffic), full-cluster power cycle (every replica restarts from its own
+//! log, zero live donors), and a lone replica brought up from its data dir
+//! after the whole cluster is gone (no quorum, no donors — pure disk). See
+//! `docs/DURABILITY.md` for the recovery decision tree these paths walk.
 
 use std::time::{Duration, Instant};
 
@@ -36,8 +46,9 @@ use kvstore::KvStore;
 use m2paxos::{M2PaxosConfig, M2PaxosReplica};
 use mencius::{MenciusConfig, MenciusReplica};
 use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
-use net::{NetCluster, NetConfig, ReplicaClient};
+use net::{FsyncPolicy, NetCluster, NetConfig, NetReplica, NetReplicaConfig, ReplicaClient};
 use simnet::Process;
+use wal::TempDir;
 
 const NODES: usize = 5;
 const CRASH: NodeId = NodeId(4);
@@ -338,6 +349,233 @@ fn restarted_replica_serves_pre_crash_reads_via_snapshot_transfer() {
     );
 
     cluster.shutdown();
+}
+
+/// Writes submitted after the full-cluster power cycle — the cycled cluster
+/// must still decide and execute fresh commands, not merely serve history.
+/// Nine of them, so the total leaves a non-empty suffix after the last
+/// checkpoint and the lone-replica phase exercises suffix replay too.
+fn post_cycle_commands() -> Vec<(u64, u64)> {
+    (0..9u64).map(|i| (300 + i, 3_000 + i)).collect()
+}
+
+/// The durability lifecycle, identical for every protocol. One cluster with
+/// per-replica write-ahead logs runs through the three disk-recovery shapes
+/// in sequence:
+///
+/// 1. **Hybrid** — one replica crashes after the pre-crash writes and
+///    restarts while traffic flowed in its absence: its own log provides the
+///    prefix (asserted via `wal.replayed`), a live donor the delta.
+/// 2. **Power cycle** — the *whole* cluster stops (quiesced first) and
+///    restarts from its data dirs with zero live donors, then serves a
+///    pre-crash read to an external client and decides new commands.
+/// 3. **Lone replica** — the cluster shuts down for good and a single
+///    replica is spawned from one data dir with nobody to talk to: it must
+///    reach the final watermark and fingerprint from disk alone, completing
+///    zero snapshot catch-ups.
+fn run_durability_matrix<P, F>(label: &str, mut make: F, downtime: Downtime)
+where
+    P: Process + Send + 'static,
+    P::Message: serde::Serialize + serde::Deserialize + Send + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    let root = TempDir::new(&format!("durability-{label}")).expect("tempdir");
+    let net_config = NetConfig::new(NODES)
+        .with_checkpoint_interval(8)
+        .with_data_dir(root.path())
+        .with_fsync(FsyncPolicy::PerBatch);
+    let crash_dir = net_config.replica_data_dir(CRASH).expect("data dir is configured");
+    let mut cluster = NetCluster::start(net_config, &mut make)
+        .unwrap_or_else(|err| panic!("[{label}] cluster starts: {err}"));
+    let crash_addr = cluster.addr(CRASH);
+    let addrs: Vec<_> = (0..NODES).map(|i| cluster.addr(NodeId::from_index(i))).collect();
+
+    for (key, value) in pre_crash_commands() {
+        cluster
+            .client(SURVIVOR)
+            .submit(Op::put(key, value))
+            .expect("submits")
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|err| panic!("[{label}] pre-crash write: {err:?}"));
+    }
+
+    // Phase 1: hybrid recovery. The crashed replica's log holds the
+    // pre-crash prefix; the downtime traffic only exists at the donors.
+    cluster.stop_replica(CRASH);
+    std::thread::sleep(Duration::from_millis(100));
+    let total = (pre_crash_commands().len() + downtime_commands().len()) as u64;
+    match downtime {
+        Downtime::Awaited => {
+            for (key, value) in downtime_commands() {
+                cluster
+                    .client(DOWNTIME_AT)
+                    .submit(Op::put(key, value))
+                    .expect("submits during downtime")
+                    .wait_timeout(Duration::from_secs(30))
+                    .unwrap_or_else(|err| panic!("[{label}] downtime write: {err:?}"));
+            }
+        }
+        Downtime::FireAndForget => {
+            for (i, (key, value)) in downtime_commands().into_iter().enumerate() {
+                let id = CommandId::new(DOWNTIME_AT, 10_000 + i as u64);
+                cluster
+                    .submit(DOWNTIME_AT, Command::put(id, key, value))
+                    .unwrap_or_else(|err| panic!("[{label}] fire-and-forget write: {err}"));
+            }
+            std::thread::sleep(Duration::from_millis(300));
+        }
+    }
+    cluster
+        .restart_replica(CRASH, make(CRASH))
+        .unwrap_or_else(|err| panic!("[{label}] replica restarts on its old address: {err}"));
+    let caught_up = wait_monotone_applied(&cluster, CRASH, total, Duration::from_secs(30));
+    assert_eq!(caught_up, total, "[{label}] hybrid recovery reaches the full history");
+    let replayed = cluster.replica_registry(CRASH).snapshot().counter("wal.replayed");
+    assert!(
+        replayed > 0,
+        "[{label}] disk contributed to the hybrid recovery (wal.replayed = {replayed})"
+    );
+    for index in 0..NODES {
+        let node = NodeId::from_index(index);
+        let applied = cluster.wait_for_applied(node, total, Duration::from_secs(30));
+        assert_eq!(applied, total, "[{label}] {node} applies the whole workload");
+    }
+    assert_eq!(
+        cluster.state_fingerprint(CRASH),
+        cluster.state_fingerprint(SURVIVOR),
+        "[{label}] hybrid-recovered replica matches a never-crashed peer"
+    );
+
+    // Phase 2: full-cluster power cycle. Quiesced above (every replica at
+    // `total`), so every log is complete; nobody survives to donate.
+    let pre_cycle_fingerprint = cluster.state_fingerprint(SURVIVOR);
+    cluster.power_cycle(&mut make).unwrap_or_else(|err| panic!("[{label}] power cycle: {err}"));
+    for index in 0..NODES {
+        let node = NodeId::from_index(index);
+        let applied = cluster.wait_for_applied(node, total, Duration::from_secs(30));
+        assert_eq!(applied, total, "[{label}] {node} recovers the whole workload from disk");
+        assert_eq!(
+            cluster.state_fingerprint(node),
+            pre_cycle_fingerprint,
+            "[{label}] {node} power-cycles back to the pre-cycle state"
+        );
+    }
+
+    // An external client reads a PRE-cycle write through a replica that has
+    // now died twice, and the cycled cluster still decides new commands.
+    // Each `get` is itself a consensus command, so it counts toward the
+    // applied watermark at every replica.
+    let client = ReplicaClient::connect(crash_addr, CRASH, 500_000)
+        .unwrap_or_else(|err| panic!("[{label}] client connects after the power cycle: {err}"));
+    let (key, value) = pre_crash_commands()[3];
+    let read = client
+        .get(key)
+        .unwrap_or_else(|err| panic!("[{label}] read after the power cycle: {err:?}"));
+    assert_eq!(read.output, Some(value), "[{label}] pre-cycle write survives the power cycle");
+    let mut total = total + 1;
+    for (key, value) in post_cycle_commands() {
+        cluster
+            .client(SURVIVOR)
+            .submit(Op::put(key, value))
+            .expect("submits after the power cycle")
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|err| panic!("[{label}] post-cycle write: {err:?}"));
+    }
+    total += post_cycle_commands().len() as u64;
+    for index in 0..NODES {
+        let node = NodeId::from_index(index);
+        let applied = cluster.wait_for_applied(node, total, Duration::from_secs(30));
+        assert_eq!(applied, total, "[{label}] {node} executes the post-cycle commands");
+    }
+    let (key, value) = post_cycle_commands()[0];
+    let read = client.get(key).unwrap_or_else(|err| panic!("[{label}] post-cycle read: {err:?}"));
+    assert_eq!(read.output, Some(value), "[{label}] the cycled cluster serves new writes");
+    client.shutdown();
+    total += 1;
+    // Quiesce at the final count (the last read is a command too) so every
+    // log — CRASH's in particular — is complete before the cluster goes away.
+    let quiesced = cluster.wait_for_applied(CRASH, total, Duration::from_secs(30));
+    assert_eq!(quiesced, total, "[{label}] the final read reaches the crash replica's log");
+
+    // Phase 3: lone replica from its data dir — the cluster is gone, so
+    // there is no donor and no quorum; disk is the only source of state.
+    let final_fingerprint = cluster.state_fingerprint(CRASH);
+    cluster.shutdown();
+    let mut lone_config = NetReplicaConfig::loopback(CRASH, NODES);
+    lone_config.data_dir = Some(crash_dir);
+    let mut lone = NetReplica::spawn(lone_config, make(CRASH))
+        .unwrap_or_else(|err| panic!("[{label}] lone replica spawns: {err}"));
+    lone.start(addrs);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while lone.applied_through() < total && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(
+        lone.applied_through(),
+        total,
+        "[{label}] the lone replica recovers the full watermark from disk alone"
+    );
+    assert_eq!(
+        lone.state_fingerprint(),
+        final_fingerprint,
+        "[{label}] the lone replica's state matches the cluster's final state"
+    );
+    assert_eq!(
+        lone.stats().catch_ups_completed.get(),
+        0,
+        "[{label}] no snapshot transfer was involved — recovery came from the log"
+    );
+    lone.shutdown();
+}
+
+#[test]
+fn caesar_durable_recovery_matrix() {
+    let config = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    run_durability_matrix(
+        "caesar",
+        move |id| CaesarReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
+}
+
+#[test]
+fn epaxos_durable_recovery_matrix() {
+    let config = EpaxosConfig::new(NODES).with_recovery_timeout(None);
+    run_durability_matrix(
+        "epaxos",
+        move |id| EpaxosReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
+}
+
+#[test]
+fn multipaxos_durable_recovery_matrix() {
+    let config = MultiPaxosConfig::new(NODES, SURVIVOR);
+    run_durability_matrix(
+        "multipaxos",
+        move |id| MultiPaxosReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
+}
+
+#[test]
+fn mencius_durable_recovery_matrix() {
+    let config = MenciusConfig::new(NODES);
+    run_durability_matrix(
+        "mencius",
+        move |id| MenciusReplica::new(id, config.clone()),
+        Downtime::FireAndForget,
+    );
+}
+
+#[test]
+fn m2paxos_durable_recovery_matrix() {
+    let config = M2PaxosConfig::new(NODES);
+    run_durability_matrix(
+        "m2paxos",
+        move |id| M2PaxosReplica::new(id, config.clone()),
+        Downtime::Awaited,
+    );
 }
 
 #[test]

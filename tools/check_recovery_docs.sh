@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Drift check for the prose chapters (docs/RECOVERY.md,
+# Drift check for the prose chapters (docs/RECOVERY.md, docs/DURABILITY.md,
 # docs/OBSERVABILITY.md): dead same-file anchors, dead repo paths, and
 # renamed source symbols a chapter leans on all fail the build. Run from
 # anywhere; operates on the repository root.
@@ -76,6 +76,24 @@ check_sym "$doc" catch_up_timeout 'catch_up_timeout' crates/net/src/replica.rs
 check_sym "$doc" restart_replica 'fn restart_replica' crates/net/src/cluster.rs
 check_sym "$doc" wait_for_applied 'fn wait_for_applied' crates/net/src/cluster.rs
 
+doc=docs/DURABILITY.md
+check_doc "$doc"
+check_sym "$doc" Wal 'pub struct Wal' crates/wal/src/store.rs
+check_sym "$doc" Wal::open 'pub fn open' crates/wal/src/store.rs
+check_sym "$doc" Wal::append_checkpoint 'pub fn append_checkpoint' crates/wal/src/store.rs
+check_sym "$doc" FsyncPolicy 'pub enum FsyncPolicy' crates/wal/src/store.rs
+check_sym "$doc" WalConfig::segment_max_bytes 'segment_max_bytes' crates/wal/src/store.rs
+check_sym "$doc" Recovery 'pub struct Recovery' crates/wal/src/store.rs
+check_sym "$doc" WalStats 'pub struct WalStats' crates/wal/src/store.rs
+check_sym "$doc" wal.torn_truncations 'wal\.torn_truncations' crates/wal/src/store.rs
+check_sym "$doc" wal.replayed 'wal\.replayed' crates/wal/src/store.rs
+check_sym "$doc" WalRecord 'pub enum WalRecord' crates/wal/src/record.rs
+check_sym "$doc" crc32 'pub fn crc32' crates/types/src/checksum.rs
+check_sym "$doc" NetReplicaConfig::data_dir 'pub data_dir' crates/net/src/replica.rs
+check_sym "$doc" NetConfig::with_data_dir 'pub fn with_data_dir' crates/net/src/cluster.rs
+check_sym "$doc" NetCluster::power_cycle 'pub fn power_cycle' crates/net/src/cluster.rs
+check_sym "$doc" consensus_node--data-dir '"--data-dir"' src/bin/consensus_node.rs
+
 doc=docs/OBSERVABILITY.md
 check_doc "$doc"
 check_sym "$doc" Registry 'pub struct Registry' crates/telemetry/src/registry.rs
@@ -96,6 +114,6 @@ check_sym "$doc" fetch_stats 'pub fn fetch_stats' crates/net/src/client.rs
 check_sym "$doc" consensus_node--stats '"--stats"' src/bin/consensus_node.rs
 
 if [ "$fail" -eq 0 ]; then
-    echo "docs/RECOVERY.md + docs/OBSERVABILITY.md: anchors, paths and symbols all resolve"
+    echo "docs/RECOVERY.md + docs/DURABILITY.md + docs/OBSERVABILITY.md: anchors, paths and symbols all resolve"
 fi
 exit "$fail"
