@@ -33,16 +33,18 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use consensus_core::batch::{BatchConfig, Batcher};
+use consensus_core::exec::Executor;
 use consensus_core::session::{
     ClientHandle, ClusterHandle, ParkDrive, Reply, SessionCore, SessionError, SubmitTransport,
     DEFAULT_IN_FLIGHT,
 };
-use consensus_core::state_machine::{StateMachine, StateMachineFactory};
+use consensus_core::state_machine::StateMachineFactory;
 use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use kvstore::KvStore;
@@ -64,6 +66,17 @@ pub struct ClusterConfig {
     /// Builds each replica's state machine (the `kvstore` reference
     /// implementation by default).
     pub state_machine: StateMachineFactory,
+    /// Proposer batching: client commands queued at the same replica
+    /// coalesce into one consensus unit. Disabled by default so existing
+    /// tests observe one instance per command.
+    pub batch: BatchConfig,
+    /// Execution workers per replica. `1` (the default) applies commands
+    /// serially on the replica thread; `>= 2` shards partitionable state
+    /// machines so non-conflicting commands apply in parallel.
+    pub exec_workers: usize,
+    /// Per-node override of [`ClusterConfig::exec_workers`], for clusters
+    /// that mix serial and sharded replicas (parity tests rely on this).
+    pub exec_workers_per_node: Option<Vec<usize>>,
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -72,6 +85,8 @@ impl std::fmt::Debug for ClusterConfig {
             .field("latency", &self.latency)
             .field("latency_scale", &self.latency_scale)
             .field("max_in_flight", &self.max_in_flight)
+            .field("batch", &self.batch)
+            .field("exec_workers", &self.exec_workers)
             .finish_non_exhaustive()
     }
 }
@@ -85,7 +100,40 @@ impl ClusterConfig {
             latency_scale: 1.0,
             max_in_flight: DEFAULT_IN_FLIGHT,
             state_machine: KvStore::factory(),
+            batch: BatchConfig::disabled(),
+            exec_workers: 1,
+            exec_workers_per_node: None,
         }
+    }
+
+    /// Enables proposer batching with the given maximum batch size.
+    #[must_use]
+    pub fn with_batch(mut self, max_batch: usize) -> Self {
+        self.batch = BatchConfig { max_batch: max_batch.max(1), ..BatchConfig::default() };
+        self
+    }
+
+    /// Sets the number of execution workers per replica.
+    #[must_use]
+    pub fn with_exec_workers(mut self, workers: usize) -> Self {
+        self.exec_workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the worker count per node (missing entries fall back to
+    /// [`ClusterConfig::exec_workers`]).
+    #[must_use]
+    pub fn with_exec_workers_per_node(mut self, workers: Vec<usize>) -> Self {
+        self.exec_workers_per_node = Some(workers);
+        self
+    }
+
+    fn exec_workers_for(&self, index: usize) -> usize {
+        self.exec_workers_per_node
+            .as_ref()
+            .and_then(|w| w.get(index).copied())
+            .unwrap_or(self.exec_workers)
+            .max(1)
     }
 
     /// Sets the latency scale factor.
@@ -122,9 +170,10 @@ pub struct Cluster<P: Process> {
     senders: Arc<Vec<Sender<Envelope<P::Message>>>>,
     handles: Vec<JoinHandle<()>>,
     decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
-    /// One state machine per replica, shared with its replica thread (which
-    /// applies executions) so callers can inspect fingerprints/watermarks.
-    machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>>,
+    /// One executor per replica (serial or sharded over the replica's state
+    /// machine), shared with its replica thread so callers can inspect
+    /// fingerprints/watermarks.
+    executors: Arc<Vec<Executor>>,
     /// Each replica's telemetry registry (`None` for processes that do not
     /// expose one), captured before the process moved into its thread.
     registries: Vec<Option<Arc<Registry>>>,
@@ -145,8 +194,28 @@ where
         let decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>> =
             Arc::new(Mutex::new(HashMap::new()));
         let session = SessionCore::new(config.max_in_flight);
-        let machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>> = Arc::new(
-            (0..nodes).map(|i| Mutex::new((config.state_machine)(NodeId::from_index(i)))).collect(),
+        // Build the processes first so each replica's executor can register
+        // its `exec.*` metrics in that replica's own telemetry registry.
+        let mut processes = Vec::with_capacity(nodes);
+        let mut registries = Vec::with_capacity(nodes);
+        for index in 0..nodes {
+            let process = make(NodeId::from_index(index));
+            registries.push(process.telemetry());
+            processes.push(process);
+        }
+        let executors: Arc<Vec<Executor>> = Arc::new(
+            (0..nodes)
+                .map(|i| {
+                    let registry =
+                        registries[i].clone().unwrap_or_else(|| Arc::new(Registry::new()));
+                    Executor::new(
+                        config.state_machine.clone(),
+                        NodeId::from_index(i),
+                        config.exec_workers_for(i),
+                        &registry,
+                    )
+                })
+                .collect(),
         );
         let mut senders = Vec::with_capacity(nodes);
         let mut receivers: Vec<Receiver<Envelope<P::Message>>> = Vec::with_capacity(nodes);
@@ -157,22 +226,20 @@ where
         }
         let senders = Arc::new(senders);
         let mut handles = Vec::with_capacity(nodes);
-        let mut registries = Vec::with_capacity(nodes);
         // Span timestamps are recorded against `started_at`; this offset
         // rebases them onto the wall clock when they are drained.
         let wall0 =
             telemetry::wall_clock_us().saturating_sub(started_at.elapsed().as_micros() as u64);
-        for (index, rx) in receivers.into_iter().enumerate() {
+        for (index, (rx, mut process)) in receivers.into_iter().zip(processes).enumerate() {
             let id = NodeId::from_index(index);
-            let mut process = make(id);
-            let registry = process.telemetry();
-            registries.push(registry.clone());
+            let registry = registries[index].clone();
             let peers = Arc::clone(&senders);
             let latency = config.latency.clone();
             let scale = config.latency_scale;
             let decisions = Arc::clone(&decisions);
             let session = Arc::clone(&session);
-            let machines = Arc::clone(&machines);
+            let executors = Arc::clone(&executors);
+            let batch = config.batch;
             let started = started_at;
             handles.push(std::thread::spawn(move || {
                 let mut replica = ReplicaLoop {
@@ -185,7 +252,10 @@ where
                     decisions,
                     session,
                     started,
-                    machines,
+                    executors,
+                    batch,
+                    batcher: Batcher::new(id),
+                    stash: VecDeque::new(),
                     timers: Vec::new(),
                     registry,
                     wall0,
@@ -193,7 +263,7 @@ where
                 replica.run(&mut process);
             }));
         }
-        Self { senders, handles, decisions, machines, registries, session, started_at }
+        Self { senders, handles, decisions, executors, registries, session, started_at }
     }
 
     /// Submits a client command to `node` without waiting for a reply.
@@ -232,13 +302,19 @@ where
     /// [`consensus_core::StateMachine::fingerprint`]).
     #[must_use]
     pub fn state_fingerprint(&self, node: NodeId) -> u64 {
-        self.machines[node.index()].lock().fingerprint()
+        self.executors[node.index()].fingerprint()
     }
 
     /// Number of commands `node`'s state machine has applied so far.
     #[must_use]
     pub fn applied_through(&self, node: NodeId) -> u64 {
-        self.machines[node.index()].lock().applied_through()
+        self.executors[node.index()].applied_through()
+    }
+
+    /// Whether `node`'s executor runs `"sharded"` or `"serial"`.
+    #[must_use]
+    pub fn executor_kind(&self, node: NodeId) -> &'static str {
+        self.executors[node.index()].mode()
     }
 
     /// The telemetry registry of `node`'s process, if it exposes one
@@ -312,7 +388,14 @@ struct ReplicaLoop<M> {
     decisions: Arc<Mutex<HashMap<NodeId, Vec<Decision>>>>,
     session: Arc<SessionCore>,
     started: Instant,
-    machines: Arc<Vec<Mutex<Box<dyn StateMachine>>>>,
+    executors: Arc<Vec<Executor>>,
+    /// Proposer batching knobs (disabled ⇒ the drain loop never runs).
+    batch: BatchConfig,
+    /// Allocates this replica's batch-lane unit ids.
+    batcher: Batcher,
+    /// Non-client envelopes pulled off the channel while draining a batch;
+    /// processed before the channel is consulted again.
+    stash: VecDeque<Envelope<M>>,
     timers: Vec<(Instant, M)>,
     /// Where drained lifecycle spans land; `None` when the process exposes
     /// no registry (tracing is then skipped entirely).
@@ -348,7 +431,10 @@ impl<M: Send> ReplicaLoop<M> {
         self.flush(process, &mut outbox, &mut new_timers, &mut executions, &mut spans);
 
         loop {
-            let envelope = self.rx.recv_timeout(Duration::from_millis(1));
+            let envelope = match self.stash.pop_front() {
+                Some(envelope) => Ok(envelope),
+                None => self.rx.recv_timeout(Duration::from_millis(1)),
+            };
             match envelope {
                 Ok(Envelope::Shutdown) => return,
                 Ok(Envelope::Message { from, msg, deliver_at }) => {
@@ -368,7 +454,26 @@ impl<M: Send> ReplicaLoop<M> {
                     process.on_message(from, msg, &mut ctx);
                 }
                 Ok(Envelope::Client { cmd }) => {
-                    let id = cmd.id();
+                    // Group commit: fold every client command already queued
+                    // on the channel into one consensus unit, amortising the
+                    // ordering round trips across the whole batch.
+                    let mut queued = vec![cmd];
+                    while self.batch.enabled() && queued.len() < self.batch.max_batch {
+                        match self.rx.try_recv() {
+                            Ok(Envelope::Client { cmd }) => queued.push(cmd),
+                            Ok(other) => {
+                                self.stash.push_back(other);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    if queued.len() > 1 {
+                        if let Some(registry) = &self.registry {
+                            registry.counter("batch.assembled").inc();
+                            registry.counter("batch.commands").add(queued.len() as u64);
+                        }
+                    }
                     let mut ctx = Context::for_runtime(
                         self.id,
                         self.nodes,
@@ -378,8 +483,11 @@ impl<M: Send> ReplicaLoop<M> {
                         &mut executions,
                     )
                     .with_spans(&mut spans);
-                    ctx.trace(TracePhase::Submit, id);
-                    process.on_client_command(cmd, &mut ctx);
+                    for cmd in &queued {
+                        ctx.trace(TracePhase::Submit, cmd.id());
+                    }
+                    let unit = self.batcher.coalesce(queued);
+                    process.on_client_command(unit, &mut ctx);
                 }
                 Err(_) => {}
             }
@@ -454,44 +562,45 @@ impl<M: Send> ReplicaLoop<M> {
 
     /// Applies executions to the replica's store, records their decisions,
     /// and answers session clients whose commands were submitted here.
+    /// The whole round goes through the executor at once so non-conflicting
+    /// units can fan out across its shards; batched units unpack here, with
+    /// each inner command answered individually.
     fn publish(&mut self, executions: &mut Vec<Execution>) {
         if executions.is_empty() {
             return;
         }
+        let units: Vec<Command> = executions.iter().map(|e| e.command.clone()).collect();
+        let outputs = self.executors[self.id.index()].apply_round(&units);
         let mut batch = Vec::with_capacity(executions.len());
         let mut runtime_spans: Vec<SpanEvent> = Vec::new();
         let wall_now = telemetry::wall_clock_us();
-        let mut machine = self.machines[self.id.index()].lock();
-        for execution in executions.drain(..) {
-            let id = execution.command.id();
-            let output = machine.apply(&execution.command);
-            if self.registry.is_some() {
-                runtime_spans.push(SpanEvent {
-                    command: id,
-                    phase: TracePhase::Execute,
-                    at: wall_now,
-                    node: self.id,
-                });
-            }
-            if id.origin() == self.id {
+        for (execution, leaf_outputs) in executions.drain(..).zip(outputs) {
+            for (leaf, output) in execution.command.leaves().iter().zip(leaf_outputs) {
+                let id = leaf.id();
                 if self.registry.is_some() {
                     runtime_spans.push(SpanEvent {
                         command: id,
-                        phase: TracePhase::Reply,
+                        phase: TracePhase::Execute,
                         at: wall_now,
                         node: self.id,
                     });
                 }
-                self.session.complete(Reply {
-                    command: id,
-                    node: self.id,
-                    output,
-                    decision: execution.decision.clone(),
-                });
+                if id.origin() == self.id {
+                    if self.registry.is_some() {
+                        runtime_spans.push(SpanEvent {
+                            command: id,
+                            phase: TracePhase::Reply,
+                            at: wall_now,
+                            node: self.id,
+                        });
+                    }
+                    let mut decision = execution.decision.clone();
+                    decision.command = id;
+                    self.session.complete(Reply { command: id, node: self.id, output, decision });
+                }
             }
             batch.push(execution.decision);
         }
-        drop(machine);
         if let Some(registry) = &self.registry {
             registry.record_spans(&mut runtime_spans);
         }

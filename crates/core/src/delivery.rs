@@ -14,12 +14,15 @@ use consensus_types::{AppliedSummary, CommandId, Timestamp};
 /// Tracks stable-but-not-yet-executed commands and decides when they can run.
 #[derive(Debug, Default)]
 pub struct DeliveryEngine {
-    /// Commands already executed locally.
-    executed: HashSet<CommandId>,
-    /// Commands whose effects arrived through snapshot-based state transfer
-    /// (floor-compacted): they count as executed for every predecessor
-    /// check, without being enumerable one id at a time.
-    baseline: AppliedSummary,
+    /// Every command whose effect is reflected locally — executed here or
+    /// absorbed through snapshot-based state transfer. Run-length compacted:
+    /// sessions allocate ids densely, so a long history collapses to a few
+    /// `(start, end)` runs per origin instead of one `HashSet` entry per
+    /// command ever executed.
+    executed: AppliedSummary,
+    /// Commands executed locally by this engine (excludes ids that only
+    /// arrived through a transfer), for progress accounting.
+    executed_count: u64,
     /// Stable commands waiting for predecessors: remaining predecessor ids.
     waiting: HashMap<CommandId, HashSet<CommandId>>,
     /// Timestamps of stable commands (needed for loop breaking).
@@ -39,13 +42,21 @@ impl DeliveryEngine {
     /// through a state transfer).
     #[must_use]
     pub fn is_executed(&self, id: CommandId) -> bool {
-        self.executed.contains(&id) || self.baseline.contains(id)
+        self.executed.contains(id)
     }
 
-    /// Number of commands executed so far.
+    /// Number of commands executed locally so far.
     #[must_use]
     pub fn executed_count(&self) -> usize {
-        self.executed.len()
+        self.executed_count as usize
+    }
+
+    /// Number of `(start, end)` runs backing the executed-id summary — the
+    /// actual memory footprint of the execution history, surfaced so tests
+    /// can assert it stays compact while `executed_count` grows.
+    #[must_use]
+    pub fn executed_runs(&self) -> usize {
+        self.executed.run_count()
     }
 
     /// Number of stable commands still waiting for predecessors.
@@ -96,7 +107,7 @@ impl DeliveryEngine {
             .iter()
             .copied()
             .filter(|p| {
-                if self.executed.contains(p) || self.baseline.contains(*p) {
+                if self.executed.contains(*p) {
                     return false;
                 }
                 match self.stable_ts.get(p) {
@@ -128,6 +139,7 @@ impl DeliveryEngine {
         if !self.executed.insert(id) {
             return;
         }
+        self.executed_count += 1;
         self.waiting.remove(&id);
         out.push(id);
         let Some(waiters) = self.waiters.remove(&id) else { return };
@@ -154,18 +166,21 @@ impl DeliveryEngine {
     /// applies them (the runtime deduplicates any the transfer itself
     /// covered).
     pub fn absorb_transfer(&mut self, applied: &AppliedSummary) -> Vec<CommandId> {
-        self.baseline.merge(applied);
-        let baseline = &self.baseline;
+        self.executed.merge(applied);
+        let executed = &self.executed;
+        // A waiting command the transfer itself covers is done — its effect
+        // arrived with the snapshot — so drop it rather than re-deliver it.
+        self.waiting.retain(|id, _| !executed.contains(*id));
         let mut newly_ready: Vec<CommandId> = Vec::new();
         for (&id, remaining) in self.waiting.iter_mut() {
-            remaining.retain(|p| !baseline.contains(*p));
+            remaining.retain(|p| !executed.contains(*p));
             if remaining.is_empty() {
                 newly_ready.push(id);
             }
         }
         // Covered predecessors will never pass through `execute`, so their
         // reverse-index entries would otherwise linger forever.
-        self.waiters.retain(|p, _| !baseline.contains(*p));
+        self.waiters.retain(|p, _| !executed.contains(*p));
         // Deterministic delivery order for commands released in one batch.
         newly_ready.sort_by_key(|id| (self.stable_ts.get(id).copied(), *id));
         let mut out = Vec::new();
@@ -289,6 +304,37 @@ mod tests {
         assert_eq!(blocked.len(), 1);
         assert_eq!(blocked[0].0, b);
         assert_eq!(blocked[0].1, vec![a]);
+    }
+
+    #[test]
+    fn executed_history_compacts_to_a_few_runs() {
+        let mut d = DeliveryEngine::new();
+        // Two origins, densely allocated sequences, interleaved delivery.
+        for seq in 1..=500u64 {
+            for node in 0..2 {
+                d.on_stable(id(node, seq), ts(seq * 2 + u64::from(node)), &set(&[]));
+            }
+        }
+        assert_eq!(d.executed_count(), 1000);
+        assert!(
+            d.executed_runs() <= 2,
+            "dense history must collapse to one run per origin, got {}",
+            d.executed_runs()
+        );
+    }
+
+    #[test]
+    fn transfer_covering_a_waiting_command_retires_it() {
+        let mut d = DeliveryEngine::new();
+        let a = id(0, 1);
+        let b = id(0, 2);
+        assert!(d.on_stable(b, ts(2), &set(&[a])).is_empty());
+        let transfer: AppliedSummary = [a, b].into_iter().collect();
+        // Both ids arrived with the snapshot: nothing to re-deliver, nothing
+        // left waiting.
+        assert!(d.absorb_transfer(&transfer).is_empty());
+        assert_eq!(d.waiting_count(), 0);
+        assert!(d.is_executed(a) && d.is_executed(b));
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl History {
 
     /// Inserts or replaces the tuple for `cmd` (the paper's `H.UPDATE`).
     ///
-    /// The conflict index is kept in sync when the timestamp changes.
+    /// The conflict index is kept in sync when the timestamp changes. A
+    /// batch unit is indexed under **every** key of its merged footprint, so
+    /// range queries see it wherever any of its inner commands could
+    /// conflict.
     pub fn update(
         &mut self,
         cmd: &Command,
@@ -116,13 +119,14 @@ impl History {
         forced: bool,
     ) {
         let id = cmd.id();
+        let keys = distinct_keys(cmd);
         let executed = match self.entries.get(&id) {
             Some(existing) => {
-                if let Some(key) = cmd.key() {
-                    if existing.ts != ts {
-                        let index =
-                            if existing.executed { &mut self.executed } else { &mut self.active };
-                        if let Some(per_key) = index.get_mut(&key) {
+                if existing.ts != ts {
+                    let index =
+                        if existing.executed { &mut self.executed } else { &mut self.active };
+                    for key in &keys {
+                        if let Some(per_key) = index.get_mut(key) {
                             per_key.remove(&(existing.ts, id));
                         }
                     }
@@ -131,9 +135,11 @@ impl History {
             }
             None => false,
         };
-        if let Some(key) = cmd.key() {
+        {
             let index = if executed { &mut self.executed } else { &mut self.active };
-            index.entry(key).or_default().insert((ts, id), ());
+            for key in &keys {
+                index.entry(*key).or_default().insert((ts, id), ());
+            }
         }
         self.entries
             .insert(id, CmdInfo { cmd: cmd.clone(), ts, pred, status, ballot, forced, executed });
@@ -160,23 +166,26 @@ impl History {
     }
 
     /// Marks `id` as executed locally and moves it from the active part of
-    /// the conflict index to the bounded executed part.
+    /// the conflict index to the bounded executed part (under every key of
+    /// its footprint).
     pub fn mark_executed(&mut self, id: CommandId) {
         let Some(info) = self.entries.get_mut(&id) else { return };
         if info.executed {
             return;
         }
         info.executed = true;
-        let Some(key) = info.cmd.key() else { return };
         let ts = info.ts;
-        if let Some(per_key) = self.active.get_mut(&key) {
-            per_key.remove(&(ts, id));
-        }
-        let executed = self.executed.entry(key).or_default();
-        executed.insert((ts, id), ());
-        while executed.len() > self.executed_retention {
-            let oldest = *executed.keys().next().expect("non-empty");
-            executed.remove(&oldest);
+        let keys = distinct_keys(&info.cmd);
+        for key in keys {
+            if let Some(per_key) = self.active.get_mut(&key) {
+                per_key.remove(&(ts, id));
+            }
+            let executed = self.executed.entry(key).or_default();
+            executed.insert((ts, id), ());
+            while executed.len() > self.executed_retention {
+                let oldest = *executed.keys().next().expect("non-empty");
+                executed.remove(&oldest);
+            }
         }
     }
 
@@ -194,48 +203,52 @@ impl History {
         whitelist: Option<&BTreeSet<CommandId>>,
     ) -> BTreeSet<CommandId> {
         let mut pred = BTreeSet::new();
-        let Some(key) = cmd.key() else { return pred };
         let id = cmd.id();
 
-        if let Some(per_key) = self.active.get(&key) {
-            for &(other_ts, other_id) in
-                per_key.range(..(ts, CommandId::default())).map(|(k, ())| k)
-            {
-                debug_assert!(other_ts < ts);
-                if other_id == id {
-                    continue;
-                }
-                let info = &self.entries[&other_id];
-                if !info.cmd.conflicts_with(cmd) {
-                    continue;
-                }
-                let allowed = match whitelist {
-                    None => true,
-                    Some(list) => {
-                        list.contains(&other_id)
-                            || matches!(
-                                info.status,
-                                CmdStatus::SlowPending | CmdStatus::Accepted | CmdStatus::Stable
-                            )
+        for key in distinct_keys(cmd) {
+            if let Some(per_key) = self.active.get(&key) {
+                for &(other_ts, other_id) in
+                    per_key.range(..(ts, CommandId::default())).map(|(k, ())| k)
+                {
+                    debug_assert!(other_ts < ts);
+                    if other_id == id {
+                        continue;
                     }
-                };
-                if allowed {
-                    pred.insert(other_id);
+                    let info = &self.entries[&other_id];
+                    if !info.cmd.conflicts_with(cmd) {
+                        continue;
+                    }
+                    let allowed = match whitelist {
+                        None => true,
+                        Some(list) => {
+                            list.contains(&other_id)
+                                || matches!(
+                                    info.status,
+                                    CmdStatus::SlowPending
+                                        | CmdStatus::Accepted
+                                        | CmdStatus::Stable
+                                )
+                        }
+                    };
+                    if allowed {
+                        pred.insert(other_id);
+                    }
                 }
             }
-        }
 
-        // Most recent executed conflicting command with a smaller timestamp;
-        // it transitively covers all older executed ones.
-        if let Some(per_key) = self.executed.get(&key) {
-            if let Some(&(_, other_id)) = per_key
-                .range(..(ts, CommandId::default()))
-                .map(|(k, ())| k)
-                .rfind(|(_, other_id)| {
-                    *other_id != id && self.entries[other_id].cmd.conflicts_with(cmd)
-                })
-            {
-                pred.insert(other_id);
+            // Most recent executed conflicting command with a smaller
+            // timestamp; it transitively covers all older executed ones on
+            // this key.
+            if let Some(per_key) = self.executed.get(&key) {
+                if let Some(&(_, other_id)) = per_key
+                    .range(..(ts, CommandId::default()))
+                    .map(|(k, ())| k)
+                    .rfind(|(_, other_id)| {
+                        *other_id != id && self.entries[other_id].cmd.conflicts_with(cmd)
+                    })
+                {
+                    pred.insert(other_id);
+                }
             }
         }
 
@@ -267,30 +280,41 @@ impl History {
         ts: Timestamp,
         filter: impl Fn(&CmdInfo) -> bool,
     ) -> Vec<CommandId> {
-        let mut out = Vec::new();
-        let Some(key) = cmd.key() else { return out };
+        let mut out = BTreeSet::new();
         let id = cmd.id();
         let lower_bound = (ts, CommandId::new(consensus_types::NodeId(u32::MAX), u64::MAX));
-        for index in [&self.active, &self.executed] {
-            if let Some(per_key) = index.get(&key) {
-                for &(_, other_id) in per_key.range(lower_bound..).map(|(k, ())| k) {
-                    if other_id == id {
-                        continue;
-                    }
-                    let info = &self.entries[&other_id];
-                    if info.cmd.conflicts_with(cmd) && !info.pred.contains(&id) && filter(info) {
-                        out.push(other_id);
+        for key in distinct_keys(cmd) {
+            for index in [&self.active, &self.executed] {
+                if let Some(per_key) = index.get(&key) {
+                    for &(_, other_id) in per_key.range(lower_bound..).map(|(k, ())| k) {
+                        if other_id == id {
+                            continue;
+                        }
+                        let info = &self.entries[&other_id];
+                        if info.cmd.conflicts_with(cmd) && !info.pred.contains(&id) && filter(info)
+                        {
+                            out.insert(other_id);
+                        }
                     }
                 }
             }
         }
-        out
+        out.into_iter().collect()
     }
 
     /// Iterates over all tracked commands (used by tests and recovery).
     pub fn iter(&self) -> impl Iterator<Item = (&CommandId, &CmdInfo)> {
         self.entries.iter()
     }
+}
+
+/// The distinct conflict keys of a command's footprint: one for a plain
+/// keyed command, the union of inner keys for a batch, empty for a no-op.
+fn distinct_keys(cmd: &Command) -> Vec<u64> {
+    let mut keys: Vec<u64> = cmd.accesses().map(|(key, _)| key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    keys
 }
 
 #[cfg(test)]
@@ -454,6 +478,33 @@ mod tests {
         assert!(h.remove_predecessor(a.id(), b.id()));
         assert!(!h.remove_predecessor(a.id(), b.id()));
         assert!(!h.remove_predecessor(b.id(), a.id()));
+    }
+
+    #[test]
+    fn batch_units_are_indexed_under_every_footprint_key() {
+        let mut h = History::new(4);
+        let unit = Command::batch(
+            CommandId::new(NodeId(0), (1 << 63) | 1),
+            vec![put(1, 1, 7), put(1, 2, 9)],
+        );
+        h.update(&unit, ts(1, 0), BTreeSet::new(), CmdStatus::FastPending, b0(), false);
+
+        // A later command on either key sees the batch as a predecessor.
+        for key in [7, 9] {
+            let probe = put(2, 1, key);
+            let pred = h.compute_predecessors(&probe, ts(5, 2), None);
+            assert!(pred.contains(&unit.id()), "key {key} missed the batch");
+        }
+        // An earlier command on either key is blocked by the pending batch,
+        // and the batch appears once even though both its keys match.
+        let probe = put(3, 1, 9);
+        assert_eq!(h.wait_blockers(&probe, ts(0, 3)), vec![unit.id()]);
+
+        // Executing the batch moves it to the executed index for both keys.
+        h.mark_executed(unit.id());
+        let probe = put(4, 1, 7);
+        let pred = h.compute_predecessors(&probe, ts(5, 0), None);
+        assert!(pred.contains(&unit.id()));
     }
 
     #[test]

@@ -1001,10 +1001,12 @@ impl Process for CaesarReplica {
         // Commands covered by an installed snapshot count as executed:
         // without this, any later command whose predecessor set names one
         // of them would wait forever on this fresh replica. The delivery
-        // engine absorbs the floor-compacted summary as a baseline (so it
-        // never materializes the O(history) id set) and releases any stable
-        // commands that were blocked only on transferred predecessors.
-        let ready = self.delivery.absorb_transfer(&transfer.applied);
+        // engine absorbs the run-compacted summary (so it never materializes
+        // the O(history) id set) and releases any stable commands that were
+        // blocked only on transferred predecessors. Predecessor sets name
+        // consensus *units* — batch ids included — so absorb the unit-level
+        // view, not just the per-leaf `applied` summary.
+        let ready = self.delivery.absorb_transfer(&transfer.unit_summary());
         self.apply_executions(ready, ctx);
     }
 

@@ -23,11 +23,15 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct ExecutionGraph {
     committed: HashMap<CommandId, Node>,
-    executed: HashSet<CommandId>,
-    /// Commands whose effects arrived through snapshot-based state transfer
-    /// (floor-compacted): dependency closures treat them as executed
-    /// without the graph ever materializing their ids.
-    baseline: AppliedSummary,
+    /// Every command whose effect is reflected locally — executed here or
+    /// absorbed through snapshot-based state transfer. Run-length compacted
+    /// (sessions allocate ids densely), so the memory footprint is a few
+    /// `(start, end)` runs per origin instead of one set entry per command
+    /// in the history.
+    executed: AppliedSummary,
+    /// Commands executed locally by this graph (excludes ids that only
+    /// arrived through a transfer), for progress accounting.
+    executed_count: u64,
     /// Number of graph nodes visited by the last `try_execute` call — the
     /// harness uses it to model the CPU cost of dependency analysis.
     last_visited: usize,
@@ -44,24 +48,31 @@ impl ExecutionGraph {
     /// transferred snapshot that covers it).
     #[must_use]
     pub fn is_executed(&self, id: CommandId) -> bool {
-        self.executed.contains(&id) || self.baseline.contains(id)
+        self.executed.contains(id)
     }
 
     /// Absorbs a snapshot-based state transfer: every id in `applied`
     /// counts as executed for all future dependency analysis, consulted
-    /// through the floor-compacted summary instead of being enumerated.
+    /// through the run-compacted summary instead of being enumerated.
     /// Committed instances the transfer covers are dropped from the graph.
     /// The caller re-tries its pending roots afterwards.
     pub fn absorb_transfer(&mut self, applied: &AppliedSummary) {
-        self.baseline.merge(applied);
-        let baseline = &self.baseline;
-        self.committed.retain(|id, _| !baseline.contains(*id));
+        self.executed.merge(applied);
+        let executed = &self.executed;
+        self.committed.retain(|id, _| !executed.contains(*id));
     }
 
-    /// Number of commands executed so far.
+    /// Number of commands executed locally so far.
     #[must_use]
     pub fn executed_count(&self) -> usize {
-        self.executed.len()
+        self.executed_count as usize
+    }
+
+    /// Number of `(start, end)` runs backing the executed-id summary — the
+    /// actual memory footprint of the execution history.
+    #[must_use]
+    pub fn executed_runs(&self) -> usize {
+        self.executed.run_count()
     }
 
     /// Number of committed commands still waiting to execute.
@@ -103,7 +114,7 @@ impl ExecutionGraph {
                 return Vec::new();
             };
             for &d in &node.deps {
-                if !self.executed.contains(&d) && !self.baseline.contains(d) && seen.insert(d) {
+                if !self.executed.contains(d) && seen.insert(d) {
                     stack.push(d);
                 }
             }
@@ -114,7 +125,6 @@ impl ExecutionGraph {
         let mut state = Tarjan {
             graph: &self.committed,
             executed: &self.executed,
-            baseline: &self.baseline,
             index: 0,
             indices: HashMap::new(),
             lowlink: HashMap::new(),
@@ -131,6 +141,7 @@ impl ExecutionGraph {
             component.sort_by_key(|id| (self.committed[id].seq, *id));
             for id in component {
                 if self.executed.insert(id) {
+                    self.executed_count += 1;
                     self.committed.remove(&id);
                     out.push(id);
                 }
@@ -142,8 +153,7 @@ impl ExecutionGraph {
 
 struct Tarjan<'a> {
     graph: &'a HashMap<CommandId, Node>,
-    executed: &'a HashSet<CommandId>,
-    baseline: &'a AppliedSummary,
+    executed: &'a AppliedSummary,
     index: u64,
     indices: HashMap<CommandId, u64>,
     lowlink: HashMap<CommandId, u64>,
@@ -163,10 +173,7 @@ impl Tarjan<'_> {
         let deps: Vec<CommandId> =
             self.graph.get(&v).map(|n| n.deps.iter().copied().collect()).unwrap_or_default();
         for w in deps {
-            if self.executed.contains(&w)
-                || self.baseline.contains(w)
-                || !self.graph.contains_key(&w)
-            {
+            if self.executed.contains(w) || !self.graph.contains_key(&w) {
                 continue;
             }
             if !self.indices.contains_key(&w) {
@@ -283,5 +290,23 @@ mod tests {
         g.commit(a, 1, deps(&[]));
         assert!(g.try_execute(a).is_empty());
         assert_eq!(g.executed_count(), 1);
+    }
+
+    #[test]
+    fn executed_history_compacts_to_a_few_runs() {
+        let mut g = ExecutionGraph::new();
+        for seq in 1..=500u64 {
+            for node in 0..2 {
+                let c = id(node, seq);
+                g.commit(c, seq, deps(&[]));
+                g.try_execute(c);
+            }
+        }
+        assert_eq!(g.executed_count(), 1000);
+        assert!(
+            g.executed_runs() <= 2,
+            "dense history must collapse to one run per origin, got {}",
+            g.executed_runs()
+        );
     }
 }

@@ -314,15 +314,16 @@ impl EpaxosReplica {
 
     /// Computes the attributes (seq, deps) of `cmd` from the local conflict
     /// table, as the original EPaxos does with its per-key "latest
-    /// interfering instance" map.
+    /// interfering instance" map. Batch units contribute (and collect) a
+    /// dependency per key of their merged footprint.
     fn attributes(&self, cmd: &Command) -> (u64, Deps) {
         let mut deps = Deps::new();
         let mut seq = 1;
-        if let Some(key) = cmd.key() {
+        for (key, _) in cmd.accesses() {
             if let Some(&(last, last_seq)) = self.conflicts.get(&key) {
                 if last != cmd.id() {
                     deps.insert(last);
-                    seq = last_seq + 1;
+                    seq = seq.max(last_seq + 1);
                 }
             }
         }
@@ -330,7 +331,7 @@ impl EpaxosReplica {
     }
 
     fn record_conflict(&mut self, cmd: &Command, seq: u64) {
-        if let Some(key) = cmd.key() {
+        for (key, _) in cmd.accesses() {
             let entry = self.conflicts.entry(key).or_insert((cmd.id(), seq));
             if seq >= entry.1 {
                 *entry = (cmd.id(), seq);
@@ -720,14 +721,16 @@ impl Process for EpaxosReplica {
         // Commands covered by an installed snapshot count as executed, so
         // dependency closures stop waiting for them; committed instances
         // blocked only on transferred dependencies execute now. The graph
-        // absorbs the floor-compacted summary as a baseline, so the
-        // O(history) id set is never materialized here.
+        // absorbs the run-compacted summary, so the O(history) id set is
+        // never materialized here. Instances and dependencies name consensus
+        // *units* — batch ids included — hence the unit-level view rather
+        // than the per-leaf `applied` summary.
         for (id, instance) in self.instances.iter_mut() {
-            if transfer.contains(*id) {
+            if transfer.covers_unit(*id) {
                 instance.status = InstanceStatus::Executed;
             }
         }
-        self.exec.absorb_transfer(&transfer.applied);
+        self.exec.absorb_transfer(&transfer.unit_summary());
         let pending: Vec<CommandId> = self
             .instances
             .iter()

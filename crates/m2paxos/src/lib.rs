@@ -155,6 +155,16 @@ impl M2PaxosCounters {
     }
 }
 
+/// The single ownership key of a consensus unit: a plain command's key, or
+/// the one distinct key of a single-key batch. `None` for keyless units
+/// (which conflict with nothing) *and* for multi-key batches — the latter
+/// never reach the ordering path because `on_client_command` splits them.
+fn unit_key(cmd: &Command) -> Option<u64> {
+    let mut keys = cmd.accesses().map(|(key, _)| key);
+    let first = keys.next()?;
+    keys.all(|key| key == first).then_some(first)
+}
+
 #[derive(Debug)]
 struct PendingAccept {
     cmd: Command,
@@ -228,7 +238,11 @@ impl M2PaxosReplica {
     }
 
     fn lead(&mut self, cmd: Command, ctx: &mut Context<'_, M2PaxosMessage>) {
-        let Some(key) = cmd.key() else {
+        debug_assert!(
+            unit_key(&cmd).is_some() || cmd.accesses().next().is_none(),
+            "multi-key batches are split before they reach the ordering path"
+        );
+        let Some(key) = unit_key(&cmd) else {
             // A command with no key conflicts with nothing: decide it locally.
             self.execute(cmd, ctx);
             return;
@@ -260,7 +274,7 @@ impl M2PaxosReplica {
     }
 
     fn commit(&mut self, cmd: Command, seq: u64, ctx: &mut Context<'_, M2PaxosMessage>) {
-        let Some(key) = cmd.key() else {
+        let Some(key) = unit_key(&cmd) else {
             ctx.trace(TracePhase::Commit, cmd.id());
             self.execute(cmd, ctx);
             return;
@@ -304,8 +318,20 @@ impl Process for M2PaxosReplica {
     type Message = M2PaxosMessage;
 
     fn on_client_command(&mut self, cmd: Command, ctx: &mut Context<'_, M2PaxosMessage>) {
+        // M²Paxos orders each unit through exactly one key's owner, so a
+        // batch spanning several keys cannot ride a single per-key sequence.
+        // Split it into its inner commands — each routes to its own key's
+        // owner independently, and no protocol message ever carries a
+        // multi-key batch. Single-key batches (the common case under a hot
+        // key) keep the full batching benefit.
+        if cmd.is_batch() && unit_key(&cmd).is_none() && cmd.accesses().next().is_some() {
+            for inner in cmd.inner().to_vec() {
+                self.on_client_command(inner, ctx);
+            }
+            return;
+        }
         self.pending_local.insert(cmd.id(), ctx.now());
-        match cmd.key().and_then(|k| self.owner_of(k)) {
+        match unit_key(&cmd).and_then(|k| self.owner_of(k)) {
             Some(owner) if owner != self.id => {
                 // Forward to the key's owner: the extra hop the paper blames
                 // for M²Paxos's degradation under conflicts.
@@ -325,7 +351,7 @@ impl Process for M2PaxosReplica {
         match msg {
             M2PaxosMessage::Forward { cmd } => {
                 // If ownership moved on, forward again towards the new owner.
-                match cmd.key().and_then(|k| self.owner_of(k)) {
+                match unit_key(&cmd).and_then(|k| self.owner_of(k)) {
                     Some(owner) if owner != self.id => {
                         ctx.send(owner, M2PaxosMessage::Forward { cmd });
                     }
@@ -333,7 +359,7 @@ impl Process for M2PaxosReplica {
                 }
             }
             M2PaxosMessage::Accept { cmd, seq: _, epoch } => {
-                if let Some(key) = cmd.key() {
+                if let Some(key) = unit_key(&cmd) {
                     // Record (or learn) the ownership asserted by the accept.
                     let entry = self.owners.entry(key).or_insert((from, epoch));
                     if epoch >= entry.1 {
@@ -517,6 +543,53 @@ mod tests {
             let order: Vec<CommandId> = s.decisions(node).iter().map(|d| d.command).collect();
             assert_eq!(order, reference, "{node}");
         }
+    }
+
+    #[test]
+    fn single_key_batches_ride_one_accept_round() {
+        let mut s = sim();
+        let unit = Command::batch(
+            CommandId::new(NodeId(0), (1 << 63) | 1),
+            (0..4).map(|i| put(0, i + 1, 7)).collect(),
+        );
+        s.schedule_command(0, NodeId(0), unit.clone());
+        s.run();
+        // The whole batch is one owned decision, delivered everywhere.
+        assert_eq!(s.process(NodeId(0)).metrics().owned_decisions, 1);
+        for node in NodeId::all(5) {
+            assert_eq!(s.decisions(node).len(), 1);
+            assert_eq!(s.decisions(node)[0].command, unit.id());
+        }
+    }
+
+    #[test]
+    fn multi_key_batches_split_and_route_per_key() {
+        let mut s = sim();
+        // Node 1 owns key 7 first.
+        s.schedule_command(0, NodeId(1), put(1, 1, 7));
+        // Node 0 later submits a batch spanning key 7 (owned remotely) and
+        // key 8 (unowned): the batch splits, key 8 is acquired locally and
+        // key 7's command forwards to node 1.
+        let unit = Command::batch(
+            CommandId::new(NodeId(0), (1 << 63) | 1),
+            vec![put(0, 1, 7), put(0, 2, 8)],
+        );
+        s.schedule_command(400_000, NodeId(0), unit);
+        s.run();
+        assert_eq!(s.process(NodeId(0)).metrics().forwarded, 1);
+        assert_eq!(s.process(NodeId(0)).metrics().acquisitions, 1);
+        // Every replica executes all three inner commands, and the per-key
+        // order on key 7 matches everywhere.
+        for node in NodeId::all(5) {
+            assert_eq!(s.decisions(node).len(), 3, "{node}");
+        }
+        let order: Vec<CommandId> = s
+            .decisions(NodeId(0))
+            .iter()
+            .map(|d| d.command)
+            .filter(|id| *id != CommandId::new(NodeId(0), 2))
+            .collect();
+        assert_eq!(order, vec![CommandId::new(NodeId(1), 1), CommandId::new(NodeId(0), 1)]);
     }
 
     #[test]

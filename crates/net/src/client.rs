@@ -11,6 +11,18 @@
 //! Command ids are `(replica, sequence)` pairs; the sequence starts at a
 //! caller-chosen base so that independent clients (or a client that
 //! reconnects) keep their ids disjoint.
+//!
+//! ## Known limit: one reader thread per client
+//!
+//! Each [`ReplicaClient`] spawns its own reader thread to pump reply frames
+//! off its connection. That is the right shape for the handful of clients a
+//! test or tool opens, but a *process* holding thousands of connections
+//! pays one OS thread per connection on the client side — the same
+//! thread-per-link cost the replica side already shed by moving to the
+//! epoll reactor. Load generators sidestep it today by multiplexing many
+//! in-flight commands over few connections (see `tests/batch_soak.rs`);
+//! a shared client-side reactor that pumps every connection from one
+//! thread is the follow-up tracked in `ROADMAP.md`.
 
 use std::io;
 use std::net::{SocketAddr, TcpStream};

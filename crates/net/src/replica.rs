@@ -81,11 +81,13 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use consensus_core::state_machine::{StateMachine, StateMachineFactory};
+use consensus_core::batch::{BatchConfig, Batcher};
+use consensus_core::exec::Executor;
+use consensus_core::state_machine::StateMachineFactory;
 use consensus_types::{
     AppliedSummary, Command, CommandId, Decision, DecisionPath, Execution, ExecutionCursor,
     LatencyBreakdown, NodeId, SimTime, StateTransfer, Timestamp,
@@ -175,6 +177,16 @@ pub struct NetReplicaConfig {
     /// When logged records reach the platter (see [`FsyncPolicy`]); only
     /// consulted when [`NetReplicaConfig::data_dir`] is set.
     pub fsync: FsyncPolicy,
+    /// Proposer batching: client requests already queued in the mailbox
+    /// when the core loop turns are folded into one consensus unit,
+    /// amortising ordering round trips, wire frames, and WAL fsyncs
+    /// (group commit). Disabled by default (`max_batch = 1`).
+    pub batch: BatchConfig,
+    /// Execution workers. `1` (the default) applies commands serially on
+    /// the core loop; `>= 2` shards a partitionable state machine so
+    /// non-conflicting commands apply in parallel (see
+    /// [`consensus_core::exec::Executor`]).
+    pub exec_workers: usize,
 }
 
 impl std::fmt::Debug for NetReplicaConfig {
@@ -191,6 +203,8 @@ impl std::fmt::Debug for NetReplicaConfig {
             .field("catch_up_timeout", &self.catch_up_timeout)
             .field("data_dir", &self.data_dir)
             .field("fsync", &self.fsync)
+            .field("batch", &self.batch)
+            .field("exec_workers", &self.exec_workers)
             .finish_non_exhaustive()
     }
 }
@@ -213,6 +227,8 @@ impl NetReplicaConfig {
             catch_up_timeout: Duration::from_secs(10),
             data_dir: None,
             fsync: FsyncPolicy::PerBatch,
+            batch: BatchConfig::disabled(),
+            exec_workers: 1,
         }
     }
 }
@@ -288,7 +304,7 @@ pub struct NetReplica<P: Process> {
     local_addr: SocketAddr,
     config: NetReplicaConfig,
     process: Option<P>,
-    machine: Arc<Mutex<Box<dyn StateMachine>>>,
+    executor: Arc<Executor>,
     mailbox_tx: Sender<WireMessage<P::Message>>,
     mailbox_rx: Option<Receiver<WireMessage<P::Message>>>,
     io: Arc<IoQueue>,
@@ -325,7 +341,12 @@ where
         let stats = Arc::new(NetReplicaStats::register(&registry));
         let subscriber_count = Arc::new(AtomicUsize::new(0));
         let io = Arc::new(IoQueue::new()?);
-        let machine = Arc::new(Mutex::new((config.state_machine)(config.id)));
+        let executor = Arc::new(Executor::new(
+            config.state_machine.clone(),
+            config.id,
+            config.exec_workers,
+            &registry,
+        ));
         // Disk-first: open (and scan) the write-ahead log before any socket
         // traffic exists, so an unreadable data dir fails the spawn instead
         // of a serving replica.
@@ -355,7 +376,7 @@ where
             local_addr,
             config,
             process: Some(process),
-            machine,
+            executor,
             mailbox_tx,
             mailbox_rx: Some(mailbox_rx),
             io,
@@ -401,14 +422,20 @@ where
     /// restarted replica against a never-crashed peer.
     #[must_use]
     pub fn state_fingerprint(&self) -> u64 {
-        self.machine.lock().expect("state machine lock").fingerprint()
+        self.executor.fingerprint()
     }
 
     /// Number of commands this replica's state machine has applied
     /// (including commands replayed through snapshot catch-up).
     #[must_use]
     pub fn applied_through(&self) -> u64 {
-        self.machine.lock().expect("state machine lock").applied_through()
+        self.executor.applied_through()
+    }
+
+    /// Whether this replica's executor runs `"sharded"` or `"serial"`.
+    #[must_use]
+    pub fn executor_kind(&self) -> &'static str {
+        self.executor.mode()
     }
 
     /// Number of OS threads this replica runs. Constant — event loop plus
@@ -463,7 +490,12 @@ where
             timer_scale: self.config.timer_scale,
             epoch: self.config.epoch,
             shutdown: Arc::clone(&self.shutdown),
-            machine: Arc::clone(&self.machine),
+            executor: Arc::clone(&self.executor),
+            batch: self.config.batch,
+            batcher: Batcher::new(self.id),
+            stash: None,
+            batch_assembled: self.registry.counter("batch.assembled"),
+            batch_commands: self.registry.counter("batch.commands"),
             checkpoint: None,
             checkpoint_interval: self.config.checkpoint_interval.max(1),
             suffix_log: Vec::new(),
@@ -477,6 +509,7 @@ where
                 None
             },
             applied: AppliedSummary::default(),
+            ordered: AppliedSummary::default(),
             watermark: 0,
             registry: Arc::clone(&self.registry),
             // Maps the epoch-relative `Context::now` timestamps spans carry
@@ -560,10 +593,10 @@ impl<M> TimerWheel<M> {
 }
 
 /// The latest checkpoint: the serialized transfer payload — state-machine
-/// snapshot bytes paired with the floor-compacted [`AppliedSummary`] of the
-/// ids it covers and the protocol's [`ExecutionCursor`] at cut time — plus
-/// the watermark. `payload` is reference-counted so donating never copies
-/// it.
+/// snapshot bytes paired with the floor-compacted [`AppliedSummary`]s of
+/// the command ids and consensus-unit ids it covers and the protocol's
+/// [`ExecutionCursor`] at cut time — plus the watermark. `payload` is
+/// reference-counted so donating never copies it.
 ///
 /// The applied-id summary exists because applying a command twice forks a
 /// replica's state machine away from its peers, and after a crash/restart
@@ -625,11 +658,23 @@ struct CoreLoop<P: Process> {
     timer_scale: f64,
     epoch: Instant,
     shutdown: Arc<AtomicBool>,
-    /// The replica's pluggable state machine; every execution is applied
-    /// here, and its output answers `ClientRequest` submissions. Shared
-    /// (behind a mutex) with the `NetReplica` handle so orchestrators can
-    /// read fingerprints and watermarks.
-    machine: Arc<Mutex<Box<dyn StateMachine>>>,
+    /// The replica's execution engine: serial on this thread, or sharded
+    /// across worker threads when the state machine is partitionable and
+    /// `exec_workers >= 2`. Every execution is applied here, and its output
+    /// answers `ClientRequest` submissions. Shared with the `NetReplica`
+    /// handle so orchestrators can read fingerprints and watermarks.
+    executor: Arc<Executor>,
+    /// Proposer batching knobs (disabled ⇒ the mailbox drain never runs).
+    batch: BatchConfig,
+    /// Allocates this replica's batch-lane unit ids.
+    batcher: Batcher,
+    /// A non-client envelope pulled off the mailbox while draining a batch;
+    /// dispatched before the mailbox is consulted again.
+    stash: Option<WireMessage<P::Message>>,
+    /// Count of multi-command units assembled.
+    batch_assembled: Counter,
+    /// Count of client commands that travelled inside those units.
+    batch_commands: Counter,
     /// The latest snapshot cut, served to catching-up peers.
     checkpoint: Option<Checkpoint>,
     /// Cut a new checkpoint every this many applied commands.
@@ -640,10 +685,17 @@ struct CoreLoop<P: Process> {
     suffix_log: Vec<Command>,
     /// `Some` while this replica is catching up from a peer snapshot.
     restore: Option<RestoreState>,
-    /// Every id this replica has applied, floor-compacted; consulted and
-    /// fed on every apply so a redelivered decision (reconnect replay after
-    /// a crash) cannot be applied twice.
+    /// Every *command* id this replica has applied (batch units count one
+    /// id per inner command), floor-compacted; consulted and fed on every
+    /// apply so a redelivered decision (reconnect replay after a crash)
+    /// cannot be applied twice.
     applied: AppliedSummary,
+    /// Every *consensus unit* id this replica has executed — plain command
+    /// ids plus batch-lane unit ids. Protocol layers name units (a
+    /// predecessor set can reference a batch id), so transfers ship this
+    /// alongside `applied`; it also reseeds the batcher's id lane after a
+    /// restart so a new incarnation never reuses a logged unit id.
+    ordered: AppliedSummary,
     /// The highest state-machine watermark this loop has observed. The
     /// machine only ever moves forward — a regression means a restore or a
     /// replay mis-ordered against live applies, which would let a client
@@ -733,7 +785,13 @@ where
             if let Some(restore) = &self.restore {
                 timeout = timeout.min(restore.deadline.saturating_duration_since(Instant::now()));
             }
-            match self.mailbox.recv_timeout(timeout) {
+            let next = match self.stash.take() {
+                // An envelope pulled off the mailbox by a batch drain is
+                // dispatched before the mailbox is consulted again.
+                Some(envelope) => Ok(envelope),
+                None => self.mailbox.recv_timeout(timeout),
+            };
+            match next {
                 Ok(envelope) => {
                     if !self.dispatch(
                         envelope,
@@ -820,14 +878,35 @@ where
                     }
                     return true;
                 }
-                let id = cmd.id();
-                self.reply_wanted.insert(id);
+                // Group commit: fold every client request already queued in
+                // the mailbox into one consensus unit. One ordering round
+                // (and, durably, one fsync) then covers the whole batch; the
+                // apply path fans replies back out per inner command.
+                let mut queued = vec![cmd];
+                while self.batch.enabled() && queued.len() < self.batch.max_batch {
+                    match self.mailbox.try_recv() {
+                        Ok(WireMessage::ClientRequest { cmd }) => queued.push(cmd),
+                        Ok(other) => {
+                            self.stash = Some(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                if queued.len() > 1 {
+                    self.batch_assembled.inc();
+                    self.batch_commands.add(queued.len() as u64);
+                }
                 let now = self.now_us();
                 let mut ctx =
                     Context::for_runtime(self.id, self.nodes, now, outbox, new_timers, executions)
                         .with_spans(spans);
-                ctx.trace(TracePhase::Submit, id);
-                self.process.on_client_command(cmd, &mut ctx);
+                for cmd in &queued {
+                    self.reply_wanted.insert(cmd.id());
+                    ctx.trace(TracePhase::Submit, cmd.id());
+                }
+                let unit = self.batcher.coalesce(queued);
+                self.process.on_client_command(unit, &mut ctx);
             }
             WireMessage::SnapshotRequest { from } => self.serve_snapshot(from),
             WireMessage::SnapshotChunk {
@@ -921,12 +1000,16 @@ where
         self.apply_executions(executions);
     }
 
-    /// Applies executions to the state machine and hands the event loop the
+    /// Applies executions through the executor and hands the event loop the
     /// reply and decision-stream frames: one [`Event::ClientReply`] per
-    /// execution (routed to whichever connection submitted the command, or
+    /// inner command (routed to whichever connection submitted it, or
     /// dropped if none did) and one [`Event::Decisions`] batch for the
-    /// subscribers. Serialization happens here; the I/O thread never blocks
-    /// on a stalled sink — slow connections buffer and flush on writability.
+    /// subscribers. The whole round goes to the executor at once, so with a
+    /// sharded executor non-conflicting units apply in parallel; batch
+    /// units unpack here — the WAL logs each unit filtered to its surviving
+    /// inner commands, and one commit (one fsync) closes the round.
+    /// Serialization happens here; the I/O thread never blocks on a stalled
+    /// sink — slow connections buffer and flush on writability.
     fn apply_executions(&mut self, executions: &mut Vec<Execution>) {
         if executions.is_empty() {
             return;
@@ -935,49 +1018,67 @@ where
         let mut batch = Vec::with_capacity(executions.len());
         let mut runtime_spans: Vec<SpanEvent> = Vec::with_capacity(executions.len());
         let wall_now = telemetry::wall_clock_us();
-        let watermark = {
-            let mut machine = self.machine.lock().expect("state machine lock");
-            for execution in executions.drain(..) {
-                let id = execution.command.id();
-                if self.applied.contains(id) {
-                    // Already applied — through catch-up replay, or as a
-                    // redelivered decision after a reconnect. Applying it
-                    // again would fork this replica's state machine, and
-                    // its decision was already published (on first apply,
-                    // or in the restore's synthesized transfer batch), so
-                    // re-pushing it would duplicate the stream. A
-                    // connection waiting on it (a client that reused an
-                    // id, e.g. reconnecting with a stale sequence base)
-                    // gets an explicit abort — the output its submission
-                    // would have produced is unknowable now, and silence
-                    // would hang its ticket until the session timeout.
-                    if self.reply_wanted.remove(&id) {
-                        let abort = Event::ClientAbort {
-                            from: self.id,
-                            command: id,
-                            reason: "command id was already applied here (duplicate \
-                                     submission or reused sequence); resubmit with a \
-                                     fresh id"
-                                .to_string(),
-                        };
-                        if let Ok(frame) = frame_bytes(&abort) {
-                            cmds.push(IoCmd::ClientReply { command: id, frame });
-                        }
-                    }
-                    continue;
+        // Dedup: a unit already executed — through catch-up replay, or as a
+        // redelivered decision after a reconnect — must not be applied
+        // again (it would fork this replica's state machine, and its
+        // decision was already published on first apply or in the restore's
+        // synthesized transfer batch). Inside a surviving unit, individual
+        // inner commands covered by a transfer are filtered out the same
+        // way. A connection waiting on a deduplicated command (a client
+        // that reused an id, e.g. reconnecting with a stale sequence base)
+        // gets an explicit abort — the output its submission would have
+        // produced is unknowable now, and silence would hang its ticket
+        // until the session timeout.
+        let mut round: Vec<(Execution, Command)> = Vec::with_capacity(executions.len());
+        for execution in executions.drain(..) {
+            let unit_id = execution.command.id();
+            if self.ordered.contains(unit_id) {
+                let waiting: Vec<CommandId> =
+                    execution.command.leaves().iter().map(Command::id).collect();
+                for id in waiting {
+                    self.abort_duplicate(id, &mut cmds);
                 }
-                // Log before apply: a command is on disk (staged, at least)
-                // before its effects exist, so recovery can only ever see a
-                // logged-but-unapplied command — replayable — never an
-                // applied-but-unlogged one, which would be lost state.
-                if let Some(wal) = &mut self.wal {
-                    if let Err(err) = wal.append_command(&execution.command) {
-                        eprintln!("replica {} wal append failed: {err}", self.id);
-                    }
+                continue;
+            }
+            self.ordered.insert(unit_id);
+            let leaves = execution.command.leaves();
+            let mut surviving = Vec::with_capacity(leaves.len());
+            for leaf in leaves {
+                if self.applied.contains(leaf.id()) {
+                    self.abort_duplicate(leaf.id(), &mut cmds);
+                } else {
+                    surviving.push(leaf.clone());
                 }
-                let output = machine.apply(&execution.command);
+            }
+            if surviving.is_empty() {
+                continue;
+            }
+            // Re-pack the unit to its surviving inner commands: the WAL
+            // record and the executor both see exactly what will apply.
+            let unit = if execution.command.is_batch() {
+                Command::batch(unit_id, surviving)
+            } else {
+                surviving.pop().expect("one surviving plain command")
+            };
+            round.push((execution, unit));
+        }
+        // Log before apply: a command is on disk (staged, at least) before
+        // its effects exist, so recovery can only ever see a
+        // logged-but-unapplied command — replayable — never an
+        // applied-but-unlogged one, which would be lost state.
+        let units: Vec<Command> = round.iter().map(|(_, unit)| unit.clone()).collect();
+        if let Some(wal) = &mut self.wal {
+            for unit in &units {
+                if let Err(err) = wal.append_command(unit) {
+                    eprintln!("replica {} wal append failed: {err}", self.id);
+                }
+            }
+        }
+        let outputs = self.executor.apply_round(&units);
+        for ((execution, unit), leaf_outputs) in round.into_iter().zip(outputs) {
+            for (leaf, output) in unit.leaves().iter().zip(leaf_outputs) {
+                let id = leaf.id();
                 self.applied.insert(id);
-                self.suffix_log.push(execution.command);
                 runtime_spans.push(SpanEvent {
                     command: id,
                     phase: TracePhase::Execute,
@@ -991,21 +1092,19 @@ where
                         at: wall_now,
                         node: self.id,
                     });
-                    let reply = Event::ClientReply {
-                        from: self.id,
-                        command: id,
-                        output,
-                        decision: execution.decision.clone(),
-                    };
+                    let mut decision = execution.decision.clone();
+                    decision.command = id;
+                    let reply = Event::ClientReply { from: self.id, command: id, output, decision };
                     if let Ok(frame) = frame_bytes(&reply) {
                         cmds.push(IoCmd::ClientReply { command: id, frame });
                     }
                 }
-                batch.push(execution.decision);
             }
-            machine.applied_through()
-        };
+            self.suffix_log.push(unit);
+            batch.push(execution.decision);
+        }
         self.registry.record_spans(&mut runtime_spans);
+        let watermark = self.executor.applied_through();
         self.observe_watermark(watermark);
         // Close the apply batch on disk *before* its reply frames reach the
         // event loop: a cursor mark (so a slot-based protocol resumes
@@ -1038,11 +1137,29 @@ where
         }
     }
 
+    /// Aborts the ticket of a connection waiting on `id`, if any: the
+    /// command was deduplicated (already applied here), so the reply it
+    /// expects will never be produced.
+    fn abort_duplicate(&mut self, id: CommandId, cmds: &mut Vec<IoCmd>) {
+        if self.reply_wanted.remove(&id) {
+            let abort = Event::ClientAbort {
+                from: self.id,
+                command: id,
+                reason: "command id was already applied here (duplicate submission or \
+                         reused sequence); resubmit with a fresh id"
+                    .to_string(),
+            };
+            if let Ok(frame) = frame_bytes(&abort) {
+                cmds.push(IoCmd::ClientReply { command: id, frame });
+            }
+        }
+    }
+
     // ---- disk-first recovery --------------------------------------------
 
     /// Replays what the write-ahead log recovered, before the first mailbox
     /// message: restore the latest durable checkpoint (the same serialized
-    /// triple a snapshot donor would send), apply the logged command suffix,
+    /// payload a snapshot donor would send), apply the logged unit suffix,
     /// then hand the protocol a [`StateTransfer`] whose cursor merges the
     /// checkpoint's embedded cursor with the last logged cursor mark — so a
     /// slot-based protocol resumes exactly where the previous incarnation
@@ -1060,42 +1177,52 @@ where
             return;
         }
         let mut covered = AppliedSummary::default();
+        let mut covered_units = AppliedSummary::default();
         let mut checkpoint_cursor = ExecutionCursor::Ids;
-        let watermark = {
-            let mut machine = self.machine.lock().expect("state machine lock");
-            if let Some(image) = &recovery.checkpoint {
-                let Ok((snapshot, applied, cursor)) =
-                    bincode::deserialize::<(Vec<u8>, AppliedSummary, ExecutionCursor)>(
-                        &image.payload,
-                    )
-                else {
-                    // A CRC-valid but undecodable checkpoint means a format
-                    // change or writer bug, not disk damage; starting empty
-                    // (and falling back to snapshot transfer if catch_up is
-                    // set) beats serving half-restored state.
-                    eprintln!("replica {} wal checkpoint undecodable; starting empty", self.id);
-                    return;
-                };
-                if machine.restore(&snapshot).is_err() {
-                    eprintln!(
-                        "replica {} wal checkpoint rejected by state machine; starting empty",
-                        self.id
-                    );
-                    return;
-                }
-                covered = applied;
-                checkpoint_cursor = cursor;
+        if let Some(image) = &recovery.checkpoint {
+            let Ok((snapshot, applied, ordered, cursor)) =
+                bincode::deserialize::<(Vec<u8>, AppliedSummary, AppliedSummary, ExecutionCursor)>(
+                    &image.payload,
+                )
+            else {
+                // A CRC-valid but undecodable checkpoint means a format
+                // change or writer bug, not disk damage; starting empty
+                // (and falling back to snapshot transfer if catch_up is
+                // set) beats serving half-restored state.
+                eprintln!("replica {} wal checkpoint undecodable; starting empty", self.id);
+                return;
+            };
+            if self.executor.restore(&snapshot).is_err() {
+                eprintln!(
+                    "replica {} wal checkpoint rejected by state machine; starting empty",
+                    self.id
+                );
+                return;
             }
-            for cmd in &recovery.suffix {
-                machine.apply(cmd);
-            }
-            machine.applied_through()
-        };
+            covered = applied;
+            covered_units = ordered;
+            checkpoint_cursor = cursor;
+        }
+        // Suffix records are consensus units (batches log filtered to the
+        // inner commands that actually applied), so replaying them through
+        // the executor reproduces exactly the pre-crash applies.
+        self.executor.apply_round(&recovery.suffix);
+        let watermark = self.executor.applied_through();
         self.observe_watermark(watermark);
-        let mut transfer =
-            StateTransfer { applied: covered, cursor: checkpoint_cursor.merge(recovery.cursor) };
-        transfer.applied.extend(recovery.suffix.iter().map(Command::id));
+        let mut transfer = StateTransfer {
+            applied: covered,
+            ordered: covered_units,
+            cursor: checkpoint_cursor.merge(recovery.cursor),
+        };
+        transfer
+            .applied
+            .extend(recovery.suffix.iter().flat_map(|unit| unit.leaves().iter().map(Command::id)));
+        transfer.ordered.extend(recovery.suffix.iter().map(Command::id));
         self.applied.merge(&transfer.applied);
+        self.ordered.merge(&transfer.ordered);
+        // A restarted proposer must never reuse a unit id that is already on
+        // disk: fast-forward the batch-id lane past everything recovered.
+        self.batcher.reseed(&self.ordered);
         {
             let now = self.now_us();
             let mut ctx =
@@ -1130,20 +1257,18 @@ where
 
     /// Snapshots the state machine (plus the floor-compacted applied-id
     /// summary it covers and the protocol's execution cursor) as the new
-    /// checkpoint payload and resets the suffix log — the triple must stay
+    /// checkpoint payload and resets the suffix log — the payload must stay
     /// consistent: the log holds exactly the commands applied after the
     /// checkpoint watermark, and the cursor is the protocol's resume point
     /// for precisely that state.
     fn cut_checkpoint(&mut self) {
-        let machine = self.machine.lock().expect("state machine lock");
-        let snapshot = machine.snapshot();
-        let applied_through = machine.applied_through();
-        drop(machine);
+        let snapshot = self.executor.snapshot();
+        let applied_through = self.executor.applied_through();
         self.observe_watermark(applied_through);
         let cursor = self.process.execution_cursor();
-        let payload = bincode::serialize(&(snapshot, &self.applied, cursor))
+        let payload = bincode::serialize(&(snapshot, &self.applied, &self.ordered, cursor))
             .expect("checkpoint payload serializes");
-        // The same serialized triple becomes the durable checkpoint record:
+        // The same serialized payload becomes the durable checkpoint record:
         // the log rotates to a fresh segment headed by it and compacts every
         // older segment away (they are fully covered). A cut that follows a
         // donor restore also lands here, so the log always reflects the
@@ -1314,7 +1439,8 @@ where
         // the state machine; skip it and keep waiting for a donor that can
         // actually add something — the restore deadline serves from disk
         // state if none can.
-        if donor.applied_through + (donor.suffix.len() as u64) < self.watermark {
+        let suffix_commands: u64 = donor.suffix.iter().map(|unit| unit.leaves().len() as u64).sum();
+        if donor.applied_through + suffix_commands < self.watermark {
             self.restore = Some(restore);
             return;
         }
@@ -1322,26 +1448,22 @@ where
         for chunk in donor.chunks {
             payload.extend_from_slice(&chunk.expect("transfer complete"));
         }
-        let Ok((snapshot, covered, checkpoint_cursor)) =
-            bincode::deserialize::<(Vec<u8>, AppliedSummary, ExecutionCursor)>(&payload)
+        let Ok((snapshot, covered, covered_units, checkpoint_cursor)) =
+            bincode::deserialize::<(Vec<u8>, AppliedSummary, AppliedSummary, ExecutionCursor)>(
+                &payload,
+            )
         else {
             // Broken donor: stay in the restoring state and wait for
             // another transfer (or the deadline).
             self.restore = Some(restore);
             return;
         };
-        let watermark = {
-            let mut machine = self.machine.lock().expect("state machine lock");
-            if machine.restore(&snapshot).is_err() {
-                drop(machine);
-                self.restore = Some(restore);
-                return;
-            }
-            for cmd in &donor.suffix {
-                machine.apply(cmd);
-            }
-            machine.applied_through()
-        };
+        if self.executor.restore(&snapshot).is_err() {
+            self.restore = Some(restore);
+            return;
+        }
+        self.executor.apply_round(&donor.suffix);
+        let watermark = self.executor.applied_through();
         // The restored watermark must land exactly where the transfer
         // claims (snapshot coverage + replayed suffix) — and, like every
         // other step, never behind anything this loop already observed.
@@ -1358,10 +1480,18 @@ where
         // replica) are skipped, not applied twice. The donation-time cursor
         // covers the suffix the checkpoint-time cursor predates; merging
         // keeps whichever claim is further along.
-        let mut transfer =
-            StateTransfer { applied: covered, cursor: checkpoint_cursor.merge(donor.cursor) };
-        transfer.applied.extend(donor.suffix.iter().map(Command::id));
+        let mut transfer = StateTransfer {
+            applied: covered,
+            ordered: covered_units,
+            cursor: checkpoint_cursor.merge(donor.cursor),
+        };
+        transfer
+            .applied
+            .extend(donor.suffix.iter().flat_map(|unit| unit.leaves().iter().map(Command::id)));
+        transfer.ordered.extend(donor.suffix.iter().map(Command::id));
         self.applied.merge(&transfer.applied);
+        self.ordered.merge(&transfer.ordered);
+        self.batcher.reseed(&self.ordered);
         // The protocol layer needs the same knowledge: a later command whose
         // dependency set names a transferred command must not wait for a
         // local execution that will never happen, and a slot-based
@@ -1403,7 +1533,10 @@ where
         }
         let now = self.now_us();
         let mut cmds: Vec<IoCmd> = Vec::new();
-        for window in transfer.applied.ids().chunks(4096) {
+        // Enumerate everything the transfer covers — unit ids (what the
+        // live stream carries) plus inner-command ids of batches — so no
+        // subscriber waits on an id that already executed.
+        for window in transfer.unit_summary().ids().chunks(4096) {
             let batch: Vec<Decision> = window
                 .iter()
                 .map(|&id| Decision {

@@ -30,13 +30,23 @@
 //! [`session::Reply`] carries. State machines snapshot and restore
 //! themselves, which is what snapshot-based state transfer for restarted
 //! replicas is built on.
+//!
+//! Two throughput-path modules sit beside the session contract (see
+//! `docs/THROUGHPUT.md`): [`batch`] folds concurrently queued client
+//! commands into one consensus instance, and [`exec`] applies decided
+//! commands on a pool of conflict-key shards so non-conflicting commands
+//! execute in parallel.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
+pub mod exec;
 pub mod session;
 pub mod state_machine;
 
+pub use batch::{BatchConfig, Batcher};
+pub use exec::{shard_of_key, Executor};
 pub use session::{
     ClientHandle, ClusterHandle, Drive, Op, ParkDrive, Reply, SessionCore, SessionError,
     SubmitTransport, Ticket, Waiter, DEFAULT_IN_FLIGHT,

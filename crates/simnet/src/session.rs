@@ -184,20 +184,21 @@ where
 
 /// Applies every pending execution to the per-replica stores and completes
 /// session waiters for commands executing at their submitting replica.
+/// Batched units unpack here: the state machine applies each inner command
+/// and every waiter gets its own reply carrying that command's output.
 fn route<P: Process>(inner: &mut SimInner<P>, core: &SessionCore) {
     for index in 0..inner.sim.node_count() {
         let node = NodeId::from_index(index);
         for execution in inner.sim.take_executions(node) {
-            let output = inner.machines[index].apply(&execution.command);
-            if execution.command.id().origin() == node {
-                let reply = Reply {
-                    command: execution.command.id(),
-                    node,
-                    output,
-                    decision: execution.decision,
-                };
-                core.complete(reply.clone());
-                inner.replies.push(reply);
+            for leaf in execution.command.leaves() {
+                let output = inner.machines[index].apply(leaf);
+                if leaf.id().origin() == node {
+                    let mut decision = execution.decision.clone();
+                    decision.command = leaf.id();
+                    let reply = Reply { command: leaf.id(), node, output, decision };
+                    core.complete(reply.clone());
+                    inner.replies.push(reply);
+                }
             }
         }
     }

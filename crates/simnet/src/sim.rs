@@ -4,6 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use consensus_core::batch::{BatchConfig, Batcher};
 use consensus_types::{Command, Decision, Execution, NodeId, SimTime};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -29,14 +30,34 @@ pub struct SimConfig {
     /// Hard stop: events scheduled after this time are discarded and `run`
     /// returns. `None` runs until the event queue drains.
     pub horizon: Option<SimTime>,
+    /// Proposer batching: client commands queued for the same replica at
+    /// the same instant coalesce into one consensus unit. **Disabled by
+    /// default** (`max_batch = 1`) so protocol-level tests observe one
+    /// instance per command; the session layer and cross-runtime tests opt
+    /// in via [`SimConfig::with_batch`].
+    pub batch: BatchConfig,
 }
 
 impl SimConfig {
     /// Creates a configuration with the given latency matrix, no jitter,
-    /// FIFO links and a fixed default seed.
+    /// FIFO links, a fixed default seed and batching disabled.
     #[must_use]
     pub fn new(latency: LatencyMatrix) -> Self {
-        Self { latency, jitter_us: 0, fifo_links: true, seed: 0xCAE5A7, horizon: None }
+        Self {
+            latency,
+            jitter_us: 0,
+            fifo_links: true,
+            seed: 0xCAE5A7,
+            horizon: None,
+            batch: BatchConfig::disabled(),
+        }
+    }
+
+    /// Enables proposer batching with the given maximum batch size.
+    #[must_use]
+    pub fn with_batch(mut self, max_batch: usize) -> Self {
+        self.batch = BatchConfig { max_batch: max_batch.max(1), ..BatchConfig::default() };
+        self
     }
 
     /// Sets the per-message jitter bound in microseconds.
@@ -95,6 +116,8 @@ struct SimCounters {
     commands_injected: Counter,
     messages_dropped: Counter,
     end_time: Gauge,
+    batches_assembled: Counter,
+    batched_commands: Counter,
 }
 
 impl SimCounters {
@@ -105,6 +128,8 @@ impl SimCounters {
             commands_injected: registry.counter("sim.commands_injected"),
             messages_dropped: registry.counter("sim.messages_dropped"),
             end_time: registry.gauge("sim.end_time_us"),
+            batches_assembled: registry.counter("batch.assembled"),
+            batched_commands: registry.counter("batch.commands"),
         }
     }
 
@@ -156,6 +181,9 @@ pub struct Simulator<P: Process> {
     registry: Arc<Registry>,
     stats: SimCounters,
     started: bool,
+    /// Per-node proposer batchers (only consulted when `config.batch`
+    /// enables batching).
+    batchers: Vec<Batcher>,
 }
 
 impl<P: Process> Simulator<P> {
@@ -182,6 +210,7 @@ impl<P: Process> Simulator<P> {
             stats,
             config,
             started: false,
+            batchers: (0..n).map(|i| Batcher::new(NodeId::from_index(i))).collect(),
         }
     }
 
@@ -385,6 +414,45 @@ impl<P: Process> Simulator<P> {
             self.now = at;
             self.stats.end_time.set(at);
 
+            // Proposer batching: a client command picked up while more
+            // client commands are queued for the same replica at the same
+            // instant coalesces them into one consensus unit. Only exact
+            // co-queued commands join (the drain never skips an event), so
+            // simulation determinism is untouched.
+            let payload = match event.payload {
+                Payload::Client { cmd } if self.config.batch.enabled() => {
+                    let mut queued = vec![cmd];
+                    while queued.len() < self.config.batch.max_batch {
+                        let Some(&Reverse((next_at, _, next_idx))) = self.queue.peek() else {
+                            break;
+                        };
+                        let co_queued = next_at == at
+                            && matches!(
+                                self.events[next_idx].as_ref(),
+                                Some(Event { node, payload: Payload::Client { .. } })
+                                    if *node == event.node
+                            );
+                        if !co_queued {
+                            break;
+                        }
+                        self.queue.pop();
+                        let Some(Event { payload: Payload::Client { cmd }, .. }) =
+                            self.events[next_idx].take()
+                        else {
+                            unreachable!("co-queued client event vanished");
+                        };
+                        self.stats.commands_injected.inc();
+                        queued.push(cmd);
+                    }
+                    if queued.len() > 1 {
+                        self.stats.batches_assembled.inc();
+                        self.stats.batched_commands.add(queued.len() as u64);
+                    }
+                    Payload::Client { cmd: self.batchers[node_idx].coalesce(queued) }
+                }
+                other => other,
+            };
+
             let cost;
             let mut outbox = Vec::new();
             let mut timers = Vec::new();
@@ -400,7 +468,7 @@ impl<P: Process> Simulator<P> {
                     executions: &mut executions,
                     spans: Some(&mut spans),
                 };
-                match event.payload {
+                match payload {
                     Payload::Message { from, msg } => {
                         cost = self.nodes[node_idx].processing_cost(&msg);
                         self.stats.messages_delivered.inc();
@@ -414,7 +482,9 @@ impl<P: Process> Simulator<P> {
                     Payload::Client { cmd } => {
                         cost = self.nodes[node_idx].client_processing_cost(&cmd);
                         self.stats.commands_injected.inc();
-                        ctx.trace(TracePhase::Submit, cmd.id());
+                        for leaf in cmd.leaves() {
+                            ctx.trace(TracePhase::Submit, leaf.id());
+                        }
                         self.nodes[node_idx].on_client_command(cmd, &mut ctx);
                     }
                     Payload::Crash | Payload::Recover => unreachable!("handled above"),
@@ -659,6 +729,35 @@ mod tests {
         assert_eq!(times.len(), 3);
         assert!(times[1] >= times[0] + 1_000);
         assert!(times[2] >= times[1] + 1_000);
+    }
+
+    #[test]
+    fn co_queued_client_commands_coalesce_into_one_batch() {
+        let config = SimConfig::new(LatencyMatrix::uniform(2, 10.0)).with_batch(8);
+        let mut sim = Simulator::new(config, |_| PingPong::default());
+        for seq in 1..=3 {
+            sim.schedule_command(0, NodeId(0), cmd(seq));
+        }
+        sim.run();
+
+        // One decision for the batch unit, but all three submissions counted.
+        assert_eq!(sim.decisions(NodeId(0)).len(), 1);
+        assert_eq!(sim.stats().commands_injected, 3);
+        let snapshot = sim.registry().snapshot();
+        assert_eq!(snapshot.counter("batch.assembled"), 1);
+        assert_eq!(snapshot.counter("batch.commands"), 3);
+    }
+
+    #[test]
+    fn batching_disabled_keeps_commands_separate() {
+        let config = SimConfig::new(LatencyMatrix::uniform(2, 10.0));
+        let mut sim = Simulator::new(config, |_| PingPong::default());
+        for seq in 1..=3 {
+            sim.schedule_command(0, NodeId(0), cmd(seq));
+        }
+        sim.run();
+        assert_eq!(sim.decisions(NodeId(0)).len(), 3);
+        assert_eq!(sim.registry().snapshot().counter("batch.assembled"), 0);
     }
 
     #[test]

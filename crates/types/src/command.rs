@@ -46,7 +46,23 @@ impl CommandId {
     pub fn sequence(self) -> u64 {
         self.sequence
     }
+
+    /// Whether this id lives in the proposer-batch lane (see [`BATCH_LANE`]).
+    #[must_use]
+    pub fn is_batch(self) -> bool {
+        self.sequence & BATCH_LANE != 0
+    }
 }
+
+/// High bit of [`CommandId::sequence`], reserved for proposer batches.
+///
+/// Client sessions allocate sequences densely from small bases, so the top
+/// bit is never set on an individual command's id. A runtime that coalesces
+/// queued client commands into one consensus instance (see
+/// `consensus_core::batch`) allocates the batch's own id in this lane —
+/// `BATCH_LANE | n` for the replica's n-th batch — keeping batch ids disjoint
+/// from every client id without coordination.
+pub const BATCH_LANE: u64 = 1 << 63;
 
 impl fmt::Display for CommandId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -102,13 +118,18 @@ pub struct Command {
     /// Payload value written by a `Put`; doubles as the payload size knob used
     /// by the paper (15-byte commands).
     value: u64,
+    /// Inner commands of a proposer batch (empty for an ordinary command).
+    /// A batch is itself a `Command`-shaped unit: one consensus instance
+    /// whose conflict footprint is the union of its inner commands' accesses.
+    /// Batches never nest.
+    batch: Vec<Command>,
 }
 
 impl Command {
     /// Creates a command.
     #[must_use]
     pub fn new(id: CommandId, operation: Operation, key: ConflictKey, value: u64) -> Self {
-        Self { id, operation, key, value }
+        Self { id, operation, key, value, batch: Vec::new() }
     }
 
     /// Convenience constructor for the benchmark's update command.
@@ -121,6 +142,21 @@ impl Command {
     #[must_use]
     pub fn noop(id: CommandId) -> Self {
         Self::new(id, Operation::Noop, None, 0)
+    }
+
+    /// Creates a proposer batch: one consensus unit carrying `inner` client
+    /// commands. `id` should live in the [`BATCH_LANE`]; the batch's own
+    /// `key` is `None` (its conflict footprint is derived from the inner
+    /// commands instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` contains a batch (batches never nest) or is empty.
+    #[must_use]
+    pub fn batch(id: CommandId, inner: Vec<Command>) -> Self {
+        assert!(!inner.is_empty(), "a batch carries at least one command");
+        assert!(inner.iter().all(|cmd| !cmd.is_batch()), "batches never nest");
+        Self { id, operation: Operation::Noop, key: None, value: 0, batch: inner }
     }
 
     /// The unique id of this command.
@@ -147,25 +183,68 @@ impl Command {
         self.value
     }
 
+    /// Whether this command is a proposer batch (see [`Command::batch`]).
+    #[must_use]
+    pub fn is_batch(&self) -> bool {
+        !self.batch.is_empty()
+    }
+
+    /// The inner commands of a batch (empty for an ordinary command).
+    #[must_use]
+    pub fn inner(&self) -> &[Command] {
+        &self.batch
+    }
+
+    /// The individual client commands this unit carries: the inner commands
+    /// of a batch, or the command itself. Runtimes apply/reply/deduplicate
+    /// per leaf; protocols order the unit.
+    #[must_use]
+    pub fn leaves(&self) -> &[Command] {
+        if self.batch.is_empty() {
+            std::slice::from_ref(self)
+        } else {
+            &self.batch
+        }
+    }
+
+    /// The unit's conflict footprint: every `(key, writes)` access its
+    /// leaves perform. Keyless leaves (no-ops) contribute nothing.
+    pub fn accesses(&self) -> impl Iterator<Item = (u64, bool)> + '_ {
+        self.leaves()
+            .iter()
+            .filter_map(|leaf| leaf.key.map(|key| (key, leaf.operation != Operation::Get)))
+    }
+
     /// The non-commutativity relation `c ∼ c̄` of the paper: two commands
     /// conflict when they access the same key and at least one of them writes.
+    /// A batch conflicts through its merged footprint: it conflicts with
+    /// whatever any of its inner commands conflicts with.
     ///
     /// `Noop` commands and commands without a key conflict with nothing.
     #[must_use]
     pub fn conflicts_with(&self, other: &Command) -> bool {
-        match (self.key, other.key) {
-            (Some(a), Some(b)) if a == b => {
-                // Two reads of the same key commute; anything involving a
-                // write does not.
-                !(self.operation == Operation::Get && other.operation == Operation::Get)
-            }
-            _ => false,
+        if self.batch.is_empty() && other.batch.is_empty() {
+            return match (self.key, other.key) {
+                (Some(a), Some(b)) if a == b => {
+                    // Two reads of the same key commute; anything involving a
+                    // write does not.
+                    !(self.operation == Operation::Get && other.operation == Operation::Get)
+                }
+                _ => false,
+            };
         }
+        // Footprint intersection: batches are small (bounded by the
+        // batcher's max), so the quadratic pair scan stays cheap.
+        self.accesses()
+            .any(|(key, writes)| other.accesses().any(|(k, w)| k == key && (writes || w)))
     }
 }
 
 impl fmt::Display for Command {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_batch() {
+            return write!(f, "{}[batch×{}]", self.id, self.batch.len());
+        }
         match self.key {
             Some(k) => write!(f, "{}[{:?} k{}]", self.id, self.operation, k),
             None => write!(f, "{}[{:?}]", self.id, self.operation),
@@ -223,5 +302,49 @@ mod tests {
     #[test]
     fn command_id_display_is_compact() {
         assert_eq!(CommandId::new(NodeId(2), 17).to_string(), "c2.17");
+    }
+
+    #[test]
+    fn batch_conflicts_through_its_merged_footprint() {
+        let unit = Command::batch(
+            CommandId::new(NodeId(0), BATCH_LANE | 1),
+            vec![cmd(0, 1, Operation::Put, Some(5)), cmd(0, 2, Operation::Get, Some(9))],
+        );
+        assert!(unit.conflicts_with(&cmd(1, 1, Operation::Put, Some(5))));
+        assert!(unit.conflicts_with(&cmd(1, 2, Operation::Put, Some(9))));
+        // A read in the batch commutes with an outside read of the same key.
+        assert!(!unit.conflicts_with(&cmd(1, 3, Operation::Get, Some(9))));
+        assert!(!unit.conflicts_with(&cmd(1, 4, Operation::Put, Some(6))));
+        assert!(!unit.conflicts_with(&Command::noop(CommandId::new(NodeId(1), 5))));
+    }
+
+    #[test]
+    fn two_batches_conflict_when_footprints_intersect_on_a_write() {
+        let a = Command::batch(
+            CommandId::new(NodeId(0), BATCH_LANE | 1),
+            vec![cmd(0, 1, Operation::Put, Some(1)), cmd(0, 2, Operation::Get, Some(2))],
+        );
+        let b = Command::batch(
+            CommandId::new(NodeId(1), BATCH_LANE | 1),
+            vec![cmd(1, 1, Operation::Put, Some(2))],
+        );
+        let c = Command::batch(
+            CommandId::new(NodeId(2), BATCH_LANE | 1),
+            vec![cmd(2, 1, Operation::Get, Some(2)), cmd(2, 2, Operation::Put, Some(3))],
+        );
+        assert!(a.conflicts_with(&b), "a reads key 2, b writes it");
+        assert!(b.conflicts_with(&c), "b writes key 2, c reads it");
+        assert!(!a.conflicts_with(&c), "both only read key 2");
+    }
+
+    #[test]
+    fn leaves_of_a_plain_command_are_itself() {
+        let plain = cmd(0, 1, Operation::Put, Some(5));
+        assert_eq!(plain.leaves(), std::slice::from_ref(&plain));
+        assert!(!plain.is_batch());
+        assert!(!plain.id().is_batch());
+        let unit = Command::batch(CommandId::new(NodeId(0), BATCH_LANE | 3), vec![plain.clone()]);
+        assert_eq!(unit.leaves(), &[plain]);
+        assert!(unit.id().is_batch());
     }
 }

@@ -48,7 +48,7 @@ mod transfer;
 
 pub use ballot::Ballot;
 pub use checksum::crc32;
-pub use command::{Command, CommandId, ConflictKey, Operation};
+pub use command::{Command, CommandId, ConflictKey, Operation, BATCH_LANE};
 pub use cstruct::CStruct;
 pub use decision::{Decision, DecisionPath, Execution, LatencyBreakdown};
 pub use error::{ConsensusError, Result};

@@ -137,6 +137,15 @@ impl AppliedSummary {
         }
     }
 
+    /// The highest applied sequence of `origin`, if any. Runtimes use this
+    /// to reseed the proposer batcher's batch-lane counter after a restart
+    /// (batch ids carry the `BATCH_LANE` high bit, so the per-origin maximum
+    /// is the last batch id the previous incarnation allocated).
+    #[must_use]
+    pub fn max_sequence(&self, origin: NodeId) -> Option<u64> {
+        self.runs.get(origin.index()).and_then(|list| list.last()).map(|&(_, end)| end)
+    }
+
     /// Total number of runs across all origins — the size driver of a
     /// serialized summary. Dense histories keep it at one run per
     /// (origin, client-base) pair; it never exceeds the id count.
@@ -376,17 +385,46 @@ fn merge_backlogs(a: Vec<(u64, Command)>, b: Vec<(u64, Command)>) -> Vec<(u64, C
 /// state machine.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateTransfer {
-    /// Ids whose effects the restored state machine already includes.
+    /// Ids whose effects the restored state machine already includes —
+    /// **leaf** ids: the individual client commands, with proposer batches
+    /// flattened. This is the state-machine dedup set.
     pub applied: AppliedSummary,
+    /// Ids of the **consensus units** the transferred state covers: batch
+    /// ids plus unbatched command ids. Dependency-tracked protocols (CAESAR,
+    /// EPaxos) gate execution on unit ids — a predecessor set naming a
+    /// pre-crash batch resolves through this summary, never through
+    /// [`StateTransfer::applied`] (which only knows the batch's leaves).
+    pub ordered: AppliedSummary,
     /// The donor's execution resume point.
     pub cursor: ExecutionCursor,
 }
 
 impl StateTransfer {
-    /// Whether the transferred state already covers `id`.
+    /// Whether the transferred state already covers the client command `id`
+    /// (leaf-level: batches flattened).
     #[must_use]
     pub fn contains(&self, id: CommandId) -> bool {
         self.applied.contains(id)
+    }
+
+    /// Whether the transferred state already covers the consensus unit `id`
+    /// (a batch id or an unbatched command id). Falls back to the leaf
+    /// summary so transfers recorded before batching existed — where every
+    /// unit *was* a leaf — keep resolving.
+    #[must_use]
+    pub fn covers_unit(&self, id: CommandId) -> bool {
+        self.ordered.contains(id) || self.applied.contains(id)
+    }
+
+    /// The unit-id view dependency-tracked protocols absorb: the union of
+    /// [`StateTransfer::ordered`] and [`StateTransfer::applied`] (leaf ids
+    /// are harmless over-coverage — nothing ever waits on a batched leaf's
+    /// own id).
+    #[must_use]
+    pub fn unit_summary(&self) -> AppliedSummary {
+        let mut units = self.ordered.clone();
+        units.merge(&self.applied);
+        units
     }
 }
 
@@ -587,9 +625,28 @@ mod tests {
     fn state_transfer_contains_consults_the_summary() {
         let transfer = StateTransfer {
             applied: (1..=3).map(|s| id(0, s)).collect(),
+            ordered: AppliedSummary::new(),
             cursor: ExecutionCursor::Ids,
         };
         assert!(transfer.contains(id(0, 2)));
         assert!(!transfer.contains(id(0, 4)));
+        // Unit coverage falls back to the leaf summary when no unit ids were
+        // recorded (pre-batching histories).
+        assert!(transfer.covers_unit(id(0, 2)));
+        assert!(!transfer.covers_unit(id(0, 4)));
+    }
+
+    #[test]
+    fn unit_coverage_resolves_batch_ids_through_the_ordered_summary() {
+        use crate::BATCH_LANE;
+        let mut transfer = StateTransfer::default();
+        transfer.applied.extend((1..=4).map(|s| id(0, s)));
+        transfer.ordered.insert(id(1, BATCH_LANE | 1));
+        assert!(transfer.covers_unit(id(1, BATCH_LANE | 1)));
+        assert!(!transfer.contains(id(1, BATCH_LANE | 1)), "batch ids are not leaves");
+        let units = transfer.unit_summary();
+        assert!(units.contains(id(1, BATCH_LANE | 1)));
+        assert!(units.contains(id(0, 3)));
+        assert_eq!(transfer.ordered.max_sequence(NodeId(1)), Some(BATCH_LANE | 1));
     }
 }

@@ -11,8 +11,9 @@
 //!   applied to the state machine;
 //! * [`WalRecord::Cursor`] — the protocol's [`ExecutionCursor`] after each
 //!   apply batch, so a slot-based protocol resumes exactly where it left off;
-//! * [`WalRecord::Checkpoint`] — the serialized `(snapshot, AppliedSummary,
-//!   ExecutionCursor)` triple the replica also donates over the wire; cutting
+//! * [`WalRecord::Checkpoint`] — the serialized `(snapshot, applied
+//!   AppliedSummary, ordered AppliedSummary, ExecutionCursor)` payload the
+//!   replica also donates over the wire; cutting
 //!   one rotates to a fresh segment and compacts every older file away.
 //!
 //! [`FsyncPolicy`] picks the durability/throughput point: per-record,

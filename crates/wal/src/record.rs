@@ -14,8 +14,9 @@
 //!
 //! The checkpoint body carries its payload as raw bytes (not a serde
 //! `Vec<u8>`, which would varint-expand every byte ≥ 128) so the serialized
-//! `(snapshot, AppliedSummary, ExecutionCursor)` triple the replica already
-//! builds for snapshot donations is written to disk verbatim.
+//! `(snapshot, applied AppliedSummary, ordered AppliedSummary,
+//! ExecutionCursor)` payload the replica already builds for snapshot
+//! donations is written to disk verbatim.
 //!
 //! Decoding distinguishes a record that is *incomplete* (the file ends before
 //! the frame does — a torn tail from a crash mid-write) from one that is
@@ -49,14 +50,14 @@ pub enum WalRecord {
     /// latest mark lets a slot-based protocol resume exactly where it left
     /// off instead of at the (stale) cursor embedded in the last checkpoint.
     Cursor(ExecutionCursor),
-    /// A durable checkpoint: the serialized `(snapshot, AppliedSummary,
-    /// ExecutionCursor)` triple the replica also donates over the wire,
-    /// opaque to the log itself. Everything logged before a checkpoint is
+    /// A durable checkpoint: the serialized `(snapshot, applied
+    /// AppliedSummary, ordered AppliedSummary, ExecutionCursor)` payload the
+    /// replica also donates over the wire, opaque to the log itself. Everything logged before a checkpoint is
     /// covered by it and eligible for compaction.
     Checkpoint {
         /// Commands applied when the checkpoint was cut (the watermark).
         applied_through: u64,
-        /// The serialized state triple, restored via the same path as a
+        /// The serialized state payload, restored via the same path as a
         /// snapshot received from a donor.
         payload: Vec<u8>,
     },
@@ -87,7 +88,7 @@ pub fn encode_cursor(buf: &mut Vec<u8>, cursor: &ExecutionCursor) {
 }
 
 /// Encodes a [`WalRecord::Checkpoint`] frame into `buf`; `payload` is the
-/// already-serialized state triple and is written verbatim.
+/// already-serialized state payload and is written verbatim.
 pub fn encode_checkpoint(buf: &mut Vec<u8>, applied_through: u64, payload: &[u8]) {
     let mut body = Vec::with_capacity(payload.len() + 16);
     body.push(TAG_CHECKPOINT);

@@ -128,7 +128,7 @@ impl WalStats {
 
 /// What a scan of the segment files found — the disk-first resume point.
 ///
-/// The consumer restores the checkpoint (the same serialized triple a
+/// The consumer restores the checkpoint (the same serialized payload a
 /// snapshot donor would send), replays `suffix` in order, then merges
 /// `cursor` over the checkpoint's embedded cursor to land exactly where the
 /// replica left off.
@@ -161,7 +161,8 @@ impl Recovery {
 pub struct CheckpointImage {
     /// Commands applied when the checkpoint was cut.
     pub applied_through: u64,
-    /// The serialized `(snapshot, AppliedSummary, ExecutionCursor)` triple.
+    /// The serialized `(snapshot, applied AppliedSummary, ordered
+    /// AppliedSummary, ExecutionCursor)` payload.
     pub payload: Vec<u8>,
 }
 

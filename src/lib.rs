@@ -180,6 +180,9 @@ pub mod durability {}
 #[doc = include_str!("../docs/OBSERVABILITY.md")]
 pub mod observability {}
 
+#[doc = include_str!("../docs/THROUGHPUT.md")]
+pub mod throughput {}
+
 pub use caesar;
 pub use cluster;
 pub use consensus_core;

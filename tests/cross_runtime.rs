@@ -146,6 +146,117 @@ fn net_outcome() -> RuntimeOutcome {
     RuntimeOutcome { replies, order }
 }
 
+// ---- proposer batching: concurrent submissions, all three runtimes ------
+
+const BATCHED_COMMANDS: usize = 24;
+const BATCH_MAX: usize = 8;
+
+/// Submits `BATCHED_COMMANDS` independent writes (distinct keys) to replica
+/// p0 *concurrently* — every ticket in flight before the first wait — so an
+/// enabled proposer batcher can coalesce them, then awaits every reply.
+/// Each key is fresh, so every `Put` must report `None` regardless of how
+/// the commands were grouped into consensus units.
+fn submit_batched<H: ClusterHandle>(runtime: &str, handle: &H) {
+    let client = handle.client(NodeId(0));
+    let tickets: Vec<_> = (0..BATCHED_COMMANDS as u64)
+        .map(|i| {
+            client
+                .submit(Op::put(100 + i, i))
+                .unwrap_or_else(|err| panic!("{runtime}: submit {i} failed: {err}"))
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let reply = ticket
+            .wait_timeout(Duration::from_secs(30))
+            .unwrap_or_else(|err| panic!("{runtime}: reply {i} failed: {err}"));
+        assert_eq!(reply.node, NodeId(0), "{runtime}: reply must come from p0");
+        assert_eq!(reply.output, None, "{runtime}: key 10{i} was fresh, Put must return None");
+    }
+}
+
+/// Cross-runtime agreement under batching: the same concurrent workload,
+/// driven with proposer batching enabled, answers every individual ticket
+/// and converges every replica of every runtime onto the identical
+/// state-machine fingerprint. The TCP runtime additionally runs a 4-way
+/// sharded executor, so serial and parallel execution are compared against
+/// each other across runtime boundaries.
+#[test]
+fn batched_submissions_reply_per_command_and_converge_across_runtimes() {
+    // Simulator: all submissions land at the same simulated instant, so
+    // coalescing is guaranteed and the batch counters must move.
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let sim_config =
+        SimConfig::new(LatencyMatrix::ec2_five_sites()).with_seed(SEED).with_batch(BATCH_MAX);
+    let session = SimSession::new(Simulator::new(sim_config, move |id| {
+        CaesarReplica::new(id, caesar.clone())
+    }));
+    submit_batched("simnet", &session);
+    let _ = session.run();
+    let sim_fp = session.state_fingerprint(NodeId(0));
+    for node in NodeId::all(NODES) {
+        assert_eq!(
+            session.applied_through(node),
+            BATCHED_COMMANDS as u64,
+            "simnet: {node} must apply every inner command"
+        );
+        assert_eq!(session.state_fingerprint(node), sim_fp, "simnet: {node} fingerprint differs");
+    }
+    let assembled = session.with_sim(|sim| sim.registry().snapshot().counter("batch.assembled"));
+    assert!(assembled > 0, "simnet: concurrent submissions must have coalesced");
+
+    // Thread cluster: serial executors, opportunistic mailbox batching.
+    let config = ClusterConfig::new(LatencyMatrix::ec2_five_sites())
+        .with_latency_scale(0.005)
+        .with_batch(BATCH_MAX);
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let threads = Cluster::start(config, move |id| CaesarReplica::new(id, caesar.clone()));
+    submit_batched("cluster", &threads);
+    wait_applied("cluster", NODES, BATCHED_COMMANDS as u64, |node| threads.applied_through(node));
+    let cluster_fp = threads.state_fingerprint(NodeId(0));
+    for node in NodeId::all(NODES) {
+        assert_eq!(threads.state_fingerprint(node), cluster_fp, "cluster: {node} differs");
+    }
+    threads.shutdown();
+
+    // TCP runtime: batching plus a sharded executor on every replica.
+    let caesar = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    let net_config = NetConfig::new(NODES).with_batch(BATCH_MAX).with_exec_workers(4);
+    let sockets = NetCluster::start(net_config, move |id| CaesarReplica::new(id, caesar.clone()))
+        .expect("net cluster starts");
+    submit_batched("net", &sockets);
+    wait_applied("net", NODES, BATCHED_COMMANDS as u64, |node| sockets.applied_through(node));
+    let net_fp = sockets.state_fingerprint(NodeId(0));
+    for node in NodeId::all(NODES) {
+        assert_eq!(sockets.state_fingerprint(node), net_fp, "net: {node} differs");
+    }
+    sockets.shutdown();
+
+    // The workload is deterministic in its effects (independent writes), so
+    // all fifteen replicas — serial or sharded, simulated or real — end on
+    // one fingerprint.
+    assert_eq!(sim_fp, cluster_fp, "simnet and thread cluster diverged");
+    assert_eq!(sim_fp, net_fp, "simnet and TCP runtime diverged");
+}
+
+/// Polls `applied_through` for every node until it reaches `target` (every
+/// replica has applied every inner command) or a 30 s deadline passes.
+fn wait_applied(runtime: &str, nodes: usize, target: u64, applied: impl Fn(NodeId) -> u64) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    for node in NodeId::all(nodes) {
+        loop {
+            if applied(node) >= target {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "{runtime}: {node} stuck at {} of {target} applied",
+                applied(node)
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
 #[test]
 fn caesar_replies_and_delivery_order_are_identical_across_all_three_runtimes() {
     let from_sim = simnet_outcome();

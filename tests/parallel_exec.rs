@@ -1,0 +1,140 @@
+//! Sharded-vs-serial execution parity, for **every** protocol: a thread
+//! cluster where replicas p1 and p3 run a 4-way *sharded* executor while
+//! p0, p2 and p4 apply *serially*, driven with a conflict-heavy batched
+//! workload over a six-key keyspace. Consensus fixes one total order per
+//! conflict class; the sharded executor is only allowed to exploit the
+//! *absence* of conflicts, so every replica — regardless of how many
+//! workers it applies with — must land on the identical state-machine
+//! fingerprint and the identical applied watermark.
+//!
+//! The workload is deliberately hostile to a careless parallel executor:
+//! commands are submitted in concurrent waves (so the proposer batcher
+//! coalesces multi-command units), and with only six live keys most
+//! co-batched commands conflict — they hash to the same shard and must be
+//! applied in unit order there. A mistake in shard routing, intra-unit
+//! ordering, or watermark accounting shows up as a fingerprint split
+//! between the serial and sharded replicas.
+
+use std::time::{Duration, Instant};
+
+use caesar::{CaesarConfig, CaesarReplica};
+use cluster::{Cluster, ClusterConfig};
+use consensus_core::session::{ClusterHandle, Op};
+use consensus_types::NodeId;
+use epaxos::{EpaxosConfig, EpaxosReplica};
+use m2paxos::{M2PaxosConfig, M2PaxosReplica};
+use mencius::{MenciusConfig, MenciusReplica};
+use multipaxos::{MultiPaxosConfig, MultiPaxosReplica};
+use simnet::{LatencyMatrix, Process};
+
+const NODES: usize = 5;
+/// All submissions go to p0 — the Multi-Paxos leader, and a valid proposer
+/// for every other protocol.
+const AT: NodeId = NodeId(0);
+/// Concurrent waves × commands per wave; every command keyed into a
+/// six-key space so conflicts are the rule, not the exception.
+const WAVES: u64 = 6;
+const WAVE_WIDTH: u64 = 16;
+const KEYS: u64 = 6;
+
+/// Workers per replica: serial and 4-way sharded interleaved, so parity is
+/// checked between *both* executor kinds inside one consensus history.
+fn worker_layout() -> Vec<usize> {
+    vec![1, 4, 1, 4, 1]
+}
+
+fn run_parallel_matrix<P, F>(label: &str, make: F)
+where
+    P: Process + Send + 'static,
+    P::Message: Send + 'static,
+    F: FnMut(NodeId) -> P,
+{
+    let config = ClusterConfig::new(LatencyMatrix::ec2_five_sites())
+        .with_latency_scale(0.005)
+        .with_batch(8)
+        .with_exec_workers_per_node(worker_layout());
+    let cluster = Cluster::start(config, make);
+    for (index, workers) in worker_layout().into_iter().enumerate() {
+        let expected = if workers > 1 { "sharded" } else { "serial" };
+        assert_eq!(
+            cluster.executor_kind(NodeId::from_index(index)),
+            expected,
+            "[{label}] p{index} runs the configured executor kind"
+        );
+    }
+
+    // Concurrent conflicting waves: every ticket of a wave is in flight
+    // before the first is awaited, so the batcher can coalesce, and the
+    // narrow keyspace makes most co-batched commands conflict.
+    let client = cluster.client(AT);
+    for wave in 0..WAVES {
+        let tickets: Vec<_> = (0..WAVE_WIDTH)
+            .map(|j| {
+                let i = wave * WAVE_WIDTH + j;
+                client
+                    .submit(Op::put(50 + i % KEYS, i))
+                    .unwrap_or_else(|err| panic!("[{label}] submit {i} failed: {err}"))
+            })
+            .collect();
+        for (j, ticket) in tickets.into_iter().enumerate() {
+            ticket
+                .wait_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|err| panic!("[{label}] wave {wave} reply {j} failed: {err}"));
+        }
+    }
+
+    // Every replica applies the whole workload ...
+    let total = WAVES * WAVE_WIDTH;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    for node in NodeId::all(NODES) {
+        while cluster.applied_through(node) < total {
+            assert!(
+                Instant::now() < deadline,
+                "[{label}] {node} stuck at {} of {total} applied",
+                cluster.applied_through(node)
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    // ... and serial and sharded executors agree on the resulting state.
+    let reference = cluster.state_fingerprint(AT);
+    for node in NodeId::all(NODES) {
+        assert_eq!(
+            cluster.state_fingerprint(node),
+            reference,
+            "[{label}] {node} ({}) diverged from p0 (serial)",
+            cluster.executor_kind(node)
+        );
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn caesar_sharded_execution_matches_serial() {
+    let config = CaesarConfig::new(NODES).with_recovery_timeout(None);
+    run_parallel_matrix("caesar", move |id| CaesarReplica::new(id, config.clone()));
+}
+
+#[test]
+fn epaxos_sharded_execution_matches_serial() {
+    let config = EpaxosConfig::new(NODES).with_recovery_timeout(None);
+    run_parallel_matrix("epaxos", move |id| EpaxosReplica::new(id, config.clone()));
+}
+
+#[test]
+fn multipaxos_sharded_execution_matches_serial() {
+    let config = MultiPaxosConfig::new(NODES, AT);
+    run_parallel_matrix("multipaxos", move |id| MultiPaxosReplica::new(id, config.clone()));
+}
+
+#[test]
+fn mencius_sharded_execution_matches_serial() {
+    let config = MenciusConfig::new(NODES);
+    run_parallel_matrix("mencius", move |id| MenciusReplica::new(id, config.clone()));
+}
+
+#[test]
+fn m2paxos_sharded_execution_matches_serial() {
+    let config = M2PaxosConfig::new(NODES);
+    run_parallel_matrix("m2paxos", move |id| M2PaxosReplica::new(id, config.clone()));
+}

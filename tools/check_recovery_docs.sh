@@ -113,7 +113,27 @@ check_sym "$doc" scrape_stats 'pub fn scrape_stats' crates/net/src/client.rs
 check_sym "$doc" fetch_stats 'pub fn fetch_stats' crates/net/src/client.rs
 check_sym "$doc" consensus_node--stats '"--stats"' src/bin/consensus_node.rs
 
+doc=docs/THROUGHPUT.md
+check_doc "$doc"
+check_sym "$doc" BatchConfig 'pub struct BatchConfig' crates/session/src/batch.rs
+check_sym "$doc" Batcher::coalesce 'pub fn coalesce' crates/session/src/batch.rs
+check_sym "$doc" Batcher::reseed 'pub fn reseed' crates/session/src/batch.rs
+check_sym "$doc" BATCH_LANE 'pub const BATCH_LANE' crates/types/src/command.rs
+check_sym "$doc" Command::batch 'pub fn batch' crates/types/src/command.rs
+check_sym "$doc" Command::leaves 'pub fn leaves' crates/types/src/command.rs
+check_sym "$doc" Executor 'pub struct Executor' crates/session/src/exec.rs
+check_sym "$doc" Executor::apply_round 'pub fn apply_round' crates/session/src/exec.rs
+check_sym "$doc" StateMachine::partitionable 'fn partitionable' crates/session/src/state_machine.rs
+check_sym "$doc" StateMachine::split_snapshot 'fn split_snapshot' crates/session/src/state_machine.rs
+check_sym "$doc" StateMachine::merge_snapshot 'fn merge_snapshot' crates/session/src/state_machine.rs
+check_sym "$doc" NetConfig::with_batch 'pub fn with_batch' crates/net/src/cluster.rs
+check_sym "$doc" NetConfig::with_exec_workers 'pub fn with_exec_workers' crates/net/src/cluster.rs
+check_sym "$doc" ClusterConfig::with_batch 'pub fn with_batch' crates/cluster/src/lib.rs
+check_sym "$doc" SimConfig::with_batch 'pub fn with_batch' crates/simnet/src/sim.rs
+check_sym "$doc" batch.assembled 'batch\.assembled' crates/net/src/replica.rs
+check_sym "$doc" wal.fsyncs 'wal\.fsyncs' crates/wal/src/store.rs
+
 if [ "$fail" -eq 0 ]; then
-    echo "docs/RECOVERY.md + docs/DURABILITY.md + docs/OBSERVABILITY.md: anchors, paths and symbols all resolve"
+    echo "docs/RECOVERY.md + docs/DURABILITY.md + docs/OBSERVABILITY.md + docs/THROUGHPUT.md: anchors, paths and symbols all resolve"
 fi
 exit "$fail"
